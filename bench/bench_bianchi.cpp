@@ -1,0 +1,68 @@
+// Extension bench: DCF saturation throughput vs station count — the
+// simulated MAC against the Bianchi (JSAC 2000) analytical model with
+// the paper's 802.11b parameters. Not a table from the paper itself, but
+// the canonical multi-station generalization of its Equations (1)/(2);
+// it validates the simulator's contention machinery.
+
+#include <iostream>
+
+#include "analysis/bianchi.hpp"
+#include "experiments/experiments.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+using namespace adhoc;
+
+int main() {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(5);
+
+  std::cout << "=== Saturation throughput vs contention: simulation vs Bianchi ===\n"
+            << "(11 Mbps, m=512 B, basic access)\n\n";
+  stats::Table table({"stations", "model (Mbps)", "sim (Mbps)", "sim/model %", "model p"});
+  stats::CsvWriter csv{"bianchi.csv"};
+  csv.header({"n", "model_mbps", "sim_mbps", "collision_p"});
+
+  for (const std::uint32_t n : {1u, 2u, 3u, 5u, 8u, 12u}) {
+    analysis::BianchiParams bp;
+    bp.n_stations = n;
+    const auto model = analysis::bianchi_saturation(bp);
+
+    experiments::SaturationSpec spec;
+    spec.n_stations = n;
+    const auto sim_result = experiments::saturation_throughput(spec, cfg);
+
+    table.add_row({std::to_string(n), stats::Table::fmt(model.throughput_mbps),
+                   stats::Table::fmt(sim_result.mean),
+                   stats::Table::fmt(sim_result.mean / model.throughput_mbps * 100.0, 1),
+                   stats::Table::fmt(model.p)});
+    csv.numeric_row({static_cast<double>(n), model.throughput_mbps, sim_result.mean, model.p});
+  }
+  std::cout << table.to_string();
+
+  std::cout << "\n--- with RTS/CTS ---\n\n";
+  stats::Table rts_table({"stations", "model (Mbps)", "sim (Mbps)", "sim/model %"});
+  for (const std::uint32_t n : {2u, 5u, 12u}) {
+    analysis::BianchiParams bp;
+    bp.n_stations = n;
+    bp.rts = true;
+    const auto model = analysis::bianchi_saturation(bp);
+    experiments::SaturationSpec spec;
+    spec.n_stations = n;
+    spec.rts = true;
+    const auto sim_result = experiments::saturation_throughput(spec, cfg);
+    rts_table.add_row({std::to_string(n), stats::Table::fmt(model.throughput_mbps),
+                       stats::Table::fmt(sim_result.mean),
+                       stats::Table::fmt(sim_result.mean / model.throughput_mbps * 100.0, 1)});
+  }
+  std::cout << rts_table.to_string();
+
+  std::cout << "\nShape check: aggregate goodput decays slowly with n; the simulated\n"
+               "MAC should track the model within ~15% across the sweep. Under heavy\n"
+               "contention RTS/CTS closes the gap to basic access (collisions only\n"
+               "cost an RTS) — Bianchi's classic observation.\n";
+  std::cout << "(series written to bianchi.csv)\n";
+  return 0;
+}

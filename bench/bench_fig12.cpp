@@ -1,0 +1,15 @@
+// Reproduces Figure 12: the symmetric scenario (Figure 10 layout) at
+// 2 Mbps — d = 25 / 60-65 / 25 m, sessions S1->S2 and S4->S3.
+
+#include "four_station_common.hpp"
+
+int main() {
+  adhoc::benchfs::run_four_station_bench(
+      "fig12", "symmetric, 2 Mbps, d(1,2)=25 m, d(2,3)=62.5 m, d(3,4)=25 m", "S4->S3",
+      [](bool rts, adhoc::scenario::Transport t) {
+        return adhoc::experiments::fig12_spec(rts, t);
+      },
+      "Paper shape check: balanced sharing at the lower rate, lower totals\n"
+      "than fig11 (2 Mbps channel).");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Figure 3: packet-loss rate vs distance between two
+// stations, one curve per data rate (1, 2, 5.5, 11 Mbps).
+//
+// Paper shape: sigmoidal curves ordered by rate — 11 Mbps dies first
+// (~30 m), then 5.5 (~70 m), 2 (~90-100 m), 1 Mbps last (~110-130 m).
+
+#include <iostream>
+
+#include "experiments/experiments.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+using namespace adhoc;
+
+int main() {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+
+  const auto distances = experiments::fig3_distances();
+  std::array<std::vector<experiments::LossPoint>, 4> curves;
+  for (const phy::Rate rate : phy::kAllRates) {
+    experiments::LossSweepSpec spec;
+    spec.rate = rate;
+    spec.distances_m = distances;
+    spec.probes = 300;
+    curves[phy::rate_index(rate)] = experiments::loss_sweep(spec, cfg);
+  }
+
+  std::cout << "=== Figure 3: packet loss rate vs distance, per data rate ===\n\n";
+  stats::Table table({"distance (m)", "11 Mbps", "5.5 Mbps", "2 Mbps", "1 Mbps"});
+  stats::CsvWriter csv{"fig3.csv"};
+  csv.header({"distance_m", "loss_11", "loss_5_5", "loss_2", "loss_1"});
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const double l11 = curves[phy::rate_index(phy::Rate::kR11)][i].loss;
+    const double l55 = curves[phy::rate_index(phy::Rate::kR5_5)][i].loss;
+    const double l2 = curves[phy::rate_index(phy::Rate::kR2)][i].loss;
+    const double l1 = curves[phy::rate_index(phy::Rate::kR1)][i].loss;
+    table.add_row({stats::Table::fmt(distances[i], 0), stats::Table::fmt(l11, 2),
+                   stats::Table::fmt(l55, 2), stats::Table::fmt(l2, 2),
+                   stats::Table::fmt(l1, 2)});
+    csv.numeric_row({distances[i], l11, l55, l2, l1});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nPaper shape check: curves rise in rate order; 11 Mbps saturates "
+               "by ~40 m, 1 Mbps survives past 110 m.\n";
+  std::cout << "(series written to fig3.csv)\n";
+  return 0;
+}

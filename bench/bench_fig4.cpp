@@ -1,0 +1,49 @@
+// Reproduces Figure 4: the 1 Mbps loss-vs-distance curve measured on two
+// different days (06/12/2002 vs 09/12/2002 in the paper).
+//
+// The "day" is a weather offset on the shadowing process: a good day
+// extends the usable range by tens of meters, a bad day shrinks it —
+// exactly the paper's point about non-constant transmission ranges.
+
+#include <iostream>
+
+#include "experiments/experiments.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+using namespace adhoc;
+
+int main() {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+
+  std::vector<double> distances;
+  for (double d = 50.0; d <= 160.0; d += 10.0) distances.push_back(d);
+
+  experiments::LossSweepSpec day_a;  // favourable propagation day
+  day_a.rate = phy::Rate::kR1;
+  day_a.distances_m = distances;
+  day_a.probes = 300;
+  day_a.day_offset_db = +2.5;
+
+  experiments::LossSweepSpec day_b = day_a;  // adverse day
+  day_b.day_offset_db = -2.5;
+
+  const auto curve_a = experiments::loss_sweep(day_a, cfg);
+  const auto curve_b = experiments::loss_sweep(day_b, cfg);
+
+  std::cout << "=== Figure 4: 1 Mbps transmission range on two different days ===\n\n";
+  stats::Table table({"distance (m)", "day A (+2.5 dB)", "day B (-2.5 dB)"});
+  stats::CsvWriter csv{"fig4.csv"};
+  csv.header({"distance_m", "loss_day_a", "loss_day_b"});
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    table.add_row({stats::Table::fmt(distances[i], 0), stats::Table::fmt(curve_a[i].loss, 2),
+                   stats::Table::fmt(curve_b[i].loss, 2)});
+    csv.numeric_row({distances[i], curve_a[i].loss, curve_b[i].loss});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nPaper shape check: the adverse-day curve rises earlier — the same "
+               "link, on a different day, has a visibly shorter range.\n";
+  std::cout << "(series written to fig4.csv)\n";
+  return 0;
+}

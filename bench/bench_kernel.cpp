@@ -1,0 +1,114 @@
+// google-benchmark microbenchmarks for the simulator substrate:
+// scheduler throughput, RNG, propagation math, and full-stack
+// events-per-second (how much simulated traffic one wall-second buys).
+
+#include <benchmark/benchmark.h>
+
+#include "experiments/experiments.hpp"
+#include "phy/calibration.hpp"
+#include "phy/shadowing.hpp"
+#include "scenario/network.hpp"
+#include "scenario/runner.hpp"
+#include "sim/scheduler.hpp"
+
+using namespace adhoc;
+
+namespace {
+
+void BM_SchedulerScheduleExecute(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(sim::Time::ns(i * 13 % 5000), [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.total_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleExecute);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(s.schedule_at(sim::Time::ns(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) s.cancel(ids[i]);
+    s.run();
+    benchmark::DoNotOptimize(s.total_cancelled());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_RngDraws(benchmark::State& state) {
+  sim::Rng rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_int(0, 1023));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngDraws);
+
+void BM_ShadowedRxPower(benchmark::State& state) {
+  const auto& base = phy::default_outdoor_model();
+  phy::ShadowedPropagation model{base, phy::ShadowingParams{}, sim::Rng{1}};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 100;
+    benchmark::DoNotOptimize(model.rx_power_dbm(15.0, {0, 0}, {80, 0}, sim::Time::us(t), {1, 2}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowedRxPower);
+
+void BM_FullStackUdpSecond(benchmark::State& state) {
+  // Cost of simulating one second of saturated two-node UDP at 11 Mbps.
+  for (auto _ : state) {
+    sim::Simulator sim{1};
+    scenario::Network net{sim};
+    net.add_node({0, 0});
+    net.add_node({10, 0});
+    scenario::RunConfig rc;
+    rc.warmup = sim::Time::ms(100);
+    rc.measure = sim::Time::ms(900);
+    const auto r = scenario::run_sessions(net, {{0, 1, scenario::Transport::kUdp}}, rc);
+    benchmark::DoNotOptimize(r.sessions[0].bytes);
+  }
+}
+BENCHMARK(BM_FullStackUdpSecond)->Unit(benchmark::kMillisecond);
+
+void BM_FullStackTcpSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim{1};
+    scenario::Network net{sim};
+    net.add_node({0, 0});
+    net.add_node({10, 0});
+    scenario::RunConfig rc;
+    rc.warmup = sim::Time::ms(100);
+    rc.measure = sim::Time::ms(900);
+    const auto r = scenario::run_sessions(net, {{0, 1, scenario::Transport::kTcp}}, rc);
+    benchmark::DoNotOptimize(r.sessions[0].bytes);
+  }
+}
+BENCHMARK(BM_FullStackTcpSecond)->Unit(benchmark::kMillisecond);
+
+void BM_FourStationSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    experiments::ExperimentConfig cfg;
+    cfg.seeds = {1};
+    cfg.warmup = sim::Time::ms(100);
+    cfg.measure = sim::Time::ms(900);
+    const auto r = experiments::four_station(
+        experiments::fig7_spec(false, scenario::Transport::kUdp), cfg);
+    benchmark::DoNotOptimize(r.session1_kbps.mean);
+  }
+}
+BENCHMARK(BM_FourStationSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

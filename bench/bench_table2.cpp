@@ -1,0 +1,45 @@
+// Reproduces Table 2: analytical maximum throughput at each data rate,
+// with and without RTS/CTS, m = 512 and 1024 bytes.
+//
+// Prints the paper's published value next to this library's equations
+// under both assumption presets (see analysis/throughput_model.hpp).
+
+#include <iostream>
+
+#include "analysis/throughput_model.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+using namespace adhoc;
+
+int main() {
+  const analysis::ThroughputModel standard{analysis::Assumptions::standard()};
+  const analysis::ThroughputModel fitted{analysis::Assumptions::paper_fit()};
+
+  std::cout << "=== Table 2: maximum throughput (Mbps) at different data rates ===\n\n";
+  stats::Table table({"rate", "m (B)", "access", "paper", "model(std)", "model(fit)",
+                      "fit err %"});
+  stats::CsvWriter csv{"table2.csv"};
+  csv.header({"rate_mbps", "m_bytes", "rts", "paper_mbps", "standard_mbps", "fit_mbps"});
+
+  for (const auto& cell : analysis::paper_table2()) {
+    const double std_v = cell.rts ? standard.max_throughput_rts_mbps(cell.m_bytes, cell.rate)
+                                  : standard.max_throughput_basic_mbps(cell.m_bytes, cell.rate);
+    const double fit_v = cell.rts ? fitted.max_throughput_rts_mbps(cell.m_bytes, cell.rate)
+                                  : fitted.max_throughput_basic_mbps(cell.m_bytes, cell.rate);
+    const double err = (fit_v / cell.paper_mbps - 1.0) * 100.0;
+    table.add_row({std::string(phy::rate_name(cell.rate)), std::to_string(cell.m_bytes),
+                   cell.rts ? "RTS/CTS" : "basic", stats::Table::fmt(cell.paper_mbps),
+                   stats::Table::fmt(std_v), stats::Table::fmt(fit_v),
+                   stats::Table::fmt(err, 1)});
+    csv.numeric_row({phy::rate_mbps(cell.rate), static_cast<double>(cell.m_bytes),
+                     cell.rts ? 1.0 : 0.0, cell.paper_mbps, std_v, fit_v});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nBandwidth utilization at 11 Mbps, m=1024 (paper: < 44%): "
+            << stats::Table::fmt(
+                   standard.max_throughput_basic_mbps(1024, phy::Rate::kR11) / 11.0 * 100.0, 1)
+            << "%\n";
+  std::cout << "\n(series written to table2.csv)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+// Shared driver for the four-station reproduction benches
+// (Figures 7, 9, 11, 12): runs UDP and TCP, with and without RTS/CTS,
+// and prints per-session throughputs in the paper's layout.
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "experiments/experiments.hpp"
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace adhoc::benchfs {
+
+using SpecFn = std::function<experiments::FourStationSpec(bool, scenario::Transport)>;
+
+inline void run_four_station_bench(const std::string& figure, const std::string& layout,
+                                   const std::string& session2_label, const SpecFn& spec_fn,
+                                   const std::string& shape_note) {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(6);
+
+  std::cout << "=== " << figure << ": " << layout << " ===\n\n";
+  stats::Table table({"traffic", "access", "S1->S2 (kbps)", session2_label + " (kbps)",
+                      "imbalance"});
+  stats::CsvWriter csv{figure + ".csv"};
+  csv.header({"tcp", "rts", "session1_kbps", "session2_kbps"});
+
+  for (const auto transport : {scenario::Transport::kUdp, scenario::Transport::kTcp}) {
+    for (const bool rts : {false, true}) {
+      const auto r = experiments::four_station(spec_fn(rts, transport), cfg);
+      const double s1 = r.session1_kbps.mean;
+      const double s2 = r.session2_kbps.mean;
+      const double imb = (s1 + s2) > 0 ? std::abs(s1 - s2) / (s1 + s2) : 0.0;
+      table.add_row({transport == scenario::Transport::kUdp ? "UDP" : "TCP",
+                     rts ? "RTS/CTS" : "no RTS/CTS",
+                     stats::Table::fmt(s1, 0) + " +-" + stats::Table::fmt(r.session1_kbps.ci95, 0),
+                     stats::Table::fmt(s2, 0) + " +-" + stats::Table::fmt(r.session2_kbps.ci95, 0),
+                     stats::Table::fmt(imb, 2)});
+      csv.numeric_row({transport == scenario::Transport::kTcp ? 1.0 : 0.0, rts ? 1.0 : 0.0,
+                       s1, s2});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << '\n' << shape_note << '\n';
+  std::cout << "(series written to " << figure << ".csv)\n";
+}
+
+}  // namespace adhoc::benchfs

@@ -1,0 +1,73 @@
+// On-demand multi-hop routing: the paper's introduction made concrete.
+// Six stations in a line, 25 m apart, 11 Mbps (range ~30 m): only
+// neighbours hear each other. AODV discovers a 5-hop route on the first
+// packet; when a relay dies, the next send fails over to re-discovery.
+//
+//   $ ./aodv_demo
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "net/aodv.hpp"
+#include "scenario/network.hpp"
+#include "transport/udp.hpp"
+
+using namespace adhoc;
+
+int main() {
+  sim::Simulator sim{5};
+  scenario::Network net{sim};
+  std::vector<std::unique_ptr<net::Aodv>> aodv;
+  constexpr std::size_t kN = 6;
+  for (std::size_t i = 0; i < kN; ++i) {
+    net.add_node({25.0 * static_cast<double>(i), 0.0});
+    aodv.push_back(std::make_unique<net::Aodv>(net.node(i)));
+  }
+
+  std::uint64_t delivered = 0;
+  net.udp(kN - 1).open(9000).set_rx_handler(
+      [&](std::uint32_t, std::uint64_t seq, net::Ipv4Address, std::uint16_t) {
+        delivered++;
+        std::cout << "  [" << sim.now().to_ms() << " ms] datagram " << seq
+                  << " delivered end-to-end\n";
+      });
+
+  const auto dst_ip = net.node(kN - 1).ip();
+  auto send_one = [&](std::uint64_t seq) {
+    auto packet = net::Packet::make(512);
+    net::UdpHeader udp;
+    udp.src_port = 9000;
+    udp.dst_port = 9000;
+    udp.length = net::UdpHeader::kBytes + 512;
+    packet->push(udp);
+    packet->app_seq = seq;
+    aodv[0]->send(std::move(packet), dst_ip, net::kProtoUdp);
+  };
+
+  std::cout << "Line of " << kN << " stations, 25 m apart, 11 Mbps data rate.\n"
+            << "Station 0 sends to station " << kN - 1 << " ("
+            << (kN - 1) * 25 << " m away, ~" << kN - 1 << " hops):\n\n";
+
+  sim.at(sim::Time::ms(10), [&] { send_one(1); });
+  sim.run_until(sim::Time::sec(1));
+  std::cout << "\nRoute after discovery: hop count = "
+            << int(aodv[0]->hop_count(dst_ip).value_or(0)) << ", next hop = "
+            << aodv[0]->next_hop(dst_ip).value_or(net::Ipv4Address{}).to_string() << "\n";
+  std::cout << "RREQ floods: " << aodv[0]->counters().rreq_originated << " originated, "
+            << aodv[2]->counters().rreq_forwarded << " forwarded by station 2\n\n";
+
+  std::cout << "Now station 2 (a relay) fails...\n";
+  sim.at(sim::Time::sec(2), [&] { net.node(2).radio().set_position({1000, 1000}); });
+  sim.at(sim::Time::sec(3), [&] { send_one(2); });
+  sim.run_until(sim::Time::sec(10));
+
+  std::cout << "\nAfter the failure: station 1 invalidated "
+            << aodv[1]->counters().routes_invalidated << " route(s) and sent "
+            << aodv[1]->counters().rerr_sent << " RERR(s).\n"
+            << "Delivered end-to-end in total: " << delivered << "/2\n"
+            << "(With a 25 m grid there is no detour around the dead relay —\n"
+            << " the second datagram is dropped after bounded re-discovery, as\n"
+            << " the paper's short real-world ranges would predict.)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Mobility + ARF: a station walks away from its peer while streaming
+// saturated UDP. As the distance crosses each Table 3 range boundary,
+// ARF steps the data rate down — the paper's rate/range trade-off
+// (Fig. 3, Table 3) experienced as a walk.
+//
+//   $ ./mobile_rate_adaptation [speed_mps]   (default 4 m/s)
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "app/cbr.hpp"
+#include "app/sink.hpp"
+#include "mac/arf.hpp"
+#include "phy/mobility.hpp"
+#include "scenario/network.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+  const double speed = argc > 1 ? std::atof(argv[1]) : 4.0;
+
+  sim::Simulator sim{7};
+  scenario::NetworkConfig nc;
+  nc.shadowing = phy::ShadowingParams{1.5, sim::Time::ms(20), 0.0};
+  scenario::Network net{sim, nc};
+  net::Node& receiver = net.add_node({0, 0});
+  net::Node& sender = net.add_node({10, 0});
+
+  phy::LinearMobility walk{{10, 0}, speed, 0.0};
+  sender.radio().set_mobility(&walk);
+
+  mac::ArfParams arf_params;
+  arf_params.initial_rate = phy::Rate::kR11;
+  mac::ArfController arf{sender.dcf(), arf_params};
+
+  app::UdpSink sink{sim, net.udp(0), 9000};
+  auto& sock = net.udp(1).open(9000);
+  app::CbrSource cbr{sim, sock, receiver.ip(), 9000, 512,
+                     app::CbrSource::interval_for_rate(512, 8e6)};
+  cbr.start(sim::Time::ms(10));
+
+  std::cout << "Sender walks away at " << speed << " m/s, ARF adapts the rate\n\n";
+  std::cout << std::setw(8) << "t (s)" << std::setw(12) << "dist (m)" << std::setw(12)
+            << "ARF rate" << std::setw(16) << "goodput (kbps)" << '\n';
+
+  std::uint64_t last_bytes = 0;
+  const auto dst_mac = receiver.mac_address();
+  const double horizon = 130.0 / speed;  // walk past the 1 Mbps range
+  for (int second = 1; second <= static_cast<int>(horizon); ++second) {
+    sim.run_until(sim::Time::sec(second));
+    const double dist = phy::distance(sender.radio().position(), receiver.radio().position());
+    const std::uint64_t bytes = net.node(0).dcf().counters().msdu_delivered_up * 512;
+    const double kbps = static_cast<double>(bytes - last_bytes) * 8.0 / 1000.0;
+    last_bytes = bytes;
+    std::cout << std::setw(8) << second << std::setw(12) << std::fixed << std::setprecision(1)
+              << dist << std::setw(12) << phy::rate_name(arf.rate_for(dst_mac))
+              << std::setw(16) << std::setprecision(0) << kbps << '\n';
+  }
+  std::cout << "\nRate steps down near ~30 m (11), ~70 m (5.5), ~95 m (2) and the\n"
+               "link dies past ~120 m — Table 3 of the paper, on the move.\n"
+            << "(ARF: " << arf.rate_increases() << " increases, " << arf.rate_decreases()
+            << " decreases, " << arf.probe_failures() << " failed probes)\n";
+  return 0;
+}

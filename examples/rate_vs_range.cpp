@@ -1,0 +1,53 @@
+// Rate vs range: sweep the distance between two stations and print the
+// loss rate per data rate — the experiment behind the paper's Figure 3
+// and Table 3, runnable interactively.
+//
+//   $ ./rate_vs_range [step_m]     (default 15 m)
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "experiments/experiments.hpp"
+
+using namespace adhoc;
+
+int main(int argc, char** argv) {
+  const double step = argc > 1 ? std::atof(argv[1]) : 15.0;
+
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2};
+
+  std::vector<double> distances;
+  for (double d = 15.0; d <= 150.0; d += step) distances.push_back(d);
+
+  std::cout << "Packet loss vs distance (broadcast probes, 512 B)\n\n";
+  std::cout << std::setw(10) << "dist (m)";
+  for (const phy::Rate r : phy::kAllRates) std::cout << std::setw(12) << phy::rate_name(r);
+  std::cout << '\n';
+
+  std::array<std::vector<experiments::LossPoint>, 4> curves;
+  for (const phy::Rate r : phy::kAllRates) {
+    experiments::LossSweepSpec spec;
+    spec.rate = r;
+    spec.distances_m = distances;
+    spec.probes = 250;
+    curves[phy::rate_index(r)] = experiments::loss_sweep(spec, cfg);
+  }
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    std::cout << std::setw(10) << distances[i];
+    for (const phy::Rate r : phy::kAllRates) {
+      std::cout << std::setw(12) << std::fixed << std::setprecision(2)
+                << curves[phy::rate_index(r)][i].loss;
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nEstimated transmission ranges (50% loss crossing):\n";
+  for (const phy::Rate r : phy::kAllRates) {
+    std::cout << "  " << std::setw(9) << phy::rate_name(r) << " : "
+              << experiments::estimate_tx_range(r, cfg) << " m\n";
+  }
+  std::cout << "\n(ns-2's default would be 250 m for all rates — the paper's point.)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "analysis/bianchi.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mac/airtime.hpp"
+
+namespace adhoc::analysis {
+
+namespace {
+
+double tau_of_p(double p, double w, double m) {
+  if (p >= 1.0) p = 1.0 - 1e-12;
+  const double two_p = 2.0 * p;
+  if (std::abs(two_p - 1.0) < 1e-12) {
+    // Limit of the expression at p = 1/2.
+    return 2.0 / (w + 1.0 + m * w / 2.0);
+  }
+  const double num = 2.0 * (1.0 - two_p);
+  const double den = (1.0 - two_p) * (w + 1.0) + p * w * (1.0 - std::pow(two_p, m));
+  return num / den;
+}
+
+}  // namespace
+
+BianchiResult bianchi_saturation(const BianchiParams& prm) {
+  if (prm.n_stations == 0) throw std::invalid_argument("bianchi: n_stations == 0");
+  const double n = prm.n_stations;
+  const double w = prm.cw_min;
+  const double m = prm.max_stage;
+
+  // Bisection on p in [0,1): g(p) = p - (1 - (1-tau(p))^(n-1)) is
+  // monotone increasing (tau decreases in p).
+  BianchiResult out;
+  double lo = 0.0;
+  double hi = 1.0 - 1e-9;
+  double p = 0.0;
+  double tau = tau_of_p(0.0, w, m);
+  for (out.iterations = 0; out.iterations < 200; ++out.iterations) {
+    p = 0.5 * (lo + hi);
+    tau = tau_of_p(p, w, m);
+    const double implied = 1.0 - std::pow(1.0 - tau, n - 1.0);
+    if (std::abs(implied - p) < 1e-12) break;
+    if (implied > p) {
+      lo = p;
+    } else {
+      hi = p;
+    }
+  }
+  out.tau = tau;
+  out.p = p;
+
+  const double ptr = 1.0 - std::pow(1.0 - tau, n);
+  const double ps = ptr > 0.0 ? n * tau * std::pow(1.0 - tau, n - 1.0) / ptr : 0.0;
+  out.ptr = ptr;
+  out.ps = ps;
+
+  // Slot durations in microseconds.
+  const double sigma = prm.timing.slot.to_us();
+  const double sifs = prm.timing.sifs.to_us();
+  const double difs = prm.timing.difs.to_us();
+  const std::uint32_t mac_bytes = prm.payload_bytes + prm.overhead_bytes;
+  const double t_data =
+      mac::data_airtime(prm.timing, mac_bytes, prm.data_rate).to_us();
+  const double t_ack = mac::ack_airtime(prm.timing, prm.control_rate).to_us();
+  const double t_rts = mac::rts_airtime(prm.timing, prm.control_rate).to_us();
+  const double t_cts = mac::cts_airtime(prm.timing, prm.control_rate).to_us();
+  const double delta = prm.tau_prop_us;
+
+  double ts = 0.0;
+  double tc = 0.0;
+  if (prm.rts) {
+    ts = t_rts + sifs + t_cts + sifs + t_data + sifs + t_ack + difs + 4.0 * delta;
+    tc = t_rts + difs + delta;
+  } else {
+    ts = t_data + sifs + t_ack + difs + 2.0 * delta;
+    tc = t_data + difs + delta;
+  }
+
+  const double payload_bits = static_cast<double>(prm.payload_bytes) * 8.0;
+  const double denom_us =
+      (1.0 - ptr) * sigma + ptr * ps * ts + ptr * (1.0 - ps) * tc;
+  out.throughput_mbps = denom_us > 0.0 ? ptr * ps * payload_bits / denom_us : 0.0;
+  return out;
+}
+
+}  // namespace adhoc::analysis

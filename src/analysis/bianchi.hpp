@@ -1,0 +1,55 @@
+#pragma once
+// Bianchi saturation-throughput model (G. Bianchi, JSAC 2000), adapted to
+// the paper's 802.11b parameterization.
+//
+// The paper's Equations (1)/(2) cover ONE saturated sender; this model
+// extends the analysis to n contending stations via the classic
+// two-dimensional backoff Markov chain:
+//
+//   tau = 2(1-2p) / ((1-2p)(W+1) + p W (1 - (2p)^m))
+//   p   = 1 - (1 - tau)^(n-1)
+//
+// solved as a fixed point, where W is the number of initial backoff
+// values (CWmin) and m the number of doubling stages. Normalized
+// throughput follows from slot accounting with Ts/Tc built from the same
+// airtime arithmetic as the rest of the library.
+//
+// For n = 1 the model's collision probability vanishes and the result
+// approaches Equation (1) (mean backoff (W-1)/2 instead of W/2).
+
+#include <cstdint>
+
+#include "phy/rates.hpp"
+#include "phy/timing.hpp"
+
+namespace adhoc::analysis {
+
+struct BianchiParams {
+  std::uint32_t n_stations = 5;
+  /// Number of distinct initial backoff values (paper Table 1: 32).
+  std::uint32_t cw_min = 32;
+  /// Backoff doubling stages: CWmax = 2^m * CWmin (32 -> 1024 gives 5).
+  std::uint32_t max_stage = 5;
+  std::uint32_t payload_bytes = 512;   ///< application payload m
+  std::uint32_t overhead_bytes = 28;   ///< IP + UDP
+  phy::Rate data_rate = phy::Rate::kR11;
+  phy::Rate control_rate = phy::Rate::kR2;
+  bool rts = false;
+  phy::Timing timing{};
+  double tau_prop_us = 1.0;
+};
+
+struct BianchiResult {
+  double tau = 0.0;           ///< per-slot transmission probability
+  double p = 0.0;             ///< conditional collision probability
+  double throughput_mbps = 0.0;  ///< aggregate application-level goodput
+  double ptr = 0.0;           ///< P(at least one transmission in a slot)
+  double ps = 0.0;            ///< P(success | transmission)
+  int iterations = 0;
+};
+
+/// Solve the fixed point and compute aggregate saturation throughput.
+/// Throws std::invalid_argument for n_stations == 0.
+[[nodiscard]] BianchiResult bianchi_saturation(const BianchiParams& params);
+
+}  // namespace adhoc::analysis

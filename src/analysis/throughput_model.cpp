@@ -1,0 +1,76 @@
+#include "analysis/throughput_model.hpp"
+
+#include "mac/frame.hpp"
+
+namespace adhoc::analysis {
+
+Assumptions Assumptions::standard() { return Assumptions{}; }
+
+Assumptions Assumptions::paper_fit() {
+  Assumptions a;
+  a.ack_rate = phy::Rate::kR1;
+  a.ack_plcp_us = 192.0;
+  a.rtscts_rate = phy::Rate::kR1;
+  a.rtscts_plcp_us = 0.0;
+  a.tau_count_rts = 0;
+  return a;
+}
+
+double ThroughputModel::t_data_us(std::uint32_t m_bytes, phy::Rate data_rate) const {
+  const double plcp_us = a_.timing.plcp_duration(phy::Preamble::kLong).to_us();
+  const double bits = static_cast<double>(mac::Frame::kDataHeaderBits) +
+                      static_cast<double>(m_bytes + a_.overhead_bytes) * 8.0;
+  return plcp_us + bits / phy::rate_bits_per_us(data_rate);
+}
+
+double ThroughputModel::t_ack_us() const {
+  return a_.ack_plcp_us +
+         static_cast<double>(mac::Frame::kAckBits) / phy::rate_bits_per_us(a_.ack_rate);
+}
+
+double ThroughputModel::t_rts_us() const {
+  return a_.rtscts_plcp_us +
+         static_cast<double>(mac::Frame::kRtsBits) / phy::rate_bits_per_us(a_.rtscts_rate);
+}
+
+double ThroughputModel::t_cts_us() const {
+  return a_.rtscts_plcp_us +
+         static_cast<double>(mac::Frame::kCtsBits) / phy::rate_bits_per_us(a_.rtscts_rate);
+}
+
+double ThroughputModel::mean_backoff_us() const {
+  return a_.mean_backoff_slots * a_.timing.slot.to_us();
+}
+
+double ThroughputModel::max_throughput_basic_mbps(std::uint32_t m_bytes,
+                                                  phy::Rate data_rate) const {
+  const double denom_us = a_.timing.difs.to_us() + t_data_us(m_bytes, data_rate) +
+                          a_.timing.sifs.to_us() + t_ack_us() + mean_backoff_us() +
+                          a_.tau_count_basic * a_.tau_us;
+  return static_cast<double>(m_bytes) * 8.0 / denom_us;  // bits/us == Mbps
+}
+
+double ThroughputModel::max_throughput_rts_mbps(std::uint32_t m_bytes, phy::Rate data_rate) const {
+  const double denom_us = a_.timing.difs.to_us() + t_rts_us() + t_cts_us() +
+                          t_data_us(m_bytes, data_rate) + t_ack_us() +
+                          a_.sifs_count_rts * a_.timing.sifs.to_us() + mean_backoff_us() +
+                          a_.tau_count_rts * a_.tau_us;
+  return static_cast<double>(m_bytes) * 8.0 / denom_us;
+}
+
+const std::array<Table2Cell, 16>& paper_table2() {
+  using phy::Rate;
+  static const std::array<Table2Cell, 16> cells{{
+      {Rate::kR11, 512, false, 3.060}, {Rate::kR11, 512, true, 2.549},
+      {Rate::kR11, 1024, false, 4.788}, {Rate::kR11, 1024, true, 4.139},
+      {Rate::kR5_5, 512, false, 2.366}, {Rate::kR5_5, 512, true, 2.049},
+      {Rate::kR5_5, 1024, false, 3.308}, {Rate::kR5_5, 1024, true, 2.985},
+      {Rate::kR2, 512, false, 1.319}, {Rate::kR2, 512, true, 1.214},
+      {Rate::kR2, 1024, false, 1.589}, {Rate::kR2, 1024, true, 1.511},
+      {Rate::kR1, 512, false, 0.758}, {Rate::kR1, 512, true, 0.738},
+      {Rate::kR1, 1024, false, 0.862}, {Rate::kR1, 1024, true, 0.839},
+  }};
+  return cells;
+}
+
+}  // namespace adhoc::analysis

@@ -1,0 +1,35 @@
+#include "app/cbr.hpp"
+
+namespace adhoc::app {
+
+CbrSource::CbrSource(sim::Simulator& simulator, transport::UdpSocket& socket,
+                     net::Ipv4Address dst, std::uint16_t dst_port, std::uint32_t payload_bytes,
+                     sim::Time interval)
+    : sim_(simulator),
+      socket_(socket),
+      dst_(dst),
+      dst_port_(dst_port),
+      payload_bytes_(payload_bytes),
+      interval_(interval) {}
+
+sim::Time CbrSource::interval_for_rate(std::uint32_t payload_bytes, double bps) {
+  return sim::Time::from_sec(static_cast<double>(payload_bytes) * 8.0 / bps);
+}
+
+void CbrSource::start(sim::Time at) {
+  stop();
+  timer_ = sim_.at(at, [this] { tick(); });
+}
+
+void CbrSource::stop() {
+  sim_.cancel(timer_);
+  timer_ = sim::kInvalidEvent;
+}
+
+void CbrSource::tick() {
+  if (!socket_.send_to(payload_bytes_, dst_, dst_port_, seq_)) ++send_failures_;
+  ++seq_;
+  timer_ = sim_.after(interval_, [this] { tick(); });
+}
+
+}  // namespace adhoc::app

@@ -1,0 +1,51 @@
+#pragma once
+// Constant-bit-rate source over UDP — the paper's CBR workload.
+//
+// Sends fixed-size datagrams at a fixed interval. For the asymptotic
+// ("always backlogged") conditions of the paper, configure a rate above
+// the channel capacity: the MAC queue then stays full and the measured
+// throughput is the channel's, not the source's.
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "transport/udp.hpp"
+
+namespace adhoc::app {
+
+class CbrSource {
+ public:
+  /// Sends `payload_bytes`-sized datagrams every `interval` from `socket`
+  /// to (dst, dst_port).
+  CbrSource(sim::Simulator& simulator, transport::UdpSocket& socket, net::Ipv4Address dst,
+            std::uint16_t dst_port, std::uint32_t payload_bytes, sim::Time interval);
+
+  CbrSource(const CbrSource&) = delete;
+  CbrSource& operator=(const CbrSource&) = delete;
+  ~CbrSource() { stop(); }
+
+  /// Convenience: interval for a target rate in bits/s at this size.
+  [[nodiscard]] static sim::Time interval_for_rate(std::uint32_t payload_bytes, double bps);
+
+  void start(sim::Time at);
+  void stop();
+
+  [[nodiscard]] bool running() const { return timer_ != sim::kInvalidEvent; }
+  [[nodiscard]] std::uint64_t sent() const { return seq_; }
+  [[nodiscard]] std::uint64_t send_failures() const { return send_failures_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  transport::UdpSocket& socket_;
+  net::Ipv4Address dst_;
+  std::uint16_t dst_port_;
+  std::uint32_t payload_bytes_;
+  sim::Time interval_;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  std::uint64_t seq_ = 0;
+  std::uint64_t send_failures_ = 0;
+};
+
+}  // namespace adhoc::app

@@ -1,0 +1,51 @@
+#include "app/hello.hpp"
+
+namespace adhoc::app {
+
+HelloService::HelloService(sim::Simulator& simulator, transport::UdpStack& stack,
+                           HelloParams params)
+    : sim_(simulator),
+      socket_(stack.open(params.port)),
+      params_(params),
+      rng_(simulator.rng_stream("hello").substream(stack.node().id())) {
+  socket_.set_rx_handler(
+      [this](std::uint32_t, std::uint64_t, net::Ipv4Address src, std::uint16_t) {
+        ++received_;
+        last_heard_[src] = sim_.now();
+      });
+}
+
+void HelloService::start(sim::Time at) {
+  stop();
+  timer_ = sim_.at(at, [this] { tick(); });
+}
+
+void HelloService::stop() {
+  sim_.cancel(timer_);
+  timer_ = sim::kInvalidEvent;
+}
+
+void HelloService::tick() {
+  socket_.send_to(params_.payload_bytes, net::Ipv4Address::broadcast(), params_.port, sent_);
+  ++sent_;
+  const auto jitter_ns = params_.jitter.count_ns() > 0
+                             ? rng_.uniform_int(0, params_.jitter.count_ns() - 1)
+                             : 0;
+  timer_ = sim_.after(params_.interval + sim::Time::ns(jitter_ns), [this] { tick(); });
+}
+
+std::vector<net::Ipv4Address> HelloService::neighbors() const {
+  std::vector<net::Ipv4Address> out;
+  const sim::Time cutoff = sim_.now() - params_.neighbor_lifetime;
+  for (const auto& [ip, heard] : last_heard_) {
+    if (heard >= cutoff) out.push_back(ip);
+  }
+  return out;
+}
+
+bool HelloService::is_neighbor(net::Ipv4Address ip) const {
+  const auto it = last_heard_.find(ip);
+  return it != last_heard_.end() && it->second >= sim_.now() - params_.neighbor_lifetime;
+}
+
+}  // namespace adhoc::app

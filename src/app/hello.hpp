@@ -1,0 +1,60 @@
+#pragma once
+// Neighbor discovery by periodic HELLO beaconing.
+//
+// Each station broadcasts a small UDP datagram at a jittered interval
+// and tracks which stations it has heard from recently. This is the ad
+// hoc substrate the paper's introduction presumes (stations must learn
+// who is in range before routing means anything) — and, because HELLOs
+// ride the broadcast rate, neighborhood membership follows the *control*
+// transmission range of Table 3, not the data range.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "transport/udp.hpp"
+
+namespace adhoc::app {
+
+struct HelloParams {
+  sim::Time interval = sim::Time::sec(1);
+  sim::Time jitter = sim::Time::ms(100);     ///< uniform [0, jitter) per beacon
+  sim::Time neighbor_lifetime = sim::Time::ms(3500);  ///< ~3 intervals
+  std::uint16_t port = 698;
+  std::uint32_t payload_bytes = 32;
+};
+
+class HelloService {
+ public:
+  HelloService(sim::Simulator& simulator, transport::UdpStack& stack, HelloParams params = {});
+
+  HelloService(const HelloService&) = delete;
+  HelloService& operator=(const HelloService&) = delete;
+  ~HelloService() { stop(); }
+
+  void start(sim::Time at);
+  void stop();
+
+  /// Stations heard within the neighbor lifetime, unordered.
+  [[nodiscard]] std::vector<net::Ipv4Address> neighbors() const;
+  [[nodiscard]] bool is_neighbor(net::Ipv4Address ip) const;
+  [[nodiscard]] std::size_t neighbor_count() const { return neighbors().size(); }
+
+  [[nodiscard]] std::uint64_t hellos_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t hellos_received() const { return received_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  transport::UdpSocket& socket_;
+  HelloParams params_;
+  sim::Rng rng_;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::unordered_map<net::Ipv4Address, sim::Time, net::Ipv4AddressHash> last_heard_;
+};
+
+}  // namespace adhoc::app

@@ -1,0 +1,36 @@
+#include "app/loss_probe.hpp"
+
+namespace adhoc::app {
+
+ProbeSender::ProbeSender(sim::Simulator& simulator, transport::UdpSocket& socket,
+                         std::uint16_t dst_port, std::uint32_t payload_bytes, sim::Time interval)
+    : sim_(simulator),
+      socket_(socket),
+      dst_port_(dst_port),
+      payload_bytes_(payload_bytes),
+      interval_(interval) {}
+
+void ProbeSender::start(sim::Time at) {
+  stop();
+  timer_ = sim_.at(at, [this] { tick(); });
+}
+
+void ProbeSender::stop() {
+  sim_.cancel(timer_);
+  timer_ = sim::kInvalidEvent;
+}
+
+void ProbeSender::tick() {
+  socket_.send_to(payload_bytes_, net::Ipv4Address::broadcast(), dst_port_, seq_);
+  ++seq_;
+  timer_ = sim_.after(interval_, [this] { tick(); });
+}
+
+ProbeReceiver::ProbeReceiver(transport::UdpStack& stack, std::uint16_t port) {
+  stack.open(port).set_rx_handler(
+      [this](std::uint32_t, std::uint64_t, net::Ipv4Address, std::uint16_t) {
+        meter_.on_received();
+      });
+}
+
+}  // namespace adhoc::app

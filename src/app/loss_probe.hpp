@@ -1,0 +1,57 @@
+#pragma once
+// Link probing for the transmission-range experiments (paper §3.2).
+//
+// The sender broadcasts sequence-numbered UDP datagrams at a fixed pace;
+// broadcast MAC frames are sent once, unacknowledged, so the measured
+// loss rate is the raw channel loss at the probing rate — which is what
+// Fig. 3/4 plot against distance. The MAC's broadcast_rate must be set to
+// the data rate under test (see MacParams::broadcast_rate).
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "stats/rate_meter.hpp"
+#include "transport/udp.hpp"
+
+namespace adhoc::app {
+
+class ProbeSender {
+ public:
+  ProbeSender(sim::Simulator& simulator, transport::UdpSocket& socket, std::uint16_t dst_port,
+              std::uint32_t payload_bytes, sim::Time interval);
+
+  void start(sim::Time at);
+  void stop();
+
+  [[nodiscard]] std::uint64_t sent() const { return seq_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  transport::UdpSocket& socket_;
+  std::uint16_t dst_port_;
+  std::uint32_t payload_bytes_;
+  sim::Time interval_;
+  sim::EventId timer_ = sim::kInvalidEvent;
+  std::uint64_t seq_ = 0;
+};
+
+class ProbeReceiver {
+ public:
+  ProbeReceiver(transport::UdpStack& stack, std::uint16_t port);
+
+  [[nodiscard]] std::uint64_t received() const { return meter_.received(); }
+
+  /// Loss rate given the true number of probes sent.
+  [[nodiscard]] double loss_rate(std::uint64_t sent) const {
+    if (sent == 0) return 0.0;
+    const double recv = static_cast<double>(std::min(received(), sent));
+    return 1.0 - recv / static_cast<double>(sent);
+  }
+
+ private:
+  stats::LossMeter meter_;
+};
+
+}  // namespace adhoc::app

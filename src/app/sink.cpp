@@ -1,0 +1,23 @@
+#include "app/sink.hpp"
+
+namespace adhoc::app {
+
+UdpSink::UdpSink(sim::Simulator& simulator, transport::UdpStack& stack, std::uint16_t port)
+    : sim_(simulator) {
+  stack.open(port).set_rx_info_handler(
+      [this](std::uint32_t bytes, const transport::UdpRxInfo& info) {
+        meter_.on_bytes(bytes, sim_.now());
+        highest_seq_ = std::max(highest_seq_, info.app_seq);
+        delay_ms_.add((sim_.now() - info.sent_at).to_ms());
+      });
+}
+
+TcpSink::TcpSink(sim::Simulator& simulator, transport::TcpStack& stack, std::uint16_t port)
+    : sim_(simulator) {
+  stack.listen(port, [this](transport::TcpConnection& c) {
+    connection_ = &c;
+    c.set_delivered_handler([this](std::uint32_t bytes) { meter_.on_bytes(bytes, sim_.now()); });
+  });
+}
+
+}  // namespace adhoc::app

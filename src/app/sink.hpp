@@ -1,0 +1,57 @@
+#pragma once
+// Measurement sinks: count delivered application bytes over a window.
+
+#include <cstdint>
+
+#include "stats/percentile.hpp"
+#include "stats/rate_meter.hpp"
+#include "transport/tcp.hpp"
+#include "transport/udp.hpp"
+
+namespace adhoc::app {
+
+/// Receives UDP datagrams on a port and measures goodput and loss.
+class UdpSink {
+ public:
+  UdpSink(sim::Simulator& simulator, transport::UdpStack& stack, std::uint16_t port);
+
+  /// Open the measurement window (post-warm-up).
+  void start_measuring() { meter_.start(sim_.now()); }
+
+  [[nodiscard]] double throughput_bps() const { return meter_.bps(sim_.now()); }
+  [[nodiscard]] double throughput_kbps() const { return meter_.kbps(sim_.now()); }
+  [[nodiscard]] std::uint64_t bytes() const { return meter_.bytes(); }
+  [[nodiscard]] std::uint64_t datagrams() const { return meter_.packets(); }
+  [[nodiscard]] std::uint64_t highest_seq_seen() const { return highest_seq_; }
+
+  /// One-way delay distribution (sender stamp -> delivery), all packets
+  /// since construction (not windowed).
+  [[nodiscard]] const stats::Percentiles& delay_ms() const { return delay_ms_; }
+
+ private:
+  sim::Simulator& sim_;
+  stats::RateMeter meter_;
+  stats::Percentiles delay_ms_;
+  std::uint64_t highest_seq_ = 0;
+};
+
+/// Accepts one TCP connection on a port and measures delivered bytes.
+class TcpSink {
+ public:
+  TcpSink(sim::Simulator& simulator, transport::TcpStack& stack, std::uint16_t port);
+
+  void start_measuring() { meter_.start(sim_.now()); }
+
+  [[nodiscard]] double throughput_bps() const { return meter_.bps(sim_.now()); }
+  [[nodiscard]] double throughput_kbps() const { return meter_.kbps(sim_.now()); }
+  [[nodiscard]] std::uint64_t bytes() const { return meter_.bytes(); }
+  [[nodiscard]] bool connected() const { return connection_ != nullptr; }
+  [[nodiscard]] const transport::TcpConnection* connection() const { return connection_; }
+
+ private:
+  sim::Simulator& sim_;
+  stats::RateMeter meter_;
+  transport::TcpConnection* connection_ = nullptr;
+};
+
+}  // namespace adhoc::app

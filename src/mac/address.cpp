@@ -1,0 +1,19 @@
+#include "mac/address.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace adhoc::mac {
+
+std::string MacAddress::to_string() const {
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < octets_.size(); ++i) {
+    if (i) oss << ':';
+    oss << std::hex << std::setw(2) << std::setfill('0') << static_cast<int>(octets_[i]);
+  }
+  return oss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const MacAddress& a) { return os << a.to_string(); }
+
+}  // namespace adhoc::mac

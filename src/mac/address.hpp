@@ -1,0 +1,58 @@
+#pragma once
+// IEEE 48-bit MAC addresses.
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace adhoc::mac {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Convenience: locally-administered address carrying a station index
+  /// (02:00:00:00:hi:lo). Used by scenario builders.
+  [[nodiscard]] static constexpr MacAddress from_station(std::uint16_t index) {
+    return MacAddress{{0x02, 0x00, 0x00, 0x00, static_cast<std::uint8_t>(index >> 8),
+                       static_cast<std::uint8_t>(index & 0xff)}};
+  }
+
+  [[nodiscard]] static constexpr MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  [[nodiscard]] constexpr bool is_broadcast() const { return *this == broadcast(); }
+  /// Group bit (LSB of first octet) — broadcast and multicast frames are
+  /// sent unacknowledged at a basic rate.
+  [[nodiscard]] constexpr bool is_group() const { return (octets_[0] & 0x01) != 0; }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+
+  /// Station index for from_station addresses.
+  [[nodiscard]] constexpr std::uint16_t station_index() const {
+    return static_cast<std::uint16_t>((octets_[4] << 8) | octets_[5]);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const MacAddress&, const MacAddress&) = default;
+  friend constexpr auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const MacAddress& a);
+
+struct MacAddressHash {
+  std::size_t operator()(const MacAddress& a) const {
+    std::size_t h = 0;
+    for (const auto o : a.octets()) h = h * 131 + o;
+    return h;
+  }
+};
+
+}  // namespace adhoc::mac

@@ -1,0 +1,44 @@
+#include "mac/airtime.hpp"
+
+#include <algorithm>
+
+namespace adhoc::mac {
+
+sim::Time data_airtime(const phy::Timing& t, std::uint32_t sdu_bytes, phy::Rate data_rate,
+                       phy::Preamble p) {
+  return t.frame_duration(Frame::kDataHeaderBits + sdu_bytes * 8, data_rate, p);
+}
+
+sim::Time rts_airtime(const phy::Timing& t, phy::Rate control_rate, phy::Preamble p) {
+  return t.frame_duration(Frame::kRtsBits, control_rate, p);
+}
+
+sim::Time cts_airtime(const phy::Timing& t, phy::Rate control_rate, phy::Preamble p) {
+  return t.frame_duration(Frame::kCtsBits, control_rate, p);
+}
+
+sim::Time ack_airtime(const phy::Timing& t, phy::Rate control_rate, phy::Preamble p) {
+  return t.frame_duration(Frame::kAckBits, control_rate, p);
+}
+
+sim::Time eifs(const phy::Timing& t, phy::Preamble p) {
+  return t.sifs + ack_airtime(t, phy::Rate::kR1, p) + t.difs;
+}
+
+sim::Time nav_for_data(const phy::Timing& t, phy::Rate control_rate, phy::Preamble p) {
+  return t.sifs + ack_airtime(t, control_rate, p);
+}
+
+sim::Time nav_for_rts(const phy::Timing& t, std::uint32_t sdu_bytes, phy::Rate data_rate,
+                      phy::Rate control_rate, phy::Preamble p) {
+  return 3 * t.sifs + cts_airtime(t, control_rate, p) + data_airtime(t, sdu_bytes, data_rate, p) +
+         ack_airtime(t, control_rate, p);
+}
+
+sim::Time nav_for_cts_reply(sim::Time rts_nav, const phy::Timing& t, phy::Rate control_rate,
+                            phy::Preamble p) {
+  const sim::Time remaining = rts_nav - t.sifs - cts_airtime(t, control_rate, p);
+  return std::max(remaining, sim::Time::zero());
+}
+
+}  // namespace adhoc::mac

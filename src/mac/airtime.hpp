@@ -1,0 +1,38 @@
+#pragma once
+// Frame airtimes and protocol intervals derived from phy::Timing.
+//
+// Centralizing these keeps the DCF's duration/NAV fields, its timeout
+// values, and the analytical model consistent by construction.
+
+#include "mac/frame.hpp"
+#include "phy/timing.hpp"
+
+namespace adhoc::mac {
+
+/// Airtime of a data frame carrying `sdu_bytes` of upper-layer payload.
+[[nodiscard]] sim::Time data_airtime(const phy::Timing& t, std::uint32_t sdu_bytes,
+                                     phy::Rate data_rate,
+                                     phy::Preamble p = phy::Preamble::kLong);
+
+[[nodiscard]] sim::Time rts_airtime(const phy::Timing& t, phy::Rate control_rate,
+                                    phy::Preamble p = phy::Preamble::kLong);
+[[nodiscard]] sim::Time cts_airtime(const phy::Timing& t, phy::Rate control_rate,
+                                    phy::Preamble p = phy::Preamble::kLong);
+[[nodiscard]] sim::Time ack_airtime(const phy::Timing& t, phy::Rate control_rate,
+                                    phy::Preamble p = phy::Preamble::kLong);
+
+/// EIFS = SIFS + ACK airtime at the lowest basic rate + DIFS. Used after
+/// receiving a frame that could not be decoded.
+[[nodiscard]] sim::Time eifs(const phy::Timing& t, phy::Preamble p = phy::Preamble::kLong);
+
+/// NAV (duration field) values for each frame of an exchange.
+[[nodiscard]] sim::Time nav_for_data(const phy::Timing& t, phy::Rate control_rate,
+                                     phy::Preamble p = phy::Preamble::kLong);
+[[nodiscard]] sim::Time nav_for_rts(const phy::Timing& t, std::uint32_t sdu_bytes,
+                                    phy::Rate data_rate, phy::Rate control_rate,
+                                    phy::Preamble p = phy::Preamble::kLong);
+[[nodiscard]] sim::Time nav_for_cts_reply(sim::Time rts_nav, const phy::Timing& t,
+                                          phy::Rate control_rate,
+                                          phy::Preamble p = phy::Preamble::kLong);
+
+}  // namespace adhoc::mac

@@ -1,0 +1,85 @@
+#include "mac/arf.hpp"
+
+namespace adhoc::mac {
+
+phy::Rate next_rate_up(phy::Rate r) {
+  switch (r) {
+    case phy::Rate::kR1: return phy::Rate::kR2;
+    case phy::Rate::kR2: return phy::Rate::kR5_5;
+    case phy::Rate::kR5_5: return phy::Rate::kR11;
+    case phy::Rate::kR11: return phy::Rate::kR11;
+  }
+  return r;
+}
+
+phy::Rate next_rate_down(phy::Rate r) {
+  switch (r) {
+    case phy::Rate::kR11: return phy::Rate::kR5_5;
+    case phy::Rate::kR5_5: return phy::Rate::kR2;
+    case phy::Rate::kR2: return phy::Rate::kR1;
+    case phy::Rate::kR1: return phy::Rate::kR1;
+  }
+  return r;
+}
+
+ArfController::ArfController(Dcf& dcf, ArfParams params) : params_(params) {
+  dcf.set_rate_selector([this](MacAddress dst) { return state_for(dst).rate; });
+  dcf.set_attempt_handler([this](MacAddress dst, bool acked) { on_attempt(dst, acked); });
+  dcf.set_tx_status_handler([this](const TxStatus& s) {
+    if (downstream_) downstream_(s);
+  });
+}
+
+ArfController::LinkState& ArfController::state_for(MacAddress dst) {
+  auto it = links_.find(dst);
+  if (it == links_.end()) {
+    it = links_.emplace(dst, LinkState{params_.initial_rate, 0, 0, false}).first;
+  }
+  return it->second;
+}
+
+phy::Rate ArfController::rate_for(MacAddress dst) const {
+  const auto it = links_.find(dst);
+  return it == links_.end() ? params_.initial_rate : it->second.rate;
+}
+
+void ArfController::step_down(LinkState& st) {
+  const phy::Rate lowered = next_rate_down(st.rate);
+  if (rate_index(lowered) >= rate_index(params_.min_rate) && lowered != st.rate) {
+    st.rate = lowered;
+    ++decreases_;
+  }
+  st.consecutive_failure = 0;
+  st.consecutive_success = 0;
+  st.probing = false;
+}
+
+void ArfController::on_attempt(MacAddress dst, bool acked) {
+  LinkState& st = state_for(dst);
+
+  if (!acked) {
+    st.consecutive_success = 0;
+    if (st.probing) {
+      // The rate-up probe failed: revert immediately (classic ARF). The
+      // MAC's next retry of the same frame already uses the lower rate.
+      ++probe_failures_;
+      step_down(st);
+    } else if (++st.consecutive_failure >= params_.failure_threshold) {
+      step_down(st);
+    }
+    return;
+  }
+
+  st.consecutive_failure = 0;
+  st.probing = false;  // the probe (or any attempt) got through at this rate
+  ++st.consecutive_success;
+  if (st.consecutive_success >= params_.success_threshold &&
+      rate_index(st.rate) < rate_index(params_.max_rate)) {
+    st.rate = next_rate_up(st.rate);
+    st.probing = true;
+    st.consecutive_success = 0;
+    ++increases_;
+  }
+}
+
+}  // namespace adhoc::mac

@@ -1,0 +1,79 @@
+#pragma once
+// ARF (Auto Rate Fallback) — the dynamic rate switching the paper's
+// Section 2 describes 802.11b cards implementing "with the objective of
+// improving performance".
+//
+// Classic ARF (Kamerman & Monteban, 1997): after `success_threshold`
+// consecutive successful transmission *attempts* to a neighbour, probe
+// the next higher rate; if the probing attempt fails, fall straight
+// back. After `failure_threshold` consecutive failed attempts, step one
+// rate down. Operating per attempt (not per MSDU) matters: a failing
+// probe is corrected within the MAC's own retry sequence, so the frame
+// survives at the lower rate instead of burning its retry budget.
+// State is kept per destination, since different neighbours sit at
+// different distances and therefore support different rates (Table 3).
+//
+// The controller plugs into a Dcf through its rate-selector and
+// per-attempt hooks; TX status reports can be chained downstream.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mac/dcf.hpp"
+
+namespace adhoc::mac {
+
+struct ArfParams {
+  std::uint32_t success_threshold = 10;
+  std::uint32_t failure_threshold = 2;
+  phy::Rate initial_rate = phy::Rate::kR11;
+  phy::Rate min_rate = phy::Rate::kR1;
+  phy::Rate max_rate = phy::Rate::kR11;
+};
+
+class ArfController {
+ public:
+  /// Installs itself on `dcf` (rate selector + tx status). The controller
+  /// must outlive the Dcf's use of it.
+  ArfController(Dcf& dcf, ArfParams params = {});
+
+  ArfController(const ArfController&) = delete;
+  ArfController& operator=(const ArfController&) = delete;
+
+  /// Current rate used toward `dst`.
+  [[nodiscard]] phy::Rate rate_for(MacAddress dst) const;
+
+  /// Forward TX status reports to another consumer (the controller owns
+  /// the Dcf's status hook once installed).
+  void set_downstream(Dcf::TxStatusHandler h) { downstream_ = std::move(h); }
+
+  // Introspection for tests/examples.
+  [[nodiscard]] std::uint64_t rate_increases() const { return increases_; }
+  [[nodiscard]] std::uint64_t rate_decreases() const { return decreases_; }
+  [[nodiscard]] std::uint64_t probe_failures() const { return probe_failures_; }
+
+ private:
+  struct LinkState {
+    phy::Rate rate;
+    std::uint32_t consecutive_success = 0;
+    std::uint32_t consecutive_failure = 0;
+    bool probing = false;  // just moved up; first failure reverts
+  };
+
+  LinkState& state_for(MacAddress dst);
+  void on_attempt(MacAddress dst, bool acked);
+  void step_down(LinkState& st);
+
+  ArfParams params_;
+  std::unordered_map<MacAddress, LinkState, MacAddressHash> links_;
+  Dcf::TxStatusHandler downstream_;
+  std::uint64_t increases_ = 0;
+  std::uint64_t decreases_ = 0;
+  std::uint64_t probe_failures_ = 0;
+};
+
+/// Rate one step above/below r, clamped to the 802.11b set.
+[[nodiscard]] phy::Rate next_rate_up(phy::Rate r);
+[[nodiscard]] phy::Rate next_rate_down(phy::Rate r);
+
+}  // namespace adhoc::mac

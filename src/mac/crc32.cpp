@@ -1,0 +1,34 @@
+#include "mac/crc32.hpp"
+
+#include <array>
+
+namespace adhoc::mac {
+
+namespace {
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+constexpr auto kTable = make_table();
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    state_ = kTable[(state_ ^ b) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace adhoc::mac

@@ -1,0 +1,23 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial) — the FCS used by 802.11 frames.
+
+#include <cstdint>
+#include <span>
+
+namespace adhoc::mac {
+
+/// CRC-32 of `data` (reflected, init 0xFFFFFFFF, final xor 0xFFFFFFFF —
+/// the standard Ethernet/802.11 FCS).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental interface for multi-buffer frames.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace adhoc::mac

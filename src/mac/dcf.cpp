@@ -1,0 +1,574 @@
+#include "mac/dcf.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace adhoc::mac {
+
+namespace {
+/// Margin added to CTS/ACK timeouts to absorb propagation delays.
+const sim::Time kTimeoutMargin = sim::Time::us(5);
+}  // namespace
+
+void Dcf::trace(TraceEvent event, const Frame& f) {
+  if (tracer_ == nullptr) return;
+  tracer_->record(TraceRecord{sim_.now(), address_, event, f.type, f.src, f.dst, f.seq, f.retry,
+                              f.sdu_bytes});
+}
+
+void Dcf::trace_event(TraceEvent event) {
+  if (tracer_ == nullptr) return;
+  TraceRecord r;
+  r.at = sim_.now();
+  r.station = address_;
+  r.event = event;
+  if (!queue_.empty()) {
+    r.dst = queue_.front().dst;
+    r.seq = queue_.front().seq;
+    r.bytes = queue_.front().bytes;
+  }
+  r.src = address_;
+  tracer_->record(r);
+}
+
+Dcf::Dcf(sim::Simulator& simulator, phy::Radio& radio, MacAddress address, MacParams params)
+    : sim_(simulator),
+      radio_(radio),
+      address_(address),
+      params_(params),
+      rng_(simulator.rng_stream("mac").substream(radio.id())),
+      cw_(params.cw_min) {
+  radio_.set_listener(this);
+}
+
+// ----------------------------------------------------------------- queueing
+
+bool Dcf::enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t bytes) {
+  if (queue_.size() >= params_.queue_limit) {
+    ++counters_.msdu_queue_drops;
+    trace_event(TraceEvent::kQueueDrop);
+    return false;
+  }
+  ++counters_.msdu_enqueued;
+  queue_.push_back(QueueItem{dst, std::move(sdu), bytes, false, 0, 0, 0});
+  if (state_ == State::kIdle) try_begin_access();
+  return true;
+}
+
+// ------------------------------------------------------------ channel state
+
+bool Dcf::medium_busy() const { return radio_.cca_busy() || sim_.now() < nav_until_; }
+
+void Dcf::set_nav(sim::Time until) {
+  if (until <= nav_until_) return;
+  ++counters_.nav_updates;
+  nav_until_ = until;
+  // A NAV expiry is not a radio edge; arrange our own wake-up.
+  sim_.cancel(nav_timer_);
+  nav_timer_ = sim_.after(until - sim_.now(), [this] {
+    nav_timer_ = sim::kInvalidEvent;
+    try_begin_access();
+  });
+  // Virtual carrier sense interrupts any DIFS wait / backoff countdown.
+  cancel_access_timers();
+}
+
+// ------------------------------------------------------------ access engine
+
+void Dcf::cancel_access_timers() {
+  sim_.cancel(defer_timer_);
+  defer_timer_ = sim::kInvalidEvent;
+  sim_.cancel(slot_timer_);
+  slot_timer_ = sim::kInvalidEvent;
+}
+
+void Dcf::try_begin_access() {
+  if (state_ != State::kIdle && state_ != State::kContending) return;
+  if (response_timer_ != sim::kInvalidEvent) return;  // SIFS response owns the radio next
+  if (queue_.empty() && backoff_slots_ <= 0) {
+    state_ = State::kIdle;
+    return;
+  }
+  state_ = State::kContending;
+  if (medium_busy()) {
+    cancel_access_timers();
+    return;  // resumed by the CCA-idle edge or the NAV timer
+  }
+  if (defer_timer_ != sim::kInvalidEvent || slot_timer_ != sim::kInvalidEvent) return;
+  const sim::Time wait = eifs_pending_ ? eifs(params_.timing, params_.preamble)
+                                       : params_.timing.difs;
+  defer_timer_ = sim_.after(wait, [this] {
+    defer_timer_ = sim::kInvalidEvent;
+    on_defer_end();
+  });
+}
+
+void Dcf::on_defer_end() {
+  eifs_pending_ = false;
+  if (medium_busy()) return;  // raced with a busy edge; that edge re-arms us
+  if (backoff_slots_ < 0) {
+    // Medium was idle for a full DIFS with no backoff pending: the
+    // standard allows immediate transmission.
+    transmit_current();
+    return;
+  }
+  if (backoff_slots_ == 0) {
+    transmit_current();
+    return;
+  }
+  slot_timer_ = sim_.after(params_.timing.slot, [this] {
+    slot_timer_ = sim::kInvalidEvent;
+    on_backoff_slot();
+  });
+}
+
+void Dcf::on_backoff_slot() {
+  if (medium_busy()) return;
+  --backoff_slots_;
+  if (backoff_slots_ <= 0) {
+    backoff_slots_ = 0;
+    transmit_current();
+    return;
+  }
+  slot_timer_ = sim_.after(params_.timing.slot, [this] {
+    slot_timer_ = sim::kInvalidEvent;
+    on_backoff_slot();
+  });
+}
+
+void Dcf::draw_backoff() {
+  backoff_slots_ = static_cast<int>(rng_.uniform_int(0, static_cast<std::int64_t>(cw_) - 1));
+  ++counters_.backoff_draws;
+  counters_.backoff_slots_total += static_cast<std::uint64_t>(backoff_slots_);
+}
+
+void Dcf::transmit_current() {
+  if (queue_.empty()) {
+    // Only the post-backoff finished; nothing to send.
+    backoff_slots_ = -1;
+    state_ = State::kIdle;
+    return;
+  }
+  backoff_slots_ = -1;  // consumed
+  QueueItem& item = queue_.front();
+  if (!item.seq_assigned) {
+    item.seq = static_cast<std::uint16_t>(next_seq_++ & 0x0fff);
+    item.seq_assigned = true;
+  }
+
+  const bool group = item.dst.is_group();
+  // RTS protects the (current) MPDU: the fragment size when fragmenting.
+  if (!group && params_.use_rts(current_fragment_bytes(item))) {
+    const phy::Rate data_rate =
+        rate_selector_ ? rate_selector_(item.dst) : params_.data_rate;
+    auto rts = std::make_shared<Frame>();
+    rts->type = FrameType::kRts;
+    rts->dst = item.dst;
+    rts->src = address_;
+    rts->duration = nav_for_rts(params_.timing, current_fragment_bytes(item), data_rate,
+                                params_.control_rate, params_.preamble);
+    ++counters_.tx_rts;
+    trace(TraceEvent::kTxStart, *rts);
+    state_ = State::kTxRts;
+    radio_.start_tx(
+        phy::TxDescriptor{params_.control_rate, rts->psdu_bits(), params_.preamble, rts});
+    return;
+  }
+  send_data_frame();
+}
+
+std::uint32_t Dcf::current_fragment_bytes(const QueueItem& item) const {
+  if (item.dst.is_group() || !params_.use_fragmentation(item.bytes)) return item.bytes;
+  return std::min(params_.fragmentation_threshold_bytes, item.bytes - item.frag_sent);
+}
+
+void Dcf::send_data_frame() {
+  QueueItem& item = queue_.front();
+  const bool group = item.dst.is_group();
+  const std::uint32_t frag_bytes = current_fragment_bytes(item);
+  const bool fragmented = frag_bytes != item.bytes || item.frag_index > 0;
+  const bool more = fragmented && item.frag_sent + frag_bytes < item.bytes;
+
+  auto data = std::make_shared<Frame>();
+  data->type = FrameType::kData;
+  data->dst = item.dst;
+  data->src = address_;
+  data->seq = item.seq;
+  data->frag = item.frag_index;
+  data->more_fragments = more;
+  data->retry = item.retries > 0;
+  data->sdu = item.sdu;
+  data->sdu_bytes = frag_bytes;
+  if (group) {
+    data->duration = sim::Time::zero();
+  } else if (more) {
+    // Reserve through the next fragment's ACK (802.11 fragment burst).
+    const std::uint32_t next_bytes =
+        std::min(params_.fragmentation_threshold_bytes, item.bytes - item.frag_sent - frag_bytes);
+    const phy::Rate data_rate =
+        rate_selector_ ? rate_selector_(item.dst) : params_.data_rate;
+    data->duration = nav_for_data(params_.timing, params_.control_rate, params_.preamble) +
+                     params_.timing.sifs +
+                     data_airtime(params_.timing, next_bytes, data_rate, params_.preamble) +
+                     nav_for_data(params_.timing, params_.control_rate, params_.preamble);
+  } else {
+    data->duration = nav_for_data(params_.timing, params_.control_rate, params_.preamble);
+  }
+  if (fragmented) {
+    ++counters_.fragments_tx;
+    if (item.frag_index == 0 && item.retries == 0) ++counters_.msdu_fragmented;
+  }
+  ++counters_.tx_data;
+  ++item.transmissions;
+  trace(TraceEvent::kTxStart, *data);
+  state_ = State::kTxData;
+  const phy::Rate rate = group ? params_.broadcast_rate
+                               : (rate_selector_ ? rate_selector_(item.dst)
+                                                 : params_.data_rate);
+  ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " TX " << *data);
+  radio_.start_tx(phy::TxDescriptor{rate, data->psdu_bits(), params_.preamble, data});
+}
+
+// --------------------------------------------------------- exchange control
+
+sim::Time Dcf::cts_timeout() const {
+  return params_.timing.sifs + params_.timing.slot +
+         cts_airtime(params_.timing, params_.control_rate, params_.preamble) + kTimeoutMargin;
+}
+
+sim::Time Dcf::ack_timeout() const {
+  return params_.timing.sifs + params_.timing.slot +
+         ack_airtime(params_.timing, params_.control_rate, params_.preamble) + kTimeoutMargin;
+}
+
+void Dcf::start_exchange_timeout(sim::Time timeout) {
+  sim_.cancel(timeout_timer_);
+  timeout_timer_ = sim_.after(timeout, [this] {
+    timeout_timer_ = sim::kInvalidEvent;
+    on_exchange_timeout();
+  });
+}
+
+void Dcf::on_exchange_timeout() {
+  if (state_ == State::kWaitCts) {
+    ++counters_.cts_timeouts;
+    trace_event(TraceEvent::kCtsTimeout);
+    ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " CTS timeout");
+    exchange_failed(/*used_rts=*/true);
+  } else if (state_ == State::kWaitAck) {
+    ++counters_.ack_timeouts;
+    trace_event(TraceEvent::kAckTimeout);
+    ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " ACK timeout (cw=" << cw_ << ")");
+    exchange_failed(params_.use_rts(current_fragment_bytes(queue_.front())));
+  }
+}
+
+void Dcf::exchange_failed(bool used_rts) {
+  QueueItem& item = queue_.front();
+  if (attempt_handler_) attempt_handler_(item.dst, false);
+  ++item.retries;
+  const std::uint32_t limit =
+      used_rts ? params_.long_retry_limit : params_.short_retry_limit;
+  if (item.retries >= limit) {
+    ++counters_.tx_retry_drops;
+    trace_event(TraceEvent::kDrop);
+    finish_current(/*success=*/false);
+    return;
+  }
+  cw_ = std::min(cw_ * 2, params_.cw_max);
+  draw_backoff();
+  state_ = State::kContending;
+  try_begin_access();
+}
+
+void Dcf::exchange_succeeded() {
+  sim_.cancel(timeout_timer_);
+  timeout_timer_ = sim::kInvalidEvent;
+  finish_current(/*success=*/true);
+}
+
+void Dcf::finish_current(bool success) {
+  const QueueItem item = std::move(queue_.front());
+  queue_.pop_front();
+  if (success) ++counters_.tx_success;
+  cw_ = params_.cw_min;
+  draw_backoff();  // post-backoff, per the standard
+  if (tx_status_handler_) {
+    tx_status_handler_(TxStatus{item.dst, item.bytes, success, item.transmissions});
+  }
+  state_ = State::kContending;
+  try_begin_access();
+}
+
+// -------------------------------------------------------------- radio edges
+
+void Dcf::on_cca(bool busy) {
+  if (busy) {
+    cancel_access_timers();
+  } else {
+    try_begin_access();
+  }
+}
+
+void Dcf::on_tx_end() {
+  switch (state_) {
+    case State::kTxRts:
+      state_ = State::kWaitCts;
+      start_exchange_timeout(cts_timeout());
+      break;
+    case State::kTxData: {
+      const QueueItem& item = queue_.front();
+      if (item.dst.is_group()) {
+        finish_current(/*success=*/true);
+      } else {
+        state_ = State::kWaitAck;
+        start_exchange_timeout(ack_timeout());
+      }
+      break;
+    }
+    case State::kResponding:
+      state_ = State::kIdle;
+      try_begin_access();
+      break;
+    default:
+      // TX end in an unexpected state: treat as spurious (can happen if a
+      // timeout already advanced the state machine).
+      break;
+  }
+}
+
+void Dcf::on_rx_error() {
+  ++counters_.rx_errors;
+  if (tracer_ != nullptr) {
+    TraceRecord r;
+    r.at = sim_.now();
+    r.station = address_;
+    r.event = TraceEvent::kRxError;
+    tracer_->record(r);
+  }
+  // EIFS: the frame was detected but not understood; a SIFS response to it
+  // may follow, which we must not trample (standard 9.2.3.4).
+  eifs_pending_ = true;
+  cancel_access_timers();
+  try_begin_access();
+}
+
+void Dcf::on_rx_ok(std::shared_ptr<const void> payload, phy::Rate /*rate*/, double /*rx_dbm*/) {
+  // Correct reception resynchronizes us; EIFS no longer applies.
+  eifs_pending_ = false;
+  const auto frame = std::static_pointer_cast<const Frame>(std::move(payload));
+  trace(TraceEvent::kRxOk, *frame);
+  ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " RX " << *frame);
+  switch (frame->type) {
+    case FrameType::kData: handle_data(*frame); break;
+    case FrameType::kRts: handle_rts(*frame); break;
+    case FrameType::kCts: handle_cts(*frame); break;
+    case FrameType::kAck: handle_ack(*frame); break;
+  }
+}
+
+// ------------------------------------------------------------- receive path
+
+void Dcf::handle_data(const Frame& f) {
+  const bool for_me = f.dst == address_ || f.dst.is_group();
+  if (!for_me) {
+    set_nav(sim_.now() + f.duration);
+    return;
+  }
+  if (!f.dst.is_group()) {
+    // ACK policy: the standard transmits the ACK a SIFS after the data
+    // unconditionally; the measured cards withhold it while the medium is
+    // sensed busy (paper §3.3). The check happens at the SIFS instant.
+    Frame ack;
+    ack.type = FrameType::kAck;
+    ack.dst = f.src;
+    ack.src = address_;
+    ack.duration = sim::Time::zero();
+    schedule_response(ack, /*is_ack=*/true);
+  }
+
+  // Unfragmented fast path.
+  if (f.frag == 0 && !f.more_fragments) {
+    if (!f.dst.is_group()) {
+      const auto it = last_rx_seq_.find(f.src);
+      if (f.retry && it != last_rx_seq_.end() && it->second == f.seq) {
+        ++counters_.rx_duplicates;
+        return;
+      }
+      last_rx_seq_[f.src] = f.seq;
+    }
+    ++counters_.msdu_delivered_up;
+    if (rx_handler_) rx_handler_(f.sdu, f.sdu_bytes, f.src, f.dst);
+    return;
+  }
+
+  // Fragment of a larger MSDU (unicast only: group frames never
+  // fragment). One reassembly in progress per source.
+  auto asm_it = reassembly_.find(f.src);
+  if (f.frag == 0) {
+    if (asm_it != reassembly_.end()) {
+      if (asm_it->second.seq == f.seq) {
+        ++counters_.rx_duplicates;  // retry of the burst's first fragment
+        return;
+      }
+      ++counters_.reassembly_drops;  // a previous burst never completed
+    }
+    reassembly_[f.src] = Reassembly{f.seq, 1, f.sdu_bytes, f.sdu};
+    return;  // more fragments follow by definition here
+  }
+
+  if (asm_it == reassembly_.end()) {
+    // No burst in progress: most likely a retransmitted final fragment
+    // whose MSDU we already delivered (our ACK was lost).
+    const auto it = last_rx_seq_.find(f.src);
+    if (it != last_rx_seq_.end() && it->second == f.seq) {
+      ++counters_.rx_duplicates;
+    }
+    return;
+  }
+  Reassembly& reasm = asm_it->second;
+  if (reasm.seq != f.seq) {
+    ++counters_.reassembly_drops;
+    reassembly_.erase(asm_it);
+    return;
+  }
+  if (f.frag < reasm.next_frag) {
+    ++counters_.rx_duplicates;  // retry of a fragment we hold
+    return;
+  }
+  if (f.frag > reasm.next_frag) {
+    ++counters_.reassembly_drops;  // hole: abandon the burst
+    reassembly_.erase(asm_it);
+    return;
+  }
+  reasm.bytes += f.sdu_bytes;
+  reasm.next_frag = static_cast<std::uint8_t>(reasm.next_frag + 1);
+  if (f.more_fragments) return;
+
+  // Final fragment: deliver the reassembled MSDU.
+  last_rx_seq_[f.src] = f.seq;
+  ++counters_.msdu_delivered_up;
+  auto sdu = reasm.sdu;
+  const std::uint32_t total = reasm.bytes;
+  reassembly_.erase(asm_it);
+  if (rx_handler_) rx_handler_(std::move(sdu), total, f.src, f.dst);
+}
+
+void Dcf::handle_rts(const Frame& f) {
+  if (f.dst != address_) {
+    set_nav(sim_.now() + f.duration);
+    return;
+  }
+  // Standard rule: respond with CTS only if our NAV indicates idle. This
+  // is the mechanism behind the paper's RTS/CTS starvation analysis.
+  if (sim_.now() < nav_until_) {
+    ++counters_.cts_withheld_nav;
+    return;
+  }
+  Frame cts;
+  cts.type = FrameType::kCts;
+  cts.dst = f.src;
+  cts.src = address_;
+  cts.duration =
+      nav_for_cts_reply(f.duration, params_.timing, params_.control_rate, params_.preamble);
+  schedule_response(cts, /*is_ack=*/false);
+}
+
+void Dcf::handle_cts(const Frame& f) {
+  if (f.dst != address_) {
+    set_nav(sim_.now() + f.duration);
+    return;
+  }
+  if (state_ != State::kWaitCts) return;  // stale CTS
+  sim_.cancel(timeout_timer_);
+  timeout_timer_ = sim::kInvalidEvent;
+  state_ = State::kSifsToData;
+  sifs_data_timer_ = sim_.after(params_.timing.sifs, [this] {
+    sifs_data_timer_ = sim::kInvalidEvent;
+    send_data_frame();
+  });
+}
+
+void Dcf::handle_ack(const Frame& f) {
+  if (f.dst != address_) {
+    set_nav(sim_.now() + f.duration);
+    return;
+  }
+  if (state_ != State::kWaitAck) return;  // stale ACK
+  QueueItem& item = queue_.front();
+  if (attempt_handler_) attempt_handler_(item.dst, true);
+  const std::uint32_t frag_bytes = current_fragment_bytes(item);
+  if (item.frag_sent + frag_bytes < item.bytes) {
+    // Fragment acknowledged; burst continues after SIFS.
+    sim_.cancel(timeout_timer_);
+    timeout_timer_ = sim::kInvalidEvent;
+    advance_fragment();
+    return;
+  }
+  exchange_succeeded();
+}
+
+void Dcf::advance_fragment() {
+  QueueItem& item = queue_.front();
+  item.frag_sent += current_fragment_bytes(item);
+  item.frag_index = static_cast<std::uint8_t>(item.frag_index + 1);
+  item.retries = 0;  // the retry budget applies per fragment
+  cw_ = params_.cw_min;
+  state_ = State::kSifsToData;
+  sifs_data_timer_ = sim_.after(params_.timing.sifs, [this] {
+    sifs_data_timer_ = sim::kInvalidEvent;
+    send_data_frame();
+  });
+}
+
+void Dcf::schedule_response(Frame response, bool is_ack) {
+  // A station mid-exchange (waiting for its own CTS/ACK, or already
+  // responding) cannot turn around a second SIFS response.
+  if (state_ != State::kIdle && state_ != State::kContending) {
+    ++counters_.responses_suppressed;
+    return;
+  }
+  if (response_timer_ != sim::kInvalidEvent) {
+    ++counters_.responses_suppressed;
+    return;
+  }
+  cancel_access_timers();
+  response_timer_ = sim_.after(params_.timing.sifs, [this, response, is_ack] {
+    response_timer_ = sim::kInvalidEvent;
+    if (radio_.transmitting()) {
+      ++counters_.responses_suppressed;
+      try_begin_access();
+      return;
+    }
+    if (is_ack && params_.ack_requires_idle_medium && radio_.cca_busy()) {
+      ++counters_.acks_suppressed_busy;
+      try_begin_access();
+      return;
+    }
+    auto wire = std::make_shared<Frame>(response);
+    if (is_ack) {
+      ++counters_.tx_ack;
+    } else {
+      ++counters_.tx_cts;
+    }
+    trace(TraceEvent::kTxStart, *wire);
+    ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " TX " << *wire);
+    state_ = State::kResponding;
+    radio_.start_tx(
+        phy::TxDescriptor{params_.control_rate, wire->psdu_bits(), params_.preamble, wire});
+  });
+}
+
+std::ostream& operator<<(std::ostream& os, const MacCounters& c) {
+  os << "enq=" << c.msdu_enqueued << " qdrop=" << c.msdu_queue_drops
+     << " up=" << c.msdu_delivered_up << " dup=" << c.rx_duplicates << " txD=" << c.tx_data
+     << " txR=" << c.tx_rts << " txC=" << c.tx_cts << " txA=" << c.tx_ack
+     << " ok=" << c.tx_success << " rdrop=" << c.tx_retry_drops << " aTO=" << c.ack_timeouts
+     << " cTO=" << c.cts_timeouts << " aSup=" << c.acks_suppressed_busy
+     << " cNav=" << c.cts_withheld_nav << " rSup=" << c.responses_suppressed
+     << " rxE=" << c.rx_errors;
+  return os;
+}
+
+}  // namespace adhoc::mac

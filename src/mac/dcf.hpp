@@ -1,0 +1,197 @@
+#pragma once
+// IEEE 802.11 DCF (Distributed Coordination Function).
+//
+// Implements the CSMA/CA access method over a phy::Radio:
+//  * physical + virtual carrier sense (CCA + NAV),
+//  * DIFS/EIFS deferral and slotted binary-exponential backoff,
+//  * optional RTS/CTS exchange above a size threshold,
+//  * SIFS-spaced CTS/ACK responses, retransmission with CW doubling,
+//    retry limits, and duplicate filtering at the receiver.
+//
+// Two behaviours called out by the paper are modelled explicitly:
+//  * a responder withholds its CTS when its NAV is busy (standard rule —
+//    the paper uses it to explain S1's starvation under RTS/CTS), and
+//  * a responder can be configured to withhold the MAC ACK while it
+//    senses the medium busy (observed card behaviour — the paper uses it
+//    to explain the exposed-receiver starvation under basic access).
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "mac/address.hpp"
+#include "mac/airtime.hpp"
+#include "mac/counters.hpp"
+#include "mac/frame.hpp"
+#include "mac/mac_params.hpp"
+#include "mac/trace.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::mac {
+
+/// Result of one MSDU's transmission attempt, for the status callback.
+struct TxStatus {
+  MacAddress dst;
+  std::uint32_t bytes = 0;
+  bool success = false;
+  std::uint32_t transmissions = 0;  // data frame attempts used
+};
+
+class Dcf final : public phy::RadioListener {
+ public:
+  /// Upper-layer receive: (sdu, bytes, source, destination).
+  using RxHandler =
+      std::function<void(std::shared_ptr<const void>, std::uint32_t, MacAddress, MacAddress)>;
+  using TxStatusHandler = std::function<void(const TxStatus&)>;
+  /// Per-transmission-attempt outcome: (dst, acked). Fires once per data
+  /// (or RTS) attempt — the granularity rate-adaptation works at.
+  using AttemptHandler = std::function<void(MacAddress, bool)>;
+
+  Dcf(sim::Simulator& simulator, phy::Radio& radio, MacAddress address, MacParams params);
+
+  Dcf(const Dcf&) = delete;
+  Dcf& operator=(const Dcf&) = delete;
+
+  /// Queue an MSDU for `dst`. Returns false (and drops) if the transmit
+  /// queue is full.
+  bool enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t bytes);
+
+  void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
+  void set_tx_status_handler(TxStatusHandler h) { tx_status_handler_ = std::move(h); }
+  void set_attempt_handler(AttemptHandler h) { attempt_handler_ = std::move(h); }
+
+  /// Attach a frame tracer (shared across stations; nullptr disables).
+  void set_tracer(FrameTracer* tracer) { tracer_ = tracer; }
+
+  /// Per-destination data-rate override, consulted for each unicast data
+  /// frame. Used by rate-adaptation controllers (mac/arf.hpp); when
+  /// unset, MacParams::data_rate applies.
+  using RateSelector = std::function<phy::Rate(MacAddress dst)>;
+  void set_rate_selector(RateSelector s) { rate_selector_ = std::move(s); }
+
+  [[nodiscard]] MacAddress address() const { return address_; }
+  [[nodiscard]] const MacParams& params() const { return params_; }
+
+  /// Override the rate used for group-addressed frames. Routing layers
+  /// align this with the data rate so a flooded discovery only crosses
+  /// links that can also carry data (avoids "gray links").
+  void set_broadcast_rate(phy::Rate r) { params_.broadcast_rate = r; }
+  [[nodiscard]] const MacCounters& counters() const { return counters_; }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] sim::Time nav_until() const { return nav_until_; }
+  [[nodiscard]] std::uint32_t current_cw() const { return cw_; }
+
+  // phy::RadioListener
+  void on_cca(bool busy) override;
+  void on_rx_ok(std::shared_ptr<const void> payload, phy::Rate rate, double rx_dbm) override;
+  void on_rx_error() override;
+  void on_tx_end() override;
+
+ private:
+  enum class State {
+    kIdle,        // nothing to send (a post-backoff may still be pending)
+    kContending,  // DIFS/EIFS wait or backoff countdown in progress
+    kTxRts,
+    kWaitCts,
+    kSifsToData,  // CTS received; data follows after SIFS
+    kTxData,
+    kWaitAck,
+    kResponding,  // transmitting a SIFS response (CTS or ACK)
+  };
+
+  struct QueueItem {
+    MacAddress dst;
+    std::shared_ptr<const void> sdu;
+    std::uint32_t bytes = 0;
+    bool seq_assigned = false;
+    std::uint16_t seq = 0;
+    std::uint32_t transmissions = 0;  // data attempts (for status/limits)
+    std::uint32_t retries = 0;        // failed attempts of the CURRENT fragment
+    std::uint32_t frag_sent = 0;      // bytes of this MSDU already acknowledged
+    std::uint8_t frag_index = 0;      // fragment currently in flight
+  };
+
+  /// Reassembly of one in-progress fragmented MSDU per source.
+  struct Reassembly {
+    std::uint16_t seq = 0;
+    std::uint8_t next_frag = 0;
+    std::uint32_t bytes = 0;
+    std::shared_ptr<const void> sdu;
+  };
+
+  // --- channel state ---------------------------------------------------
+  [[nodiscard]] bool medium_busy() const;
+  void set_nav(sim::Time until);
+
+  // --- access engine ---------------------------------------------------
+  void try_begin_access();
+  void cancel_access_timers();
+  void on_defer_end();
+  void on_backoff_slot();
+  void draw_backoff();
+  void transmit_current();
+
+  // --- transmit pipeline ------------------------------------------------
+  void send_data_frame();
+  /// Size of the fragment currently being sent for `item`.
+  [[nodiscard]] std::uint32_t current_fragment_bytes(const QueueItem& item) const;
+  /// Continue a fragment burst after the previous fragment's ACK.
+  void advance_fragment();
+  void start_exchange_timeout(sim::Time timeout);
+  void on_exchange_timeout();
+  void exchange_failed(bool used_rts);
+  void exchange_succeeded();
+  void finish_current(bool success);
+
+  // --- receive path ------------------------------------------------------
+  void handle_data(const Frame& f);
+  void handle_rts(const Frame& f);
+  void handle_cts(const Frame& f);
+  void handle_ack(const Frame& f);
+  void schedule_response(Frame response, bool is_ack);
+
+  [[nodiscard]] sim::Time cts_timeout() const;
+  [[nodiscard]] sim::Time ack_timeout() const;
+
+  sim::Simulator& sim_;
+  phy::Radio& radio_;
+  MacAddress address_;
+  MacParams params_;
+  sim::Rng rng_;
+
+  State state_ = State::kIdle;
+  std::deque<QueueItem> queue_;
+
+  std::uint32_t cw_;
+  int backoff_slots_ = -1;  // -1: no backoff pending (first access may skip it)
+  bool eifs_pending_ = false;
+
+  sim::Time nav_until_ = sim::Time::zero();
+  sim::EventId defer_timer_ = sim::kInvalidEvent;
+  sim::EventId slot_timer_ = sim::kInvalidEvent;
+  sim::EventId nav_timer_ = sim::kInvalidEvent;
+  sim::EventId timeout_timer_ = sim::kInvalidEvent;
+  sim::EventId response_timer_ = sim::kInvalidEvent;
+  sim::EventId sifs_data_timer_ = sim::kInvalidEvent;
+
+  std::uint16_t next_seq_ = 0;
+  /// Duplicate filter: last sequence number delivered per source.
+  std::unordered_map<MacAddress, std::uint16_t, MacAddressHash> last_rx_seq_;
+  /// Fragment reassembly state per source.
+  std::unordered_map<MacAddress, Reassembly, MacAddressHash> reassembly_;
+
+  RxHandler rx_handler_;
+  TxStatusHandler tx_status_handler_;
+  AttemptHandler attempt_handler_;
+  MacCounters counters_;
+  FrameTracer* tracer_ = nullptr;
+  RateSelector rate_selector_;
+
+  void trace(TraceEvent event, const Frame& f);
+  void trace_event(TraceEvent event);
+};
+
+}  // namespace adhoc::mac

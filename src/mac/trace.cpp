@@ -1,0 +1,39 @@
+#include "mac/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace adhoc::mac {
+
+std::string_view trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kTxStart: return "TX";
+    case TraceEvent::kRxOk: return "RX";
+    case TraceEvent::kRxError: return "RX_ERR";
+    case TraceEvent::kAckTimeout: return "ACK_TO";
+    case TraceEvent::kCtsTimeout: return "CTS_TO";
+    case TraceEvent::kDrop: return "DROP";
+    case TraceEvent::kQueueDrop: return "QDROP";
+  }
+  return "?";
+}
+
+std::size_t FrameTracer::count(TraceEvent e) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [e](const TraceRecord& r) { return r.event == e; }));
+}
+
+void FrameTracer::write_csv(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error("FrameTracer: cannot open " + path);
+  out << "time_us,station,event,frame_type,src,dst,seq,retry,bytes\n";
+  for (const auto& r : records_) {
+    out << r.at.to_us() << ',' << r.station << ',' << trace_event_name(r.event) << ','
+        << frame_type_name(r.frame_type) << ',' << r.src << ',' << r.dst << ',' << r.seq << ','
+        << (r.retry ? 1 : 0) << ',' << r.bytes << '\n';
+  }
+}
+
+}  // namespace adhoc::mac

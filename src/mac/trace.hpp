@@ -1,0 +1,60 @@
+#pragma once
+// Frame-level tracing: a pcap-like record of every MAC event, exportable
+// to CSV for offline analysis. Attach a FrameTracer to any Dcf via
+// Dcf::set_tracer; tracing is off (null) by default and costs nothing.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mac/address.hpp"
+#include "mac/frame.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::mac {
+
+enum class TraceEvent : std::uint8_t {
+  kTxStart = 0,   // frame handed to the radio
+  kRxOk = 1,      // frame decoded and accepted
+  kRxError = 2,   // undecodable reception (EIFS)
+  kAckTimeout = 3,
+  kCtsTimeout = 4,
+  kDrop = 5,      // MSDU dropped at retry limit
+  kQueueDrop = 6, // MSDU rejected, queue full
+};
+
+[[nodiscard]] std::string_view trace_event_name(TraceEvent e);
+
+struct TraceRecord {
+  sim::Time at;
+  MacAddress station;   // the station recording the event
+  TraceEvent event;
+  FrameType frame_type = FrameType::kData;
+  MacAddress src;
+  MacAddress dst;
+  std::uint16_t seq = 0;
+  bool retry = false;
+  std::uint32_t bytes = 0;
+};
+
+/// Shared, append-only trace sink. One tracer may serve many stations.
+class FrameTracer {
+ public:
+  void record(TraceRecord r) { records_.push_back(r); }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Count of records matching an event type.
+  [[nodiscard]] std::size_t count(TraceEvent e) const;
+
+  /// Write all records as CSV (time_us, station, event, type, src, dst,
+  /// seq, retry, bytes). Throws on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace adhoc::mac

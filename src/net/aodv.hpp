@@ -1,0 +1,139 @@
+#pragma once
+// On-demand route discovery (AODV-style), the multi-hop routing layer
+// the paper's introduction motivates: "the addition of routing
+// mechanisms at stations so that they can forward packets towards the
+// intended destination".
+//
+// Protocol (compact AODV, RFC 3561 in spirit):
+//  * A source without a route floods a RREQ (broadcast, network-wide);
+//    every station remembers the reverse path toward the originator and
+//    rebroadcasts each (originator, rreq_id) at most once.
+//  * The target — or any node holding a route with a sequence number at
+//    least as fresh as the request's — unicasts a RREP back along the
+//    reverse path; each hop installs the forward route.
+//  * Data packets queued while discovery runs are flushed when the route
+//    appears; discovery retries a bounded number of times, then the
+//    buffered packets are dropped.
+//  * A MAC-level delivery failure to a next hop invalidates every route
+//    through that hop and broadcasts a RERR; receivers invalidate their
+//    own routes through the sender and propagate.
+//  * Destination sequence numbers provide loop freedom; routes expire
+//    after an idle lifetime.
+//
+// The module drives the node's static RoutingTable as its FIB, so the
+// forwarding path (Node::on_mac_rx) is untouched.
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/node.hpp"
+
+namespace adhoc::net {
+
+struct AodvParams {
+  sim::Time active_route_lifetime = sim::Time::sec(5);
+  sim::Time discovery_timeout = sim::Time::ms(500);
+  std::uint32_t discovery_retries = 2;
+  std::size_t buffer_limit = 64;  ///< packets queued per pending discovery
+  /// Send the RREQ flood at the unicast data rate instead of the basic
+  /// rate. On multirate 802.11b the basic-rate flood travels ~3x farther
+  /// than 11 Mbps data (Table 3 of the paper), discovering "gray" routes
+  /// whose links cannot carry data; aligning the rates prevents that.
+  bool match_broadcast_to_data_rate = true;
+  /// Random delay before re-broadcasting a RREQ. Without it, every
+  /// station that hears a flood packet rebroadcasts in the same slot and
+  /// the flood collides itself to death (the broadcast-storm problem).
+  sim::Time flood_jitter = sim::Time::ms(10);
+};
+
+struct AodvCounters {
+  std::uint64_t rreq_originated = 0;
+  std::uint64_t rreq_forwarded = 0;
+  std::uint64_t rreq_duplicates = 0;
+  std::uint64_t rrep_originated = 0;
+  std::uint64_t rrep_forwarded = 0;
+  std::uint64_t rerr_sent = 0;
+  std::uint64_t routes_installed = 0;
+  std::uint64_t routes_invalidated = 0;
+  std::uint64_t packets_buffered = 0;
+  std::uint64_t packets_flushed = 0;
+  std::uint64_t packets_dropped_no_route = 0;
+};
+
+class Aodv {
+ public:
+  /// Attaches to `node`: registers protocol 89 and the MAC tx-status
+  /// hook (chain rate controllers in front via ArfController's
+  /// set_downstream if both are used). Enables forwarding on the node.
+  Aodv(Node& node, AodvParams params = {});
+
+  Aodv(const Aodv&) = delete;
+  Aodv& operator=(const Aodv&) = delete;
+
+  /// Send application data: routes exist -> forwarded immediately;
+  /// otherwise buffered and a discovery starts. Returns false only if
+  /// the buffer is full.
+  bool send(std::shared_ptr<Packet> packet, Ipv4Address dst, std::uint8_t protocol);
+
+  /// True if a valid (unexpired) route to dst exists.
+  [[nodiscard]] bool has_route(Ipv4Address dst) const;
+  /// Next hop of the valid route, if any.
+  [[nodiscard]] std::optional<Ipv4Address> next_hop(Ipv4Address dst) const;
+  [[nodiscard]] std::optional<std::uint8_t> hop_count(Ipv4Address dst) const;
+
+  [[nodiscard]] const AodvCounters& counters() const { return counters_; }
+  [[nodiscard]] Node& node() { return node_; }
+
+ private:
+  struct Route {
+    Ipv4Address next_hop;
+    std::uint8_t hops = 0;
+    std::uint32_t seq = 0;
+    sim::Time expires;
+    bool valid = false;
+  };
+  struct PendingDiscovery {
+    std::deque<std::pair<std::shared_ptr<Packet>, std::uint8_t>> buffered;  // packet, proto
+    std::uint32_t attempts = 0;
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+  struct FloodKey {
+    std::uint32_t origin;
+    std::uint32_t id;
+    friend bool operator==(const FloodKey&, const FloodKey&) = default;
+  };
+  struct FloodKeyHash {
+    std::size_t operator()(const FloodKey& k) const {
+      return (static_cast<std::size_t>(k.origin) << 17) ^ k.id;
+    }
+  };
+
+  void on_control(PacketPtr packet, const Ipv4Header& ip);
+  void handle_rreq(const AodvHeader& h, Ipv4Address prev_hop);
+  void handle_rrep(const AodvHeader& h, Ipv4Address prev_hop, Ipv4Address ip_dst);
+  void handle_rerr(const AodvHeader& h, Ipv4Address prev_hop);
+  void on_tx_status(const mac::TxStatus& status);
+
+  void start_discovery(Ipv4Address dst);
+  void send_rreq(Ipv4Address dst);
+  void on_discovery_timeout(Ipv4Address dst);
+  void install_route(Ipv4Address dst, Ipv4Address next_hop, std::uint8_t hops,
+                     std::uint32_t seq);
+  void invalidate_routes_via(Ipv4Address next_hop, std::vector<Ipv4Address>& broken_out);
+  void flush_buffered(Ipv4Address dst);
+  void transmit_control(const AodvHeader& h, Ipv4Address ip_dst);
+
+  Node& node_;
+  AodvParams params_;
+  sim::Rng rng_;
+  std::uint32_t own_seq_ = 1;
+  std::uint32_t next_rreq_id_ = 1;
+  std::unordered_map<Ipv4Address, Route, Ipv4AddressHash> routes_;
+  std::unordered_map<Ipv4Address, PendingDiscovery, Ipv4AddressHash> pending_;
+  std::unordered_set<FloodKey, FloodKeyHash> seen_floods_;
+  AodvCounters counters_;
+};
+
+}  // namespace adhoc::net

@@ -1,0 +1,39 @@
+#include "net/checksum.hpp"
+
+namespace adhoc::net {
+
+void InternetChecksum::update(std::span<const std::uint8_t> data) {
+  for (const std::uint8_t b : data) {
+    if (odd_) {
+      sum_ += b;  // low byte of the current word
+    } else {
+      sum_ += static_cast<std::uint64_t>(b) << 8;  // high byte
+    }
+    odd_ = !odd_;
+  }
+}
+
+void InternetChecksum::update_u16(std::uint16_t v) {
+  const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(v >> 8),
+                                 static_cast<std::uint8_t>(v & 0xff)};
+  update(bytes);
+}
+
+void InternetChecksum::update_u32(std::uint32_t v) {
+  update_u16(static_cast<std::uint16_t>(v >> 16));
+  update_u16(static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t InternetChecksum::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) s = (s & 0xffff) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  InternetChecksum c;
+  c.update(data);
+  return c.finish();
+}
+
+}  // namespace adhoc::net

@@ -1,0 +1,26 @@
+#pragma once
+// RFC 1071 Internet checksum (ones-complement sum of 16-bit words).
+
+#include <cstdint>
+#include <span>
+
+namespace adhoc::net {
+
+/// Checksum over `data`. A trailing odd byte is padded with zero, per the
+/// RFC. Returns the ones-complement of the ones-complement sum.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Incremental accumulator for multi-part checksums (pseudo-headers).
+class InternetChecksum {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  void update_u16(std::uint16_t v);
+  void update_u32(std::uint32_t v);
+  [[nodiscard]] std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // previous update ended mid-word
+};
+
+}  // namespace adhoc::net

@@ -1,0 +1,95 @@
+#pragma once
+// A station: radio + DCF MAC + IPv4-like network layer, assembled.
+//
+// The node owns its protocol entities and wires the layers together:
+// transports register per-protocol handlers; outgoing packets are routed
+// (static table), resolved to a MAC address, and queued on the DCF;
+// incoming MAC payloads are IP-demultiplexed and either delivered or
+// forwarded (multi-hop).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "mac/dcf.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::net {
+
+class Node {
+ public:
+  /// Handler for packets delivered to this host: (packet, ip header).
+  using ProtocolHandler = std::function<void(PacketPtr, const Ipv4Header&)>;
+  /// MAC-address resolution hook (set by the scenario's Network builder;
+  /// stands in for ARP on these static testbeds).
+  using Resolver = std::function<std::optional<mac::MacAddress>(Ipv4Address)>;
+
+  Node(sim::Simulator& simulator, phy::Medium& medium, std::uint32_t id,
+       phy::Position position, const phy::PhyParams& phy_params,
+       const mac::MacParams& mac_params);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] Ipv4Address ip() const { return ip_; }
+  [[nodiscard]] mac::MacAddress mac_address() const { return mac_->address(); }
+
+  [[nodiscard]] phy::Radio& radio() { return *radio_; }
+  [[nodiscard]] mac::Dcf& dcf() { return *mac_; }
+  [[nodiscard]] const mac::Dcf& dcf() const { return *mac_; }
+  [[nodiscard]] RoutingTable& routes() { return routes_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  void set_resolver(Resolver r) { resolver_ = std::move(r); }
+
+  /// Register the handler for an IP protocol number (TCP=6, UDP=17).
+  void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
+
+  /// Send `packet` (which must already carry its transport header) to
+  /// `dst`. The IPv4 header is added here. Returns false if the packet
+  /// could not be queued (no route resolution or full MAC queue).
+  bool send_ip(std::shared_ptr<Packet> packet, Ipv4Address dst, std::uint8_t protocol);
+
+  /// Enable forwarding of packets addressed to other hosts (multi-hop).
+  void set_forwarding(bool on) { forwarding_ = on; }
+
+  // Introspection.
+  [[nodiscard]] std::uint64_t ip_tx() const { return ip_tx_; }
+  [[nodiscard]] std::uint64_t ip_rx_delivered() const { return ip_rx_delivered_; }
+  [[nodiscard]] std::uint64_t ip_forwarded() const { return ip_forwarded_; }
+  [[nodiscard]] std::uint64_t ip_drops() const { return ip_drops_; }
+
+  /// The conventional address for station `id`: 10.0.0.(id+1).
+  [[nodiscard]] static Ipv4Address address_for(std::uint32_t id) {
+    return Ipv4Address{10, 0, 0, static_cast<std::uint8_t>(id + 1)};
+  }
+
+ private:
+  void on_mac_rx(std::shared_ptr<const void> sdu, std::uint32_t bytes, mac::MacAddress src,
+                 mac::MacAddress dst);
+  bool transmit_routed(std::shared_ptr<const Packet> packet, const Ipv4Header& ip);
+
+  sim::Simulator& sim_;
+  std::uint32_t id_;
+  Ipv4Address ip_;
+  std::unique_ptr<phy::Radio> radio_;
+  std::unique_ptr<mac::Dcf> mac_;
+  RoutingTable routes_;
+  Resolver resolver_;
+  std::unordered_map<std::uint8_t, ProtocolHandler> protocols_;
+  bool forwarding_ = false;
+  std::uint16_t next_ip_id_ = 1;
+
+  std::uint64_t ip_tx_ = 0;
+  std::uint64_t ip_rx_delivered_ = 0;
+  std::uint64_t ip_forwarded_ = 0;
+  std::uint64_t ip_drops_ = 0;
+};
+
+}  // namespace adhoc::net

@@ -1,0 +1,20 @@
+#include "net/packet.hpp"
+
+namespace adhoc::net {
+
+namespace {
+struct HeaderBytes {
+  std::uint32_t operator()(const Ipv4Header&) const { return Ipv4Header::kBytes; }
+  std::uint32_t operator()(const UdpHeader&) const { return UdpHeader::kBytes; }
+  std::uint32_t operator()(const TcpHeader&) const { return TcpHeader::kBytes; }
+  std::uint32_t operator()(const AodvHeader&) const { return AodvHeader::kBytes; }
+};
+}  // namespace
+
+std::uint32_t Packet::size_bytes() const {
+  std::uint32_t total = payload_bytes_;
+  for (const auto& h : headers_) total += std::visit(HeaderBytes{}, h);
+  return total;
+}
+
+}  // namespace adhoc::net

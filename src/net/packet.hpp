@@ -1,0 +1,78 @@
+#pragma once
+// Simulated packet: a header stack over a virtual payload.
+//
+// Payload contents are not materialized — only the byte count rides the
+// (simulated) air — but header fields are real, so protocols behave
+// exactly as they would over real bytes. Packets are passed by
+// shared_ptr<const Packet>; a receiver that needs to strip headers works
+// on a value copy (copies are cheap: a small vector of variants).
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "net/headers.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::net {
+
+using Header = std::variant<Ipv4Header, UdpHeader, TcpHeader, AodvHeader>;
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::uint32_t payload_bytes) : payload_bytes_(payload_bytes) {}
+
+  [[nodiscard]] static std::shared_ptr<Packet> make(std::uint32_t payload_bytes) {
+    return std::make_shared<Packet>(payload_bytes);
+  }
+
+  /// Push a header on top of the stack (outermost last pushed).
+  void push(Header h) { headers_.push_back(std::move(h)); }
+
+  /// Pop the outermost header; it must be of type H.
+  template <typename H>
+  H pop() {
+    H out = std::get<H>(headers_.back());
+    headers_.pop_back();
+    return out;
+  }
+
+  /// Outermost header if it is an H, else nullptr.
+  template <typename H>
+  [[nodiscard]] const H* top() const {
+    if (headers_.empty()) return nullptr;
+    return std::get_if<H>(&headers_.back());
+  }
+
+  /// Innermost-to-outermost scan for a header of type H.
+  template <typename H>
+  [[nodiscard]] const H* find() const {
+    for (const auto& h : headers_) {
+      if (const H* p = std::get_if<H>(&h)) return p;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::uint32_t payload_bytes() const { return payload_bytes_; }
+  [[nodiscard]] std::size_t header_count() const { return headers_.size(); }
+
+  /// Total on-air size: payload plus all header bytes.
+  [[nodiscard]] std::uint32_t size_bytes() const;
+
+  /// Value copy for mutation on the receive path.
+  [[nodiscard]] std::shared_ptr<Packet> clone() const { return std::make_shared<Packet>(*this); }
+
+  // --- application-level tags (not counted as bytes) -------------------
+  std::uint64_t app_seq = 0;          ///< probe/CBR sequence number
+  sim::Time created_at;               ///< for delay measurements
+
+ private:
+  std::uint32_t payload_bytes_ = 0;
+  std::vector<Header> headers_;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+}  // namespace adhoc::net

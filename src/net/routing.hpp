@@ -1,0 +1,42 @@
+#pragma once
+// Static routing.
+//
+// The paper's scenarios are single-hop, where routing degenerates to "the
+// destination is the next hop". The table also supports explicit next
+// hops and a default route, enabling the multi-hop chain extension
+// (examples/multihop_chain) the paper's introduction motivates.
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/headers.hpp"
+
+namespace adhoc::net {
+
+class RoutingTable {
+ public:
+  /// Host route: packets for `dst` go via `next_hop`.
+  void add_route(Ipv4Address dst, Ipv4Address next_hop) { routes_[dst] = next_hop; }
+
+  void set_default_route(Ipv4Address next_hop) { default_route_ = next_hop; }
+
+  void remove_route(Ipv4Address dst) { routes_.erase(dst); }
+  void clear() { routes_.clear(); default_route_.reset(); }
+
+  /// Next hop for `dst`: host route, else default route, else `dst`
+  /// itself (direct delivery — the single-hop case).
+  [[nodiscard]] Ipv4Address next_hop(Ipv4Address dst) const {
+    if (const auto it = routes_.find(dst); it != routes_.end()) return it->second;
+    if (default_route_) return *default_route_;
+    return dst;
+  }
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+  [[nodiscard]] bool has_default() const { return default_route_.has_value(); }
+
+ private:
+  std::unordered_map<Ipv4Address, Ipv4Address, Ipv4AddressHash> routes_;
+  std::optional<Ipv4Address> default_route_;
+};
+
+}  // namespace adhoc::net

@@ -1,0 +1,55 @@
+#include "phy/calibration.hpp"
+
+#include <cmath>
+
+namespace adhoc::phy {
+
+double threshold_for_range(const PropagationModel& model, double tx_power_dbm, double range_m) {
+  return tx_power_dbm - model.path_loss_db(range_m);
+}
+
+double range_for_threshold(const PropagationModel& model, double tx_power_dbm,
+                           double threshold_dbm) {
+  return model.distance_for_loss(tx_power_dbm - threshold_dbm);
+}
+
+std::array<double, 4> sensitivities_for_ranges(const PropagationModel& model, double tx_power_dbm,
+                                               const std::array<double, 4>& ranges_m) {
+  std::array<double, 4> out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = threshold_for_range(model, tx_power_dbm, ranges_m[i]);
+  }
+  return out;
+}
+
+PhyParams paper_calibrated_params(const PropagationModel& model, double tx_power_dbm) {
+  PhyParams p;
+  p.tx_power_dbm = tx_power_dbm;
+  p.sensitivity_dbm = sensitivities_for_ranges(model, tx_power_dbm, kPaperRangesM);
+  p.cs_threshold_dbm = threshold_for_range(model, tx_power_dbm, kPaperPcsRangeM);
+  return p;
+}
+
+const LogDistance& default_outdoor_model() {
+  static const LogDistance model{3.3, 40.0, 1.0};
+  return model;
+}
+
+double interference_range_factor(double path_loss_exponent, double sinr_threshold_db) {
+  return std::pow(10.0, sinr_threshold_db / (10.0 * path_loss_exponent));
+}
+
+PhyParams ns2_style_params(const PropagationModel& model, double tx_power_dbm) {
+  PhyParams p;
+  p.tx_power_dbm = tx_power_dbm;
+  const double sens = threshold_for_range(model, tx_power_dbm, 250.0);
+  p.sensitivity_dbm = {sens, sens, sens, sens};  // rate-independent, as in ns-2
+  p.cs_threshold_dbm = threshold_for_range(model, tx_power_dbm, 550.0);
+  // ns-2's threshold PHY has no thermal noise: reception succeeds purely
+  // by RXThresh/CPThresh comparisons. Push the noise floor far below the
+  // 250 m sensitivity so SINR never binds without an actual interferer.
+  p.noise_floor_dbm = sens - 30.0;
+  return p;
+}
+
+}  // namespace adhoc::phy

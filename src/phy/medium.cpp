@@ -1,0 +1,44 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/radio.hpp"
+
+namespace adhoc::phy {
+
+Medium::Medium(sim::Simulator& simulator, const PropagationModel& propagation)
+    : sim_(simulator), propagation_(propagation) {}
+
+void Medium::attach(Radio& radio) {
+  const bool duplicate_id =
+      std::any_of(radios_.begin(), radios_.end(),
+                  [&](const Radio* r) { return r->id() == radio.id(); });
+  if (duplicate_id) throw std::invalid_argument("Medium: duplicate radio id");
+  radios_.push_back(&radio);
+}
+
+void Medium::begin_transmission(const Radio& tx, const TxDescriptor& desc, sim::Time duration) {
+  ++transmissions_;
+  const SignalId sid = next_signal_id_++;
+  const sim::Time now = sim_.now();
+  for (Radio* rx : radios_) {
+    if (rx == &tx) continue;
+    const double dist_m = distance(tx.position(), rx->position());
+    const auto delay_ns =
+        static_cast<std::int64_t>(dist_m / kSpeedOfLight * 1e9);
+    const sim::Time delay = sim::Time::ns(std::max<std::int64_t>(delay_ns, 1));
+    const LinkId link{tx.id(), rx->id()};
+    const double rx_dbm =
+        propagation_.rx_power_dbm(tx.params().tx_power_dbm, tx.position(), rx->position(), now,
+                                  link);
+    const sim::Time start_at = now + delay;
+    const sim::Time end_at = start_at + duration;
+    sim_.at(start_at, [rx, sid, rx_dbm, desc, end_at] {
+      rx->signal_start(sid, rx_dbm, desc, end_at);
+    });
+    sim_.at(end_at, [rx, sid] { rx->signal_end(sid); });
+  }
+}
+
+}  // namespace adhoc::phy

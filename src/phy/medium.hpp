@@ -1,0 +1,65 @@
+#pragma once
+// The shared wireless medium.
+//
+// Tracks attached radios and, for every transmission, computes the
+// per-receiver received power (through the propagation model, so it can
+// be time-varying and asymmetric) and schedules signal start/end events
+// at each receiver after the propagation delay. The medium itself has no
+// protocol knowledge: a transmission is a burst of energy with an opaque
+// payload; all decode decisions live in Radio.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/propagation.hpp"
+#include "phy/rates.hpp"
+#include "phy/timing.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::phy {
+
+class Radio;
+
+/// What the MAC hands to the PHY for one transmission.
+struct TxDescriptor {
+  Rate rate = Rate::kR1;
+  std::uint32_t psdu_bits = 0;
+  Preamble preamble = Preamble::kLong;
+  /// Opaque upper-layer frame; the PHY never inspects it.
+  std::shared_ptr<const void> payload;
+};
+
+/// Unique id per transmission, used to correlate start/end at receivers.
+using SignalId = std::uint64_t;
+
+class Medium {
+ public:
+  Medium(sim::Simulator& simulator, const PropagationModel& propagation);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Register a radio. The radio must outlive the medium's use of it.
+  void attach(Radio& radio);
+
+  /// Called by a Radio that begins transmitting: fan the signal out to
+  /// every other attached radio. `duration` is the full frame airtime.
+  void begin_transmission(const Radio& tx, const TxDescriptor& desc, sim::Time duration);
+
+  [[nodiscard]] const PropagationModel& propagation() const { return propagation_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::size_t radio_count() const { return radios_.size(); }
+
+  /// Total transmissions fanned out (for benchmarks/tests).
+  [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+
+ private:
+  sim::Simulator& sim_;
+  const PropagationModel& propagation_;
+  std::vector<Radio*> radios_;
+  SignalId next_signal_id_ = 1;
+  std::uint64_t transmissions_ = 0;
+};
+
+}  // namespace adhoc::phy

@@ -1,0 +1,86 @@
+#include "phy/mobility.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adhoc::phy {
+
+LinearMobility::LinearMobility(Position start, double vx_mps, double vy_mps, sim::Time t0,
+                               sim::Time stop_at)
+    : start_(start), vx_(vx_mps), vy_(vy_mps), t0_(t0), stop_at_(stop_at) {}
+
+Position LinearMobility::position_at(sim::Time t) const {
+  if (t < t0_) return start_;
+  const sim::Time effective = std::min(t, stop_at_);
+  const double dt = (effective - t0_).to_sec();
+  return Position{start_.x + vx_ * dt, start_.y + vy_ * dt};
+}
+
+RandomWaypointMobility::RandomWaypointMobility(Position start, Params params, sim::Rng rng)
+    : params_(params), rng_(rng) {
+  if (params_.width_m <= 0 || params_.height_m <= 0 ||
+      params_.min_speed_mps <= 0 || params_.max_speed_mps < params_.min_speed_mps) {
+    throw std::invalid_argument("RandomWaypointMobility: bad params");
+  }
+  legs_.push_back(Leg{sim::Time::zero(), sim::Time::zero(), start, start});
+}
+
+void RandomWaypointMobility::extend_to(sim::Time t) const {
+  while (legs_.back().arrive + params_.pause < t) {
+    const Leg& last = legs_.back();
+    Leg next;
+    next.from = last.to;
+    next.to = Position{rng_.uniform(0.0, params_.width_m), rng_.uniform(0.0, params_.height_m)};
+    next.depart = last.arrive + params_.pause;
+    const double dist = distance(next.from, next.to);
+    const double speed = rng_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+    next.arrive = next.depart + sim::Time::from_sec(dist / speed);
+    legs_.push_back(next);
+  }
+}
+
+Position RandomWaypointMobility::position_at(sim::Time t) const {
+  extend_to(t);
+  // Find the leg containing t (walk back from the end; queries are
+  // usually near the frontier).
+  for (auto it = legs_.rbegin(); it != legs_.rend(); ++it) {
+    if (t >= it->depart) {
+      if (t >= it->arrive) return it->to;  // pausing at the waypoint
+      const double span = (it->arrive - it->depart).to_sec();
+      if (span <= 0.0) return it->to;
+      const double f = (t - it->depart).to_sec() / span;
+      return Position{it->from.x + (it->to.x - it->from.x) * f,
+                      it->from.y + (it->to.y - it->from.y) * f};
+    }
+  }
+  return legs_.front().from;
+}
+
+WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  if (waypoints_.empty()) throw std::invalid_argument("WaypointMobility: empty path");
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    if (waypoints_[i].at < waypoints_[i - 1].at) {
+      throw std::invalid_argument("WaypointMobility: waypoints not sorted by time");
+    }
+  }
+}
+
+Position WaypointMobility::position_at(sim::Time t) const {
+  if (t <= waypoints_.front().at) return waypoints_.front().pos;
+  if (t >= waypoints_.back().at) return waypoints_.back().pos;
+  // Find the segment containing t.
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    const auto& a = waypoints_[i - 1];
+    const auto& b = waypoints_[i];
+    if (t <= b.at) {
+      const double span = (b.at - a.at).to_sec();
+      if (span <= 0.0) return b.pos;
+      const double f = (t - a.at).to_sec() / span;
+      return Position{a.pos.x + (b.pos.x - a.pos.x) * f, a.pos.y + (b.pos.y - a.pos.y) * f};
+    }
+  }
+  return waypoints_.back().pos;
+}
+
+}  // namespace adhoc::phy

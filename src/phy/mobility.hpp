@@ -1,0 +1,98 @@
+#pragma once
+// Station mobility.
+//
+// The paper's testbed is static, but its motivation (and its warning
+// that short real-world ranges mean frequent route recalculation for
+// mobile stations) is mobility. A MobilityModel maps simulation time to
+// a position; a Radio with a model attached reports a moving position to
+// the medium, so every transmission is evaluated at the station's
+// current location.
+
+#include <vector>
+
+#include "phy/units.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::phy {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  [[nodiscard]] virtual Position position_at(sim::Time t) const = 0;
+};
+
+/// Constant-velocity motion from a start position, optionally stopping.
+class LinearMobility final : public MobilityModel {
+ public:
+  /// Moves from `start` with velocity (vx, vy) m/s beginning at `t0`;
+  /// if `stop_at` is finite, the station halts there.
+  LinearMobility(Position start, double vx_mps, double vy_mps,
+                 sim::Time t0 = sim::Time::zero(), sim::Time stop_at = sim::Time::infinity());
+
+  Position position_at(sim::Time t) const override;
+
+ private:
+  Position start_;
+  double vx_;
+  double vy_;
+  sim::Time t0_;
+  sim::Time stop_at_;
+};
+
+/// Random waypoint model (the canonical MANET mobility model): pick a
+/// uniform point in the field, walk there at a uniform-random speed,
+/// pause, repeat. The trajectory is generated lazily but
+/// deterministically from the seed, so queries at any time are
+/// reproducible.
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  struct Params {
+    double width_m = 300.0;
+    double height_m = 300.0;
+    double min_speed_mps = 0.5;
+    double max_speed_mps = 2.0;   // pedestrian, as the paper's use cases
+    sim::Time pause = sim::Time::sec(2);
+  };
+
+  RandomWaypointMobility(Position start, Params params, sim::Rng rng);
+
+  Position position_at(sim::Time t) const override;
+
+ private:
+  struct Leg {
+    sim::Time depart;   // start of motion (after the pause)
+    sim::Time arrive;   // reaches `to`
+    Position from;
+    Position to;
+  };
+
+  /// Extend the trajectory until it covers time t.
+  void extend_to(sim::Time t) const;
+
+  Params params_;
+  mutable sim::Rng rng_;
+  mutable std::vector<Leg> legs_;
+};
+
+/// Piecewise-linear waypoint path: the station glides between waypoints
+/// and parks at the last one.
+class WaypointMobility final : public MobilityModel {
+ public:
+  struct Waypoint {
+    sim::Time at;
+    Position pos;
+  };
+
+  /// Waypoints must be sorted by time and non-empty.
+  explicit WaypointMobility(std::vector<Waypoint> waypoints);
+
+  Position position_at(sim::Time t) const override;
+
+  [[nodiscard]] std::size_t waypoint_count() const { return waypoints_.size(); }
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace adhoc::phy

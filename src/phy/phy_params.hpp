@@ -1,0 +1,63 @@
+#pragma once
+// Physical-layer parameter block for an 802.11b radio.
+//
+// The defaults here are *calibrated*, not guessed: per-rate receiver
+// sensitivities are derived (calibration.hpp) so that the deterministic
+// transmission range at each rate equals the midpoint of the paper's
+// Table 3 (30 m @ 11 Mbps ... 120 m @ 1 Mbps), and the carrier-sense
+// threshold is derived from a target physical-carrier-sensing range that
+// covers all four-station scenarios, as the paper infers it must.
+
+#include <array>
+
+#include "phy/rates.hpp"
+#include "phy/timing.hpp"
+
+namespace adhoc::phy {
+
+struct PhyParams {
+  /// Constant transmit power (the paper notes 802.11 cards transmit at
+  /// constant power; rate changes alter energy per symbol, not power).
+  double tx_power_dbm = 15.0;
+
+  /// Receiver noise floor. Chosen low enough that the per-rate
+  /// *sensitivity* (not noise-limited SINR) is the binding constraint at
+  /// every calibrated range: the weakest threshold (1 Mbps at 120 m,
+  /// about -93.6 dBm) must still clear noise + sinr_threshold(1 Mbps).
+  double noise_floor_dbm = -100.0;
+
+  /// Minimum rx power to decode a frame at each rate (indexed by
+  /// rate_index). Lower rates pack more energy per symbol, hence lower
+  /// (more sensitive) thresholds and longer ranges.
+  std::array<double, 4> sensitivity_dbm{-94.0, -91.0, -87.0, -82.0};
+
+  /// Energy-detect threshold for physical carrier sensing; well below the
+  /// 1 Mbps sensitivity, so PCS_range greatly exceeds TX_range.
+  double cs_threshold_dbm = -98.0;
+
+  /// Minimum SINR (dB) to survive interference, per rate.
+  std::array<double, 4> sinr_threshold_db{4.0, 7.0, 9.0, 12.0};
+
+  /// Message-in-message capture: a frame arriving this many dB above the
+  /// currently locked frame steals the receiver (the weaker frame is
+  /// lost). Real DSSS receivers re-synchronize on much stronger
+  /// preambles; without this, a receiver parked on a weak undecodable
+  /// frame goes deaf to a strong neighbour.
+  bool preamble_capture = true;
+  double capture_switch_margin_db = 10.0;
+
+  Timing timing{};
+  Preamble preamble = Preamble::kLong;
+
+  /// Power draw per radio mode, watts (classic WaveLAN-era card
+  /// measurements, Feeney & Nilsson INFOCOM'01 ballpark). Drives the
+  /// per-station energy accounting in Radio.
+  double power_tx_w = 1.65;
+  double power_rx_w = 1.40;
+  double power_idle_w = 1.05;
+
+  [[nodiscard]] double sensitivity(Rate r) const { return sensitivity_dbm[rate_index(r)]; }
+  [[nodiscard]] double sinr_threshold(Rate r) const { return sinr_threshold_db[rate_index(r)]; }
+};
+
+}  // namespace adhoc::phy

@@ -1,0 +1,85 @@
+#include "phy/propagation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adhoc::phy {
+
+namespace {
+constexpr double kMinDistance = 0.1;  // clamp to avoid singularities at d = 0
+
+double clamped_distance(const Position& a, const Position& b) {
+  return std::max(distance(a, b), kMinDistance);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- FreeSpace
+
+FreeSpace::FreeSpace(double frequency_hz) {
+  if (frequency_hz <= 0) throw std::invalid_argument("FreeSpace: bad frequency");
+  const double lambda = kSpeedOfLight / frequency_hz;
+  const double pi = 3.14159265358979323846;
+  const_db_ = 20.0 * std::log10(4.0 * pi / lambda);
+}
+
+double FreeSpace::path_loss_db(double d) const {
+  return const_db_ + 20.0 * std::log10(std::max(d, kMinDistance));
+}
+
+double FreeSpace::distance_for_loss(double loss_db) const {
+  return std::pow(10.0, (loss_db - const_db_) / 20.0);
+}
+
+double FreeSpace::rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx,
+                               sim::Time /*now*/, LinkId /*link*/) const {
+  return tx_power_dbm - path_loss_db(clamped_distance(tx, rx));
+}
+
+// -------------------------------------------------------------- LogDistance
+
+LogDistance::LogDistance(double exponent, double ref_loss_db, double ref_dist_m)
+    : n_(exponent), pl0_db_(ref_loss_db), d0_m_(ref_dist_m) {
+  if (exponent <= 0 || ref_dist_m <= 0) throw std::invalid_argument("LogDistance: bad params");
+}
+
+double LogDistance::path_loss_db(double d) const {
+  return pl0_db_ + 10.0 * n_ * std::log10(std::max(d, kMinDistance) / d0_m_);
+}
+
+double LogDistance::distance_for_loss(double loss_db) const {
+  return d0_m_ * std::pow(10.0, (loss_db - pl0_db_) / (10.0 * n_));
+}
+
+double LogDistance::rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx,
+                                 sim::Time /*now*/, LinkId /*link*/) const {
+  return tx_power_dbm - path_loss_db(clamped_distance(tx, rx));
+}
+
+// ------------------------------------------------------------- TwoRayGround
+
+TwoRayGround::TwoRayGround(double antenna_height_m, double frequency_hz)
+    : ht_(antenna_height_m), hr_(antenna_height_m), friis_(frequency_hz) {
+  if (antenna_height_m <= 0) throw std::invalid_argument("TwoRayGround: bad height");
+  const double lambda = kSpeedOfLight / frequency_hz;
+  const double pi = 3.14159265358979323846;
+  crossover_m_ = 4.0 * pi * ht_ * hr_ / lambda;
+}
+
+double TwoRayGround::path_loss_db(double d) const {
+  d = std::max(d, kMinDistance);
+  if (d < crossover_m_) return friis_.path_loss_db(d);
+  return 40.0 * std::log10(d) - 10.0 * std::log10(ht_ * ht_ * hr_ * hr_);
+}
+
+double TwoRayGround::distance_for_loss(double loss_db) const {
+  const double at_crossover = path_loss_db(crossover_m_);
+  if (loss_db <= at_crossover) return friis_.distance_for_loss(loss_db);
+  return std::pow(10.0, (loss_db + 10.0 * std::log10(ht_ * ht_ * hr_ * hr_)) / 40.0);
+}
+
+double TwoRayGround::rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx,
+                                  sim::Time /*now*/, LinkId /*link*/) const {
+  return tx_power_dbm - path_loss_db(clamped_distance(tx, rx));
+}
+
+}  // namespace adhoc::phy

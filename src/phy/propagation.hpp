@@ -1,0 +1,108 @@
+#pragma once
+// Radio propagation models.
+//
+// Deterministic path-loss models (free space, log-distance, two-ray) plus
+// a stochastic wrapper adding time-varying, per-direction log-normal
+// shadowing (see shadowing.hpp). The paper's key observation — that
+// TX/PCS/IF ranges are neither constant nor symmetric in the field — is
+// reproduced by the stochastic wrapper; the deterministic models give the
+// mean behaviour used for calibration.
+
+#include <memory>
+
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::phy {
+
+/// Directed link identity: shadowing is sampled per (tx, rx) pair so the
+/// channel can be asymmetric, as measured in the paper.
+struct LinkId {
+  std::uint32_t tx = 0;
+  std::uint32_t rx = 0;
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+};
+
+struct LinkIdHash {
+  std::size_t operator()(const LinkId& l) const {
+    return (static_cast<std::size_t>(l.tx) << 32) ^ l.rx;
+  }
+};
+
+/// Interface: received power for a transmission between two positions.
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Received power in dBm at `rx` for a transmitter at `tx` emitting
+  /// `tx_power_dbm`, evaluated at simulation time `now` on directed link
+  /// `link` (time/link matter only for stochastic models).
+  [[nodiscard]] virtual double rx_power_dbm(double tx_power_dbm, const Position& tx,
+                                            const Position& rx, sim::Time now,
+                                            LinkId link) const = 0;
+
+  /// Mean path loss (dB) at distance d — the deterministic component.
+  [[nodiscard]] virtual double path_loss_db(double distance_m) const = 0;
+
+  /// Inverse of path_loss_db: the distance at which the mean path loss
+  /// equals `loss_db`. Used by range calibration.
+  [[nodiscard]] virtual double distance_for_loss(double loss_db) const = 0;
+};
+
+/// Friis free-space model: PL(d) = 20 log10(4 pi d / lambda).
+class FreeSpace final : public PropagationModel {
+ public:
+  explicit FreeSpace(double frequency_hz = 2.437e9);
+
+  double rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx, sim::Time now,
+                      LinkId link) const override;
+  double path_loss_db(double distance_m) const override;
+  double distance_for_loss(double loss_db) const override;
+
+ private:
+  double const_db_;  // 20 log10(4 pi / lambda)
+};
+
+/// Log-distance model: PL(d) = PL0 + 10 n log10(d / d0).
+///
+/// Defaults (n = 3.3, PL0 = 40 dB at 1 m) describe an open outdoor field
+/// with ground clutter — chosen so the calibrated per-rate ranges land on
+/// the paper's Table 3 (see calibration.hpp).
+class LogDistance final : public PropagationModel {
+ public:
+  explicit LogDistance(double exponent = 3.3, double ref_loss_db = 40.0, double ref_dist_m = 1.0);
+
+  double rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx, sim::Time now,
+                      LinkId link) const override;
+  double path_loss_db(double distance_m) const override;
+  double distance_for_loss(double loss_db) const override;
+
+  [[nodiscard]] double exponent() const { return n_; }
+
+ private:
+  double n_;
+  double pl0_db_;
+  double d0_m_;
+};
+
+/// Two-ray ground reflection: free space up to the crossover distance,
+/// then PL(d) = 40 log10(d) - 10 log10(ht^2 hr^2).
+class TwoRayGround final : public PropagationModel {
+ public:
+  TwoRayGround(double antenna_height_m = 1.0, double frequency_hz = 2.437e9);
+
+  double rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx, sim::Time now,
+                      LinkId link) const override;
+  double path_loss_db(double distance_m) const override;
+  double distance_for_loss(double loss_db) const override;
+
+  [[nodiscard]] double crossover_m() const { return crossover_m_; }
+
+ private:
+  double ht_;
+  double hr_;
+  double crossover_m_;
+  FreeSpace friis_;
+};
+
+}  // namespace adhoc::phy

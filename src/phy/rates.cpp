@@ -1,0 +1,17 @@
+#include "phy/rates.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adhoc::phy {
+
+Rate rate_from_mbps(double mbps) {
+  for (const Rate r : kAllRates) {
+    if (std::abs(rate_mbps(r) - mbps) < 1e-9) return r;
+  }
+  throw std::invalid_argument("rate_from_mbps: not an 802.11b rate");
+}
+
+std::ostream& operator<<(std::ostream& os, Rate r) { return os << rate_name(r); }
+
+}  // namespace adhoc::phy

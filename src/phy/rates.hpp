@@ -1,0 +1,55 @@
+#pragma once
+// IEEE 802.11b data rates and the multirate rules of Section 2 of the
+// paper: data frames may use any NIC rate; control frames (RTS/CTS/ACK)
+// and broadcast frames must use a rate from the basic rate set (1 or
+// 2 Mbps), which is why control and data frames have different
+// transmission ranges.
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace adhoc::phy {
+
+/// The four 802.11b DSSS rates.
+enum class Rate : std::uint8_t { kR1 = 0, kR2 = 1, kR5_5 = 2, kR11 = 3 };
+
+inline constexpr std::array<Rate, 4> kAllRates{Rate::kR1, Rate::kR2, Rate::kR5_5, Rate::kR11};
+
+/// Nominal rate in Mbit/s.
+[[nodiscard]] constexpr double rate_mbps(Rate r) {
+  switch (r) {
+    case Rate::kR1: return 1.0;
+    case Rate::kR2: return 2.0;
+    case Rate::kR5_5: return 5.5;
+    case Rate::kR11: return 11.0;
+  }
+  return 0.0;
+}
+
+/// Bits per microsecond (== Mbps numerically).
+[[nodiscard]] constexpr double rate_bits_per_us(Rate r) { return rate_mbps(r); }
+
+[[nodiscard]] constexpr std::string_view rate_name(Rate r) {
+  switch (r) {
+    case Rate::kR1: return "1 Mbps";
+    case Rate::kR2: return "2 Mbps";
+    case Rate::kR5_5: return "5.5 Mbps";
+    case Rate::kR11: return "11 Mbps";
+  }
+  return "?";
+}
+
+/// Index in [0,3], usable for per-rate tables.
+[[nodiscard]] constexpr std::size_t rate_index(Rate r) { return static_cast<std::size_t>(r); }
+
+/// Lookup by nominal Mbps value; throws for unknown values.
+[[nodiscard]] Rate rate_from_mbps(double mbps);
+
+/// True if `r` is in the 802.11 basic rate set (1 or 2 Mbps).
+[[nodiscard]] constexpr bool is_basic_rate(Rate r) { return r == Rate::kR1 || r == Rate::kR2; }
+
+std::ostream& operator<<(std::ostream& os, Rate r);
+
+}  // namespace adhoc::phy

@@ -1,0 +1,56 @@
+#include "phy/shadowing.hpp"
+
+#include <cmath>
+
+namespace adhoc::phy {
+
+ShadowedPropagation::ShadowedPropagation(const PropagationModel& base, ShadowingParams params,
+                                         sim::Rng seed_stream)
+    : base_(base), params_(params), seed_stream_(seed_stream) {}
+
+double ShadowedPropagation::path_loss_db(double distance_m) const {
+  return base_.path_loss_db(distance_m);
+}
+
+double ShadowedPropagation::distance_for_loss(double loss_db) const {
+  return base_.distance_for_loss(loss_db);
+}
+
+ShadowedPropagation::LinkState& ShadowedPropagation::state_for(LinkId link) const {
+  auto it = links_.find(link);
+  if (it == links_.end()) {
+    const std::uint64_t stream_id =
+        (static_cast<std::uint64_t>(link.tx) << 32) | static_cast<std::uint64_t>(link.rx);
+    it = links_.emplace(link, LinkState{0.0, sim::Time::zero(), seed_stream_.substream(stream_id),
+                                        false}).first;
+  }
+  return it->second;
+}
+
+double ShadowedPropagation::shadowing_db(LinkId link, sim::Time now) const {
+  LinkState& st = state_for(link);
+  if (!st.initialized) {
+    // Stationary start: draw from the marginal N(0, sigma).
+    st.value_db = st.rng.normal(0.0, params_.sigma_db);
+    st.last = now;
+    st.initialized = true;
+    return st.value_db + params_.day_offset_db;
+  }
+  if (now > st.last && params_.correlation_time > sim::Time::zero()) {
+    const double dt = (now - st.last).to_sec();
+    const double tc = params_.correlation_time.to_sec();
+    const double rho = std::exp(-dt / tc);
+    const double innovation_sigma = params_.sigma_db * std::sqrt(1.0 - rho * rho);
+    st.value_db = rho * st.value_db + st.rng.normal(0.0, innovation_sigma);
+    st.last = now;
+  }
+  return st.value_db + params_.day_offset_db;
+}
+
+double ShadowedPropagation::rx_power_dbm(double tx_power_dbm, const Position& tx,
+                                         const Position& rx, sim::Time now, LinkId link) const {
+  const double deterministic = base_.rx_power_dbm(tx_power_dbm, tx, rx, now, link);
+  return deterministic + shadowing_db(link, now);
+}
+
+}  // namespace adhoc::phy

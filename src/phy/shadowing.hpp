@@ -1,0 +1,70 @@
+#pragma once
+// Time-varying, per-direction log-normal shadowing.
+//
+// The paper stresses that the channel has "time-varying and asymmetric
+// propagation properties" — ranges drift within a session (footnote 4)
+// and between days (Fig. 4). We model the shadowing term of each directed
+// link as an Ornstein-Uhlenbeck (Gauss-Markov) process in dB:
+//
+//   X(t + dt) = rho * X(t) + sqrt(1 - rho^2) * N(0, sigma),
+//   rho = exp(-dt / correlation_time)
+//
+// so consecutive frames see correlated fades, two directions of the same
+// link fade independently (asymmetry), and a per-scenario "weather"
+// offset shifts the whole field between measurement days.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "phy/propagation.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::phy {
+
+struct ShadowingParams {
+  double sigma_db = 3.5;           ///< std-dev of the shadowing term
+  sim::Time correlation_time = sim::Time::ms(500);  ///< OU decorrelation scale
+  double day_offset_db = 0.0;      ///< weather: mean shift for this run/day
+};
+
+/// Wraps a deterministic model with the stochastic shadowing term.
+///
+/// Stateful: keeps one OU process per directed link, advanced lazily at
+/// query times. Deterministic given the seed: link streams are derived
+/// from the directed pair, so adding links never reshuffles draws.
+class ShadowedPropagation final : public PropagationModel {
+ public:
+  /// `base` must outlive this object.
+  ShadowedPropagation(const PropagationModel& base, ShadowingParams params, sim::Rng seed_stream);
+
+  double rx_power_dbm(double tx_power_dbm, const Position& tx, const Position& rx, sim::Time now,
+                      LinkId link) const override;
+
+  /// Mean path loss delegates to the base model (the day offset is part of
+  /// the stochastic term, not of the mean).
+  double path_loss_db(double distance_m) const override;
+  double distance_for_loss(double loss_db) const override;
+
+  /// Current shadowing value for a link (advances the process to `now`).
+  [[nodiscard]] double shadowing_db(LinkId link, sim::Time now) const;
+
+  [[nodiscard]] const ShadowingParams& params() const { return params_; }
+
+ private:
+  struct LinkState {
+    double value_db = 0.0;
+    sim::Time last = sim::Time::zero();
+    sim::Rng rng;
+    bool initialized = false;
+  };
+
+  LinkState& state_for(LinkId link) const;
+
+  const PropagationModel& base_;
+  ShadowingParams params_;
+  sim::Rng seed_stream_;
+  mutable std::unordered_map<LinkId, LinkState, LinkIdHash> links_;
+};
+
+}  // namespace adhoc::phy

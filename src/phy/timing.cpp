@@ -1,0 +1,26 @@
+#include "phy/timing.hpp"
+
+#include <cmath>
+
+namespace adhoc::phy {
+
+sim::Time Timing::plcp_duration(Preamble p) const {
+  if (p == Preamble::kLong) {
+    // Preamble and header both at 1 Mbps: 1 bit == 1 us.
+    return sim::Time::us(plcp_long_preamble_bits + plcp_header_bits);
+  }
+  // Short format: 72-bit preamble at 1 Mbps, 48-bit header at 2 Mbps.
+  return sim::Time::us(72) + sim::Time::from_us(48.0 / 2.0);
+}
+
+sim::Time Timing::payload_duration(std::uint32_t bits, Rate r) const {
+  const double us = static_cast<double>(bits) / rate_bits_per_us(r);
+  // Round up to whole nanoseconds so airtimes never undershoot.
+  return sim::Time::ns(static_cast<std::int64_t>(std::ceil(us * 1000.0)));
+}
+
+sim::Time Timing::frame_duration(std::uint32_t psdu_bits, Rate r, Preamble p) const {
+  return plcp_duration(p) + payload_duration(psdu_bits, r);
+}
+
+}  // namespace adhoc::phy

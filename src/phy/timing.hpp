@@ -1,0 +1,50 @@
+#pragma once
+// IEEE 802.11b airtime arithmetic (Table 1 of the paper).
+//
+// Every frame is a PLCP preamble+header transmitted at 1 Mbps (long
+// format; 2 Mbps header for the short format) followed by the PSDU at the
+// frame's own rate. These functions are shared by the MAC (duration/NAV
+// fields, timeouts) and by the analytical throughput model, so both views
+// of the protocol can never disagree on airtime.
+
+#include <cstdint>
+
+#include "phy/rates.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::phy {
+
+enum class Preamble : std::uint8_t { kLong, kShort };
+
+/// Protocol timing parameters (defaults = Table 1 of the paper).
+struct Timing {
+  sim::Time slot = sim::Time::us(20);
+  sim::Time sifs = sim::Time::us(10);
+  sim::Time difs = sim::Time::us(50);     // SIFS + 2 slots
+  std::uint32_t plcp_long_preamble_bits = 144;
+  std::uint32_t plcp_header_bits = 48;
+  std::uint32_t cw_min = 32;              // paper's Table 1 (slots)
+  std::uint32_t cw_max = 1024;
+
+  /// PLCP duration. Long: 192 bits at 1 Mbps = 192 us. Short: 72-bit
+  /// preamble at 1 Mbps + 48-bit header at 2 Mbps = 96 us.
+  [[nodiscard]] sim::Time plcp_duration(Preamble p) const;
+
+  /// Airtime of `bits` payload bits at rate `r` (rounded up to ns).
+  [[nodiscard]] sim::Time payload_duration(std::uint32_t bits, Rate r) const;
+
+  /// Full frame airtime: PLCP + PSDU.
+  [[nodiscard]] sim::Time frame_duration(std::uint32_t psdu_bits, Rate r,
+                                         Preamble p = Preamble::kLong) const;
+};
+
+/// MAC-level frame body sizes in bits, as used by the paper (Table 1):
+/// the FCS is accounted inside the 272-bit MAC header per footnote 3.
+struct FrameBits {
+  static constexpr std::uint32_t kMacHeaderAndFcs = 272;  // data frame header + FCS
+  static constexpr std::uint32_t kAck = 112;
+  static constexpr std::uint32_t kRts = 160;
+  static constexpr std::uint32_t kCts = 112;
+};
+
+}  // namespace adhoc::phy

@@ -1,0 +1,9 @@
+#include "phy/units.hpp"
+
+namespace adhoc::phy {
+
+std::ostream& operator<<(std::ostream& os, const Position& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace adhoc::phy

@@ -1,0 +1,47 @@
+#pragma once
+// Radio units and planar geometry.
+//
+// Power is handled in dBm at model boundaries (human-meaningful,
+// calibration-friendly) and in milliwatts where signals are summed
+// (interference is additive in linear units, not in dB).
+
+#include <cmath>
+#include <ostream>
+
+namespace adhoc::phy {
+
+/// Convert dBm to milliwatts.
+[[nodiscard]] inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Convert milliwatts to dBm. mw must be > 0.
+[[nodiscard]] inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Add two powers expressed in dBm (linear-domain sum).
+[[nodiscard]] inline double dbm_sum(double a_dbm, double b_dbm) {
+  return mw_to_dbm(dbm_to_mw(a_dbm) + dbm_to_mw(b_dbm));
+}
+
+/// Ratio of two dBm powers, in dB.
+[[nodiscard]] inline double db_ratio(double num_dbm, double den_dbm) { return num_dbm - den_dbm; }
+
+/// Planar station position in meters. The paper's testbed is an open
+/// field; two dimensions suffice for every scenario it describes.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+[[nodiscard]] inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::ostream& operator<<(std::ostream& os, const Position& p);
+
+/// Speed of light in meters/second — propagation delays.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+}  // namespace adhoc::phy

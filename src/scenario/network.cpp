@@ -1,0 +1,47 @@
+#include "scenario/network.hpp"
+
+namespace adhoc::scenario {
+
+Network::Network(sim::Simulator& simulator, NetworkConfig config)
+    : sim_(simulator),
+      cfg_(std::move(config)),
+      base_model_(cfg_.model),
+      shadowed_(cfg_.shadowing
+                    ? std::optional<phy::ShadowedPropagation>(std::in_place, base_model_,
+                                                              *cfg_.shadowing,
+                                                              simulator.rng_stream("shadowing"))
+                    : std::nullopt),
+      active_model_(shadowed_ ? static_cast<const phy::PropagationModel*>(&*shadowed_)
+                              : &base_model_),
+      phy_params_(cfg_.phy_override
+                      ? *cfg_.phy_override
+                      : phy::paper_calibrated_params(base_model_, cfg_.tx_power_dbm)),
+      medium_(simulator, *active_model_) {}
+
+net::Node& Network::add_node(phy::Position pos, std::optional<mac::MacParams> mac_override) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  auto node = std::make_unique<net::Node>(sim_, medium_, id, pos, phy_params_,
+                                          mac_override.value_or(cfg_.mac));
+  node->set_resolver([this](net::Ipv4Address ip) -> std::optional<mac::MacAddress> {
+    for (const auto& n : nodes_) {
+      if (n->ip() == ip) return n->mac_address();
+    }
+    return std::nullopt;
+  });
+  nodes_.push_back(std::move(node));
+  udp_.push_back(nullptr);
+  tcp_.push_back(nullptr);
+  return *nodes_.back();
+}
+
+transport::UdpStack& Network::udp(std::size_t i) {
+  if (!udp_.at(i)) udp_[i] = std::make_unique<transport::UdpStack>(*nodes_.at(i));
+  return *udp_[i];
+}
+
+transport::TcpStack& Network::tcp(std::size_t i) {
+  if (!tcp_.at(i)) tcp_[i] = std::make_unique<transport::TcpStack>(*nodes_.at(i));
+  return *tcp_[i];
+}
+
+}  // namespace adhoc::scenario

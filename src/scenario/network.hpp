@@ -1,0 +1,69 @@
+#pragma once
+// Scenario assembly: a Network owns the propagation model, the medium,
+// the nodes and their transport stacks, and wires IP->MAC resolution.
+// Everything the paper's testbed provided "for free" (stations that know
+// each other, a shared field) is built here.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/mac_params.hpp"
+#include "net/node.hpp"
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "phy/shadowing.hpp"
+#include "sim/simulator.hpp"
+#include "transport/tcp.hpp"
+#include "transport/udp.hpp"
+
+namespace adhoc::scenario {
+
+struct NetworkConfig {
+  /// Deterministic propagation (calibrated log-distance by default).
+  phy::LogDistance model{3.3, 40.0, 1.0};
+  /// Stochastic shadowing on top (nullopt = deterministic channel).
+  std::optional<phy::ShadowingParams> shadowing;
+  double tx_power_dbm = 15.0;
+  /// MAC defaults for nodes added without an explicit override.
+  mac::MacParams mac{};
+  /// When set, overrides the calibrated PhyParams entirely.
+  std::optional<phy::PhyParams> phy_override;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, NetworkConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Add a station at `pos`; optionally with its own MAC parameters.
+  net::Node& add_node(phy::Position pos, std::optional<mac::MacParams> mac = std::nullopt);
+
+  [[nodiscard]] net::Node& node(std::size_t i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Per-node transport stacks, created on first use.
+  transport::UdpStack& udp(std::size_t i);
+  transport::TcpStack& tcp(std::size_t i);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] phy::Medium& medium() { return medium_; }
+  [[nodiscard]] const phy::PropagationModel& propagation() const { return *active_model_; }
+  [[nodiscard]] const phy::PhyParams& phy_params() const { return phy_params_; }
+
+ private:
+  sim::Simulator& sim_;
+  NetworkConfig cfg_;
+  phy::LogDistance base_model_;
+  std::optional<phy::ShadowedPropagation> shadowed_;
+  const phy::PropagationModel* active_model_;
+  phy::PhyParams phy_params_;
+  phy::Medium medium_;
+  std::vector<std::unique_ptr<net::Node>> nodes_;
+  std::vector<std::unique_ptr<transport::UdpStack>> udp_;
+  std::vector<std::unique_ptr<transport::TcpStack>> tcp_;
+};
+
+}  // namespace adhoc::scenario

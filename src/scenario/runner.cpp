@@ -1,0 +1,57 @@
+#include "scenario/runner.hpp"
+
+namespace adhoc::scenario {
+
+RunResult run_sessions(Network& net, const std::vector<SessionSpec>& sessions,
+                       const RunConfig& cfg) {
+  sim::Simulator& sim = net.simulator();
+
+  struct Live {
+    std::unique_ptr<app::CbrSource> cbr;
+    std::unique_ptr<app::FtpSource> ftp;
+    std::unique_ptr<app::UdpSink> udp_sink;
+    std::unique_ptr<app::TcpSink> tcp_sink;
+  };
+  std::vector<Live> live(sessions.size());
+
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const SessionSpec& s = sessions[i];
+    const auto port = static_cast<std::uint16_t>(cfg.base_port + i);
+    const net::Ipv4Address dst_ip = net.node(s.dst).ip();
+    // Small stagger so sources do not start in lock step.
+    const sim::Time start = sim::Time::ms(10) + sim::Time::ms(3) * static_cast<std::int64_t>(i);
+
+    if (s.transport == Transport::kUdp) {
+      live[i].udp_sink = std::make_unique<app::UdpSink>(sim, net.udp(s.dst), port);
+      auto& sock = net.udp(s.src).open(port);
+      live[i].cbr = std::make_unique<app::CbrSource>(
+          sim, sock, dst_ip, port, cfg.payload_bytes,
+          app::CbrSource::interval_for_rate(cfg.payload_bytes, cfg.cbr_offered_bps));
+      live[i].cbr->start(start);
+    } else {
+      live[i].tcp_sink = std::make_unique<app::TcpSink>(sim, net.tcp(s.dst), port);
+      live[i].ftp = std::make_unique<app::FtpSource>(sim, net.tcp(s.src), dst_ip, port);
+      live[i].ftp->start(start);
+    }
+  }
+
+  sim.run_until(cfg.warmup);
+  for (auto& l : live) {
+    if (l.udp_sink) l.udp_sink->start_measuring();
+    if (l.tcp_sink) l.tcp_sink->start_measuring();
+  }
+  sim.run_until(cfg.warmup + cfg.measure);
+
+  RunResult out;
+  out.sessions.resize(sessions.size());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    if (live[i].udp_sink) {
+      out.sessions[i] = {live[i].udp_sink->throughput_kbps(), live[i].udp_sink->bytes()};
+    } else {
+      out.sessions[i] = {live[i].tcp_sink->throughput_kbps(), live[i].tcp_sink->bytes()};
+    }
+  }
+  return out;
+}
+
+}  // namespace adhoc::scenario

@@ -1,0 +1,48 @@
+#pragma once
+// Session runner: starts traffic sources/sinks over a built Network,
+// applies a warm-up, measures steady-state goodput per session.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "app/cbr.hpp"
+#include "app/ftp.hpp"
+#include "app/sink.hpp"
+#include "scenario/network.hpp"
+
+namespace adhoc::scenario {
+
+enum class Transport { kUdp, kTcp };
+
+struct SessionSpec {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  Transport transport = Transport::kUdp;
+};
+
+struct RunConfig {
+  sim::Time warmup = sim::Time::sec(2);
+  sim::Time measure = sim::Time::sec(10);
+  std::uint32_t payload_bytes = 512;  ///< application packet size (paper: 512 B)
+  /// CBR offered load per session in bits/s; above channel capacity for
+  /// the asymptotic conditions of the paper.
+  double cbr_offered_bps = 8e6;
+  std::uint16_t base_port = 5000;
+};
+
+struct SessionResult {
+  double kbps = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+struct RunResult {
+  std::vector<SessionResult> sessions;
+};
+
+/// Run all sessions concurrently over `net` and measure each sink's
+/// goodput during [warmup, warmup + measure].
+RunResult run_sessions(Network& net, const std::vector<SessionSpec>& sessions,
+                       const RunConfig& cfg);
+
+}  // namespace adhoc::scenario

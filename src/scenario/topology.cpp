@@ -1,0 +1,62 @@
+#include "scenario/topology.hpp"
+
+namespace adhoc::scenario {
+
+std::vector<std::size_t> build_chain(Network& net, std::size_t n, double spacing_m,
+                                     bool with_static_routes) {
+  const std::size_t base = net.node_count();
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node({spacing_m * static_cast<double>(i), 0.0});
+    out.push_back(base + i);
+  }
+  if (with_static_routes && n > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Node& node = net.node(out[i]);
+      node.set_forwarding(true);
+      // Everything to the left goes via the left neighbour, etc.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j + 1 < i) node.routes().add_route(net.node(out[j]).ip(), net.node(out[i - 1]).ip());
+        if (j > i + 1) node.routes().add_route(net.node(out[j]).ip(), net.node(out[i + 1]).ip());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> build_grid(Network& net, std::size_t side, double spacing_m) {
+  const std::size_t base = net.node_count();
+  std::vector<std::size_t> out;
+  out.reserve(side * side);
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      net.add_node({spacing_m * static_cast<double>(x), spacing_m * static_cast<double>(y)});
+      out.push_back(base + y * side + x);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> build_random(Network& net, std::size_t n, double width_m,
+                                      double height_m, sim::Rng rng) {
+  const std::size_t base = net.node_count();
+  std::vector<std::size_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net.add_node({rng.uniform(0.0, width_m), rng.uniform(0.0, height_m)});
+    out.push_back(base + i);
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<net::Aodv>> attach_aodv(Network& net, net::AodvParams params) {
+  std::vector<std::unique_ptr<net::Aodv>> out;
+  out.reserve(net.node_count());
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    out.push_back(std::make_unique<net::Aodv>(net.node(i), params));
+  }
+  return out;
+}
+
+}  // namespace adhoc::scenario

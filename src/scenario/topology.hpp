@@ -1,0 +1,31 @@
+#pragma once
+// Topology builders: chains, grids and random placements over a Network,
+// with optional static routes or on-demand routing attachment.
+
+#include <memory>
+#include <vector>
+
+#include "net/aodv.hpp"
+#include "scenario/network.hpp"
+
+namespace adhoc::scenario {
+
+/// Add an n-node line with the given spacing; returns the node indices.
+/// With `with_static_routes`, every node gets forwarding plus hop-by-hop
+/// routes toward both ends, so any pair can exchange traffic.
+std::vector<std::size_t> build_chain(Network& net, std::size_t n, double spacing_m,
+                                     bool with_static_routes = false);
+
+/// Add a side x side grid with the given spacing (row-major indices).
+std::vector<std::size_t> build_grid(Network& net, std::size_t side, double spacing_m);
+
+/// Add n nodes uniformly at random inside a width x height field.
+std::vector<std::size_t> build_random(Network& net, std::size_t n, double width_m,
+                                      double height_m, sim::Rng rng);
+
+/// Attach an Aodv instance to every node of the network; returns the
+/// controllers (owned by the caller).
+std::vector<std::unique_ptr<net::Aodv>> attach_aodv(Network& net,
+                                                    net::AodvParams params = {});
+
+}  // namespace adhoc::scenario

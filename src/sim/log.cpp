@@ -1,0 +1,27 @@
+#include "sim/log.hpp"
+
+#include <iomanip>
+
+namespace adhoc::sim {
+
+LogLevel Log::level_ = LogLevel::kWarning;
+
+std::string_view Log::level_name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel lv, Time now, std::string_view component, std::string_view message) {
+  std::ostream& os = (lv >= LogLevel::kWarning) ? std::cerr : std::clog;
+  os << '[' << std::setw(12) << std::fixed << std::setprecision(3) << now.to_us() << "us] "
+     << level_name(lv) << ' ' << component << ": " << message << '\n';
+}
+
+}  // namespace adhoc::sim

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal leveled logging for simulator internals.
+//
+// Logging is per-process and off (Warning) by default so that experiment
+// sweeps stay quiet; tests and debugging sessions raise the level. Stream
+// insertion style keeps call sites allocation-free when the level is
+// filtered out (the macro short-circuits before building the message).
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace adhoc::sim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarning = 3, kError = 4, kOff = 5 };
+
+/// Global log configuration (single-threaded simulator: no locking needed).
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lv) { level_ = lv; }
+  static bool enabled(LogLevel lv) { return lv >= level_; }
+
+  /// Emit one formatted line: "[ time] level component: message".
+  static void write(LogLevel lv, Time now, std::string_view component, std::string_view message);
+
+  static std::string_view level_name(LogLevel lv);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace adhoc::sim
+
+// Usage: ADHOC_LOG(kDebug, sched.now(), "mac", "backoff " << slots << " slots");
+#define ADHOC_LOG(lv, now, component, expr)                                        \
+  do {                                                                             \
+    if (::adhoc::sim::Log::enabled(::adhoc::sim::LogLevel::lv)) {                  \
+      std::ostringstream adhoc_log_oss;                                            \
+      adhoc_log_oss << expr;                                                       \
+      ::adhoc::sim::Log::write(::adhoc::sim::LogLevel::lv, (now), (component),     \
+                               adhoc_log_oss.str());                               \
+    }                                                                              \
+  } while (false)

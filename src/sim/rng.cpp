@@ -1,0 +1,106 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace adhoc::sim {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : origin_seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform01(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (l < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
+  double u = uniform01();
+  if (u == 0.0) u = 0x1.0p-53;  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u1 = uniform01();
+  if (u1 == 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return r * std::cos(theta);
+}
+
+Rng Rng::substream(std::uint64_t id) const {
+  // Mix the origin seed with the stream id through splitmix64 twice; this
+  // decorrelates even adjacent ids.
+  std::uint64_t sm = origin_seed_ ^ (0x6a09e667f3bcc909ULL + id);
+  const std::uint64_t mixed = splitmix64(sm) ^ splitmix64(sm);
+  return Rng{mixed};
+}
+
+Rng Rng::substream(std::string_view label) const { return substream(fnv1a64(label)); }
+
+}  // namespace adhoc::sim

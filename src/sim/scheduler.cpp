@@ -1,0 +1,52 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace adhoc::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
+  if (!cb) throw std::invalid_argument("Scheduler: empty callback");
+  const EventId id = next_seq_++;
+  heap_.push(HeapEntry{at, id, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++total_scheduled_;
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  const bool erased = callbacks_.erase(id) > 0;
+  if (erased) ++total_cancelled_;
+  return erased;
+}
+
+bool Scheduler::settle_top() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) heap_.pop();
+  return !heap_.empty();
+}
+
+bool Scheduler::step() {
+  if (!settle_top()) return false;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = top.at;
+  ++total_executed_;
+  cb();
+  return true;
+}
+
+void Scheduler::run_until(Time horizon) {
+  while (settle_top() && heap_.top().at <= horizon) step();
+  if (!horizon.is_infinite() && horizon > now_) now_ = horizon;
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.to_us() << "us";
+}
+
+}  // namespace adhoc::sim

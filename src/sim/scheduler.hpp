@@ -1,0 +1,94 @@
+#pragma once
+// Discrete-event scheduler.
+//
+// The core of the simulator: a cancellable priority queue of
+// (time, insertion-order) keyed callbacks. Events scheduled for the same
+// instant run in insertion order, which makes protocol races (e.g. two
+// stations ending backoff in the same slot) deterministic and
+// reproducible for a given seed.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adhoc::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+/// Value 0 is reserved as "invalid / never scheduled".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Cancellable discrete-event queue.
+///
+/// Cancellation is O(1) lazy: the callback map entry is erased and the
+/// heap entry is skipped when popped. `run_until` executes events in
+/// nondecreasing time order and leaves the clock at the requested horizon.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulation time (time of the last executed event, or the
+  /// horizon passed to run_until once it returns).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at`. `at` must not precede now().
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Schedule `cb` after a relative delay (>= 0) from now().
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Cancel a pending event. Returns true if the event existed and had not
+  /// yet run. Cancelling kInvalidEvent or an already-run event is a no-op.
+  bool cancel(EventId id);
+
+  /// True if `id` refers to an event that is still pending.
+  [[nodiscard]] bool is_pending(EventId id) const { return callbacks_.contains(id); }
+
+  /// Execute the single earliest pending event. Returns false if none.
+  bool step();
+
+  /// Run events until the queue is exhausted or the clock would pass
+  /// `horizon`; the clock is then set to `horizon` (if finite).
+  void run_until(Time horizon);
+
+  /// Run until the event queue is empty.
+  void run() { run_until(Time::infinity()); }
+
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t pending() const { return callbacks_.size(); }
+
+  // Lifetime statistics, useful for microbenchmarks and leak hunting.
+  [[nodiscard]] std::uint64_t total_scheduled() const { return total_scheduled_; }
+  [[nodiscard]] std::uint64_t total_executed() const { return total_executed_; }
+  [[nodiscard]] std::uint64_t total_cancelled() const { return total_cancelled_; }
+
+ private:
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;  // insertion order: ties broken FIFO
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop heap entries until the top is a live event; returns false if empty.
+  bool settle_top();
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t total_scheduled_ = 0;
+  std::uint64_t total_executed_ = 0;
+  std::uint64_t total_cancelled_ = 0;
+};
+
+}  // namespace adhoc::sim

@@ -1,0 +1,3 @@
+// Simulator is header-only today; this TU anchors the library target and
+// reserves a home for future out-of-line members (checkpointing, tracing).
+#include "sim/simulator.hpp"

@@ -1,0 +1,81 @@
+#pragma once
+// Simulation time: a strong integer-nanosecond type.
+//
+// All protocol timing in this library (slot times, SIFS/DIFS, frame
+// airtimes, propagation delays) is expressed as sim::Time. Using a 64-bit
+// integer nanosecond count keeps event ordering exact — no floating-point
+// drift when summing microsecond-scale MAC intervals over hours of
+// simulated traffic.
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace adhoc::sim {
+
+/// An instant or duration on the simulation clock, in integer nanoseconds.
+///
+/// The same type is used for instants and durations; arithmetic is closed.
+/// Construct via the named factories (`Time::us(10)`) or the user-defined
+/// literals in `adhoc::sim::literals`.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  [[nodiscard]] static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time us(std::int64_t v) { return Time{v * 1000}; }
+  [[nodiscard]] static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+
+  /// Conversions from fractional values round to the nearest nanosecond.
+  [[nodiscard]] static constexpr Time from_us(double v) { return Time{round_ns(v * 1e3)}; }
+  [[nodiscard]] static constexpr Time from_ms(double v) { return Time{round_ns(v * 1e6)}; }
+  [[nodiscard]] static constexpr Time from_sec(double v) { return Time{round_ns(v * 1e9)}; }
+
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+  /// A sentinel later than any reachable simulation instant.
+  [[nodiscard]] static constexpr Time infinity() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  [[nodiscard]] constexpr bool is_infinite() const { return *this == infinity(); }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  /// Ratio of two durations.
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Time t);
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_(v) {}
+
+  [[nodiscard]] static constexpr std::int64_t round_ns(double v) {
+    return static_cast<std::int64_t>(v + (v >= 0 ? 0.5 : -0.5));
+  }
+
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_s(unsigned long long v) { return Time::sec(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace adhoc::sim

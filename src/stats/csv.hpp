@@ -1,0 +1,33 @@
+#pragma once
+// Tiny CSV writer with RFC-4180 quoting. Benches use it to dump the
+// series behind each reproduced figure next to the printed table.
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adhoc::stats {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write one row; fields are quoted when they contain , " or newline.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: header then rows of doubles.
+  void header(const std::vector<std::string>& names) { row(names); }
+  void numeric_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace adhoc::stats

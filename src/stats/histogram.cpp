@@ -1,0 +1,34 @@
+#include "stats/histogram.hpp"
+
+#include <stdexcept>
+
+namespace adhoc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("Histogram: bad range/bins");
+}
+
+void Histogram::add(double x) {
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+  ++count_;
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(count_);
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+}  // namespace adhoc::stats

@@ -1,0 +1,37 @@
+#pragma once
+// Fixed-width-bin histogram with under/overflow buckets. Used in tests to
+// check distributional properties of RNG draws and backoff samples.
+
+#include <cstdint>
+#include <vector>
+
+namespace adhoc::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split into `bins` equal cells; values outside land in
+  /// the underflow/overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  /// Fraction of in-range samples in bin i.
+  [[nodiscard]] double bin_fraction(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace adhoc::stats

@@ -1,0 +1,62 @@
+#pragma once
+// Exact percentile tracking over stored samples. Simulation runs produce
+// bounded sample counts, so exact quantiles are affordable and avoid the
+// approximation error of streaming sketches.
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace adhoc::stats {
+
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// p in [0, 100]. Nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_.empty()) throw std::logic_error("Percentiles: no samples");
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument("Percentiles: p out of range");
+    ensure_sorted();
+    if (p <= 0.0) return samples_.front();
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    return samples_[std::min(rank, samples_.size()) - 1];
+  }
+
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double min() const { return percentile(0.0); }
+  [[nodiscard]] double max() const { return percentile(100.0); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (const double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace adhoc::stats

@@ -1,0 +1,26 @@
+#include "stats/rate_meter.hpp"
+
+namespace adhoc::stats {
+
+void RateMeter::start(sim::Time now) {
+  started_ = true;
+  start_ = now;
+  last_ = now;
+  bytes_ = 0;
+  packets_ = 0;
+}
+
+void RateMeter::on_bytes(std::uint64_t n, sim::Time now) {
+  if (!started_) return;
+  bytes_ += n;
+  ++packets_;
+  if (now > last_) last_ = now;
+}
+
+double RateMeter::bps(sim::Time now) const {
+  if (!started_ || now <= start_) return 0.0;
+  const double secs = (now - start_).to_sec();
+  return static_cast<double>(bytes_) * 8.0 / secs;
+}
+
+}  // namespace adhoc::stats

@@ -1,0 +1,61 @@
+#pragma once
+// Throughput and loss meters.
+//
+// RateMeter integrates delivered bytes over an observation window that is
+// opened after warm-up, mirroring how the paper measures application-level
+// throughput over a steady-state interval. LossMeter counts probe
+// outcomes for the loss-vs-distance experiments.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace adhoc::stats {
+
+/// Accumulates bytes between start() and the query instant.
+class RateMeter {
+ public:
+  /// Open the measurement window at `now`, discarding anything before.
+  void start(sim::Time now);
+
+  /// Record `n` delivered bytes at time `now`; ignored before start().
+  void on_bytes(std::uint64_t n, sim::Time now);
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+
+  /// Mean rate in bits/s over [start, now]. Zero if the window is empty.
+  [[nodiscard]] double bps(sim::Time now) const;
+  [[nodiscard]] double mbps(sim::Time now) const { return bps(now) / 1e6; }
+  [[nodiscard]] double kbps(sim::Time now) const { return bps(now) / 1e3; }
+
+ private:
+  bool started_ = false;
+  sim::Time start_ = sim::Time::zero();
+  sim::Time last_ = sim::Time::zero();
+  std::uint64_t bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+/// Sent/received packet counts -> loss rate.
+class LossMeter {
+ public:
+  void on_sent() { ++sent_; }
+  void on_received() { ++received_; }
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t lost() const { return sent_ >= received_ ? sent_ - received_ : 0; }
+
+  /// Fraction lost in [0,1]; 0 when nothing was sent.
+  [[nodiscard]] double loss_rate() const {
+    return sent_ == 0 ? 0.0 : static_cast<double>(lost()) / static_cast<double>(sent_);
+  }
+
+ private:
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace adhoc::stats

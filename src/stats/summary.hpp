@@ -1,0 +1,40 @@
+#pragma once
+// Running scalar summary: count/mean/variance/min/max and normal-theory
+// confidence intervals. Used to aggregate per-seed experiment replications.
+
+#include <cstdint>
+#include <limits>
+
+namespace adhoc::stats {
+
+/// Welford single-pass accumulator.
+class Summary {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double stderr_mean() const;
+  /// Half-width of the 95% normal confidence interval on the mean.
+  [[nodiscard]] double ci95_halfwidth() const { return 1.96 * stderr_mean(); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another summary into this one (parallel Welford combine).
+  void merge(const Summary& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace adhoc::stats

@@ -1,0 +1,32 @@
+#pragma once
+// Console table formatter.
+//
+// Every bench binary prints a paper-style table ("paper value" next to
+// "this implementation"); this class handles alignment so the benches
+// stay declarative.
+
+#include <string>
+#include <vector>
+
+namespace adhoc::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed text/number rows.
+  static std::string fmt(double v, int precision = 3);
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adhoc::stats

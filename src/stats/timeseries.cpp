@@ -1,0 +1,39 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace adhoc::stats {
+
+double TimeSeries::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& x : samples_) s += x.value;
+  return s / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::min() const {
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& x : samples_) m = std::min(m, x.value);
+  return m;
+}
+
+double TimeSeries::max() const {
+  double m = -std::numeric_limits<double>::infinity();
+  for (const auto& x : samples_) m = std::max(m, x.value);
+  return m;
+}
+
+double TimeSeries::mean_after(sim::Time from) const {
+  double s = 0.0;
+  std::size_t n = 0;
+  for (const auto& x : samples_) {
+    if (x.at >= from) {
+      s += x.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
+}
+
+}  // namespace adhoc::stats

@@ -1,0 +1,39 @@
+#pragma once
+// Timestamped sample series with simple reductions. Used to record
+// per-interval throughput traces and shadowing realizations for
+// inspection/CSV export.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace adhoc::stats {
+
+struct Sample {
+  sim::Time at;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void add(sim::Time at, double value) { samples_.push_back({at, value}); }
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Mean over samples with at >= from.
+  [[nodiscard]] double mean_after(sim::Time from) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace adhoc::stats

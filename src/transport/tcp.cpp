@@ -1,0 +1,559 @@
+#include "transport/tcp.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace adhoc::transport {
+
+namespace {
+/// 2*MSL stand-in; short, since simulations span seconds.
+const sim::Time kTimeWait = sim::Time::ms(200);
+
+constexpr bool seq_lt(std::uint32_t a, std::uint32_t b) { return a < b; }
+constexpr bool seq_le(std::uint32_t a, std::uint32_t b) { return a <= b; }
+}  // namespace
+
+std::string_view TcpConnection::state_name(State s) {
+  switch (s) {
+    case State::kClosed: return "CLOSED";
+    case State::kSynSent: return "SYN_SENT";
+    case State::kSynRcvd: return "SYN_RCVD";
+    case State::kEstablished: return "ESTABLISHED";
+    case State::kFinWait1: return "FIN_WAIT_1";
+    case State::kFinWait2: return "FIN_WAIT_2";
+    case State::kCloseWait: return "CLOSE_WAIT";
+    case State::kLastAck: return "LAST_ACK";
+    case State::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+TcpConnection::TcpConnection(TcpStack& stack, std::uint16_t local_port,
+                             net::Ipv4Address remote_ip, std::uint16_t remote_port,
+                             TcpParams params)
+    : stack_(stack),
+      sim_(stack.simulator()),
+      params_(params),
+      local_port_(local_port),
+      remote_ip_(remote_ip),
+      remote_port_(remote_port),
+      rto_(params.initial_rto) {
+  cwnd_ = static_cast<double>(params_.initial_cwnd_segments) * params_.mss;
+  ssthresh_ = params_.rwnd_bytes;  // effectively "unset": cap at the window
+}
+
+std::uint64_t TcpConnection::bytes_acked() const {
+  // Exclude SYN (and FIN once acknowledged) from the count.
+  std::uint64_t raw = snd_una_ - iss_;
+  if (raw > 0) raw -= 1;  // SYN
+  if (fin_sent_ && seq_lt(fin_seq_, snd_una_)) raw -= 1;
+  return raw;
+}
+
+// ------------------------------------------------------------- application
+
+void TcpConnection::connect() {
+  if (state_ != State::kClosed) return;
+  iss_ = 1000;  // deterministic ISN: reproducible traces
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = State::kSynSent;
+  net::TcpFlags f;
+  f.syn = true;
+  send_segment(iss_, 0, f, false);
+  arm_rto();
+}
+
+void TcpConnection::send(std::uint64_t bytes) {
+  app_queued_ += bytes;
+  if (state_ == State::kEstablished) try_send();
+}
+
+void TcpConnection::set_infinite_source(bool on) {
+  infinite_source_ = on;
+  if (on && state_ == State::kEstablished) try_send();
+}
+
+void TcpConnection::close() {
+  if (fin_queued_) return;
+  fin_queued_ = true;
+  if (state_ == State::kEstablished || state_ == State::kCloseWait) maybe_send_fin();
+}
+
+// -------------------------------------------------------------- established
+
+void TcpConnection::enter_established() {
+  state_ = State::kEstablished;
+  if (on_established_) on_established_();
+  try_send();
+}
+
+void TcpConnection::become_closed() {
+  cancel_rto();
+  sim_.cancel(delack_timer_);
+  delack_timer_ = sim::kInvalidEvent;
+  sim_.cancel(timewait_timer_);
+  timewait_timer_ = sim::kInvalidEvent;
+  state_ = State::kClosed;
+  if (on_closed_) on_closed_();
+}
+
+// ------------------------------------------------------------------ sending
+
+std::uint32_t TcpConnection::app_limit_seq() const {
+  if (infinite_source_) return snd_una_ + 0x20000000u;  // always a full window ahead
+  // Stream bytes start right after the SYN.
+  return iss_ + 1 + static_cast<std::uint32_t>(app_queued_);
+}
+
+void TcpConnection::send_segment(std::uint32_t seq, std::uint32_t len, net::TcpFlags flags,
+                                 bool retransmit) {
+  net::TcpHeader h;
+  h.src_port = local_port_;
+  h.dst_port = remote_port_;
+  h.seq = seq;
+  h.ack = flags.ack ? rcv_nxt_ : 0;
+  h.flags = flags;
+  h.window = static_cast<std::uint16_t>(std::min<std::uint32_t>(params_.rwnd_bytes, 0xffff));
+  ++counters_.segments_tx;
+  if (len > 0) ++counters_.data_segments_tx;
+  if (retransmit) ++counters_.retransmits;
+  if (flags.ack && len == 0) ++counters_.acks_tx;
+  // Any ACK we emit satisfies a pending delayed ACK.
+  if (flags.ack) {
+    pending_ack_segments_ = 0;
+    sim_.cancel(delack_timer_);
+    delack_timer_ = sim::kInvalidEvent;
+  }
+  stack_.transmit(*this, h, len);
+}
+
+void TcpConnection::try_send() {
+  if (state_ != State::kEstablished && state_ != State::kCloseWait &&
+      state_ != State::kFinWait1) {
+    return;
+  }
+  const std::uint32_t wnd = static_cast<std::uint32_t>(
+      std::min(cwnd_, static_cast<double>(peer_rwnd_)));
+  const std::uint32_t send_limit = snd_una_ + wnd;
+  const std::uint32_t data_limit = app_limit_seq();
+  while (seq_lt(snd_nxt_, send_limit) && seq_lt(snd_nxt_, data_limit)) {
+    const std::uint32_t len = std::min({params_.mss, data_limit - snd_nxt_,
+                                        send_limit - snd_nxt_});
+    if (len == 0) break;
+    net::TcpFlags f;
+    f.ack = true;
+    send_segment(snd_nxt_, len, f, false);
+    if (!rtt_probe_) rtt_probe_ = {{snd_nxt_ + len, sim_.now()}};
+    snd_nxt_ += len;
+    arm_rto();
+  }
+  maybe_send_fin();
+}
+
+void TcpConnection::maybe_send_fin() {
+  if (!fin_queued_ || fin_sent_) return;
+  if (infinite_source_) return;  // greedy sources never drain
+  if (snd_nxt_ != app_limit_seq()) return;  // data still queued
+  net::TcpFlags f;
+  f.fin = true;
+  f.ack = true;
+  fin_seq_ = snd_nxt_;
+  send_segment(snd_nxt_, 0, f, false);
+  snd_nxt_ += 1;
+  fin_sent_ = true;
+  arm_rto();
+  if (state_ == State::kEstablished) {
+    state_ = State::kFinWait1;
+  } else if (state_ == State::kCloseWait) {
+    state_ = State::kLastAck;
+  }
+}
+
+void TcpConnection::retransmit_front() {
+  if (snd_una_ == snd_nxt_) return;
+  if (fin_sent_ && snd_una_ == fin_seq_) {
+    net::TcpFlags f;
+    f.fin = true;
+    f.ack = true;
+    send_segment(fin_seq_, 0, f, true);
+    return;
+  }
+  const std::uint32_t data_limit = app_limit_seq();
+  const std::uint32_t len =
+      std::min({params_.mss, snd_nxt_ - snd_una_,
+                seq_lt(snd_una_, data_limit) ? data_limit - snd_una_ : 0u});
+  if (len == 0) return;
+  net::TcpFlags f;
+  f.ack = true;
+  send_segment(snd_una_, len, f, true);
+  // Karn: never time a retransmitted segment.
+  rtt_probe_.reset();
+}
+
+void TcpConnection::arm_rto() {
+  cancel_rto();
+  rto_timer_ = sim_.after(rto_, [this] {
+    rto_timer_ = sim::kInvalidEvent;
+    on_rto();
+  });
+}
+
+void TcpConnection::cancel_rto() {
+  sim_.cancel(rto_timer_);
+  rto_timer_ = sim::kInvalidEvent;
+}
+
+void TcpConnection::on_rto() {
+  ++counters_.rto_fires;
+  if (state_ == State::kSynSent || state_ == State::kSynRcvd) {
+    if (++syn_retries_ > params_.syn_retry_limit) {
+      become_closed();
+      return;
+    }
+    rto_ = std::min(rto_ * 2, params_.max_rto);
+    net::TcpFlags f;
+    f.syn = true;
+    f.ack = (state_ == State::kSynRcvd);
+    send_segment(iss_, 0, f, true);
+    arm_rto();
+    return;
+  }
+  if (snd_una_ == snd_nxt_) return;  // nothing outstanding
+
+  // Loss response: collapse to one segment and go back to snd_una.
+  ssthresh_ = std::max(flight_size() / 2, 2 * params_.mss);
+  cwnd_ = params_.mss;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  snd_nxt_ = fin_sent_ ? std::max(snd_una_, fin_seq_) : snd_una_;
+  if (fin_sent_ && seq_le(fin_seq_, snd_una_)) snd_nxt_ = snd_una_;
+  rto_ = std::min(rto_ * 2, params_.max_rto);
+  rtt_probe_.reset();
+  retransmit_front();
+  arm_rto();
+}
+
+void TcpConnection::update_rtt(sim::Time sample) {
+  if (!srtt_) {
+    srtt_ = sample;
+    rttvar_ = sim::Time::ns(sample.count_ns() / 2);
+  } else {
+    const auto err_ns = std::abs(srtt_->count_ns() - sample.count_ns());
+    rttvar_ = sim::Time::ns((3 * rttvar_.count_ns() + err_ns) / 4);
+    srtt_ = sim::Time::ns((7 * srtt_->count_ns() + sample.count_ns()) / 8);
+  }
+  const sim::Time candidate = *srtt_ + 4 * rttvar_;
+  rto_ = std::clamp(candidate, params_.min_rto, params_.max_rto);
+}
+
+void TcpConnection::handle_ack(const net::TcpHeader& h, std::uint32_t payload_len) {
+  peer_rwnd_ = h.window;
+  const std::uint32_t ack = h.ack;
+
+  if (seq_lt(snd_una_, ack) && seq_le(ack, snd_nxt_)) {
+    // New data acknowledged.
+    if (rtt_probe_ && seq_le(rtt_probe_->first, ack)) {
+      update_rtt(sim_.now() - rtt_probe_->second);
+      rtt_probe_.reset();
+    }
+    const std::uint32_t newly = ack - snd_una_;
+    snd_una_ = ack;
+
+    if (in_recovery_) {
+      if (seq_le(recover_, ack)) {
+        // Full recovery: deflate.
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+        dupacks_ = 0;
+      } else {
+        // NewReno partial ACK: the next hole is lost too.
+        retransmit_front();
+        cwnd_ = std::max(cwnd_ - newly + params_.mss, static_cast<double>(params_.mss));
+      }
+    } else {
+      dupacks_ = 0;
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += params_.mss;  // slow start
+      } else {
+        cwnd_ += static_cast<double>(params_.mss) * params_.mss / cwnd_;  // AIMD
+      }
+    }
+
+    if (fin_sent_ && seq_lt(fin_seq_, snd_una_)) {
+      // Our FIN is acknowledged.
+      if (state_ == State::kFinWait1) {
+        state_ = peer_fin_seen_ ? State::kTimeWait : State::kFinWait2;
+        if (state_ == State::kTimeWait) {
+          timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); });
+        }
+      } else if (state_ == State::kLastAck) {
+        become_closed();
+        return;
+      }
+    }
+
+    if (snd_una_ == snd_nxt_) {
+      cancel_rto();
+      rto_ = std::clamp(srtt_ ? *srtt_ + 4 * rttvar_ : params_.initial_rto, params_.min_rto,
+                        params_.max_rto);
+    } else {
+      arm_rto();
+    }
+    try_send();
+    return;
+  }
+
+  if (ack == snd_una_ && seq_lt(snd_una_, snd_nxt_) && payload_len == 0) {
+    // Duplicate ACK.
+    ++counters_.dup_acks_rx;
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ == params_.dupack_threshold) {
+      ssthresh_ = std::max(flight_size() / 2, 2 * params_.mss);
+      recover_ = snd_nxt_;
+      in_recovery_ = true;
+      ++counters_.fast_retransmits;
+      retransmit_front();
+      cwnd_ = static_cast<double>(ssthresh_) +
+              static_cast<double>(params_.dupack_threshold) * params_.mss;
+      arm_rto();
+    } else if (in_recovery_) {
+      cwnd_ += params_.mss;  // window inflation
+      try_send();
+    }
+  }
+}
+
+// ---------------------------------------------------------------- receiving
+
+void TcpConnection::deliver(std::uint32_t bytes) {
+  delivered_total_ += bytes;
+  if (on_delivered_) on_delivered_(bytes);
+}
+
+void TcpConnection::schedule_ack() {
+  ++pending_ack_segments_;
+  if (!params_.delayed_ack || pending_ack_segments_ >= 2) {
+    send_ack_now();
+    return;
+  }
+  if (delack_timer_ == sim::kInvalidEvent) {
+    delack_timer_ = sim_.after(params_.delack_timeout, [this] {
+      delack_timer_ = sim::kInvalidEvent;
+      send_ack_now();
+    });
+  }
+}
+
+void TcpConnection::send_ack_now() {
+  net::TcpFlags f;
+  f.ack = true;
+  send_segment(snd_nxt_, 0, f, false);
+}
+
+void TcpConnection::handle_data(std::uint32_t seq, std::uint32_t len, bool fin,
+                                std::uint32_t fin_seq) {
+  if (fin) {
+    peer_fin_seen_ = true;
+    peer_fin_seq_ = fin_seq;
+  }
+  bool advanced = false;
+
+  if (len > 0) {
+    if (seq == rcv_nxt_) {
+      rcv_nxt_ += len;
+      deliver(len);
+      advanced = true;
+    } else if (seq_lt(rcv_nxt_, seq)) {
+      // Out of order: stash and dup-ACK.
+      auto [it, inserted] = ooo_.emplace(seq, len);
+      if (!inserted) it->second = std::max(it->second, len);
+      send_ack_now();
+      return;
+    } else if (seq_lt(rcv_nxt_, seq + len)) {
+      // Partial overlap with already-received data.
+      const std::uint32_t fresh = seq + len - rcv_nxt_;
+      rcv_nxt_ += fresh;
+      deliver(fresh);
+      advanced = true;
+    } else {
+      // Entirely old: re-ACK immediately (the peer retransmitted).
+      send_ack_now();
+      return;
+    }
+    // Absorb any now-contiguous out-of-order segments.
+    for (auto it = ooo_.begin(); it != ooo_.end();) {
+      if (seq_lt(rcv_nxt_, it->first)) break;
+      if (seq_lt(rcv_nxt_, it->first + it->second)) {
+        const std::uint32_t fresh = it->first + it->second - rcv_nxt_;
+        rcv_nxt_ += fresh;
+        deliver(fresh);
+      }
+      it = ooo_.erase(it);
+    }
+  }
+
+  // Process a FIN that is now in order.
+  if (peer_fin_seen_ && peer_fin_seq_ == rcv_nxt_) {
+    rcv_nxt_ += 1;
+    if (state_ == State::kEstablished) {
+      state_ = State::kCloseWait;
+    } else if (state_ == State::kFinWait1) {
+      // simultaneous close handled via the ACK path
+      state_ = State::kTimeWait;
+      timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); });
+    } else if (state_ == State::kFinWait2) {
+      state_ = State::kTimeWait;
+      timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); });
+    }
+    send_ack_now();
+    if (fin_queued_) maybe_send_fin();
+    return;
+  }
+
+  if (advanced) {
+    // When data was reassembled past a hole, ACK immediately; otherwise
+    // use the delayed-ACK policy.
+    if (!ooo_.empty()) {
+      send_ack_now();
+    } else {
+      schedule_ack();
+    }
+  }
+}
+
+void TcpConnection::accept_syn(const net::TcpHeader& syn) {
+  irs_ = syn.seq;
+  rcv_nxt_ = syn.seq + 1;
+  peer_rwnd_ = syn.window;
+  iss_ = 5000;
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  state_ = State::kSynRcvd;
+  net::TcpFlags f;
+  f.syn = true;
+  f.ack = true;
+  send_segment(iss_, 0, f, false);
+  arm_rto();
+}
+
+void TcpConnection::on_segment(const net::TcpHeader& h, std::uint32_t payload_len) {
+  ++counters_.segments_rx;
+  if (h.flags.rst) {
+    become_closed();
+    return;
+  }
+
+  switch (state_) {
+    case State::kClosed:
+      return;
+    case State::kSynSent:
+      if (h.flags.syn && h.flags.ack && h.ack == iss_ + 1) {
+        irs_ = h.seq;
+        rcv_nxt_ = h.seq + 1;
+        snd_una_ = h.ack;
+        peer_rwnd_ = h.window;
+        cancel_rto();
+        rto_ = params_.initial_rto;
+        syn_retries_ = 0;
+        send_ack_now();
+        enter_established();
+      }
+      return;
+    case State::kSynRcvd:
+      if (h.flags.ack && h.ack == iss_ + 1) {
+        snd_una_ = h.ack;
+        peer_rwnd_ = h.window;
+        cancel_rto();
+        rto_ = params_.initial_rto;
+        syn_retries_ = 0;
+        enter_established();
+        // Fall through to normal processing of any piggybacked data.
+        if (payload_len > 0 || h.flags.fin) {
+          handle_data(h.seq, payload_len, h.flags.fin, h.seq + payload_len);
+        }
+      } else if (h.flags.syn && !h.flags.ack) {
+        // Duplicate SYN: re-send the SYN-ACK.
+        net::TcpFlags f;
+        f.syn = true;
+        f.ack = true;
+        send_segment(iss_, 0, f, true);
+      }
+      return;
+    default:
+      break;
+  }
+
+  // Established and closing states.
+  if (h.flags.syn) return;  // stray SYN
+  if (h.flags.ack) handle_ack(h, payload_len);
+  if (state_ == State::kClosed) return;  // handle_ack may have closed us
+  if (payload_len > 0 || h.flags.fin) {
+    handle_data(h.seq, payload_len, h.flags.fin, h.seq + payload_len);
+  }
+}
+
+// -------------------------------------------------------------------- stack
+
+TcpStack::TcpStack(net::Node& node, TcpParams default_params)
+    : node_(node), default_params_(default_params) {
+  node_.register_protocol(net::kProtoTcp, [this](net::PacketPtr p, const net::Ipv4Header& ip) {
+    on_ip(std::move(p), ip);
+  });
+}
+
+std::uint16_t TcpStack::next_ephemeral_port() {
+  return next_port_++;
+}
+
+TcpConnection& TcpStack::connect(net::Ipv4Address dst, std::uint16_t dst_port,
+                                 std::optional<TcpParams> params) {
+  auto conn = std::make_unique<TcpConnection>(*this, next_ephemeral_port(), dst, dst_port,
+                                              params.value_or(default_params_));
+  TcpConnection& ref = *conn;
+  flows_[FlowKey{ref.local_port(), dst.value(), dst_port}] = &ref;
+  connections_.push_back(std::move(conn));
+  ref.connect();
+  return ref;
+}
+
+void TcpStack::listen(std::uint16_t port, AcceptHandler handler) {
+  listeners_[port] = std::move(handler);
+}
+
+bool TcpStack::transmit(const TcpConnection& c, const net::TcpHeader& h,
+                        std::uint32_t payload_len) {
+  auto packet = net::Packet::make(payload_len);
+  packet->push(h);
+  packet->created_at = simulator().now();
+  return node_.send_ip(std::move(packet), c.remote_ip(), net::kProtoTcp);
+}
+
+void TcpStack::on_ip(net::PacketPtr packet, const net::Ipv4Header& ip) {
+  const auto copy = packet->clone();
+  copy->pop<net::Ipv4Header>();
+  const net::TcpHeader* h = copy->top<net::TcpHeader>();
+  if (h == nullptr) return;
+
+  const FlowKey key{h->dst_port, ip.src.value(), h->src_port};
+  if (const auto it = flows_.find(key); it != flows_.end()) {
+    it->second->on_segment(*h, copy->payload_bytes());
+    return;
+  }
+
+  // New flow: a listener may accept a SYN.
+  if (h->flags.syn && !h->flags.ack) {
+    if (const auto lit = listeners_.find(h->dst_port); lit != listeners_.end()) {
+      auto conn = std::make_unique<TcpConnection>(*this, h->dst_port, ip.src, h->src_port,
+                                                  default_params_);
+      TcpConnection& ref = *conn;
+      flows_[key] = &ref;
+      connections_.push_back(std::move(conn));
+      if (lit->second) lit->second(ref);
+      ref.accept_syn(*h);
+    }
+  }
+}
+
+}  // namespace adhoc::transport

@@ -1,0 +1,57 @@
+#include "transport/udp.hpp"
+
+#include <stdexcept>
+
+namespace adhoc::transport {
+
+UdpStack::UdpStack(net::Node& node) : node_(node) {
+  node_.register_protocol(net::kProtoUdp, [this](net::PacketPtr p, const net::Ipv4Header& ip) {
+    on_ip(std::move(p), ip);
+  });
+}
+
+UdpSocket& UdpStack::open(std::uint16_t port) {
+  auto [it, inserted] = sockets_.emplace(port, std::make_unique<UdpSocket>(*this, port));
+  if (!inserted) throw std::runtime_error("UdpStack: port already bound");
+  return *it->second;
+}
+
+void UdpStack::close(std::uint16_t port) { sockets_.erase(port); }
+
+void UdpStack::on_ip(net::PacketPtr packet, const net::Ipv4Header& ip) {
+  // The UDP header sits just under the IP header.
+  const auto copy = packet->clone();
+  copy->pop<net::Ipv4Header>();
+  const net::UdpHeader* udp = copy->top<net::UdpHeader>();
+  if (udp == nullptr) return;
+  const auto it = sockets_.find(udp->dst_port);
+  if (it == sockets_.end()) return;
+  UdpRxInfo info;
+  info.src = ip.src;
+  info.src_port = udp->src_port;
+  info.app_seq = packet->app_seq;
+  info.sent_at = packet->created_at;
+  it->second->deliver(copy->payload_bytes(), info);
+}
+
+bool UdpSocket::send_to(std::uint32_t payload_bytes, net::Ipv4Address dst,
+                        std::uint16_t dst_port, std::uint64_t app_seq) {
+  auto packet = net::Packet::make(payload_bytes);
+  net::UdpHeader udp;
+  udp.src_port = port_;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(net::UdpHeader::kBytes + payload_bytes);
+  packet->push(udp);
+  packet->app_seq = app_seq;
+  packet->created_at = stack_.node().simulator().now();
+  ++tx_count_;
+  return stack_.node().send_ip(std::move(packet), dst, net::kProtoUdp);
+}
+
+void UdpSocket::deliver(std::uint32_t bytes, const UdpRxInfo& info) {
+  ++rx_count_;
+  if (rx_) rx_(bytes, info.app_seq, info.src, info.src_port);
+  if (rx_info_) rx_info_(bytes, info);
+}
+
+}  // namespace adhoc::transport

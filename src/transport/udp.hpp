@@ -1,0 +1,85 @@
+#pragma once
+// UDP: connectionless datagram service over the node's IP layer.
+//
+// One UdpStack per node registers protocol 17 and demultiplexes to
+// sockets by destination port — exactly enough to carry the paper's CBR
+// traffic and the loss probes.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace adhoc::transport {
+
+class UdpStack;
+
+/// Metadata delivered with each datagram.
+struct UdpRxInfo {
+  net::Ipv4Address src;
+  std::uint16_t src_port = 0;
+  std::uint64_t app_seq = 0;
+  sim::Time sent_at;  ///< sender-side timestamp (one-way delay = now - sent_at)
+};
+
+/// A bound UDP port.
+class UdpSocket {
+ public:
+  /// (payload bytes, app_seq tag, source address, source port).
+  using RxHandler =
+      std::function<void(std::uint32_t, std::uint64_t, net::Ipv4Address, std::uint16_t)>;
+  /// Richer form, receiving UdpRxInfo. Both handlers fire if both set.
+  using RxInfoHandler = std::function<void(std::uint32_t, const UdpRxInfo&)>;
+
+  UdpSocket(UdpStack& stack, std::uint16_t port) : stack_(stack), port_(port) {}
+
+  /// Send `payload_bytes` of virtual data to (dst, dst_port).
+  /// `app_seq` tags the datagram for loss accounting. Returns false if
+  /// the packet could not be queued at the MAC.
+  bool send_to(std::uint32_t payload_bytes, net::Ipv4Address dst, std::uint16_t dst_port,
+               std::uint64_t app_seq = 0);
+
+  void set_rx_handler(RxHandler h) { rx_ = std::move(h); }
+  void set_rx_info_handler(RxInfoHandler h) { rx_info_ = std::move(h); }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return tx_count_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return rx_count_; }
+
+ private:
+  friend class UdpStack;
+  void deliver(std::uint32_t bytes, const UdpRxInfo& info);
+
+  UdpStack& stack_;
+  std::uint16_t port_;
+  RxHandler rx_;
+  RxInfoHandler rx_info_;
+  std::uint64_t tx_count_ = 0;
+  std::uint64_t rx_count_ = 0;
+};
+
+class UdpStack {
+ public:
+  explicit UdpStack(net::Node& node);
+
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  /// Bind a port. Throws if already bound.
+  UdpSocket& open(std::uint16_t port);
+  void close(std::uint16_t port);
+
+  [[nodiscard]] net::Node& node() { return node_; }
+
+ private:
+  friend class UdpSocket;
+  void on_ip(net::PacketPtr packet, const net::Ipv4Header& ip);
+
+  net::Node& node_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<UdpSocket>> sockets_;
+};
+
+}  // namespace adhoc::transport

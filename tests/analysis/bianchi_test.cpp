@@ -1,0 +1,111 @@
+#include "analysis/bianchi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/throughput_model.hpp"
+
+namespace adhoc::analysis {
+namespace {
+
+TEST(Bianchi, RejectsZeroStations) {
+  BianchiParams p;
+  p.n_stations = 0;
+  EXPECT_THROW((void)bianchi_saturation(p), std::invalid_argument);
+}
+
+TEST(Bianchi, SingleStationHasNoCollisions) {
+  BianchiParams p;
+  p.n_stations = 1;
+  const auto r = bianchi_saturation(p);
+  EXPECT_NEAR(r.p, 0.0, 1e-9);
+  EXPECT_NEAR(r.ps, 1.0, 1e-9);
+  EXPECT_GT(r.throughput_mbps, 0.0);
+}
+
+TEST(Bianchi, SingleStationNearEquationOne) {
+  // With n=1 the model must land near the paper's Equation (1); the
+  // residual difference is the mean-backoff convention ((W-1)/2 slots
+  // vs W/2) and DIFS placement.
+  BianchiParams p;
+  p.n_stations = 1;
+  p.data_rate = phy::Rate::kR11;
+  const auto r = bianchi_saturation(p);
+  const ThroughputModel eq{Assumptions::standard()};
+  EXPECT_NEAR(r.throughput_mbps / eq.max_throughput_basic_mbps(512, phy::Rate::kR11), 1.0,
+              0.05);
+}
+
+TEST(Bianchi, CollisionProbabilityGrowsWithN) {
+  BianchiParams p;
+  double prev_p = 0.0;
+  for (const std::uint32_t n : {2u, 5u, 10u, 20u, 50u}) {
+    p.n_stations = n;
+    const auto r = bianchi_saturation(p);
+    EXPECT_GT(r.p, prev_p);
+    EXPECT_LT(r.p, 1.0);
+    prev_p = r.p;
+  }
+}
+
+TEST(Bianchi, ThroughputDegradesGracefully) {
+  // Aggregate saturation throughput decays slowly with n (the DCF's
+  // well-known near-flat saturation curve), it does not collapse.
+  BianchiParams p;
+  p.n_stations = 2;
+  const double s2 = bianchi_saturation(p).throughput_mbps;
+  p.n_stations = 20;
+  const double s20 = bianchi_saturation(p).throughput_mbps;
+  EXPECT_LT(s20, s2);
+  EXPECT_GT(s20, s2 * 0.5);
+}
+
+TEST(Bianchi, RtsBeatsBasicUnderHeavyContention) {
+  // Bianchi's classic result: with many stations and large payloads,
+  // RTS/CTS wins because collisions only cost an RTS.
+  BianchiParams p;
+  p.n_stations = 50;
+  p.payload_bytes = 1024;
+  p.data_rate = phy::Rate::kR2;
+  p.rts = false;
+  const double basic = bianchi_saturation(p).throughput_mbps;
+  p.rts = true;
+  const double rts = bianchi_saturation(p).throughput_mbps;
+  EXPECT_GT(rts, basic);
+}
+
+TEST(Bianchi, BasicBeatsRtsWithoutContention) {
+  BianchiParams p;
+  p.n_stations = 2;
+  p.payload_bytes = 512;
+  p.rts = false;
+  const double basic = bianchi_saturation(p).throughput_mbps;
+  p.rts = true;
+  const double rts = bianchi_saturation(p).throughput_mbps;
+  EXPECT_GT(basic, rts);
+}
+
+TEST(Bianchi, TauWithinUnitInterval) {
+  BianchiParams p;
+  for (const std::uint32_t n : {1u, 3u, 7u, 30u}) {
+    p.n_stations = n;
+    const auto r = bianchi_saturation(p);
+    EXPECT_GT(r.tau, 0.0);
+    EXPECT_LT(r.tau, 1.0);
+    EXPECT_GE(r.p, 0.0);
+    EXPECT_LT(r.p, 1.0);
+  }
+}
+
+TEST(Bianchi, FixedPointConsistency) {
+  // The solution must satisfy both defining equations simultaneously.
+  BianchiParams p;
+  p.n_stations = 8;
+  const auto r = bianchi_saturation(p);
+  const double implied_p = 1.0 - std::pow(1.0 - r.tau, p.n_stations - 1.0);
+  EXPECT_NEAR(implied_p, r.p, 1e-6);
+}
+
+}  // namespace
+}  // namespace adhoc::analysis

@@ -1,0 +1,102 @@
+#include "analysis/throughput_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::analysis {
+namespace {
+
+TEST(ThroughputModel, AirtimeComponents) {
+  ThroughputModel m{Assumptions::standard()};
+  // T_DATA at 11 Mbps, m=512: 192 + (272 + 540*8)/11.
+  EXPECT_NEAR(m.t_data_us(512, phy::Rate::kR11), 192.0 + (272.0 + 4320.0) / 11.0, 1e-9);
+  // ACK at 2 Mbps: 192 + 56.
+  EXPECT_NEAR(m.t_ack_us(), 248.0, 1e-9);
+  EXPECT_NEAR(m.t_rts_us(), 272.0, 1e-9);
+  EXPECT_NEAR(m.t_cts_us(), 248.0, 1e-9);
+  EXPECT_NEAR(m.mean_backoff_us(), 320.0, 1e-9);
+}
+
+TEST(ThroughputModel, RtsAlwaysCostsThroughput) {
+  ThroughputModel m{Assumptions::standard()};
+  for (const phy::Rate r : phy::kAllRates) {
+    for (const std::uint32_t bytes : {128u, 512u, 1024u, 1500u}) {
+      EXPECT_LT(m.max_throughput_rts_mbps(bytes, r), m.max_throughput_basic_mbps(bytes, r));
+    }
+  }
+}
+
+TEST(ThroughputModel, ThroughputGrowsWithPayload) {
+  ThroughputModel m{Assumptions::standard()};
+  for (const phy::Rate r : phy::kAllRates) {
+    EXPECT_LT(m.max_throughput_basic_mbps(512, r), m.max_throughput_basic_mbps(1024, r));
+  }
+}
+
+TEST(ThroughputModel, ThroughputGrowsWithRate) {
+  ThroughputModel m{Assumptions::standard()};
+  EXPECT_LT(m.max_throughput_basic_mbps(512, phy::Rate::kR1),
+            m.max_throughput_basic_mbps(512, phy::Rate::kR2));
+  EXPECT_LT(m.max_throughput_basic_mbps(512, phy::Rate::kR2),
+            m.max_throughput_basic_mbps(512, phy::Rate::kR5_5));
+  EXPECT_LT(m.max_throughput_basic_mbps(512, phy::Rate::kR5_5),
+            m.max_throughput_basic_mbps(512, phy::Rate::kR11));
+}
+
+TEST(ThroughputModel, EfficiencyCollapsesAtHighRate) {
+  // The paper's headline: at 11 Mbps, m=1024, utilization < 44%.
+  ThroughputModel m{Assumptions::standard()};
+  EXPECT_LT(m.max_throughput_basic_mbps(1024, phy::Rate::kR11) / 11.0, 0.47);
+  // At 1 Mbps the overhead matters much less.
+  EXPECT_GT(m.max_throughput_basic_mbps(1024, phy::Rate::kR1) / 1.0, 0.8);
+}
+
+TEST(ThroughputModel, PaperFitReproducesTable2Within5Percent) {
+  ThroughputModel m{Assumptions::paper_fit()};
+  for (const auto& cell : paper_table2()) {
+    const double ours = cell.rts ? m.max_throughput_rts_mbps(cell.m_bytes, cell.rate)
+                                 : m.max_throughput_basic_mbps(cell.m_bytes, cell.rate);
+    EXPECT_NEAR(ours / cell.paper_mbps, 1.0, 0.05)
+        << rate_name(cell.rate) << " m=" << cell.m_bytes << (cell.rts ? " RTS" : " basic")
+        << ": ours " << ours << " vs paper " << cell.paper_mbps;
+  }
+}
+
+TEST(ThroughputModel, StandardAssumptionsStayNearTable2) {
+  // The textbook variant is allowed more slack but must keep the shape.
+  ThroughputModel m{Assumptions::standard()};
+  for (const auto& cell : paper_table2()) {
+    const double ours = cell.rts ? m.max_throughput_rts_mbps(cell.m_bytes, cell.rate)
+                                 : m.max_throughput_basic_mbps(cell.m_bytes, cell.rate);
+    EXPECT_NEAR(ours / cell.paper_mbps, 1.0, 0.20);
+  }
+}
+
+TEST(ThroughputModel, Table2HasAllSixteenCells) {
+  const auto& t = paper_table2();
+  EXPECT_EQ(t.size(), 16u);
+  int rts_count = 0;
+  for (const auto& c : t) {
+    if (c.rts) ++rts_count;
+  }
+  EXPECT_EQ(rts_count, 8);
+}
+
+TEST(ThroughputModel, OverheadBytesMatter) {
+  Assumptions with = Assumptions::standard();
+  Assumptions without = Assumptions::standard();
+  without.overhead_bytes = 0;
+  ThroughputModel mw{with};
+  ThroughputModel mo{without};
+  EXPECT_LT(mw.max_throughput_basic_mbps(512, phy::Rate::kR11),
+            mo.max_throughput_basic_mbps(512, phy::Rate::kR11));
+}
+
+TEST(ThroughputModel, BoundIsBelowNominalRate) {
+  ThroughputModel m{Assumptions::standard()};
+  for (const phy::Rate r : phy::kAllRates) {
+    EXPECT_LT(m.max_throughput_basic_mbps(2000, r), phy::rate_mbps(r));
+  }
+}
+
+}  // namespace
+}  // namespace adhoc::analysis

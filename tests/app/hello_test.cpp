@@ -1,0 +1,104 @@
+#include "app/hello.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/mobility.hpp"
+#include "scenario/network.hpp"
+
+namespace adhoc::app {
+namespace {
+
+class HelloTest : public ::testing::Test {
+ protected:
+  HelloService& add_service(std::size_t node, HelloParams p = {}) {
+    services_.push_back(std::make_unique<HelloService>(sim_, net_.udp(node), p));
+    return *services_.back();
+  }
+
+  sim::Simulator sim_{61};
+  scenario::Network net_{sim_};
+  std::vector<std::unique_ptr<HelloService>> services_;
+};
+
+TEST_F(HelloTest, NeighborsDiscoveredWithinBroadcastRange) {
+  net_.add_node({0, 0});
+  net_.add_node({50, 0});   // inside the 2 Mbps broadcast range (95 m)
+  net_.add_node({200, 0});  // beyond every range
+  auto& a = add_service(0);
+  auto& b = add_service(1);
+  auto& c = add_service(2);
+  a.start(sim::Time::ms(10));
+  b.start(sim::Time::ms(20));
+  c.start(sim::Time::ms(30));
+  sim_.run_until(sim::Time::sec(5));
+  EXPECT_TRUE(a.is_neighbor(net_.node(1).ip()));
+  EXPECT_TRUE(b.is_neighbor(net_.node(0).ip()));
+  EXPECT_FALSE(a.is_neighbor(net_.node(2).ip()));
+  // b at 50 m, c at 200 m: 150 m apart, beyond the 95 m broadcast range.
+  EXPECT_FALSE(b.is_neighbor(net_.node(2).ip()));
+}
+
+TEST_F(HelloTest, FarStationsAreNotNeighbors) {
+  net_.add_node({0, 0});
+  net_.add_node({200, 0});
+  auto& a = add_service(0);
+  auto& b = add_service(1);
+  a.start(sim::Time::ms(10));
+  b.start(sim::Time::ms(20));
+  sim_.run_until(sim::Time::sec(5));
+  EXPECT_EQ(a.neighbor_count(), 0u);
+  EXPECT_EQ(b.neighbor_count(), 0u);
+  EXPECT_GT(a.hellos_sent(), 3u);
+}
+
+TEST_F(HelloTest, NeighborExpiresWhenStationLeaves) {
+  net_.add_node({0, 0});
+  net_.add_node({30, 0});
+  auto& a = add_service(0);
+  auto& b = add_service(1);
+  a.start(sim::Time::ms(10));
+  b.start(sim::Time::ms(20));
+  sim_.run_until(sim::Time::sec(4));
+  ASSERT_TRUE(a.is_neighbor(net_.node(1).ip()));
+  // b leaps out of range; its old HELLOs age out after the lifetime.
+  net_.node(1).radio().set_position({500, 0});
+  sim_.run_until(sim::Time::sec(10));
+  EXPECT_FALSE(a.is_neighbor(net_.node(1).ip()));
+}
+
+TEST_F(HelloTest, MobileStationCrossesNeighborhoodBoundary) {
+  net_.add_node({0, 0});
+  net_.add_node({80, 0});
+  phy::LinearMobility walk{{80, 0}, 5.0, 0.0};  // walks away at 5 m/s
+  net_.node(1).radio().set_mobility(&walk);
+  auto& a = add_service(0);
+  auto& b = add_service(1);
+  a.start(sim::Time::ms(10));
+  b.start(sim::Time::ms(25));
+  sim_.run_until(sim::Time::sec(2));
+  EXPECT_TRUE(a.is_neighbor(net_.node(1).ip()));  // 90 m: inside 95 m
+  sim_.run_until(sim::Time::sec(20));  // 180 m: long gone + expired
+  EXPECT_FALSE(a.is_neighbor(net_.node(1).ip()));
+}
+
+TEST_F(HelloTest, CountsAndLifecycle) {
+  net_.add_node({0, 0});
+  net_.add_node({20, 0});
+  auto& a = add_service(0);
+  auto& b = add_service(1);
+  a.start(sim::Time::ms(10));
+  b.start(sim::Time::ms(15));
+  sim_.run_until(sim::Time::sec(3));
+  const auto sent_at_3s = a.hellos_sent();
+  EXPECT_GE(sent_at_3s, 2u);
+  EXPECT_GE(b.hellos_received(), 2u);
+  a.stop();
+  sim_.run_until(sim::Time::sec(6));
+  EXPECT_EQ(a.hellos_sent(), sent_at_3s);  // stopped
+  EXPECT_GT(b.hellos_sent(), sent_at_3s);  // b keeps beaconing
+}
+
+}  // namespace
+}  // namespace adhoc::app

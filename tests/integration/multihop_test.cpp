@@ -1,0 +1,78 @@
+// Integration: multi-hop chains (the extension motivated by the paper's
+// introduction — forwarding extends coverage beyond the radio range, at
+// a throughput cost because hops share the channel).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/cbr.hpp"
+#include "app/sink.hpp"
+#include "scenario/network.hpp"
+
+namespace adhoc {
+namespace {
+
+/// Build an n-node chain (spacing 25 m, forwarding + static routes) and
+/// measure end-to-end saturated UDP goodput.
+double chain_udp_kbps(std::size_t n, std::uint64_t seed) {
+  sim::Simulator sim{seed};
+  scenario::Network net{sim};
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& node = net.add_node({25.0 * static_cast<double>(i), 0.0});
+    node.set_forwarding(true);
+  }
+  const auto dst_ip = net.node(n - 1).ip();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net.node(i).routes().add_route(dst_ip, net.node(i + 1).ip());
+  }
+  const auto port = static_cast<std::uint16_t>(7000 + n);
+  app::UdpSink sink{sim, net.udp(n - 1), port};
+  auto& sock = net.udp(0).open(port);
+  app::CbrSource cbr{sim, sock, dst_ip, port, 512,
+                     app::CbrSource::interval_for_rate(512, 6e6)};
+  cbr.start(sim::Time::ms(10));
+  sim.run_until(sim::Time::ms(500));
+  sink.start_measuring();
+  sim.run_until(sim::Time::ms(500) + sim::Time::sec(4));
+  cbr.stop();
+  return sink.throughput_kbps();
+}
+
+TEST(Multihop, TwoHopChainDeliversBeyondRadioRange) {
+  // 50 m end to end: beyond the 30 m 11 Mbps range; relaying covers it.
+  EXPECT_GT(chain_udp_kbps(3, 31), 300.0);
+}
+
+TEST(Multihop, ThroughputDegradesWithHopCount) {
+  const double one_hop = chain_udp_kbps(2, 41);
+  const double two_hop = chain_udp_kbps(3, 42);
+  const double four_hop = chain_udp_kbps(5, 43);
+  // Hops share one collision domain: each relay costs a large share.
+  EXPECT_LT(two_hop, one_hop * 0.75);
+  EXPECT_LT(four_hop, two_hop);
+  EXPECT_GT(four_hop, 30.0);  // but the chain still works (100 m span)
+}
+
+TEST(Multihop, TcpWorksOverTwoHops) {
+  sim::Simulator sim{51};
+  scenario::Network net{sim};
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto& node = net.add_node({25.0 * static_cast<double>(i), 0.0});
+    node.set_forwarding(true);
+  }
+  net.node(0).routes().add_route(net.node(2).ip(), net.node(1).ip());
+  net.node(2).routes().add_route(net.node(0).ip(), net.node(1).ip());
+
+  std::uint64_t delivered = 0;
+  net.tcp(2).listen(80, [&](transport::TcpConnection& c) {
+    c.set_delivered_handler([&](std::uint32_t b) { delivered += b; });
+  });
+  auto& client = net.tcp(0).connect(net.node(2).ip(), 80);
+  client.set_infinite_source(true);
+  sim.run_until(sim::Time::sec(5));
+  EXPECT_GT(delivered, 100'000u);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,0 +1,188 @@
+// Property-style parameterized suites over the full stack.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/bianchi.hpp"
+#include "analysis/throughput_model.hpp"
+#include "experiments/experiments.hpp"
+
+namespace adhoc::experiments {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for every (rate, payload, access mode), measured saturated UDP
+// goodput never exceeds the analytical bound but reaches a healthy
+// fraction of it. This sweeps the whole Table 2 grid through the
+// *simulator* rather than the closed form.
+// ---------------------------------------------------------------------------
+
+using BoundParam = std::tuple<phy::Rate, std::uint32_t, bool>;
+
+class UdpBoundProperty : public ::testing::TestWithParam<BoundParam> {};
+
+TEST_P(UdpBoundProperty, SimulationRespectsAnalyticalBound) {
+  const auto [rate, payload, rts] = GetParam();
+  ExperimentConfig cfg;
+  cfg.seeds = {1};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(3);
+  const auto measured =
+      two_node_throughput({rate, rts, scenario::Transport::kUdp, payload, 10.0}, cfg);
+
+  const analysis::ThroughputModel model{analysis::Assumptions::standard()};
+  const double bound_kbps = (rts ? model.max_throughput_rts_mbps(payload, rate)
+                                 : model.max_throughput_basic_mbps(payload, rate)) *
+                            1000.0;
+  // Upper bound (2% numerical slack for backoff-draw variance).
+  EXPECT_LT(measured.mean, bound_kbps * 1.02)
+      << rate_name(rate) << " m=" << payload << " rts=" << rts;
+  // And the MAC is efficient enough to reach most of it.
+  EXPECT_GT(measured.mean, bound_kbps * 0.70)
+      << rate_name(rate) << " m=" << payload << " rts=" << rts;
+}
+
+std::string bound_param_name(const ::testing::TestParamInfo<BoundParam>& info) {
+  const phy::Rate rate = std::get<0>(info.param);
+  const std::uint32_t payload = std::get<1>(info.param);
+  const bool rts = std::get<2>(info.param);
+  std::string name = std::string(rate_name(rate)) + "_m" + std::to_string(payload) +
+                     (rts ? "_rts" : "_basic");
+  for (char& c : name) {
+    if (c == ' ' || c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRatesPayloadsModes, UdpBoundProperty,
+    ::testing::Combine(::testing::Values(phy::Rate::kR1, phy::Rate::kR2, phy::Rate::kR5_5,
+                                         phy::Rate::kR11),
+                       ::testing::Values(512u, 1024u),
+                       ::testing::Bool()),
+    bound_param_name);
+
+// ---------------------------------------------------------------------------
+// Property: loss curves are (weakly) monotone in distance for every rate.
+// ---------------------------------------------------------------------------
+
+class LossMonotoneProperty : public ::testing::TestWithParam<phy::Rate> {};
+
+TEST_P(LossMonotoneProperty, LossGrowsWithDistance) {
+  const phy::Rate rate = GetParam();
+  ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  LossSweepSpec spec;
+  spec.rate = rate;
+  spec.probes = 250;
+  // Coarse grid spanning each rate's transition region.
+  for (double d = 10.0; d <= 170.0; d += 20.0) spec.distances_m.push_back(d);
+  const auto curve = loss_sweep(spec, cfg);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    // Weak monotonicity with a small stochastic tolerance.
+    EXPECT_GE(curve[i].loss, curve[i - 1].loss - 0.08)
+        << rate_name(rate) << " at " << curve[i].distance_m << " m";
+  }
+  EXPECT_LT(curve.front().loss, 0.2) << rate_name(rate);
+  EXPECT_GT(curve.back().loss, 0.8) << rate_name(rate);
+}
+
+std::string rate_param_name(const ::testing::TestParamInfo<phy::Rate>& info) {
+  std::string name{rate_name(info.param)};
+  for (char& c : name) {
+    if (c == ' ' || c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, LossMonotoneProperty,
+                         ::testing::Values(phy::Rate::kR1, phy::Rate::kR2, phy::Rate::kR5_5,
+                                           phy::Rate::kR11),
+                         rate_param_name);
+
+// ---------------------------------------------------------------------------
+// Property: determinism — identical seeds give identical results; distinct
+// seeds give (almost surely) distinct traces.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismProperty, SameSeedSameThroughput) {
+  ExperimentConfig cfg;
+  cfg.seeds = {123};
+  cfg.warmup = sim::Time::ms(200);
+  cfg.measure = sim::Time::sec(2);
+  const TwoNodeSpec spec{phy::Rate::kR11, false, scenario::Transport::kUdp, 512, 10.0};
+  const auto a = two_node_throughput(spec, cfg);
+  const auto b = two_node_throughput(spec, cfg);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(DeterminismProperty, FourStationDeterministic) {
+  ExperimentConfig cfg;
+  cfg.seeds = {7};
+  cfg.warmup = sim::Time::ms(200);
+  cfg.measure = sim::Time::sec(2);
+  const auto spec = fig7_spec(false, scenario::Transport::kUdp);
+  const auto a = four_station(spec, cfg);
+  const auto b = four_station(spec, cfg);
+  EXPECT_DOUBLE_EQ(a.session1_kbps.mean, b.session1_kbps.mean);
+  EXPECT_DOUBLE_EQ(a.session2_kbps.mean, b.session2_kbps.mean);
+}
+
+// ---------------------------------------------------------------------------
+// Property: TCP goodput never exceeds UDP goodput on the same clean link
+// (TCP adds ACK airtime), across rates.
+// ---------------------------------------------------------------------------
+
+class TcpBelowUdpProperty : public ::testing::TestWithParam<phy::Rate> {};
+
+TEST_P(TcpBelowUdpProperty, Holds) {
+  const phy::Rate rate = GetParam();
+  ExperimentConfig cfg;
+  cfg.seeds = {1};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(3);
+  const auto udp =
+      two_node_throughput({rate, false, scenario::Transport::kUdp, 512, 10.0}, cfg);
+  const auto tcp =
+      two_node_throughput({rate, false, scenario::Transport::kTcp, 512, 10.0}, cfg);
+  EXPECT_LT(tcp.mean, udp.mean) << rate_name(rate);
+  EXPECT_GT(tcp.mean, udp.mean * 0.35) << rate_name(rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, TcpBelowUdpProperty,
+                         ::testing::Values(phy::Rate::kR1, phy::Rate::kR2, phy::Rate::kR5_5,
+                                           phy::Rate::kR11),
+                         rate_param_name);
+
+// ---------------------------------------------------------------------------
+// Property: the simulated DCF tracks the Bianchi saturation model across
+// contention levels (single collision domain, destructive collisions).
+// ---------------------------------------------------------------------------
+
+class BianchiTrackingProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BianchiTrackingProperty, SimulationWithin12Percent) {
+  const std::uint32_t n = GetParam();
+  analysis::BianchiParams bp;
+  bp.n_stations = n;
+  const double model = analysis::bianchi_saturation(bp).throughput_mbps;
+
+  ExperimentConfig cfg;
+  cfg.seeds = {1, 2};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(4);
+  SaturationSpec spec;
+  spec.n_stations = n;
+  const auto sim_result = saturation_throughput(spec, cfg);
+  EXPECT_NEAR(sim_result.mean / model, 1.0, 0.12) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Contention, BianchiTrackingProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u),
+                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace adhoc::experiments

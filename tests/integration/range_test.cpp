@@ -1,0 +1,107 @@
+// Integration: loss vs distance and range estimation (paper §3.2,
+// Figures 3-4, Table 3).
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.hpp"
+
+namespace adhoc::experiments {
+namespace {
+
+ExperimentConfig quick_cfg() {
+  ExperimentConfig cfg;
+  cfg.seeds = {1, 2};
+  return cfg;
+}
+
+TEST(RangeIntegration, LossIsLowNearAndTotalFar) {
+  LossSweepSpec spec;
+  spec.rate = phy::Rate::kR11;
+  spec.distances_m = {10.0, 200.0};
+  spec.probes = 200;
+  const auto curve = loss_sweep(spec, quick_cfg());
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_LT(curve[0].loss, 0.1);
+  EXPECT_GT(curve[1].loss, 0.95);
+}
+
+TEST(RangeIntegration, LossCurveIsSigmoidInBetween) {
+  LossSweepSpec spec;
+  spec.rate = phy::Rate::kR5_5;
+  spec.distances_m = {40.0, 70.0, 110.0};
+  spec.probes = 300;
+  const auto curve = loss_sweep(spec, quick_cfg());
+  // Near the calibrated 70 m range the loss is intermediate.
+  EXPECT_LT(curve[0].loss, 0.3);
+  EXPECT_GT(curve[1].loss, 0.2);
+  EXPECT_LT(curve[1].loss, 0.8);
+  EXPECT_GT(curve[2].loss, 0.8);
+}
+
+TEST(RangeIntegration, LossOrderedByRateAtFixedDistance) {
+  // At 60 m: 11 Mbps mostly lost, 5.5 partial, 2 and 1 Mbps near zero.
+  ExperimentConfig cfg = quick_cfg();
+  const double d = 60.0;
+  std::array<double, 4> loss{};
+  for (const phy::Rate r : phy::kAllRates) {
+    LossSweepSpec spec;
+    spec.rate = r;
+    spec.distances_m = {d};
+    spec.probes = 300;
+    loss[phy::rate_index(r)] = loss_sweep(spec, cfg)[0].loss;
+  }
+  EXPECT_GT(loss[phy::rate_index(phy::Rate::kR11)], 0.9);
+  EXPECT_LE(loss[phy::rate_index(phy::Rate::kR1)], loss[phy::rate_index(phy::Rate::kR2)] + 0.05);
+  EXPECT_LE(loss[phy::rate_index(phy::Rate::kR2)],
+            loss[phy::rate_index(phy::Rate::kR5_5)] + 0.05);
+  EXPECT_LE(loss[phy::rate_index(phy::Rate::kR5_5)],
+            loss[phy::rate_index(phy::Rate::kR11)] + 0.05);
+}
+
+TEST(RangeIntegration, EstimatedRangesMatchTable3) {
+  ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  // Table 3: 30 / 70 / 90-100 / 110-130 m. Allow +-20% around midpoints
+  // (shadowing shifts the 50% crossing).
+  EXPECT_NEAR(estimate_tx_range(phy::Rate::kR11, cfg), 30.0, 8.0);
+  EXPECT_NEAR(estimate_tx_range(phy::Rate::kR5_5, cfg), 70.0, 15.0);
+  EXPECT_NEAR(estimate_tx_range(phy::Rate::kR2, cfg), 95.0, 20.0);
+  EXPECT_NEAR(estimate_tx_range(phy::Rate::kR1, cfg), 120.0, 25.0);
+}
+
+TEST(RangeIntegration, RangesMonotoneInRate) {
+  ExperimentConfig cfg = quick_cfg();
+  const double r11 = estimate_tx_range(phy::Rate::kR11, cfg);
+  const double r55 = estimate_tx_range(phy::Rate::kR5_5, cfg);
+  const double r2 = estimate_tx_range(phy::Rate::kR2, cfg);
+  const double r1 = estimate_tx_range(phy::Rate::kR1, cfg);
+  EXPECT_LT(r11, r55);
+  EXPECT_LT(r55, r2);
+  EXPECT_LT(r2, r1);
+  // Paper's ns-2 critique: every measured range is far below 250 m.
+  EXPECT_LT(r1, 250.0 * 0.7);
+}
+
+TEST(RangeIntegration, DifferentDaysShiftTheCurve) {
+  // Fig. 4: the same sweep on a "bad" day loses more at each distance.
+  LossSweepSpec good;
+  good.rate = phy::Rate::kR1;
+  good.distances_m = {100.0, 120.0, 140.0};
+  good.probes = 300;
+  good.day_offset_db = +3.0;
+  LossSweepSpec bad = good;
+  bad.day_offset_db = -3.0;
+  const auto cfg = quick_cfg();
+  const auto g = loss_sweep(good, cfg);
+  const auto b = loss_sweep(bad, cfg);
+  double good_total = 0.0;
+  double bad_total = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    good_total += g[i].loss;
+    bad_total += b[i].loss;
+  }
+  EXPECT_GT(bad_total, good_total);
+}
+
+}  // namespace
+}  // namespace adhoc::experiments

@@ -1,0 +1,67 @@
+// Integration: single saturated session vs the analytical bound
+// (paper §3.1, Figure 2).
+
+#include <gtest/gtest.h>
+
+#include "analysis/throughput_model.hpp"
+#include "experiments/experiments.hpp"
+
+namespace adhoc::experiments {
+namespace {
+
+ExperimentConfig quick_cfg() {
+  ExperimentConfig cfg;
+  cfg.seeds = {1};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(4);
+  return cfg;
+}
+
+TEST(TwoNodeIntegration, UdpApproachesAnalyticalBoundAt11Mbps) {
+  const analysis::ThroughputModel model{analysis::Assumptions::standard()};
+  const double bound_kbps = model.max_throughput_basic_mbps(512, phy::Rate::kR11) * 1000.0;
+  const auto measured =
+      two_node_throughput({phy::Rate::kR11, false, scenario::Transport::kUdp, 512, 10.0},
+                          quick_cfg());
+  // The paper finds UDP "very close" to the bound; allow 70-102%.
+  EXPECT_LT(measured.mean, bound_kbps * 1.02);
+  EXPECT_GT(measured.mean, bound_kbps * 0.70);
+}
+
+TEST(TwoNodeIntegration, TcpStaysClearlyBelowUdp) {
+  const auto udp = two_node_throughput(
+      {phy::Rate::kR11, false, scenario::Transport::kUdp, 512, 10.0}, quick_cfg());
+  const auto tcp = two_node_throughput(
+      {phy::Rate::kR11, false, scenario::Transport::kTcp, 512, 10.0}, quick_cfg());
+  // TCP pays for its own ACK airtime: visibly below UDP (paper Fig. 2).
+  EXPECT_LT(tcp.mean, udp.mean * 0.95);
+  EXPECT_GT(tcp.mean, udp.mean * 0.4);  // but still in the same regime
+}
+
+TEST(TwoNodeIntegration, RtsCtsCostsThroughput) {
+  const auto basic = two_node_throughput(
+      {phy::Rate::kR11, false, scenario::Transport::kUdp, 512, 10.0}, quick_cfg());
+  const auto rts = two_node_throughput(
+      {phy::Rate::kR11, true, scenario::Transport::kUdp, 512, 10.0}, quick_cfg());
+  EXPECT_LT(rts.mean, basic.mean);
+  // But not catastrophically: the exchange only adds control airtime.
+  EXPECT_GT(rts.mean, basic.mean * 0.6);
+}
+
+TEST(TwoNodeIntegration, Fig2ShapeHolds) {
+  const auto rows = run_fig2(quick_cfg());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) {
+    // Ideal >= UDP > TCP, all positive.
+    EXPECT_GT(row.ideal_mbps, 0.0);
+    EXPECT_LT(row.udp_mbps, row.ideal_mbps * 1.02);
+    EXPECT_LT(row.tcp_mbps, row.udp_mbps);
+    EXPECT_GT(row.tcp_mbps, 0.5);
+  }
+  // no-RTS beats RTS in both ideal and measured UDP.
+  EXPECT_GT(rows[0].ideal_mbps, rows[1].ideal_mbps);
+  EXPECT_GT(rows[0].udp_mbps, rows[1].udp_mbps);
+}
+
+}  // namespace
+}  // namespace adhoc::experiments

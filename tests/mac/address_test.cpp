@@ -1,0 +1,54 @@
+#include "mac/address.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace adhoc::mac {
+namespace {
+
+TEST(MacAddress, DefaultIsZero) {
+  MacAddress a;
+  for (const auto o : a.octets()) EXPECT_EQ(o, 0);
+  EXPECT_FALSE(a.is_broadcast());
+}
+
+TEST(MacAddress, FromStationRoundTrips) {
+  for (const std::uint16_t idx : {0, 1, 255, 256, 65535}) {
+    EXPECT_EQ(MacAddress::from_station(static_cast<std::uint16_t>(idx)).station_index(), idx);
+  }
+}
+
+TEST(MacAddress, FromStationIsLocallyAdministeredUnicast) {
+  const auto a = MacAddress::from_station(7);
+  EXPECT_EQ(a.octets()[0], 0x02);
+  EXPECT_FALSE(a.is_group());
+}
+
+TEST(MacAddress, BroadcastProperties) {
+  const auto b = MacAddress::broadcast();
+  EXPECT_TRUE(b.is_broadcast());
+  EXPECT_TRUE(b.is_group());
+}
+
+TEST(MacAddress, Equality) {
+  EXPECT_EQ(MacAddress::from_station(3), MacAddress::from_station(3));
+  EXPECT_NE(MacAddress::from_station(3), MacAddress::from_station(4));
+}
+
+TEST(MacAddress, ToString) {
+  EXPECT_EQ(MacAddress::from_station(0x0102).to_string(), "02:00:00:00:01:02");
+  EXPECT_EQ(MacAddress::broadcast().to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddress, HashDistinguishes) {
+  std::unordered_set<std::size_t> hashes;
+  MacAddressHash h;
+  for (std::uint16_t i = 0; i < 100; ++i) {
+    hashes.insert(h(MacAddress::from_station(i)));
+  }
+  EXPECT_EQ(hashes.size(), 100u);
+}
+
+}  // namespace
+}  // namespace adhoc::mac

@@ -1,0 +1,64 @@
+#include "mac/airtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::mac {
+namespace {
+
+const phy::Timing kT{};
+
+TEST(Airtime, PaperControlFrameValues) {
+  // At 2 Mbps with long PLCP: RTS = 192 + 80 = 272 us; CTS/ACK = 248 us.
+  EXPECT_DOUBLE_EQ(rts_airtime(kT, phy::Rate::kR2).to_us(), 272.0);
+  EXPECT_DOUBLE_EQ(cts_airtime(kT, phy::Rate::kR2).to_us(), 248.0);
+  EXPECT_DOUBLE_EQ(ack_airtime(kT, phy::Rate::kR2).to_us(), 248.0);
+  // At 1 Mbps: ACK = 192 + 112 = 304 us.
+  EXPECT_DOUBLE_EQ(ack_airtime(kT, phy::Rate::kR1).to_us(), 304.0);
+}
+
+TEST(Airtime, DataAirtime) {
+  // 512 B at 11 Mbps: 192 + (272 + 4096)/11.
+  const double expected = 192.0 + (272.0 + 4096.0) / 11.0;
+  EXPECT_NEAR(data_airtime(kT, 512, phy::Rate::kR11).to_us(), expected, 0.001);
+}
+
+TEST(Airtime, EifsPerStandardFormula) {
+  // EIFS = SIFS + ACK@1Mbps + DIFS = 10 + 304 + 50.
+  EXPECT_DOUBLE_EQ(eifs(kT).to_us(), 364.0);
+}
+
+TEST(Airtime, DataNavCoversAck) {
+  const auto nav = nav_for_data(kT, phy::Rate::kR2);
+  EXPECT_EQ(nav, kT.sifs + ack_airtime(kT, phy::Rate::kR2));
+}
+
+TEST(Airtime, RtsNavCoversWholeExchange) {
+  const auto nav = nav_for_rts(kT, 512, phy::Rate::kR11, phy::Rate::kR2);
+  const auto expected = 3 * kT.sifs + cts_airtime(kT, phy::Rate::kR2) +
+                        data_airtime(kT, 512, phy::Rate::kR11) +
+                        ack_airtime(kT, phy::Rate::kR2);
+  EXPECT_EQ(nav, expected);
+}
+
+TEST(Airtime, CtsReplyNavIsRtsNavMinusCtsLeg) {
+  const auto rts_nav = nav_for_rts(kT, 512, phy::Rate::kR11, phy::Rate::kR2);
+  const auto cts_nav = nav_for_cts_reply(rts_nav, kT, phy::Rate::kR2);
+  EXPECT_EQ(cts_nav, rts_nav - kT.sifs - cts_airtime(kT, phy::Rate::kR2));
+}
+
+TEST(Airtime, CtsReplyNavNeverNegative) {
+  const auto cts_nav = nav_for_cts_reply(sim::Time::us(1), kT, phy::Rate::kR2);
+  EXPECT_EQ(cts_nav, sim::Time::zero());
+}
+
+TEST(Airtime, NavChainIsConsistent) {
+  // The CTS NAV must cover DATA + ACK + 2 SIFS exactly.
+  const auto rts_nav = nav_for_rts(kT, 1024, phy::Rate::kR5_5, phy::Rate::kR2);
+  const auto cts_nav = nav_for_cts_reply(rts_nav, kT, phy::Rate::kR2);
+  const auto expected = 2 * kT.sifs + data_airtime(kT, 1024, phy::Rate::kR5_5) +
+                        ack_airtime(kT, phy::Rate::kR2);
+  EXPECT_EQ(cts_nav, expected);
+}
+
+}  // namespace
+}  // namespace adhoc::mac

@@ -1,0 +1,107 @@
+#include "mac/arf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::mac {
+namespace {
+
+TEST(ArfRateSteps, UpAndDownLadder) {
+  EXPECT_EQ(next_rate_up(phy::Rate::kR1), phy::Rate::kR2);
+  EXPECT_EQ(next_rate_up(phy::Rate::kR2), phy::Rate::kR5_5);
+  EXPECT_EQ(next_rate_up(phy::Rate::kR5_5), phy::Rate::kR11);
+  EXPECT_EQ(next_rate_up(phy::Rate::kR11), phy::Rate::kR11);  // clamped
+  EXPECT_EQ(next_rate_down(phy::Rate::kR11), phy::Rate::kR5_5);
+  EXPECT_EQ(next_rate_down(phy::Rate::kR1), phy::Rate::kR1);  // clamped
+}
+
+class ArfHarness : public ::testing::Test {
+ protected:
+  ArfHarness()
+      : phy_params_(phy::paper_calibrated_params(phy::default_outdoor_model())),
+        medium_(sim_, phy::default_outdoor_model()),
+        r0_(sim_, medium_, 0, phy_params_, {0, 0}),
+        r1_(sim_, medium_, 1, phy_params_, {20, 0}),
+        d0_(sim_, r0_, MacAddress::from_station(0), {}),
+        d1_(sim_, r1_, MacAddress::from_station(1), {}) {}
+
+  sim::Simulator sim_{21};
+  phy::PhyParams phy_params_;
+  phy::Medium medium_;
+  phy::Radio r0_;
+  phy::Radio r1_;
+  Dcf d0_;
+  Dcf d1_;
+};
+
+TEST_F(ArfHarness, StableLinkClimbsToMaxRate) {
+  ArfParams p;
+  p.initial_rate = phy::Rate::kR1;
+  p.success_threshold = 5;
+  ArfController arf{d0_, p};
+  for (int i = 0; i < 40; ++i) d0_.enqueue(d1_.address(), std::make_shared<int>(0), 512);
+  sim_.run_until(sim::Time::sec(2));
+  // 20 m supports 11 Mbps (30 m range): the ladder must be climbed.
+  EXPECT_EQ(arf.rate_for(d1_.address()), phy::Rate::kR11);
+  EXPECT_GE(arf.rate_increases(), 3u);
+  EXPECT_EQ(d1_.counters().msdu_delivered_up, 40u);
+}
+
+TEST_F(ArfHarness, DistantLinkSettlesAtSupportedRate) {
+  // Move the receiver to 80 m: only 2 and 1 Mbps decode (ranges 95/120).
+  r1_.set_position({80, 0});
+  ArfParams p;
+  p.initial_rate = phy::Rate::kR11;
+  p.failure_threshold = 2;
+  ArfController arf{d0_, p};
+  for (int i = 0; i < 60; ++i) d0_.enqueue(d1_.address(), std::make_shared<int>(0), 512);
+  sim_.run_until(sim::Time::sec(10));
+  // ARF must have stepped down out of 11 Mbps; at sampling time it may
+  // be probing one step above the supported 2 Mbps.
+  const phy::Rate settled = arf.rate_for(d1_.address());
+  EXPECT_NE(settled, phy::Rate::kR11) << phy::rate_name(settled);
+  EXPECT_GE(arf.rate_decreases(), 2u);
+  // Per-attempt adaptation: failed probes are corrected within the MAC
+  // retry sequence, so every MSDU is delivered.
+  EXPECT_EQ(d1_.counters().msdu_delivered_up, 60u);
+}
+
+TEST_F(ArfHarness, ProbeFailureFallsStraightBack) {
+  // At 80 m, a probe up to 5.5 Mbps always fails: ARF should keep
+  // returning to 2 Mbps and count probe failures.
+  r1_.set_position({80, 0});
+  ArfParams p;
+  p.initial_rate = phy::Rate::kR2;
+  p.success_threshold = 5;
+  ArfController arf{d0_, p};
+  for (int i = 0; i < 80; ++i) d0_.enqueue(d1_.address(), std::make_shared<int>(0), 512);
+  sim_.run_until(sim::Time::sec(15));
+  EXPECT_GT(arf.probe_failures(), 0u);
+  const phy::Rate settled = arf.rate_for(d1_.address());
+  EXPECT_NE(settled, phy::Rate::kR11);
+  // Failed probes are absorbed by MAC retries: nothing is lost.
+  EXPECT_EQ(d1_.counters().msdu_delivered_up, 80u);
+}
+
+TEST_F(ArfHarness, PerDestinationState) {
+  ArfParams p;
+  p.initial_rate = phy::Rate::kR5_5;
+  ArfController arf{d0_, p};
+  EXPECT_EQ(arf.rate_for(MacAddress::from_station(1)), phy::Rate::kR5_5);
+  EXPECT_EQ(arf.rate_for(MacAddress::from_station(9)), phy::Rate::kR5_5);
+}
+
+TEST_F(ArfHarness, DownstreamHandlerStillRuns) {
+  ArfController arf{d0_};
+  int statuses = 0;
+  arf.set_downstream([&](const TxStatus&) { ++statuses; });
+  d0_.enqueue(d1_.address(), std::make_shared<int>(0), 512);
+  sim_.run_until(sim::Time::ms(50));
+  EXPECT_EQ(statuses, 1);
+}
+
+}  // namespace
+}  // namespace adhoc::mac

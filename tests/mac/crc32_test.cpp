@@ -1,0 +1,56 @@
+#include "mac/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace adhoc::mac {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard CRC-32 (IEEE 802.3) check values.
+  EXPECT_EQ(crc32(bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes("abc")), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes("the quick brown fox jumps over the lazy dog");
+  Crc32 inc;
+  inc.update(std::span(data).subspan(0, 10));
+  inc.update(std::span(data).subspan(10));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  auto data = bytes("frame check sequence");
+  const auto original = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc32(data), original) << "missed flip at byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+TEST(Crc32, DetectsTransposition) {
+  auto a = bytes("ab");
+  auto b = bytes("ba");
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32, EmptyUpdateIsIdentity) {
+  Crc32 c;
+  c.update({});
+  EXPECT_EQ(c.value(), crc32({}));
+}
+
+}  // namespace
+}  // namespace adhoc::mac

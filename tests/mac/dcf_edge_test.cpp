@@ -1,0 +1,174 @@
+// DCF edge-case behaviours: EIFS lifecycle, NAV interactions, CTS
+// withholding, rate selection, retry marking.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/dcf.hpp"
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::mac {
+namespace {
+
+class DcfEdgeTest : public ::testing::Test {
+ protected:
+  struct Station {
+    std::unique_ptr<phy::Radio> radio;
+    std::unique_ptr<Dcf> dcf;
+    std::vector<std::uint32_t> delivered;
+  };
+
+  DcfEdgeTest()
+      : phy_params_(phy::paper_calibrated_params(phy::default_outdoor_model())),
+        medium_(sim_, phy::default_outdoor_model()) {}
+
+  Station& add(double x, MacParams p = {}) {
+    auto st = std::make_unique<Station>();
+    const auto id = static_cast<std::uint32_t>(stations_.size());
+    st->radio = std::make_unique<phy::Radio>(sim_, medium_, id, phy_params_, phy::Position{x, 0});
+    st->dcf = std::make_unique<Dcf>(sim_, *st->radio,
+                                    MacAddress::from_station(static_cast<std::uint16_t>(id)), p);
+    Station* raw = st.get();
+    st->dcf->set_rx_handler([raw](std::shared_ptr<const void>, std::uint32_t bytes, MacAddress,
+                                  MacAddress) { raw->delivered.push_back(bytes); });
+    stations_.push_back(std::move(st));
+    return *stations_.back();
+  }
+
+  static std::shared_ptr<const void> sdu() { return std::make_shared<int>(0); }
+
+  sim::Simulator sim_{123};
+  phy::PhyParams phy_params_;
+  phy::Medium medium_;
+  std::vector<std::unique_ptr<Station>> stations_;
+};
+
+TEST_F(DcfEdgeTest, CtsWithheldWhileNavBusy) {
+  // b must withhold its CTS to a's RTS when it just overheard another
+  // RTS reserving the medium — the standard rule the paper leans on for
+  // its Fig. 7 RTS/CTS analysis. Build the race explicitly: c sends an
+  // RTS to d (setting b's NAV), then a sends an RTS to b.
+  MacParams rts_params;
+  rts_params.rts_threshold_bytes = 0;
+  Station& a = add(0, rts_params);
+  Station& b = add(20, rts_params);
+  Station& c = add(40, rts_params);
+  Station& d = add(60, rts_params);
+  // c -> d exchange reserves the channel around b.
+  c.dcf->enqueue(d.dcf->address(), sdu(), 800);
+  // a queues just after c's RTS hits the air, so a's RTS lands while
+  // b's NAV covers c's exchange... most of the time. Run a few rounds
+  // and require at least one withheld CTS.
+  for (int i = 0; i < 20; ++i) {
+    sim_.at(sim::Time::ms(2 * i), [&] {
+      a.dcf->enqueue(b.dcf->address(), sdu(), 800);
+      c.dcf->enqueue(d.dcf->address(), sdu(), 800);
+    });
+  }
+  sim_.run_until(sim::Time::sec(2));
+  EXPECT_GT(b.dcf->counters().cts_withheld_nav + a.dcf->counters().cts_timeouts, 0u);
+  // Nearly everything is delivered; an occasional MSDU may exhaust the
+  // long retry limit when its RTS keeps landing inside c's exchanges.
+  EXPECT_GE(b.delivered.size(), 19u);
+  EXPECT_GE(d.delivered.size(), 19u);
+}
+
+TEST_F(DcfEdgeTest, NavSetByOverheardRtsAndCts) {
+  MacParams rts_params;
+  rts_params.rts_threshold_bytes = 0;
+  Station& a = add(0, rts_params);
+  Station& b = add(20, rts_params);
+  Station& observer = add(10, rts_params);
+  a.dcf->enqueue(b.dcf->address(), sdu(), 512);
+  sim_.run_until(sim::Time::ms(10));
+  // The observer decoded both RTS and CTS (plus the data's own NAV).
+  EXPECT_GE(observer.dcf->counters().nav_updates, 2u);
+  EXPECT_EQ(b.delivered.size(), 1u);
+}
+
+TEST_F(DcfEdgeTest, RetryFlagMarksRetransmissions) {
+  // Receiver suppresses its first ACK via a colliding hidden station is
+  // hard to stage deterministically; instead verify through the dup
+  // counter after forcing ACK loss with a one-shot jammer that corrupts
+  // exactly the first ACK.
+  Station& a = add(0);
+  Station& b = add(20);
+  Station& jammer = add(25);
+  a.dcf->enqueue(b.dcf->address(), sdu(), 512);
+  // First data ends at DIFS + T_DATA ~ 639 us; the ACK rides SIFS after.
+  // Jam the ACK window with a raw PHY transmission (bypassing the MAC).
+  sim_.at(sim::Time::us(650), [&] {
+    jammer.radio->start_tx(
+        phy::TxDescriptor{phy::Rate::kR2, 400, phy::Preamble::kLong, sdu()});
+  });
+  sim_.run_until(sim::Time::sec(1));
+  // The data was delivered once (dedup), the ACK was lost once, so a
+  // retransmission carrying the retry flag reached b.
+  EXPECT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.dcf->counters().rx_duplicates, 1u);
+  EXPECT_EQ(a.dcf->counters().ack_timeouts, 1u);
+  EXPECT_EQ(a.dcf->counters().tx_success, 1u);
+}
+
+TEST_F(DcfEdgeTest, EifsClearedByCorrectReception) {
+  // c hears a's 11 Mbps data as rx errors (PLCP only) but decodes b's
+  // control-rate ACKs; the correct reception must clear EIFS, so c's
+  // own traffic is not starved.
+  Station& a = add(0);
+  Station& b = add(20);
+  Station& c = add(60);   // in a's PLCP range (120 m), beyond 11 Mbps range
+  Station& d = add(80);   // c's peer, 20 m away
+  for (int i = 0; i < 20; ++i) {
+    a.dcf->enqueue(b.dcf->address(), sdu(), 512);
+    c.dcf->enqueue(d.dcf->address(), sdu(), 512);
+  }
+  sim_.run_until(sim::Time::sec(2));
+  EXPECT_EQ(b.delivered.size(), 20u);
+  EXPECT_EQ(d.delivered.size(), 20u);
+  EXPECT_GT(c.dcf->counters().rx_errors, 0u);
+}
+
+TEST_F(DcfEdgeTest, RateSelectorDrivesPerDestinationRates) {
+  Station& a = add(0);
+  Station& near = add(20);   // supports 11 Mbps
+  Station& far = add(80);    // supports only 1-2 Mbps
+  a.dcf->set_rate_selector([&](MacAddress dst) {
+    return dst == far.dcf->address() ? phy::Rate::kR2 : phy::Rate::kR11;
+  });
+  a.dcf->enqueue(near.dcf->address(), sdu(), 512);
+  a.dcf->enqueue(far.dcf->address(), sdu(), 512);
+  sim_.run_until(sim::Time::sec(1));
+  EXPECT_EQ(near.delivered.size(), 1u);
+  EXPECT_EQ(far.delivered.size(), 1u);  // would fail at 11 Mbps (80 m >> 30 m)
+  EXPECT_EQ(a.dcf->counters().tx_retry_drops, 0u);
+}
+
+TEST_F(DcfEdgeTest, BroadcastRateControlsBroadcastReach) {
+  MacParams p;
+  p.broadcast_rate = phy::Rate::kR11;  // 30 m reach only
+  Station& a = add(0, p);
+  Station& near = add(20, p);
+  Station& far = add(60, p);
+  a.dcf->enqueue(MacAddress::broadcast(), sdu(), 200);
+  sim_.run_until(sim::Time::ms(50));
+  EXPECT_EQ(near.delivered.size(), 1u);
+  EXPECT_EQ(far.delivered.size(), 0u);  // undecodable at 11 Mbps
+  EXPECT_GT(far.dcf->counters().rx_errors, 0u);  // but detected (PLCP)
+}
+
+TEST_F(DcfEdgeTest, QueueDrainsAfterBurstEnqueue) {
+  Station& a = add(0);
+  Station& b = add(20);
+  for (int i = 0; i < 99; ++i) a.dcf->enqueue(b.dcf->address(), sdu(), 100);
+  EXPECT_GT(a.dcf->queue_length(), 0u);
+  sim_.run_until(sim::Time::sec(2));
+  EXPECT_EQ(a.dcf->queue_length(), 0u);
+  EXPECT_EQ(b.delivered.size(), 99u);
+}
+
+}  // namespace
+}  // namespace adhoc::mac

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/dcf.hpp"
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::mac {
+namespace {
+
+class FragTest : public ::testing::Test {
+ protected:
+  struct Station {
+    std::unique_ptr<phy::Radio> radio;
+    std::unique_ptr<Dcf> dcf;
+    std::vector<std::uint32_t> delivered;
+  };
+
+  FragTest()
+      : phy_params_(phy::paper_calibrated_params(phy::default_outdoor_model())),
+        medium_(sim_, phy::default_outdoor_model()) {}
+
+  Station& add(double x, MacParams p) {
+    auto st = std::make_unique<Station>();
+    const auto id = static_cast<std::uint32_t>(stations_.size());
+    st->radio = std::make_unique<phy::Radio>(sim_, medium_, id, phy_params_, phy::Position{x, 0});
+    st->dcf = std::make_unique<Dcf>(sim_, *st->radio,
+                                    MacAddress::from_station(static_cast<std::uint16_t>(id)), p);
+    Station* raw = st.get();
+    st->dcf->set_rx_handler([raw](std::shared_ptr<const void>, std::uint32_t bytes, MacAddress,
+                                  MacAddress) { raw->delivered.push_back(bytes); });
+    stations_.push_back(std::move(st));
+    return *stations_.back();
+  }
+
+  static MacParams frag_params(std::uint32_t threshold) {
+    MacParams p;
+    p.fragmentation_threshold_bytes = threshold;
+    return p;
+  }
+
+  sim::Simulator sim_{77};
+  phy::PhyParams phy_params_;
+  phy::Medium medium_;
+  std::vector<std::unique_ptr<Station>> stations_;
+};
+
+TEST_F(FragTest, LargeMsduSplitsAndReassembles) {
+  Station& a = add(0, frag_params(256));
+  Station& b = add(20, frag_params(256));
+  a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 1000);
+  sim_.run_until(sim::Time::ms(100));
+  // 1000 B at threshold 256 -> fragments of 256/256/256/232.
+  ASSERT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.delivered[0], 1000u);
+  EXPECT_EQ(a.dcf->counters().tx_data, 4u);
+  EXPECT_EQ(a.dcf->counters().fragments_tx, 4u);
+  EXPECT_EQ(a.dcf->counters().msdu_fragmented, 1u);
+  EXPECT_EQ(b.dcf->counters().tx_ack, 4u);  // per-fragment ACKs
+  EXPECT_EQ(a.dcf->counters().tx_success, 1u);  // one MSDU
+  EXPECT_EQ(b.dcf->counters().msdu_delivered_up, 1u);
+}
+
+TEST_F(FragTest, ExactMultipleProducesFullFragments) {
+  Station& a = add(0, frag_params(250));
+  Station& b = add(20, frag_params(250));
+  a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 750);
+  sim_.run_until(sim::Time::ms(100));
+  ASSERT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.delivered[0], 750u);
+  EXPECT_EQ(a.dcf->counters().tx_data, 3u);
+}
+
+TEST_F(FragTest, SmallMsduNotFragmented) {
+  Station& a = add(0, frag_params(512));
+  Station& b = add(20, frag_params(512));
+  a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 512);  // == threshold: no split
+  sim_.run_until(sim::Time::ms(100));
+  ASSERT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(a.dcf->counters().tx_data, 1u);
+  EXPECT_EQ(a.dcf->counters().fragments_tx, 0u);
+}
+
+TEST_F(FragTest, BurstIsSifsSeparated) {
+  // The whole burst must complete in far less time than independent
+  // channel accesses would need: fragments ride SIFS, not DIFS+backoff.
+  Station& a = add(0, frag_params(256));
+  Station& b = add(20, frag_params(256));
+  a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 1024);
+  sim_.run_until(sim::Time::ms(100));
+  ASSERT_EQ(b.delivered.size(), 1u);
+  // 4 fragments: DIFS + 4*(data+SIFS+ACK) + 3*SIFS ~ 3.3 ms at 11 Mbps.
+  // (Generous bound; a backoff-per-fragment schedule would exceed it
+  //  once CW doubling kicks in anywhere.)
+  EXPECT_EQ(a.dcf->counters().backoff_draws, 1u);  // only the post-backoff
+}
+
+TEST_F(FragTest, ManyFragmentedMsdusAllArrive) {
+  Station& a = add(0, frag_params(200));
+  Station& b = add(20, frag_params(200));
+  for (int i = 0; i < 10; ++i) a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 900);
+  sim_.run_until(sim::Time::sec(1));
+  ASSERT_EQ(b.delivered.size(), 10u);
+  for (const auto bytes : b.delivered) EXPECT_EQ(bytes, 900u);
+  EXPECT_EQ(b.dcf->counters().reassembly_drops, 0u);
+  EXPECT_EQ(b.dcf->counters().rx_duplicates, 0u);
+}
+
+TEST_F(FragTest, ThirdStationDefersThroughBurst) {
+  // A bystander hears every fragment; the fragment NAV chain plus
+  // carrier sensing must keep it from interleaving its own traffic so
+  // no ACK timeouts occur anywhere.
+  Station& a = add(0, frag_params(256));
+  Station& b = add(20, frag_params(256));
+  Station& c = add(10, frag_params(256));
+  // Staggered starts: a simultaneous first access would collide by
+  // design (fresh stations skip the backoff on an idle medium).
+  for (int i = 0; i < 5; ++i) {
+    a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 1000);
+  }
+  sim_.at(sim::Time::ms(1), [&] {
+    for (int i = 0; i < 5; ++i) {
+      c.dcf->enqueue(a.dcf->address(), std::make_shared<int>(0), 400);
+    }
+  });
+  sim_.run_until(sim::Time::sec(1));
+  EXPECT_EQ(b.delivered.size(), 5u);
+  EXPECT_EQ(a.delivered.size(), 5u);
+  // Ordinary same-slot contention collisions are allowed; what the NAV
+  // chain must guarantee is that no burst is broken mid-flight: every
+  // fragment sequence reassembles.
+  EXPECT_EQ(b.dcf->counters().reassembly_drops, 0u);
+  EXPECT_LE(a.dcf->counters().ack_timeouts + c.dcf->counters().ack_timeouts, 4u);
+  EXPECT_GT(c.dcf->counters().nav_updates, 0u);
+}
+
+TEST_F(FragTest, LossyBurstRetriesPerFragment) {
+  // Receiver at the very edge of the 11 Mbps range with a lossy channel:
+  // fragments fail individually and are retried individually.
+  Station& a = add(0, frag_params(256));
+  Station& b = add(400, frag_params(256));  // unreachable entirely
+  a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 1000);
+  sim_.run_until(sim::Time::sec(2));
+  // First fragment exhausts its per-fragment retry budget, MSDU dropped.
+  EXPECT_EQ(a.dcf->counters().tx_retry_drops, 1u);
+  EXPECT_EQ(a.dcf->counters().tx_data, 7u);  // short retry limit attempts
+  EXPECT_EQ(b.delivered.size(), 0u);
+}
+
+TEST_F(FragTest, FragmentedWithRtsProtection) {
+  MacParams p = frag_params(256);
+  p.rts_threshold_bytes = 0;  // RTS for every MPDU
+  Station& a = add(0, p);
+  Station& b = add(20, p);
+  a.dcf->enqueue(b.dcf->address(), std::make_shared<int>(0), 700);
+  sim_.run_until(sim::Time::ms(100));
+  ASSERT_EQ(b.delivered.size(), 1u);
+  EXPECT_EQ(b.delivered[0], 700u);
+  // One RTS up front; the burst rides the fragment NAV chain afterwards.
+  EXPECT_GE(a.dcf->counters().tx_rts, 1u);
+}
+
+}  // namespace
+}  // namespace adhoc::mac

@@ -1,0 +1,126 @@
+#include "mac/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace adhoc::mac {
+namespace {
+
+TEST(Frame, PsduBitsPerPaperTable1) {
+  Frame f;
+  f.type = FrameType::kRts;
+  EXPECT_EQ(f.psdu_bits(), 160u);
+  f.type = FrameType::kCts;
+  EXPECT_EQ(f.psdu_bits(), 112u);
+  f.type = FrameType::kAck;
+  EXPECT_EQ(f.psdu_bits(), 112u);
+  f.type = FrameType::kData;
+  f.sdu_bytes = 512;
+  EXPECT_EQ(f.psdu_bits(), 272u + 4096u);
+}
+
+TEST(FrameCodec, DataRoundTrip) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = MacAddress::from_station(1);
+  f.dst = MacAddress::from_station(2);
+  f.seq = 1234;
+  f.retry = true;
+  f.duration = sim::Time::us(258);
+  std::vector<std::uint8_t> payload(64);
+  std::iota(payload.begin(), payload.end(), std::uint8_t{0});
+  f.sdu_bytes = static_cast<std::uint32_t>(payload.size());
+
+  const auto wire = serialize(f, payload);
+  const auto parsed = parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.type, FrameType::kData);
+  EXPECT_EQ(parsed->frame.src, f.src);
+  EXPECT_EQ(parsed->frame.dst, f.dst);
+  EXPECT_EQ(parsed->frame.seq, 1234);
+  EXPECT_TRUE(parsed->frame.retry);
+  EXPECT_EQ(parsed->frame.duration, sim::Time::us(258));
+  ASSERT_EQ(parsed->payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), parsed->payload.begin()));
+}
+
+TEST(FrameCodec, ControlFrameRoundTrips) {
+  for (const FrameType t : {FrameType::kRts, FrameType::kCts, FrameType::kAck}) {
+    Frame f;
+    f.type = t;
+    f.dst = MacAddress::from_station(9);
+    f.src = MacAddress::from_station(8);
+    f.duration = sim::Time::us(100);
+    const auto wire = serialize(f);
+    const auto parsed = parse(wire);
+    ASSERT_TRUE(parsed.has_value()) << frame_type_name(t);
+    EXPECT_EQ(parsed->frame.type, t);
+    EXPECT_EQ(parsed->frame.dst, f.dst);
+    if (t == FrameType::kRts) EXPECT_EQ(parsed->frame.src, f.src);
+  }
+}
+
+TEST(FrameCodec, CorruptFcsRejected) {
+  Frame f;
+  f.type = FrameType::kAck;
+  f.dst = MacAddress::from_station(1);
+  auto wire = serialize(f);
+  wire[5] ^= 0x01;
+  EXPECT_FALSE(parse(wire).has_value());
+}
+
+TEST(FrameCodec, TruncatedRejected) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.dst = MacAddress::from_station(1);
+  f.src = MacAddress::from_station(2);
+  std::vector<std::uint8_t> payload(10, 0xAB);
+  f.sdu_bytes = 10;
+  const auto wire = serialize(f, payload);
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{5}, std::size_t{13}}) {
+    EXPECT_FALSE(parse(std::span(wire).subspan(0, cut)).has_value());
+  }
+}
+
+TEST(FrameCodec, DurationSaturatesAt32767us) {
+  Frame f;
+  f.type = FrameType::kCts;
+  f.dst = MacAddress::from_station(1);
+  f.duration = sim::Time::ms(100);  // 100000 us > 32767
+  const auto parsed = parse(serialize(f));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.duration, sim::Time::us(32767));
+}
+
+TEST(FrameCodec, EmptyPayloadDataFrame) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.dst = MacAddress::from_station(1);
+  f.src = MacAddress::from_station(2);
+  f.sdu_bytes = 0;
+  const auto parsed = parse(serialize(f, {}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.sdu_bytes, 0u);
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(FrameCodec, SequenceNumberMasksTo12Bits) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.dst = MacAddress::from_station(1);
+  f.src = MacAddress::from_station(2);
+  f.seq = 0x1FFF;  // 13 bits set
+  const auto parsed = parse(serialize(f, {}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->frame.seq, 0x0FFF);
+}
+
+TEST(FrameCodec, GarbageRejected) {
+  std::vector<std::uint8_t> garbage(40, 0x5A);
+  EXPECT_FALSE(parse(garbage).has_value());
+}
+
+}  // namespace
+}  // namespace adhoc::mac

@@ -1,0 +1,105 @@
+#include "mac/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "mac/dcf.hpp"
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::mac {
+namespace {
+
+TEST(FrameTracer, RecordsAndCounts) {
+  FrameTracer t;
+  TraceRecord r;
+  r.at = sim::Time::us(10);
+  r.event = TraceEvent::kTxStart;
+  t.record(r);
+  r.event = TraceEvent::kRxOk;
+  t.record(r);
+  t.record(r);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.count(TraceEvent::kTxStart), 1u);
+  EXPECT_EQ(t.count(TraceEvent::kRxOk), 2u);
+  EXPECT_EQ(t.count(TraceEvent::kDrop), 0u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FrameTracer, EventNames) {
+  EXPECT_EQ(trace_event_name(TraceEvent::kTxStart), "TX");
+  EXPECT_EQ(trace_event_name(TraceEvent::kRxError), "RX_ERR");
+  EXPECT_EQ(trace_event_name(TraceEvent::kDrop), "DROP");
+}
+
+TEST(FrameTracer, CsvExport) {
+  FrameTracer t;
+  TraceRecord r;
+  r.at = sim::Time::us(100);
+  r.station = MacAddress::from_station(1);
+  r.event = TraceEvent::kTxStart;
+  r.frame_type = FrameType::kData;
+  r.src = MacAddress::from_station(1);
+  r.dst = MacAddress::from_station(2);
+  r.seq = 7;
+  r.bytes = 512;
+  t.record(r);
+  const std::string path = ::testing::TempDir() + "/trace_test.csv";
+  t.write_csv(path);
+  std::ifstream in{path};
+  std::string header;
+  std::string line;
+  std::getline(in, header);
+  std::getline(in, line);
+  std::remove(path.c_str());
+  EXPECT_EQ(header, "time_us,station,event,frame_type,src,dst,seq,retry,bytes");
+  EXPECT_NE(line.find("TX,DATA"), std::string::npos);
+  EXPECT_NE(line.find("512"), std::string::npos);
+}
+
+TEST(FrameTracer, EndToEndThroughDcf) {
+  sim::Simulator sim{9};
+  phy::Medium medium{sim, phy::default_outdoor_model()};
+  const auto params = phy::paper_calibrated_params(phy::default_outdoor_model());
+  phy::Radio r0{sim, medium, 0, params, {0, 0}};
+  phy::Radio r1{sim, medium, 1, params, {20, 0}};
+  Dcf d0{sim, r0, MacAddress::from_station(0), {}};
+  Dcf d1{sim, r1, MacAddress::from_station(1), {}};
+  FrameTracer tracer;
+  d0.set_tracer(&tracer);
+  d1.set_tracer(&tracer);
+
+  d0.enqueue(d1.address(), std::make_shared<int>(0), 512);
+  sim.run_until(sim::Time::ms(50));
+
+  // Sender TX data, receiver RX data, receiver TX ack, sender RX ack.
+  EXPECT_EQ(tracer.count(TraceEvent::kTxStart), 2u);
+  EXPECT_EQ(tracer.count(TraceEvent::kRxOk), 2u);
+  EXPECT_EQ(tracer.count(TraceEvent::kAckTimeout), 0u);
+}
+
+TEST(FrameTracer, RecordsTimeoutsAndDrops) {
+  sim::Simulator sim{9};
+  phy::Medium medium{sim, phy::default_outdoor_model()};
+  const auto params = phy::paper_calibrated_params(phy::default_outdoor_model());
+  phy::Radio r0{sim, medium, 0, params, {0, 0}};
+  phy::Radio r1{sim, medium, 1, params, {400, 0}};  // unreachable
+  Dcf d0{sim, r0, MacAddress::from_station(0), {}};
+  Dcf d1{sim, r1, MacAddress::from_station(1), {}};
+  FrameTracer tracer;
+  d0.set_tracer(&tracer);
+
+  d0.enqueue(d1.address(), std::make_shared<int>(0), 512);
+  sim.run_until(sim::Time::sec(2));
+  EXPECT_EQ(tracer.count(TraceEvent::kAckTimeout), 7u);
+  EXPECT_EQ(tracer.count(TraceEvent::kDrop), 1u);
+}
+
+}  // namespace
+}  // namespace adhoc::mac

@@ -1,0 +1,64 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adhoc::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+  const std::vector<std::uint8_t> data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0xddf2 (after folding); checksum is its complement 0x220d.
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, ZeroDataGivesAllOnes) {
+  const std::vector<std::uint8_t> zeros(8, 0);
+  EXPECT_EQ(internet_checksum(zeros), 0xffff);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd{0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> even{0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(InternetChecksum, ValidatedMessageSumsToZero) {
+  // Appending the checksum makes the total sum (before complement) all
+  // ones, so internet_checksum over message+checksum yields 0.
+  std::vector<std::uint8_t> msg{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02};
+  const std::uint16_t csum = internet_checksum(msg);
+  msg.push_back(static_cast<std::uint8_t>(csum >> 8));
+  msg.push_back(static_cast<std::uint8_t>(csum & 0xff));
+  EXPECT_EQ(internet_checksum(msg), 0);
+}
+
+TEST(InternetChecksum, DetectsCorruption) {
+  std::vector<std::uint8_t> msg{0x11, 0x22, 0x33, 0x44};
+  const auto original = internet_checksum(msg);
+  msg[2] ^= 0x40;
+  EXPECT_NE(internet_checksum(msg), original);
+}
+
+TEST(InternetChecksum, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 33; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  InternetChecksum inc;
+  inc.update(std::span(data).subspan(0, 5));   // odd split
+  inc.update(std::span(data).subspan(5, 12));
+  inc.update(std::span(data).subspan(17));
+  EXPECT_EQ(inc.finish(), internet_checksum(data));
+}
+
+TEST(InternetChecksum, WordHelpers) {
+  InternetChecksum a;
+  a.update_u16(0x1234);
+  a.update_u32(0x56789abc);
+  const std::vector<std::uint8_t> bytes{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc};
+  EXPECT_EQ(a.finish(), internet_checksum(bytes));
+}
+
+}  // namespace
+}  // namespace adhoc::net

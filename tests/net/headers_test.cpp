@@ -1,0 +1,94 @@
+#include "net/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+
+namespace adhoc::net {
+namespace {
+
+TEST(Ipv4Address, Construction) {
+  const Ipv4Address a{10, 0, 0, 1};
+  EXPECT_EQ(a.value(), 0x0A000001u);
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+}
+
+TEST(Ipv4Address, Broadcast) {
+  EXPECT_TRUE(Ipv4Address::broadcast().is_broadcast());
+  EXPECT_FALSE((Ipv4Address{10, 0, 0, 1}).is_broadcast());
+  EXPECT_EQ(Ipv4Address::broadcast().to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT((Ipv4Address{10, 0, 0, 1}), (Ipv4Address{10, 0, 0, 2}));
+}
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.src = Ipv4Address{10, 0, 0, 1};
+  h.dst = Ipv4Address{10, 0, 0, 2};
+  h.protocol = kProtoUdp;
+  h.ttl = 17;
+  h.total_length = 540;
+  h.identification = 4321;
+  const auto wire = h.serialize();
+  const auto parsed = Ipv4Header::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+  EXPECT_EQ(parsed->protocol, kProtoUdp);
+  EXPECT_EQ(parsed->ttl, 17);
+  EXPECT_EQ(parsed->total_length, 540);
+  EXPECT_EQ(parsed->identification, 4321);
+}
+
+TEST(Ipv4Header, SerializedChecksumValidates) {
+  Ipv4Header h;
+  h.src = Ipv4Address{192, 168, 1, 1};
+  h.dst = Ipv4Address{192, 168, 1, 2};
+  h.protocol = kProtoTcp;
+  const auto wire = h.serialize();
+  // RFC rule: a valid header checksums to zero.
+  EXPECT_EQ(internet_checksum(wire), 0);
+}
+
+TEST(Ipv4Header, CorruptionRejected) {
+  Ipv4Header h;
+  h.src = Ipv4Address{10, 0, 0, 1};
+  h.dst = Ipv4Address{10, 0, 0, 2};
+  auto wire = h.serialize();
+  wire[9] ^= 0x01;  // protocol field
+  EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+TEST(Ipv4Header, TruncatedRejected) {
+  Ipv4Header h;
+  const auto wire = h.serialize();
+  EXPECT_FALSE(Ipv4Header::parse(std::span(wire).subspan(0, 10)).has_value());
+}
+
+TEST(Ipv4Header, NonIhl5Rejected) {
+  Ipv4Header h;
+  auto wire = h.serialize();
+  wire[0] = 0x46;  // IHL 6
+  EXPECT_FALSE(Ipv4Header::parse(wire).has_value());
+}
+
+TEST(TcpFlags, Equality) {
+  TcpFlags a;
+  a.syn = true;
+  TcpFlags b;
+  b.syn = true;
+  EXPECT_EQ(a, b);
+  b.ack = true;
+  EXPECT_NE(a, b);
+}
+
+TEST(Headers, SizesMatchRealProtocols) {
+  EXPECT_EQ(Ipv4Header::kBytes, 20u);
+  EXPECT_EQ(UdpHeader::kBytes, 8u);
+  EXPECT_EQ(TcpHeader::kBytes, 20u);
+}
+
+}  // namespace
+}  // namespace adhoc::net

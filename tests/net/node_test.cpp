@@ -1,0 +1,115 @@
+#include "net/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/network.hpp"
+
+namespace adhoc::net {
+namespace {
+
+class NodeTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_{3};
+  scenario::Network net_{sim_};
+};
+
+TEST_F(NodeTest, AddressConvention) {
+  EXPECT_EQ(Node::address_for(0), (Ipv4Address{10, 0, 0, 1}));
+  EXPECT_EQ(Node::address_for(41), (Ipv4Address{10, 0, 0, 42}));
+}
+
+TEST_F(NodeTest, SendIpDeliversToRegisteredProtocol) {
+  Node& a = net_.add_node({0, 0});
+  Node& b = net_.add_node({20, 0});
+  int delivered = 0;
+  Ipv4Address seen_src;
+  b.register_protocol(200, [&](PacketPtr p, const Ipv4Header& ip) {
+    ++delivered;
+    seen_src = ip.src;
+    EXPECT_EQ(p->payload_bytes(), 64u);
+  });
+  a.send_ip(Packet::make(64), b.ip(), 200);
+  sim_.run_until(sim::Time::ms(50));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(seen_src, a.ip());
+  EXPECT_EQ(b.ip_rx_delivered(), 1u);
+}
+
+TEST_F(NodeTest, UnknownProtocolDropped) {
+  Node& a = net_.add_node({0, 0});
+  Node& b = net_.add_node({20, 0});
+  a.send_ip(Packet::make(64), b.ip(), 99);
+  sim_.run_until(sim::Time::ms(50));
+  EXPECT_EQ(b.ip_rx_delivered(), 0u);
+  EXPECT_EQ(b.ip_drops(), 1u);
+}
+
+TEST_F(NodeTest, UnresolvableDestinationDropped) {
+  Node& a = net_.add_node({0, 0});
+  net_.add_node({20, 0});
+  EXPECT_FALSE(a.send_ip(Packet::make(64), Ipv4Address{10, 0, 0, 99}, 200));
+  EXPECT_EQ(a.ip_drops(), 1u);
+}
+
+TEST_F(NodeTest, BroadcastReachesAllInRange) {
+  Node& a = net_.add_node({0, 0});
+  Node& b = net_.add_node({20, 0});
+  Node& c = net_.add_node({40, 0});
+  int count = 0;
+  const auto handler = [&](PacketPtr, const Ipv4Header&) { ++count; };
+  b.register_protocol(200, handler);
+  c.register_protocol(200, handler);
+  a.send_ip(Packet::make(32), Ipv4Address::broadcast(), 200);
+  sim_.run_until(sim::Time::ms(50));
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(NodeTest, ForwardingAlongStaticRoute) {
+  // Chain a - b - c with 11 Mbps range (30 m): a cannot reach c directly.
+  Node& a = net_.add_node({0, 0});
+  Node& b = net_.add_node({25, 0});
+  Node& c = net_.add_node({50, 0});
+  b.set_forwarding(true);
+  a.routes().add_route(c.ip(), b.ip());
+  int delivered = 0;
+  c.register_protocol(200, [&](PacketPtr, const Ipv4Header& ip) {
+    ++delivered;
+    EXPECT_EQ(ip.src, a.ip());
+    EXPECT_EQ(ip.ttl, 63);  // one hop consumed
+  });
+  a.send_ip(Packet::make(64), c.ip(), 200);
+  sim_.run_until(sim::Time::ms(100));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(b.ip_forwarded(), 1u);
+}
+
+TEST_F(NodeTest, ForwardingDisabledDropsTransit) {
+  Node& a = net_.add_node({0, 0});
+  Node& b = net_.add_node({25, 0});
+  Node& c = net_.add_node({50, 0});
+  a.routes().add_route(c.ip(), b.ip());  // b does NOT forward
+  c.register_protocol(200, [&](PacketPtr, const Ipv4Header&) { FAIL(); });
+  a.send_ip(Packet::make(64), c.ip(), 200);
+  sim_.run_until(sim::Time::ms(100));
+  EXPECT_EQ(b.ip_drops(), 1u);
+}
+
+TEST_F(NodeTest, TtlExpiryDropsPacket) {
+  // Loop route: a -> b -> a -> b ... must die by TTL, not run forever.
+  Node& a = net_.add_node({0, 0});
+  Node& b = net_.add_node({20, 0});
+  a.set_forwarding(true);
+  b.set_forwarding(true);
+  const Ipv4Address phantom{10, 0, 0, 50};
+  // Resolve phantom by routing through each other.
+  a.routes().add_route(phantom, b.ip());
+  b.routes().add_route(phantom, a.ip());
+  a.send_ip(Packet::make(16), phantom, 200);
+  sim_.run_until(sim::Time::sec(5));
+  EXPECT_GT(a.ip_drops() + b.ip_drops(), 0u);
+  // Forwards happened but stopped at TTL exhaustion (64 hops).
+  EXPECT_LE(a.ip_forwarded() + b.ip_forwarded(), 64u);
+}
+
+}  // namespace
+}  // namespace adhoc::net

@@ -1,0 +1,90 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::net {
+namespace {
+
+TEST(Packet, PayloadOnlySize) {
+  const Packet p{512};
+  EXPECT_EQ(p.size_bytes(), 512u);
+  EXPECT_EQ(p.header_count(), 0u);
+}
+
+TEST(Packet, HeaderStackAccountsBytes) {
+  Packet p{512};
+  p.push(UdpHeader{});
+  EXPECT_EQ(p.size_bytes(), 520u);
+  p.push(Ipv4Header{});
+  EXPECT_EQ(p.size_bytes(), 540u);  // the paper's m=512 UDP/IP MAC payload
+}
+
+TEST(Packet, TcpStackSize) {
+  Packet p{512};
+  p.push(TcpHeader{});
+  p.push(Ipv4Header{});
+  EXPECT_EQ(p.size_bytes(), 552u);
+}
+
+TEST(Packet, TopReturnsOutermost) {
+  Packet p{100};
+  UdpHeader u;
+  u.dst_port = 9;
+  p.push(u);
+  Ipv4Header ip;
+  ip.ttl = 3;
+  p.push(ip);
+  ASSERT_NE(p.top<Ipv4Header>(), nullptr);
+  EXPECT_EQ(p.top<Ipv4Header>()->ttl, 3);
+  EXPECT_EQ(p.top<UdpHeader>(), nullptr);  // UDP is not outermost
+}
+
+TEST(Packet, FindLocatesInnerHeader) {
+  Packet p{100};
+  UdpHeader u;
+  u.dst_port = 4242;
+  p.push(u);
+  p.push(Ipv4Header{});
+  ASSERT_NE(p.find<UdpHeader>(), nullptr);
+  EXPECT_EQ(p.find<UdpHeader>()->dst_port, 4242);
+  EXPECT_EQ(p.find<TcpHeader>(), nullptr);
+}
+
+TEST(Packet, PopRemovesAndReturns) {
+  Packet p{100};
+  p.push(UdpHeader{});
+  Ipv4Header ip;
+  ip.protocol = kProtoUdp;
+  p.push(ip);
+  const auto popped = p.pop<Ipv4Header>();
+  EXPECT_EQ(popped.protocol, kProtoUdp);
+  EXPECT_EQ(p.header_count(), 1u);
+  EXPECT_EQ(p.size_bytes(), 108u);
+}
+
+TEST(Packet, CloneIsIndependent) {
+  auto p = Packet::make(64);
+  p->push(Ipv4Header{});
+  auto q = p->clone();
+  q->pop<Ipv4Header>();
+  EXPECT_EQ(p->header_count(), 1u);
+  EXPECT_EQ(q->header_count(), 0u);
+}
+
+TEST(Packet, AppTagsPreservedByClone) {
+  auto p = Packet::make(64);
+  p->app_seq = 77;
+  p->created_at = sim::Time::ms(5);
+  auto q = p->clone();
+  EXPECT_EQ(q->app_seq, 77u);
+  EXPECT_EQ(q->created_at, sim::Time::ms(5));
+}
+
+TEST(Packet, EmptyTopOnNoHeaders) {
+  const Packet p{10};
+  EXPECT_EQ(p.top<Ipv4Header>(), nullptr);
+  EXPECT_EQ(p.find<UdpHeader>(), nullptr);
+}
+
+}  // namespace
+}  // namespace adhoc::net

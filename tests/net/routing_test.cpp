@@ -1,0 +1,58 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::net {
+namespace {
+
+const Ipv4Address kA{10, 0, 0, 1};
+const Ipv4Address kB{10, 0, 0, 2};
+const Ipv4Address kC{10, 0, 0, 3};
+
+TEST(RoutingTable, DirectDeliveryByDefault) {
+  RoutingTable t;
+  EXPECT_EQ(t.next_hop(kA), kA);  // single-hop ad hoc: dst is next hop
+}
+
+TEST(RoutingTable, HostRouteWins) {
+  RoutingTable t;
+  t.add_route(kC, kB);
+  EXPECT_EQ(t.next_hop(kC), kB);
+  EXPECT_EQ(t.next_hop(kA), kA);
+}
+
+TEST(RoutingTable, DefaultRouteUsedWhenNoHostRoute) {
+  RoutingTable t;
+  t.set_default_route(kB);
+  EXPECT_EQ(t.next_hop(kC), kB);
+  t.add_route(kC, kA);
+  EXPECT_EQ(t.next_hop(kC), kA);  // host route overrides default
+}
+
+TEST(RoutingTable, RemoveRouteRestoresDirect) {
+  RoutingTable t;
+  t.add_route(kC, kB);
+  t.remove_route(kC);
+  EXPECT_EQ(t.next_hop(kC), kC);
+}
+
+TEST(RoutingTable, ClearDropsEverything) {
+  RoutingTable t;
+  t.add_route(kC, kB);
+  t.set_default_route(kB);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.has_default());
+  EXPECT_EQ(t.next_hop(kC), kC);
+}
+
+TEST(RoutingTable, RouteUpdateOverwrites) {
+  RoutingTable t;
+  t.add_route(kC, kA);
+  t.add_route(kC, kB);
+  EXPECT_EQ(t.next_hop(kC), kB);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adhoc::net

@@ -1,0 +1,78 @@
+#include "phy/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::phy {
+namespace {
+
+TEST(Calibration, ThresholdRangeRoundTrip) {
+  const auto& m = default_outdoor_model();
+  for (const double range : {30.0, 70.0, 95.0, 120.0, 150.0}) {
+    const double thr = threshold_for_range(m, 15.0, range);
+    EXPECT_NEAR(range_for_threshold(m, 15.0, thr), range, 1e-6);
+  }
+}
+
+TEST(Calibration, SensitivitiesHitPaperRanges) {
+  const auto& m = default_outdoor_model();
+  const auto sens = sensitivities_for_ranges(m, 15.0, kPaperRangesM);
+  for (std::size_t i = 0; i < sens.size(); ++i) {
+    EXPECT_NEAR(range_for_threshold(m, 15.0, sens[i]), kPaperRangesM[i], 1e-6);
+  }
+}
+
+TEST(Calibration, HigherRateNeedsStrongerSignal) {
+  const auto p = paper_calibrated_params(default_outdoor_model());
+  // Table 3 ordering: range(1) > range(2) > range(5.5) > range(11)
+  // implies sensitivity(1) < sensitivity(2) < ... < sensitivity(11).
+  EXPECT_LT(p.sensitivity(Rate::kR1), p.sensitivity(Rate::kR2));
+  EXPECT_LT(p.sensitivity(Rate::kR2), p.sensitivity(Rate::kR5_5));
+  EXPECT_LT(p.sensitivity(Rate::kR5_5), p.sensitivity(Rate::kR11));
+}
+
+TEST(Calibration, CsThresholdBelowAllSensitivities) {
+  const auto p = paper_calibrated_params(default_outdoor_model());
+  for (const Rate r : kAllRates) {
+    EXPECT_LT(p.cs_threshold_dbm, p.sensitivity(r));
+  }
+}
+
+TEST(Calibration, PcsRangeCoversFourStationScenarios) {
+  const auto& m = default_outdoor_model();
+  const auto p = paper_calibrated_params(m);
+  const double pcs_range = range_for_threshold(m, p.tx_power_dbm, p.cs_threshold_dbm);
+  // Largest four-station span in the paper: 25 + 92.5 + 25 = 142.5 m.
+  EXPECT_GE(pcs_range, 142.5);
+}
+
+TEST(Calibration, ControlFramesOutrangeElevenMbpsData) {
+  // The paper's core multirate observation: an 11 Mbps sender's control
+  // frames (2 Mbps) are decodable ~3x farther than its data frames.
+  const auto& m = default_outdoor_model();
+  const auto p = paper_calibrated_params(m);
+  const double data_range = range_for_threshold(m, p.tx_power_dbm, p.sensitivity(Rate::kR11));
+  const double ctrl_range = range_for_threshold(m, p.tx_power_dbm, p.sensitivity(Rate::kR2));
+  EXPECT_NEAR(data_range, 30.0, 0.5);
+  EXPECT_NEAR(ctrl_range, 95.0, 0.5);
+  EXPECT_GT(ctrl_range / data_range, 2.5);
+}
+
+TEST(Calibration, TxPowerShiftsThresholdNotRange) {
+  const auto& m = default_outdoor_model();
+  const auto lo = paper_calibrated_params(m, 10.0);
+  const auto hi = paper_calibrated_params(m, 20.0);
+  // Ranges are fixed by construction; thresholds absorb the power change.
+  for (std::size_t i = 0; i < lo.sensitivity_dbm.size(); ++i) {
+    EXPECT_NEAR(hi.sensitivity_dbm[i] - lo.sensitivity_dbm[i], 10.0, 1e-9);
+  }
+}
+
+TEST(Calibration, DefaultModelIsStable) {
+  const auto& a = default_outdoor_model();
+  const auto& b = default_outdoor_model();
+  EXPECT_EQ(&a, &b);
+  EXPECT_DOUBLE_EQ(a.exponent(), 3.3);
+}
+
+}  // namespace
+}  // namespace adhoc::phy

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::phy {
+namespace {
+
+class EnergyTest : public ::testing::Test {
+ protected:
+  EnergyTest()
+      : params_(paper_calibrated_params(default_outdoor_model())),
+        medium_(sim_, default_outdoor_model()),
+        tx_(sim_, medium_, 0, params_, {0, 0}),
+        rx_(sim_, medium_, 1, params_, {20, 0}) {}
+
+  TxDescriptor frame(std::uint32_t bits = 11000) {
+    return TxDescriptor{Rate::kR11, bits, Preamble::kLong, std::make_shared<int>(0)};
+  }
+
+  sim::Simulator sim_{3};
+  PhyParams params_;
+  Medium medium_;
+  Radio tx_;
+  Radio rx_;
+};
+
+TEST_F(EnergyTest, IdleRadioDrawsIdlePower) {
+  sim_.run_until(sim::Time::sec(10));
+  EXPECT_NEAR(tx_.energy_consumed_j(), 10.0 * params_.power_idle_w, 1e-9);
+  EXPECT_EQ(tx_.time_in_mode(Radio::Mode::kIdle), sim::Time::sec(10));
+  EXPECT_EQ(tx_.time_in_mode(Radio::Mode::kTx), sim::Time::zero());
+}
+
+TEST_F(EnergyTest, TransmissionChargedAtTxPower) {
+  const auto dur = tx_.start_tx(frame());
+  sim_.run_until(sim::Time::sec(1));
+  EXPECT_EQ(tx_.time_in_mode(Radio::Mode::kTx), dur);
+  const double expected = dur.to_sec() * params_.power_tx_w +
+                          (sim::Time::sec(1) - dur).to_sec() * params_.power_idle_w;
+  EXPECT_NEAR(tx_.energy_consumed_j(), expected, 1e-9);
+}
+
+TEST_F(EnergyTest, ReceptionChargedAtRxPower) {
+  tx_.start_tx(frame());
+  sim_.run_until(sim::Time::sec(1));
+  // The receiver was locked for the whole frame (minus propagation).
+  const auto rx_time = rx_.time_in_mode(Radio::Mode::kRx);
+  const auto frame_air = params_.timing.frame_duration(11000, Rate::kR11);
+  EXPECT_NEAR(rx_time.to_us(), frame_air.to_us(), 1.0);
+  EXPECT_GT(rx_.energy_consumed_j(),
+            sim::Time::sec(1).to_sec() * params_.power_idle_w);
+}
+
+TEST_F(EnergyTest, ModeTimesPartitionTheClock) {
+  tx_.start_tx(frame());
+  sim_.run_until(sim::Time::ms(500));
+  tx_.start_tx(frame(4000));
+  sim_.run_until(sim::Time::sec(2));
+  const auto total = tx_.time_in_mode(Radio::Mode::kIdle) +
+                     tx_.time_in_mode(Radio::Mode::kRx) +
+                     tx_.time_in_mode(Radio::Mode::kTx);
+  EXPECT_EQ(total, sim::Time::sec(2));
+}
+
+TEST_F(EnergyTest, TxCostsMoreThanIdleForSamePeriod) {
+  // Two radios over the same wall-clock: the busy one burns more.
+  tx_.start_tx(frame());
+  sim_.run_until(sim::Time::sec(1));
+  Radio far{sim_, medium_, 2, params_, {500, 0}};  // heard nothing, sent nothing
+  sim_.run_until(sim::Time::sec(2));
+  EXPECT_GT(tx_.energy_consumed_j(), far.energy_consumed_j() * 1.9);
+}
+
+}  // namespace
+}  // namespace adhoc::phy

@@ -1,0 +1,105 @@
+#include "phy/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::phy {
+namespace {
+
+TEST(FreeSpace, LossGrowsTwentyDbPerDecade) {
+  FreeSpace m;
+  const double l10 = m.path_loss_db(10.0);
+  const double l100 = m.path_loss_db(100.0);
+  EXPECT_NEAR(l100 - l10, 20.0, 1e-9);
+}
+
+TEST(FreeSpace, KnownValueAt2_4GHz) {
+  // Friis at 2.437 GHz, 1 m: ~40.2 dB.
+  FreeSpace m{2.437e9};
+  EXPECT_NEAR(m.path_loss_db(1.0), 40.2, 0.2);
+}
+
+TEST(FreeSpace, DistanceForLossInverts) {
+  FreeSpace m;
+  for (const double d : {1.0, 17.0, 250.0}) {
+    EXPECT_NEAR(m.distance_for_loss(m.path_loss_db(d)), d, 1e-6);
+  }
+}
+
+TEST(FreeSpace, RxPowerSubtractsLoss) {
+  FreeSpace m;
+  const double rx = m.rx_power_dbm(20.0, {0, 0}, {100, 0}, sim::Time::zero(), {0, 1});
+  EXPECT_NEAR(rx, 20.0 - m.path_loss_db(100.0), 1e-12);
+}
+
+TEST(LogDistance, ExponentControlsSlope) {
+  LogDistance m{3.0, 40.0, 1.0};
+  EXPECT_NEAR(m.path_loss_db(10.0) - m.path_loss_db(1.0), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.path_loss_db(1.0), 40.0);
+}
+
+TEST(LogDistance, DistanceForLossInverts) {
+  LogDistance m{3.3, 40.0, 1.0};
+  for (const double d : {5.0, 30.0, 95.0, 150.0}) {
+    EXPECT_NEAR(m.distance_for_loss(m.path_loss_db(d)), d, 1e-6);
+  }
+}
+
+TEST(LogDistance, RejectsBadParams) {
+  EXPECT_THROW((LogDistance{0.0, 40.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW((LogDistance{3.0, 40.0, 0.0}), std::invalid_argument);
+}
+
+TEST(LogDistance, ClampsTinyDistances) {
+  LogDistance m{3.3, 40.0, 1.0};
+  // No singularity at zero distance.
+  const double rx = m.rx_power_dbm(15.0, {0, 0}, {0, 0}, sim::Time::zero(), {0, 1});
+  EXPECT_TRUE(std::isfinite(rx));
+}
+
+TEST(TwoRay, MatchesFreeSpaceBeforeCrossover) {
+  TwoRayGround m{1.5, 2.437e9};
+  FreeSpace fs{2.437e9};
+  const double d = m.crossover_m() / 2.0;
+  EXPECT_NEAR(m.path_loss_db(d), fs.path_loss_db(d), 1e-9);
+}
+
+TEST(TwoRay, FortyDbPerDecadeAfterCrossover) {
+  TwoRayGround m{1.5, 2.437e9};
+  const double d0 = m.crossover_m() * 2.0;
+  EXPECT_NEAR(m.path_loss_db(d0 * 10) - m.path_loss_db(d0), 40.0, 1e-9);
+}
+
+TEST(TwoRay, ContinuousishAtCrossover) {
+  TwoRayGround m{1.5, 2.437e9};
+  const double before = m.path_loss_db(m.crossover_m() * 0.999);
+  const double after = m.path_loss_db(m.crossover_m() * 1.001);
+  EXPECT_NEAR(before, after, 1.0);
+}
+
+TEST(TwoRay, DistanceForLossInvertsBothRegimes) {
+  TwoRayGround m{1.5, 2.437e9};
+  const double near_d = m.crossover_m() / 3.0;
+  const double far_d = m.crossover_m() * 3.0;
+  EXPECT_NEAR(m.distance_for_loss(m.path_loss_db(near_d)), near_d, 1e-6);
+  EXPECT_NEAR(m.distance_for_loss(m.path_loss_db(far_d)), far_d, 1e-6);
+}
+
+TEST(Propagation, MonotoneInDistance) {
+  LogDistance log_m{3.3, 40.0, 1.0};
+  FreeSpace fs;
+  TwoRayGround tr{1.5, 2.437e9};
+  double prev_log = -1e9;
+  double prev_fs = -1e9;
+  double prev_tr = -1e9;
+  for (double d = 1.0; d < 500.0; d += 7.3) {
+    EXPECT_GT(log_m.path_loss_db(d), prev_log);
+    EXPECT_GT(fs.path_loss_db(d), prev_fs);
+    EXPECT_GT(tr.path_loss_db(d), prev_tr);
+    prev_log = log_m.path_loss_db(d);
+    prev_fs = fs.path_loss_db(d);
+    prev_tr = tr.path_loss_db(d);
+  }
+}
+
+}  // namespace
+}  // namespace adhoc::phy

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "phy/mobility.hpp"
+#include "sim/rng.hpp"
+
+namespace adhoc::phy {
+namespace {
+
+RandomWaypointMobility::Params field() {
+  RandomWaypointMobility::Params p;
+  p.width_m = 200.0;
+  p.height_m = 100.0;
+  p.min_speed_mps = 1.0;
+  p.max_speed_mps = 3.0;
+  p.pause = sim::Time::sec(1);
+  return p;
+}
+
+TEST(RandomWaypoint, StartsAtGivenPosition) {
+  RandomWaypointMobility m{{10, 20}, field(), sim::Rng{1}};
+  EXPECT_EQ(m.position_at(sim::Time::zero()), (Position{10, 20}));
+}
+
+TEST(RandomWaypoint, StaysInsideTheField) {
+  RandomWaypointMobility m{{10, 20}, field(), sim::Rng{2}};
+  for (int s = 0; s < 600; s += 7) {
+    const Position p = m.position_at(sim::Time::sec(s));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 200.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+}
+
+TEST(RandomWaypoint, RespectsSpeedBounds) {
+  RandomWaypointMobility m{{0, 0}, field(), sim::Rng{3}};
+  // Sample displacement over 1 s windows: never faster than max speed.
+  Position prev = m.position_at(sim::Time::zero());
+  for (int s = 1; s < 300; ++s) {
+    const Position cur = m.position_at(sim::Time::sec(s));
+    EXPECT_LE(distance(prev, cur), 3.0 + 1e-9) << "at " << s << " s";
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, DeterministicPerSeed) {
+  RandomWaypointMobility a{{0, 0}, field(), sim::Rng{42}};
+  RandomWaypointMobility b{{0, 0}, field(), sim::Rng{42}};
+  for (int s = 0; s < 100; s += 11) {
+    EXPECT_EQ(a.position_at(sim::Time::sec(s)), b.position_at(sim::Time::sec(s)));
+  }
+}
+
+TEST(RandomWaypoint, OutOfOrderQueriesAreConsistent) {
+  // The lazy trajectory must give the same answer whether queried
+  // forward or after having extended far beyond.
+  RandomWaypointMobility a{{0, 0}, field(), sim::Rng{9}};
+  RandomWaypointMobility b{{0, 0}, field(), sim::Rng{9}};
+  const Position far_a = a.position_at(sim::Time::sec(500));
+  const Position early_a = a.position_at(sim::Time::sec(10));
+  const Position early_b = b.position_at(sim::Time::sec(10));
+  const Position far_b = b.position_at(sim::Time::sec(500));
+  EXPECT_EQ(early_a, early_b);
+  EXPECT_EQ(far_a, far_b);
+}
+
+TEST(RandomWaypoint, ActuallyMoves) {
+  RandomWaypointMobility m{{0, 0}, field(), sim::Rng{5}};
+  double max_dist = 0.0;
+  for (int s = 0; s < 600; s += 5) {
+    max_dist = std::max(max_dist, distance({0, 0}, m.position_at(sim::Time::sec(s))));
+  }
+  EXPECT_GT(max_dist, 30.0);
+}
+
+TEST(RandomWaypoint, RejectsBadParams) {
+  auto p = field();
+  p.max_speed_mps = 0.5;  // below min
+  EXPECT_THROW((RandomWaypointMobility{{0, 0}, p, sim::Rng{1}}), std::invalid_argument);
+  auto q = field();
+  q.width_m = 0.0;
+  EXPECT_THROW((RandomWaypointMobility{{0, 0}, q, sim::Rng{1}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adhoc::phy

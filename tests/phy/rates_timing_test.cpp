@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "phy/rates.hpp"
+#include "phy/timing.hpp"
+
+namespace adhoc::phy {
+namespace {
+
+TEST(Rates, NominalValues) {
+  EXPECT_DOUBLE_EQ(rate_mbps(Rate::kR1), 1.0);
+  EXPECT_DOUBLE_EQ(rate_mbps(Rate::kR2), 2.0);
+  EXPECT_DOUBLE_EQ(rate_mbps(Rate::kR5_5), 5.5);
+  EXPECT_DOUBLE_EQ(rate_mbps(Rate::kR11), 11.0);
+}
+
+TEST(Rates, LookupByMbps) {
+  EXPECT_EQ(rate_from_mbps(5.5), Rate::kR5_5);
+  EXPECT_EQ(rate_from_mbps(11.0), Rate::kR11);
+  EXPECT_THROW(rate_from_mbps(54.0), std::invalid_argument);
+}
+
+TEST(Rates, BasicRateSet) {
+  EXPECT_TRUE(is_basic_rate(Rate::kR1));
+  EXPECT_TRUE(is_basic_rate(Rate::kR2));
+  EXPECT_FALSE(is_basic_rate(Rate::kR5_5));
+  EXPECT_FALSE(is_basic_rate(Rate::kR11));
+}
+
+TEST(Rates, IndexIsDense) {
+  for (std::size_t i = 0; i < kAllRates.size(); ++i) {
+    EXPECT_EQ(rate_index(kAllRates[i]), i);
+  }
+}
+
+TEST(Timing, LongPlcpIs192us) {
+  // Table 1: 144-bit preamble + 48-bit header at 1 Mbps.
+  Timing t;
+  EXPECT_DOUBLE_EQ(t.plcp_duration(Preamble::kLong).to_us(), 192.0);
+}
+
+TEST(Timing, ShortPlcpIs96us) {
+  Timing t;
+  EXPECT_DOUBLE_EQ(t.plcp_duration(Preamble::kShort).to_us(), 96.0);
+}
+
+TEST(Timing, PayloadDurationScalesWithRate) {
+  Timing t;
+  EXPECT_DOUBLE_EQ(t.payload_duration(1100, Rate::kR11).to_us(), 100.0);
+  EXPECT_DOUBLE_EQ(t.payload_duration(1100, Rate::kR1).to_us(), 1100.0);
+  EXPECT_DOUBLE_EQ(t.payload_duration(1100, Rate::kR2).to_us(), 550.0);
+  EXPECT_DOUBLE_EQ(t.payload_duration(1100, Rate::kR5_5).to_us(), 200.0);
+}
+
+TEST(Timing, PayloadDurationRoundsUp) {
+  Timing t;
+  // 1 bit at 11 Mbps = 0.0909..us -> must not be rounded to 0.
+  EXPECT_GT(t.payload_duration(1, Rate::kR11).count_ns(), 0);
+}
+
+TEST(Timing, FrameDurationIsPlcpPlusPayload) {
+  Timing t;
+  const auto d = t.frame_duration(2200, Rate::kR11);
+  EXPECT_DOUBLE_EQ(d.to_us(), 192.0 + 200.0);
+}
+
+TEST(Timing, Table1Defaults) {
+  Timing t;
+  EXPECT_DOUBLE_EQ(t.slot.to_us(), 20.0);
+  EXPECT_DOUBLE_EQ(t.sifs.to_us(), 10.0);
+  EXPECT_DOUBLE_EQ(t.difs.to_us(), 50.0);
+  EXPECT_EQ(t.cw_min, 32u);
+  EXPECT_EQ(t.cw_max, 1024u);
+}
+
+TEST(Timing, PaperAckAirtimeAt2Mbps) {
+  // Paper: ACK = 112 bits + PHYhdr. At 2 Mbps: 192 + 56 = 248 us.
+  Timing t;
+  EXPECT_DOUBLE_EQ(t.frame_duration(FrameBits::kAck, Rate::kR2).to_us(), 248.0);
+}
+
+TEST(Timing, PaperDataAirtime512BytesAt11Mbps) {
+  // PLCP 192 + (272 + 512*8)/11 us.
+  Timing t;
+  const double expected = 192.0 + (272.0 + 4096.0) / 11.0;
+  EXPECT_NEAR(t.frame_duration(FrameBits::kMacHeaderAndFcs + 512 * 8, Rate::kR11).to_us(),
+              expected, 0.001);
+}
+
+}  // namespace
+}  // namespace adhoc::phy

@@ -1,0 +1,106 @@
+#include "phy/shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/summary.hpp"
+
+namespace adhoc::phy {
+namespace {
+
+ShadowedPropagation make(const LogDistance& base, double sigma, sim::Time tc,
+                         double day_offset = 0.0, std::uint64_t seed = 1) {
+  ShadowingParams p;
+  p.sigma_db = sigma;
+  p.correlation_time = tc;
+  p.day_offset_db = day_offset;
+  return ShadowedPropagation{base, p, sim::Rng{seed}};
+}
+
+TEST(Shadowing, MeanPathLossDelegates) {
+  LogDistance base{3.3, 40.0, 1.0};
+  auto m = make(base, 4.0, sim::Time::ms(500));
+  EXPECT_DOUBLE_EQ(m.path_loss_db(50.0), base.path_loss_db(50.0));
+  EXPECT_DOUBLE_EQ(m.distance_for_loss(90.0), base.distance_for_loss(90.0));
+}
+
+TEST(Shadowing, MarginalDistributionMatchesSigma) {
+  LogDistance base{3.3, 40.0, 1.0};
+  // Fresh links draw from N(0, sigma): sample many links at t=0.
+  auto m = make(base, 4.0, sim::Time::ms(500));
+  stats::Summary s;
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    s.add(m.shadowing_db({i, i + 1}, sim::Time::zero()));
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.25);
+  EXPECT_NEAR(s.stddev(), 4.0, 0.25);
+}
+
+TEST(Shadowing, TemporalCorrelationDecays) {
+  LogDistance base{3.3, 40.0, 1.0};
+  auto m = make(base, 4.0, sim::Time::ms(100));
+  const LinkId link{1, 2};
+  const double x0 = m.shadowing_db(link, sim::Time::zero());
+  // Much shorter than the correlation time: nearly unchanged.
+  const double x1 = m.shadowing_db(link, sim::Time::ms(1));
+  EXPECT_NEAR(x1, x0, 1.5);
+  // Many correlation times later: decorrelated — can't assert the value,
+  // but the process must remain bounded and finite.
+  const double x2 = m.shadowing_db(link, sim::Time::sec(100));
+  EXPECT_TRUE(std::isfinite(x2));
+  EXPECT_LT(std::abs(x2), 30.0);
+}
+
+TEST(Shadowing, AsymmetricPerDirection) {
+  LogDistance base{3.3, 40.0, 1.0};
+  auto m = make(base, 4.0, sim::Time::ms(500));
+  const double fwd = m.shadowing_db({1, 2}, sim::Time::zero());
+  const double rev = m.shadowing_db({2, 1}, sim::Time::zero());
+  EXPECT_NE(fwd, rev);  // independent streams (a.s. different)
+}
+
+TEST(Shadowing, DayOffsetShiftsField) {
+  LogDistance base{3.3, 40.0, 1.0};
+  auto good = make(base, 4.0, sim::Time::ms(500), +3.0, 7);
+  auto bad = make(base, 4.0, sim::Time::ms(500), -3.0, 7);
+  // Same seed: identical noise, different day offsets.
+  const double g = good.shadowing_db({1, 2}, sim::Time::zero());
+  const double b = bad.shadowing_db({1, 2}, sim::Time::zero());
+  EXPECT_NEAR(g - b, 6.0, 1e-9);
+}
+
+TEST(Shadowing, DeterministicPerSeed) {
+  LogDistance base{3.3, 40.0, 1.0};
+  auto a = make(base, 4.0, sim::Time::ms(500), 0.0, 11);
+  auto b = make(base, 4.0, sim::Time::ms(500), 0.0, 11);
+  for (int i = 0; i < 5; ++i) {
+    const auto t = sim::Time::ms(i * 50);
+    EXPECT_DOUBLE_EQ(a.shadowing_db({3, 4}, t), b.shadowing_db({3, 4}, t));
+  }
+}
+
+TEST(Shadowing, RxPowerIsMeanPlusShadow) {
+  LogDistance base{3.3, 40.0, 1.0};
+  auto m = make(base, 4.0, sim::Time::ms(500));
+  const LinkId link{5, 6};
+  const Position a{0, 0};
+  const Position b{60, 0};
+  const double rx = m.rx_power_dbm(15.0, a, b, sim::Time::zero(), link);
+  const double shadow = m.shadowing_db(link, sim::Time::zero());
+  EXPECT_NEAR(rx, 15.0 - base.path_loss_db(60.0) + shadow, 1e-9);
+}
+
+TEST(Shadowing, StationaryVarianceLongRun) {
+  // After many correlation times the OU process variance stays sigma^2.
+  LogDistance base{3.3, 40.0, 1.0};
+  auto m = make(base, 3.0, sim::Time::ms(10), 0.0, 13);
+  const LinkId link{1, 2};
+  stats::Summary s;
+  for (int i = 0; i < 5000; ++i) {
+    s.add(m.shadowing_db(link, sim::Time::ms(100) * i));
+  }
+  EXPECT_NEAR(s.stddev(), 3.0, 0.3);
+  EXPECT_NEAR(s.mean(), 0.0, 0.3);
+}
+
+}  // namespace
+}  // namespace adhoc::phy

@@ -1,0 +1,45 @@
+#include "phy/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::phy {
+namespace {
+
+TEST(Units, DbmMwRoundTrip) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(-10.0), 0.1);
+  EXPECT_NEAR(mw_to_dbm(dbm_to_mw(-87.3)), -87.3, 1e-12);
+  EXPECT_NEAR(dbm_to_mw(mw_to_dbm(3.7)), 3.7, 1e-12);
+}
+
+TEST(Units, ThreeDbIsDouble) {
+  EXPECT_NEAR(dbm_to_mw(3.0) / dbm_to_mw(0.0), 2.0, 0.01);
+}
+
+TEST(Units, DbmSumOfEqualPowersAddsThreeDb) {
+  EXPECT_NEAR(dbm_sum(-90.0, -90.0), -87.0, 0.02);
+}
+
+TEST(Units, DbmSumDominatedByStronger) {
+  // A 30 dB weaker signal barely moves the total.
+  EXPECT_NEAR(dbm_sum(-60.0, -90.0), -60.0, 0.01);
+}
+
+TEST(Units, DbRatio) {
+  EXPECT_DOUBLE_EQ(db_ratio(-60.0, -70.0), 10.0);
+}
+
+TEST(Position, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(distance({-2, 0}, {2, 0}), 4.0);
+}
+
+TEST(Position, Equality) {
+  EXPECT_EQ((Position{1, 2}), (Position{1, 2}));
+  EXPECT_NE((Position{1, 2}), (Position{2, 1}));
+}
+
+}  // namespace
+}  // namespace adhoc::phy

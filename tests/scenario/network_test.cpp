@@ -1,0 +1,107 @@
+#include "scenario/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scenario/runner.hpp"
+
+namespace adhoc::scenario {
+namespace {
+
+TEST(Network, NodesGetSequentialAddresses) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  auto& a = net.add_node({0, 0});
+  auto& b = net.add_node({10, 0});
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(b.id(), 1u);
+  EXPECT_EQ(a.ip(), (net::Ipv4Address{10, 0, 0, 1}));
+  EXPECT_EQ(b.ip(), (net::Ipv4Address{10, 0, 0, 2}));
+  EXPECT_EQ(net.node_count(), 2u);
+}
+
+TEST(Network, CalibratedPhyByDefault) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  const auto& p = net.phy_params();
+  EXPECT_LT(p.cs_threshold_dbm, p.sensitivity(phy::Rate::kR1));
+}
+
+TEST(Network, PhyOverrideRespected) {
+  sim::Simulator sim{1};
+  NetworkConfig cfg;
+  phy::PhyParams custom;
+  custom.tx_power_dbm = 1.0;
+  cfg.phy_override = custom;
+  Network net{sim, cfg};
+  EXPECT_DOUBLE_EQ(net.phy_params().tx_power_dbm, 1.0);
+}
+
+TEST(Network, PerNodeMacOverride) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  mac::MacParams special;
+  special.data_rate = phy::Rate::kR1;
+  auto& a = net.add_node({0, 0}, special);
+  auto& b = net.add_node({10, 0});
+  EXPECT_EQ(a.dcf().params().data_rate, phy::Rate::kR1);
+  EXPECT_EQ(b.dcf().params().data_rate, phy::Rate::kR11);
+}
+
+TEST(Network, StacksAreCreatedLazilyAndCached) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  net.add_node({0, 0});
+  auto& u1 = net.udp(0);
+  auto& u2 = net.udp(0);
+  EXPECT_EQ(&u1, &u2);
+  auto& t1 = net.tcp(0);
+  auto& t2 = net.tcp(0);
+  EXPECT_EQ(&t1, &t2);
+}
+
+TEST(Runner, SingleUdpSessionProducesThroughput) {
+  sim::Simulator sim{2};
+  Network net{sim};
+  net.add_node({0, 0});
+  net.add_node({10, 0});
+  RunConfig rc;
+  rc.warmup = sim::Time::ms(200);
+  rc.measure = sim::Time::sec(1);
+  const auto result = run_sessions(net, {{0, 1, Transport::kUdp}}, rc);
+  ASSERT_EQ(result.sessions.size(), 1u);
+  EXPECT_GT(result.sessions[0].kbps, 1000.0);  // 11 Mbps channel, saturated
+  EXPECT_GT(result.sessions[0].bytes, 0u);
+}
+
+TEST(Runner, TcpSessionProducesThroughput) {
+  sim::Simulator sim{3};
+  Network net{sim};
+  net.add_node({0, 0});
+  net.add_node({10, 0});
+  RunConfig rc;
+  rc.warmup = sim::Time::ms(500);
+  rc.measure = sim::Time::sec(2);
+  const auto result = run_sessions(net, {{0, 1, Transport::kTcp}}, rc);
+  EXPECT_GT(result.sessions[0].kbps, 500.0);
+}
+
+TEST(Runner, TwoSessionsMeasuredIndependently) {
+  sim::Simulator sim{4};
+  Network net{sim};
+  net.add_node({0, 0});
+  net.add_node({10, 0});
+  net.add_node({300, 0});
+  net.add_node({310, 0});
+  RunConfig rc;
+  rc.warmup = sim::Time::ms(200);
+  rc.measure = sim::Time::sec(1);
+  const auto result = run_sessions(
+      net, {{0, 1, Transport::kUdp}, {2, 3, Transport::kUdp}}, rc);
+  ASSERT_EQ(result.sessions.size(), 2u);
+  // Far apart: both saturate independently.
+  EXPECT_GT(result.sessions[0].kbps, 1000.0);
+  EXPECT_GT(result.sessions[1].kbps, 1000.0);
+}
+
+}  // namespace
+}  // namespace adhoc::scenario

@@ -1,0 +1,98 @@
+#include "scenario/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "app/cbr.hpp"
+#include "app/sink.hpp"
+
+namespace adhoc::scenario {
+namespace {
+
+TEST(Topology, ChainPlacesNodesOnALine) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  const auto ids = build_chain(net, 4, 25.0);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(net.node_count(), 4u);
+  EXPECT_EQ(net.node(ids[3]).radio().position(), (phy::Position{75.0, 0.0}));
+}
+
+TEST(Topology, ChainStaticRoutesCarryTraffic) {
+  sim::Simulator sim{2};
+  Network net{sim};
+  const auto ids = build_chain(net, 4, 25.0, /*with_static_routes=*/true);
+  app::UdpSink sink{sim, net.udp(ids[3]), 9000};
+  sink.start_measuring();
+  auto& sock = net.udp(ids[0]).open(9000);
+  app::CbrSource cbr{sim, sock, net.node(ids[3]).ip(), 9000, 256,
+                     sim::Time::ms(20)};
+  cbr.start(sim::Time::ms(10));
+  sim.run_until(sim::Time::sec(2));
+  EXPECT_GT(sink.datagrams(), 80u);
+}
+
+TEST(Topology, ChainRoutesWorkInBothDirections) {
+  sim::Simulator sim{3};
+  Network net{sim};
+  const auto ids = build_chain(net, 3, 25.0, true);
+  app::UdpSink sink{sim, net.udp(ids[0]), 9000};
+  sink.start_measuring();
+  auto& sock = net.udp(ids[2]).open(9000);
+  app::CbrSource cbr{sim, sock, net.node(ids[0]).ip(), 9000, 256, sim::Time::ms(20)};
+  cbr.start(sim::Time::ms(10));
+  sim.run_until(sim::Time::sec(1));
+  EXPECT_GT(sink.datagrams(), 40u);
+}
+
+TEST(Topology, GridShape) {
+  sim::Simulator sim{4};
+  Network net{sim};
+  const auto ids = build_grid(net, 3, 20.0);
+  ASSERT_EQ(ids.size(), 9u);
+  EXPECT_EQ(net.node(ids[4]).radio().position(), (phy::Position{20.0, 20.0}));  // center
+  EXPECT_EQ(net.node(ids[8]).radio().position(), (phy::Position{40.0, 40.0}));
+}
+
+TEST(Topology, RandomPlacementInsideField) {
+  sim::Simulator sim{5};
+  Network net{sim};
+  const auto ids = build_random(net, 30, 100.0, 50.0, sim.rng_stream("topo"));
+  EXPECT_EQ(ids.size(), 30u);
+  for (const auto id : ids) {
+    const auto pos = net.node(id).radio().position();
+    EXPECT_GE(pos.x, 0.0);
+    EXPECT_LE(pos.x, 100.0);
+    EXPECT_GE(pos.y, 0.0);
+    EXPECT_LE(pos.y, 50.0);
+  }
+}
+
+TEST(Topology, BuildersCompose) {
+  sim::Simulator sim{6};
+  Network net{sim};
+  const auto chain = build_chain(net, 3, 25.0);
+  const auto grid = build_grid(net, 2, 20.0);
+  EXPECT_EQ(net.node_count(), 7u);
+  EXPECT_EQ(chain.back(), 2u);
+  EXPECT_EQ(grid.front(), 3u);  // indices continue after the chain
+}
+
+TEST(Topology, AttachAodvCoversAllNodes) {
+  sim::Simulator sim{7};
+  Network net{sim};
+  build_chain(net, 3, 25.0);
+  const auto controllers = attach_aodv(net);
+  EXPECT_EQ(controllers.size(), 3u);
+  // Discovery works through the attached controllers.
+  std::uint64_t delivered = 0;
+  net.udp(2).open(9000).set_rx_handler(
+      [&](std::uint32_t, std::uint64_t, net::Ipv4Address, std::uint16_t) { ++delivered; });
+  auto packet = net::Packet::make(100);
+  packet->push(net::UdpHeader{0, 9000, 108});
+  controllers[0]->send(std::move(packet), net.node(2).ip(), net::kProtoUdp);
+  sim.run_until(sim::Time::sec(1));
+  EXPECT_EQ(delivered, 1u);
+}
+
+}  // namespace
+}  // namespace adhoc::scenario

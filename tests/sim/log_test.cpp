@@ -1,0 +1,69 @@
+#include "sim/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adhoc::sim {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Log::level()) {}
+  ~LogLevelGuard() { Log::set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelSuppressesDebug) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kWarning);
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarning));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, TraceEnablesEverything) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kTrace);
+  EXPECT_TRUE(Log::enabled(LogLevel::kTrace));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, OffDisablesEverything) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(Log::level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(Log::level_name(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(Log::level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Log, MacroShortCircuitsWhenDisabled) {
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kOff);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  ADHOC_LOG(kDebug, Time::zero(), "test", "value " << expensive());
+  EXPECT_EQ(evaluations, 0);  // message never built
+  Log::set_level(LogLevel::kTrace);
+  // Redirect clog so the enabled branch does not pollute test output.
+  std::ostringstream sink;
+  auto* old = std::clog.rdbuf(sink.rdbuf());
+  ADHOC_LOG(kDebug, Time::us(5), "test", "value " << expensive());
+  std::clog.rdbuf(old);
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_NE(sink.str().find("DEBUG test: value 42"), std::string::npos);
+  EXPECT_NE(sink.str().find("5.000us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc::sim

@@ -1,0 +1,166 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/summary.hpp"
+
+namespace adhoc::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng r{11};
+  stats::Summary s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng r{3};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r{5};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng r{5};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Rng r{5};
+  EXPECT_THROW(r.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntIsUnbiasedAcrossBuckets) {
+  Rng r{17};
+  constexpr int kBuckets = 10;
+  std::array<int, kBuckets> counts{};
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<std::size_t>(r.uniform_int(0, kBuckets - 1))]++;
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r{23};
+  stats::Summary s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng r{23};
+  EXPECT_THROW(r.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(r.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{29};
+  stats::Summary s;
+  for (int i = 0; i < 100'000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{31};
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfDrawOrder) {
+  // Deriving a substream must not depend on how much the parent was used.
+  Rng parent1{99};
+  Rng parent2{99};
+  parent2.next_u64();
+  parent2.next_u64();
+  Rng a = parent1.substream(5);
+  Rng b = parent2.substream(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DistinctSubstreamsDiffer) {
+  Rng parent{99};
+  Rng a = parent.substream(1);
+  Rng b = parent.substream(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, LabelledSubstreamsAreStable) {
+  Rng parent{1};
+  Rng a = parent.substream("mac");
+  Rng b = parent.substream("mac");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c = parent.substream("phy");
+  Rng d = parent.substream("mac");
+  EXPECT_NE(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, Splitmix64KnownValues) {
+  // Reference values from the splitmix64 reference implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64(state);
+  EXPECT_EQ(first, 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Rng, Fnv1aKnownValues) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+}  // namespace
+}  // namespace adhoc::sim

@@ -1,0 +1,187 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adhoc::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::us(30), [&] { order.push_back(3); });
+  s.schedule_at(Time::us(10), [&] { order.push_back(1); });
+  s.schedule_at(Time::us(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::us(30));
+}
+
+TEST(Scheduler, SameTimeIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(Time::us(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  Time seen;
+  s.schedule_at(Time::ms(5), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::ms(5));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndSetsClock) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(Time::us(10), [&] { ++fired; });
+  s.schedule_at(Time::us(100), [&] { ++fired; });
+  s.run_until(Time::us(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), Time::us(50));
+  s.run_until(Time::us(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, EventAtHorizonRuns) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(Time::us(50), [&] { fired = true; });
+  s.run_until(Time::us(50));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(Time::us(10), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.total_cancelled(), 1u);
+}
+
+TEST(Scheduler, CancelInvalidIsNoop) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(kInvalidEvent));
+  EXPECT_FALSE(s.cancel(9999));
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::us(10), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterExecutionReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::us(10), [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Scheduler, IsPendingTracksLifecycle) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::us(10), [] {});
+  EXPECT_TRUE(s.is_pending(id));
+  s.run();
+  EXPECT_FALSE(s.is_pending(id));
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(s.now().to_us());
+    if (times.size() < 4) s.schedule_in(Time::us(10), chain);
+  };
+  s.schedule_at(Time::us(0), chain);
+  s.run();
+  EXPECT_EQ(times, (std::vector<double>{0, 10, 20, 30}));
+}
+
+TEST(Scheduler, EventCanCancelLaterEvent) {
+  Scheduler s;
+  bool fired = false;
+  const EventId victim = s.schedule_at(Time::us(20), [&] { fired = true; });
+  s.schedule_at(Time::us(10), [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule_at(Time::us(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(Time::us(5), [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, EmptyCallbackThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(Time::us(1), Scheduler::Callback{}), std::invalid_argument);
+}
+
+TEST(Scheduler, SchedulingAtNowRuns) {
+  Scheduler s;
+  bool inner = false;
+  s.schedule_at(Time::us(10), [&] {
+    s.schedule_at(s.now(), [&] { inner = true; });
+  });
+  s.run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(Time::us(1), [&] { ++count; });
+  s.schedule_at(Time::us(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, StatsAreConsistent) {
+  Scheduler s;
+  const EventId a = s.schedule_at(Time::us(1), [] {});
+  s.schedule_at(Time::us(2), [] {});
+  s.cancel(a);
+  s.run();
+  EXPECT_EQ(s.total_scheduled(), 2u);
+  EXPECT_EQ(s.total_executed(), 1u);
+  EXPECT_EQ(s.total_cancelled(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  Time last = Time::zero();
+  bool monotone = true;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto at = Time::ns((i * 7919) % 100'000);
+    s.schedule_at(at, [&, at] {
+      if (s.now() < last) monotone = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.total_executed(), 10'000u);
+}
+
+}  // namespace
+}  // namespace adhoc::sim

@@ -1,0 +1,84 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adhoc::sim {
+namespace {
+
+using namespace adhoc::sim::literals;
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ(t.count_ns(), 0);
+}
+
+TEST(Time, FactoriesScaleCorrectly) {
+  EXPECT_EQ(Time::us(1).count_ns(), 1000);
+  EXPECT_EQ(Time::ms(1).count_ns(), 1'000'000);
+  EXPECT_EQ(Time::sec(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(Time::ns(7).count_ns(), 7);
+}
+
+TEST(Time, FractionalFactoriesRound) {
+  EXPECT_EQ(Time::from_us(0.5).count_ns(), 500);
+  EXPECT_EQ(Time::from_us(0.0004).count_ns(), 0);   // rounds down
+  EXPECT_EQ(Time::from_us(0.0006).count_ns(), 1);   // rounds up
+  EXPECT_EQ(Time::from_sec(1.5).count_ns(), 1'500'000'000);
+  EXPECT_EQ(Time::from_ms(-0.5).count_ns(), -500'000);
+}
+
+TEST(Time, ConversionsRoundTrip) {
+  const Time t = Time::us(192);
+  EXPECT_DOUBLE_EQ(t.to_us(), 192.0);
+  EXPECT_DOUBLE_EQ(t.to_ms(), 0.192);
+  EXPECT_DOUBLE_EQ(t.to_sec(), 0.000192);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::us(50);
+  const Time b = Time::us(10);
+  EXPECT_EQ((a + b).to_us(), 60.0);
+  EXPECT_EQ((a - b).to_us(), 40.0);
+  EXPECT_EQ((a * 3).to_us(), 150.0);
+  EXPECT_EQ((3 * a).to_us(), 150.0);
+  EXPECT_DOUBLE_EQ(a / b, 5.0);
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::us(10);
+  t += Time::us(5);
+  EXPECT_EQ(t, Time::us(15));
+  t -= Time::us(15);
+  EXPECT_EQ(t, Time::zero());
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::us(1), Time::us(2));
+  EXPECT_LE(Time::us(2), Time::us(2));
+  EXPECT_GT(Time::ms(1), Time::us(999));
+  EXPECT_LT(Time::sec(100), Time::infinity());
+}
+
+TEST(Time, InfinityIsSticky) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_FALSE(Time::sec(1).is_infinite());
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ(20_us, Time::us(20));
+  EXPECT_EQ(5_ms, Time::ms(5));
+  EXPECT_EQ(2_s, Time::sec(2));
+  EXPECT_EQ(100_ns, Time::ns(100));
+}
+
+TEST(Time, StreamOutput) {
+  std::ostringstream oss;
+  oss << Time::us(50);
+  EXPECT_EQ(oss.str(), "50us");
+}
+
+}  // namespace
+}  // namespace adhoc::sim

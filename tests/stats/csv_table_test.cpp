@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace adhoc::stats {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesRows) {
+  {
+    CsvWriter w{path_};
+    w.header({"a", "b"});
+    w.row({"1", "2"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  EXPECT_EQ(read_all(path_), "a,b\n1,2\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w{path_};
+    w.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  }
+  EXPECT_EQ(read_all(path_), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST_F(CsvTest, NumericRow) {
+  {
+    CsvWriter w{path_};
+    w.numeric_row({1.5, 2.0});
+  }
+  EXPECT_EQ(read_all(path_), "1.5,2\n");
+}
+
+TEST(CsvEscape, PassthroughWhenClean) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriterErrors, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter{"/nonexistent-dir/x.csv"}, std::runtime_error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t{{"name", "v"}};
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | v   |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2   |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t{{"a", "b", "c"}};
+  t.add_row({"1"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 0), "2");
+  EXPECT_EQ(Table::fmt(1234.5, 3), "1234.500");
+}
+
+}  // namespace
+}  // namespace adhoc::stats

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+#include "stats/rate_meter.hpp"
+#include "stats/timeseries.hpp"
+
+namespace adhoc::stats {
+namespace {
+
+using sim::Time;
+
+TEST(RateMeter, IgnoresBytesBeforeStart) {
+  RateMeter m;
+  m.on_bytes(1000, Time::sec(1));
+  EXPECT_EQ(m.bytes(), 0u);
+  m.start(Time::sec(2));
+  m.on_bytes(1000, Time::sec(3));
+  EXPECT_EQ(m.bytes(), 1000u);
+}
+
+TEST(RateMeter, ComputesBitsPerSecond) {
+  RateMeter m;
+  m.start(Time::zero());
+  m.on_bytes(125'000, Time::sec(1));  // 1 Mbit over 1 s
+  EXPECT_DOUBLE_EQ(m.bps(Time::sec(1)), 1e6);
+  EXPECT_DOUBLE_EQ(m.mbps(Time::sec(1)), 1.0);
+  EXPECT_DOUBLE_EQ(m.kbps(Time::sec(1)), 1000.0);
+}
+
+TEST(RateMeter, ZeroWindowIsZero) {
+  RateMeter m;
+  m.start(Time::sec(1));
+  EXPECT_EQ(m.bps(Time::sec(1)), 0.0);
+  EXPECT_EQ(m.bps(Time::ms(500)), 0.0);  // query before start
+}
+
+TEST(RateMeter, RestartResets) {
+  RateMeter m;
+  m.start(Time::zero());
+  m.on_bytes(500, Time::ms(100));
+  m.start(Time::sec(1));
+  EXPECT_EQ(m.bytes(), 0u);
+  EXPECT_EQ(m.packets(), 0u);
+}
+
+TEST(LossMeter, BasicAccounting) {
+  LossMeter m;
+  for (int i = 0; i < 10; ++i) m.on_sent();
+  for (int i = 0; i < 7; ++i) m.on_received();
+  EXPECT_EQ(m.lost(), 3u);
+  EXPECT_DOUBLE_EQ(m.loss_rate(), 0.3);
+}
+
+TEST(LossMeter, NoTrafficIsZeroLoss) {
+  LossMeter m;
+  EXPECT_DOUBLE_EQ(m.loss_rate(), 0.0);
+}
+
+TEST(LossMeter, MoreReceivedThanSentClamps) {
+  LossMeter m;
+  m.on_sent();
+  m.on_received();
+  m.on_received();  // duplicate delivery
+  EXPECT_EQ(m.lost(), 0u);
+  EXPECT_DOUBLE_EQ(m.loss_rate(), 0.0);
+}
+
+TEST(TimeSeries, Reductions) {
+  TimeSeries ts;
+  ts.add(Time::sec(1), 1.0);
+  ts.add(Time::sec(2), 3.0);
+  ts.add(Time::sec(3), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(ts.min(), 1.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean_after(Time::sec(2)), 4.0);
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeries, EmptyBehaviour) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.mean(), 0.0);
+  EXPECT_EQ(ts.mean_after(Time::zero()), 0.0);
+}
+
+TEST(Histogram, BinsAndBounds) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (right-open)
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW((Histogram{0.0, 0.0, 5}), std::invalid_argument);
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adhoc::stats

@@ -1,0 +1,68 @@
+#include "stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::stats {
+namespace {
+
+TEST(Percentiles, EmptyThrows) {
+  Percentiles p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_THROW((void)p.median(), std::logic_error);
+  EXPECT_EQ(p.mean(), 0.0);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p;
+  p.add(7.0);
+  EXPECT_EQ(p.median(), 7.0);
+  EXPECT_EQ(p.min(), 7.0);
+  EXPECT_EQ(p.max(), 7.0);
+  EXPECT_EQ(p.percentile(99.0), 7.0);
+}
+
+TEST(Percentiles, NearestRankSemantics) {
+  Percentiles p;
+  for (int i = 1; i <= 10; ++i) p.add(i);  // 1..10
+  EXPECT_EQ(p.percentile(50.0), 5.0);
+  EXPECT_EQ(p.percentile(90.0), 9.0);
+  EXPECT_EQ(p.percentile(95.0), 10.0);
+  EXPECT_EQ(p.percentile(10.0), 1.0);
+  EXPECT_EQ(p.min(), 1.0);
+  EXPECT_EQ(p.max(), 10.0);
+}
+
+TEST(Percentiles, UnsortedInsertOrder) {
+  Percentiles p;
+  for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0}) p.add(x);
+  EXPECT_EQ(p.median(), 5.0);
+}
+
+TEST(Percentiles, AddAfterQueryResorts) {
+  Percentiles p;
+  p.add(10.0);
+  p.add(20.0);
+  EXPECT_EQ(p.max(), 20.0);
+  p.add(30.0);
+  EXPECT_EQ(p.max(), 30.0);
+  EXPECT_EQ(p.median(), 20.0);
+}
+
+TEST(Percentiles, OutOfRangePThrows) {
+  Percentiles p;
+  p.add(1.0);
+  EXPECT_THROW((void)p.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)p.percentile(101.0), std::invalid_argument);
+}
+
+TEST(Percentiles, MeanAndClear) {
+  Percentiles p;
+  p.add(2.0);
+  p.add(4.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 3.0);
+  p.clear();
+  EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace adhoc::stats

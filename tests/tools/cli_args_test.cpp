@@ -1,0 +1,55 @@
+#include "cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adhoc::tools {
+namespace {
+
+CliArgs parse(std::vector<std::string> tokens) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(tokens);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& t : storage) argv.push_back(t.data());
+  return CliArgs{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(CliArgs, CommandAndFlags) {
+  const auto a = parse({"two-node", "--rate", "5.5", "--rts", "--seconds", "3"});
+  EXPECT_EQ(a.command(), "two-node");
+  EXPECT_DOUBLE_EQ(a.num("rate", 11.0), 5.5);
+  EXPECT_TRUE(a.has("rts"));
+  EXPECT_EQ(a.integer("seconds", 8), 3);
+}
+
+TEST(CliArgs, DefaultsWhenMissing) {
+  const auto a = parse({"range"});
+  EXPECT_EQ(a.command(), "range");
+  EXPECT_FALSE(a.has("rts"));
+  EXPECT_DOUBLE_EQ(a.num("rate", 11.0), 11.0);
+  EXPECT_EQ(a.str("mode", "default"), "default");
+}
+
+TEST(CliArgs, NoCommand) {
+  const auto a = parse({"--verbose"});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.has("verbose"));
+}
+
+TEST(CliArgs, TrailingSwitch) {
+  const auto a = parse({"cmd", "--d23", "92.5", "--reversed"});
+  EXPECT_DOUBLE_EQ(a.num("d23", 0), 92.5);
+  EXPECT_TRUE(a.has("reversed"));
+}
+
+TEST(CliArgs, RejectsBareArgument) {
+  EXPECT_THROW(parse({"cmd", "oops"}), std::invalid_argument);
+}
+
+TEST(CliArgs, EmptyArgv) {
+  const auto a = parse({});
+  EXPECT_TRUE(a.command().empty());
+}
+
+}  // namespace
+}  // namespace adhoc::tools

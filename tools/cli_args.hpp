@@ -1,0 +1,63 @@
+#pragma once
+// Minimal command-line flag parser for the adhocsim tool.
+//
+// Supports `--key value` options and bare `--switch` booleans; anything
+// before the first `--` token is treated as the subcommand.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace adhoc::tools {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) {
+    int i = 1;
+    if (i < argc && argv[i][0] != '-') command_ = argv[i++];
+    while (i < argc) {
+      std::string token = argv[i++];
+      if (token.rfind("--", 0) != 0) {
+        throw std::invalid_argument("unexpected argument: " + token);
+      }
+      token.erase(0, 2);
+      if (i < argc && argv[i][0] != '-') {
+        values_[token] = argv[i++];
+      } else {
+        switches_.insert(token);
+      }
+    }
+  }
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return switches_.contains(name) || values_.contains(name);
+  }
+
+  [[nodiscard]] std::string str(const std::string& name, const std::string& fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] double num(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  [[nodiscard]] std::int64_t integer(const std::string& name, std::int64_t fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+ private:
+  std::string command_;
+  std::unordered_map<std::string, std::string> values_;
+  std::unordered_set<std::string> switches_;
+};
+
+}  // namespace adhoc::tools
