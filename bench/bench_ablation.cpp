@@ -2,13 +2,19 @@
 //  1. carrier-sense threshold (PCS range) -> four-station coupling,
 //  2. control-frame rate (1 vs 2 Mbps) -> channel reservation radius,
 //  3. ACK-requires-idle-medium (measured card behaviour) vs strict
-//     standard ACKs -> the Figure 7 unfairness mechanism.
+//     standard ACKs -> the Figure 7 unfairness mechanism,
+//  4. paper-calibrated PHY vs ns-2 defaults.
+//
+// Each ablation is a campaign (experiments/campaigns.hpp) executed on
+// the parallel engine; the fig7-layout variants share one run function.
 
+#include <cmath>
 #include <iostream>
 
+#include "campaign/campaign.hpp"
+#include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
 #include "phy/calibration.hpp"
-#include "scenario/network.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
@@ -20,37 +26,17 @@ struct FourStationOutcome {
   double s2 = 0.0;
 };
 
-FourStationOutcome run_fig7_variant(double pcs_range_m, phy::Rate control_rate,
-                                    bool ack_requires_idle) {
-  stats::Summary s1;
-  stats::Summary s2;
-  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
-    sim::Simulator sim{seed};
-    scenario::NetworkConfig nc;
-    nc.shadowing = experiments::ExperimentConfig{}.shadowing;  // same field as fig7 runs
-    nc.mac = experiments::mac_params_for(phy::Rate::kR11, /*rts=*/false);
-    nc.mac.control_rate = control_rate;
-    nc.mac.ack_requires_idle_medium = ack_requires_idle;
-    // Re-derive the PHY with a custom PCS range.
-    auto phy = phy::paper_calibrated_params(phy::default_outdoor_model());
-    phy.cs_threshold_dbm =
-        phy::threshold_for_range(phy::default_outdoor_model(), phy.tx_power_dbm, pcs_range_m);
-    nc.phy_override = phy;
-
-    scenario::Network net{sim, nc};
-    net.add_node({0, 0});
-    net.add_node({25, 0});
-    net.add_node({107.5, 0});
-    net.add_node({132.5, 0});
-    scenario::RunConfig rc;
-    rc.warmup = sim::Time::ms(500);
-    rc.measure = sim::Time::sec(4);
-    const auto r = scenario::run_sessions(
-        net, {{0, 1, scenario::Transport::kUdp}, {2, 3, scenario::Transport::kUdp}}, rc);
-    s1.add(r.sessions[0].kbps);
-    s2.add(r.sessions[1].kbps);
+/// Run an ablation campaign and return per-point (S1, S2) means in grid
+/// order.
+std::vector<FourStationOutcome> run_points(const campaign::CampaignEngine& engine,
+                                           const experiments::ExperimentCampaign& def) {
+  const auto points = campaign::aggregate_by_point(engine.run(def.plan, def.run));
+  std::vector<FourStationOutcome> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    out.push_back({p.metrics.at("s1_kbps").mean(), p.metrics.at("s2_kbps").mean()});
   }
-  return {s1.mean(), s2.mean()};
+  return out;
 }
 
 std::string fmt_pair(const FourStationOutcome& o) {
@@ -60,34 +46,39 @@ std::string fmt_pair(const FourStationOutcome& o) {
 }  // namespace
 
 int main() {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(4);
+
+  const campaign::CampaignEngine engine{{}};
+
   std::cout << "=== Ablation 1: PCS range vs four-station coupling (fig7 layout, UDP) ===\n\n";
   {
+    // Grid order matches the pcs_m axis: 60, 150, 250.
+    const auto o = run_points(engine, experiments::ablation_pcs_campaign(cfg));
     stats::Table t({"PCS range (m)", "S1->S2 / S3->S4 (kbps)", "note"});
-    t.add_row({"60", fmt_pair(run_fig7_variant(60.0, phy::Rate::kR2, true)),
-               "sessions decoupled (no mutual CS)"});
-    t.add_row({"150 (default)", fmt_pair(run_fig7_variant(150.0, phy::Rate::kR2, true)),
-               "paper regime: coupled, asymmetric"});
-    t.add_row({"250", fmt_pair(run_fig7_variant(250.0, phy::Rate::kR2, true)),
-               "ns-2-like: one big collision domain"});
+    t.add_row({"60", fmt_pair(o[0]), "sessions decoupled (no mutual CS)"});
+    t.add_row({"150 (default)", fmt_pair(o[1]), "paper regime: coupled, asymmetric"});
+    t.add_row({"250", fmt_pair(o[2]), "ns-2-like: one big collision domain"});
     std::cout << t.to_string() << '\n';
   }
 
   std::cout << "=== Ablation 2: control-frame rate (fig7 layout, UDP) ===\n\n";
   {
+    const auto o = run_points(engine, experiments::ablation_control_rate_campaign(cfg));
     stats::Table t({"control rate", "S1->S2 / S3->S4 (kbps)"});
-    t.add_row({"2 Mbps (default)", fmt_pair(run_fig7_variant(150.0, phy::Rate::kR2, true))});
-    t.add_row({"1 Mbps", fmt_pair(run_fig7_variant(150.0, phy::Rate::kR1, true))});
+    t.add_row({"2 Mbps (default)", fmt_pair(o[0])});
+    t.add_row({"1 Mbps", fmt_pair(o[1])});
     std::cout << t.to_string() << '\n';
   }
 
   std::cout << "=== Ablation 3: ACK policy (fig7 layout, UDP) ===\n\n";
   {
+    const auto o = run_points(engine, experiments::ablation_ack_policy_campaign(cfg));
     stats::Table t({"ACK policy", "S1->S2 / S3->S4 (kbps)", "note"});
-    t.add_row({"defer when busy (card)", fmt_pair(run_fig7_variant(150.0, phy::Rate::kR2, true)),
-               "paper's observed behaviour"});
-    t.add_row({"always at SIFS (standard)",
-               fmt_pair(run_fig7_variant(150.0, phy::Rate::kR2, false)),
-               "strict 802.11 responder"});
+    t.add_row({"defer when busy (card)", fmt_pair(o[0]), "paper's observed behaviour"});
+    t.add_row({"always at SIFS (standard)", fmt_pair(o[1]), "strict 802.11 responder"});
     std::cout << t.to_string() << '\n';
   }
 
@@ -96,37 +87,12 @@ int main() {
     // The paper's critique made concrete: with ns-2's TX_range=250 m /
     // PCS=550 m, all four stations decode everything — the topology that
     // produced the measured unfairness cannot even be expressed.
-    auto run_with = [](const phy::PhyParams& phy) {
-      stats::Summary s1;
-      stats::Summary s2;
-      for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
-        sim::Simulator sim{seed};
-        scenario::NetworkConfig nc;
-        nc.shadowing = experiments::ExperimentConfig{}.shadowing;
-        nc.mac = experiments::mac_params_for(phy::Rate::kR11, false);
-        nc.phy_override = phy;
-        scenario::Network net{sim, nc};
-        net.add_node({0, 0});
-        net.add_node({25, 0});
-        net.add_node({107.5, 0});
-        net.add_node({132.5, 0});
-        scenario::RunConfig rc;
-        rc.warmup = sim::Time::ms(500);
-        rc.measure = sim::Time::sec(4);
-        const auto r = scenario::run_sessions(
-            net, {{0, 1, scenario::Transport::kUdp}, {2, 3, scenario::Transport::kUdp}}, rc);
-        s1.add(r.sessions[0].kbps);
-        s2.add(r.sessions[1].kbps);
-      }
-      return FourStationOutcome{s1.mean(), s2.mean()};
-    };
+    const auto o = run_points(engine, experiments::ablation_phy_campaign(cfg));
     stats::Table t({"PHY calibration", "S1->S2 / S3->S4 (kbps)", "imbalance"});
-    const auto paper = run_with(phy::paper_calibrated_params(phy::default_outdoor_model()));
-    const auto ns2 = run_with(phy::ns2_style_params(phy::default_outdoor_model()));
-    t.add_row({"paper Table 3 ranges", fmt_pair(paper),
-               stats::Table::fmt(std::abs(paper.s1 - paper.s2) / (paper.s1 + paper.s2), 2)});
-    t.add_row({"ns-2 (250 m / 550 m)", fmt_pair(ns2),
-               stats::Table::fmt(std::abs(ns2.s1 - ns2.s2) / (ns2.s1 + ns2.s2), 2)});
+    t.add_row({"paper Table 3 ranges", fmt_pair(o[0]),
+               stats::Table::fmt(std::abs(o[0].s1 - o[0].s2) / (o[0].s1 + o[0].s2), 2)});
+    t.add_row({"ns-2 (250 m / 550 m)", fmt_pair(o[1]),
+               stats::Table::fmt(std::abs(o[1].s1 - o[1].s2) / (o[1].s1 + o[1].s2), 2)});
     std::cout << t.to_string() << '\n';
   }
 

@@ -1,0 +1,88 @@
+// Campaign-engine scalability: the same 16-run two-node grid executed at
+// 1, 2 and hardware_concurrency workers. Reports wall time, speedup and
+// events/sec, and verifies the determinism contract — per-run metrics
+// and per-point aggregates must be bit-identical at every worker count.
+//
+// Expected on a 4-core host: >= 2x wall-clock speedup at 4 workers for
+// this grid. On fewer cores the speedup degrades gracefully; the
+// bit-identical check must hold everywhere.
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "experiments/campaigns.hpp"
+#include "experiments/experiments.hpp"
+#include "stats/table.hpp"
+
+using namespace adhoc;
+
+namespace {
+
+experiments::ExperimentCampaign grid16(const experiments::ExperimentConfig& cfg) {
+  // 4 points (rts × tcp) × 4 seeds = 16 independent runs.
+  auto def = experiments::fig2_campaign(cfg);
+  def.plan.name = "scalability-16";
+  return def;
+}
+
+bool identical(const campaign::CampaignResult& a, const campaign::CampaignResult& b) {
+  if (a.runs.size() != b.runs.size()) return false;
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    const auto& ra = a.runs[i];
+    const auto& rb = b.runs[i];
+    if (ra.ok != rb.ok || ra.metrics.events != rb.metrics.events) return false;
+    if (ra.metrics.metrics != rb.metrics.metrics) return false;  // exact double ==
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2, 3, 4};
+  cfg.warmup = sim::Time::ms(500);
+  cfg.measure = sim::Time::sec(4);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> job_counts{1, 2, 4};
+  if (hw > 4) job_counts.push_back(hw);
+  job_counts.erase(std::unique(job_counts.begin(), job_counts.end()), job_counts.end());
+
+  std::cout << "=== Campaign engine scalability: 16-run grid, hardware_concurrency=" << hw
+            << " ===\n\n";
+
+  std::vector<campaign::CampaignResult> results;
+  for (const unsigned jobs : job_counts) {
+    const auto def = grid16(cfg);
+    const campaign::CampaignEngine engine{{jobs, 3, nullptr}};
+    results.push_back(engine.run(def.plan, def.run));
+  }
+
+  const double base = results.front().wall_seconds;
+  stats::Table t({"jobs", "wall (s)", "speedup", "M events/s", "bit-identical"});
+  bool all_identical = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::uint64_t events = 0;
+    for (const auto& run : r.runs) events += run.metrics.events;
+    const bool same = identical(results.front(), r);
+    all_identical = all_identical && same;
+    t.add_row({std::to_string(r.jobs), stats::Table::fmt(r.wall_seconds, 2),
+               stats::Table::fmt(base / r.wall_seconds, 2),
+               stats::Table::fmt(static_cast<double>(events) / r.wall_seconds / 1e6, 2),
+               same ? "yes" : "NO"});
+  }
+  std::cout << t.to_string();
+
+  std::cout << "\nDeterminism contract (per-run metrics and event counts identical at\n"
+               "every worker count): " << (all_identical ? "HOLDS" : "VIOLATED") << '\n';
+  if (hw < 4) {
+    std::cout << "note: only " << hw << " hardware thread(s) — speedup is expected to be\n"
+                 "flat here; the >= 2x criterion applies on a 4-core host.\n";
+  }
+  return all_identical ? 0 : 1;
+}

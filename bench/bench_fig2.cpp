@@ -3,14 +3,37 @@
 //
 // Paper shape: UDP lands very close to the analytical bound; TCP is
 // clearly below it (TCP-ACK airtime); RTS/CTS costs both some capacity.
+//
+// Runs as a parallel campaign: the rts × transport grid fans out over
+// all cores; aggregation is deterministic regardless of worker count.
 
 #include <iostream>
 
+#include "campaign/campaign.hpp"
+#include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
+
+namespace {
+
+/// Mean kbps for the grid point matching the given axis values.
+double mean_kbps(const std::vector<campaign::PointAggregate>& points, bool rts, bool tcp) {
+  for (const auto& p : points) {
+    bool match = true;
+    for (const auto& [name, value] : p.params) {
+      if (name == "rts" && (value != 0.0) != rts) match = false;
+      if (name == "tcp" && (value != 0.0) != tcp) match = false;
+      if (name == "rate_mbps") match = false;  // wrong campaign
+    }
+    if (match) return p.metrics.at("kbps").mean();
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 int main() {
   experiments::ExperimentConfig cfg;
@@ -18,20 +41,25 @@ int main() {
   cfg.warmup = sim::Time::ms(500);
   cfg.measure = sim::Time::sec(6);
 
-  const auto rows = experiments::run_fig2(cfg);
+  const campaign::CampaignEngine engine{{}};
+  const auto def = experiments::fig2_campaign(cfg);
+  const auto points = campaign::aggregate_by_point(engine.run(def.plan, def.run));
 
+  const analysis::ThroughputModel model{analysis::Assumptions::standard()};
   std::cout << "=== Figure 2: ideal vs measured throughput, 11 Mbps, m=512 B ===\n\n";
   stats::Table table({"access", "ideal (Mbps)", "UDP real", "UDP/ideal %", "TCP real",
                       "TCP/ideal %"});
   stats::CsvWriter csv{"fig2.csv"};
   csv.header({"rts", "ideal_mbps", "udp_mbps", "tcp_mbps"});
-  for (const auto& r : rows) {
-    table.add_row({r.rts ? "RTS/CTS" : "no RTS/CTS", stats::Table::fmt(r.ideal_mbps),
-                   stats::Table::fmt(r.udp_mbps),
-                   stats::Table::fmt(r.udp_mbps / r.ideal_mbps * 100.0, 1),
-                   stats::Table::fmt(r.tcp_mbps),
-                   stats::Table::fmt(r.tcp_mbps / r.ideal_mbps * 100.0, 1)});
-    csv.numeric_row({r.rts ? 1.0 : 0.0, r.ideal_mbps, r.udp_mbps, r.tcp_mbps});
+  for (const bool rts : {false, true}) {
+    const double ideal = rts ? model.max_throughput_rts_mbps(512, phy::Rate::kR11)
+                             : model.max_throughput_basic_mbps(512, phy::Rate::kR11);
+    const double udp = mean_kbps(points, rts, false) / 1000.0;
+    const double tcp = mean_kbps(points, rts, true) / 1000.0;
+    table.add_row({rts ? "RTS/CTS" : "no RTS/CTS", stats::Table::fmt(ideal),
+                   stats::Table::fmt(udp), stats::Table::fmt(udp / ideal * 100.0, 1),
+                   stats::Table::fmt(tcp), stats::Table::fmt(tcp / ideal * 100.0, 1)});
+    csv.numeric_row({rts ? 1.0 : 0.0, ideal, udp, tcp});
   }
   std::cout << table.to_string();
   std::cout << "\nPaper shape check: UDP ~= ideal, TCP visibly below "
@@ -41,17 +69,25 @@ int main() {
   // Paper §3.1, last paragraph: "Similar results have been also obtained
   // ... when the NIC data rate is set to 1, 2 or 5.5 Mbps."
   std::cout << "\n--- other NIC rates, basic access (paper: 'similar results') ---\n\n";
-  const analysis::ThroughputModel model{analysis::Assumptions::standard()};
+  const auto rates_def = experiments::two_node_rates_campaign(cfg);
+  const auto rate_points = campaign::aggregate_by_point(engine.run(rates_def.plan, rates_def.run));
   stats::Table others({"rate", "ideal (Mbps)", "UDP real", "TCP real"});
-  for (const phy::Rate rate :
-       {phy::Rate::kR1, phy::Rate::kR2, phy::Rate::kR5_5}) {
-    const double ideal = model.max_throughput_basic_mbps(512, rate);
-    const auto udp = experiments::two_node_throughput(
-        {rate, false, scenario::Transport::kUdp, 512, 10.0}, cfg);
-    const auto tcp = experiments::two_node_throughput(
-        {rate, false, scenario::Transport::kTcp, 512, 10.0}, cfg);
-    others.add_row({std::string(phy::rate_name(rate)), stats::Table::fmt(ideal),
-                    stats::Table::fmt(udp.mean / 1000.0), stats::Table::fmt(tcp.mean / 1000.0)});
+  for (const phy::Rate rate : {phy::Rate::kR1, phy::Rate::kR2, phy::Rate::kR5_5}) {
+    const double mbps = phy::rate_mbps(rate);
+    double udp = 0.0;
+    double tcp = 0.0;
+    for (const auto& p : rate_points) {
+      bool is_rate = false;
+      bool is_tcp = false;
+      for (const auto& [name, value] : p.params) {
+        if (name == "rate_mbps" && value == mbps) is_rate = true;
+        if (name == "tcp" && value != 0.0) is_tcp = true;
+      }
+      if (is_rate) (is_tcp ? tcp : udp) = p.metrics.at("kbps").mean() / 1000.0;
+    }
+    others.add_row({std::string(phy::rate_name(rate)),
+                    stats::Table::fmt(model.max_throughput_basic_mbps(512, rate)),
+                    stats::Table::fmt(udp), stats::Table::fmt(tcp)});
   }
   std::cout << others.to_string();
   return 0;

@@ -3,9 +3,15 @@
 //
 // Paper shape: sigmoidal curves ordered by rate — 11 Mbps dies first
 // (~30 m), then 5.5 (~70 m), 2 (~90-100 m), 1 Mbps last (~110-130 m).
+//
+// The 4 rates × 14 distances × 3 seeds sweep (168 runs) fans out over
+// the campaign engine's worker pool.
 
 #include <iostream>
+#include <map>
 
+#include "campaign/campaign.hpp"
+#include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
@@ -16,29 +22,35 @@ int main() {
   experiments::ExperimentConfig cfg;
   cfg.seeds = {1, 2, 3};
 
-  const auto distances = experiments::fig3_distances();
-  std::array<std::vector<experiments::LossPoint>, 4> curves;
-  for (const phy::Rate rate : phy::kAllRates) {
-    experiments::LossSweepSpec spec;
-    spec.rate = rate;
-    spec.distances_m = distances;
-    spec.probes = 300;
-    curves[phy::rate_index(rate)] = experiments::loss_sweep(spec, cfg);
+  const campaign::CampaignEngine engine{{}};
+  const auto def = experiments::fig3_campaign(cfg, /*probes=*/300);
+  const auto points = campaign::aggregate_by_point(engine.run(def.plan, def.run));
+
+  // Index mean loss by (rate, distance) for the table below.
+  std::map<std::pair<double, double>, double> loss;
+  for (const auto& p : points) {
+    double rate = 0.0;
+    double distance = 0.0;
+    for (const auto& [name, value] : p.params) {
+      if (name == "rate_mbps") rate = value;
+      if (name == "distance_m") distance = value;
+    }
+    loss[{rate, distance}] = p.metrics.at("loss").mean();
   }
 
+  const auto distances = experiments::fig3_distances();
   std::cout << "=== Figure 3: packet loss rate vs distance, per data rate ===\n\n";
   stats::Table table({"distance (m)", "11 Mbps", "5.5 Mbps", "2 Mbps", "1 Mbps"});
   stats::CsvWriter csv{"fig3.csv"};
   csv.header({"distance_m", "loss_11", "loss_5_5", "loss_2", "loss_1"});
-  for (std::size_t i = 0; i < distances.size(); ++i) {
-    const double l11 = curves[phy::rate_index(phy::Rate::kR11)][i].loss;
-    const double l55 = curves[phy::rate_index(phy::Rate::kR5_5)][i].loss;
-    const double l2 = curves[phy::rate_index(phy::Rate::kR2)][i].loss;
-    const double l1 = curves[phy::rate_index(phy::Rate::kR1)][i].loss;
-    table.add_row({stats::Table::fmt(distances[i], 0), stats::Table::fmt(l11, 2),
-                   stats::Table::fmt(l55, 2), stats::Table::fmt(l2, 2),
-                   stats::Table::fmt(l1, 2)});
-    csv.numeric_row({distances[i], l11, l55, l2, l1});
+  for (const double d : distances) {
+    const double l11 = loss.at({11, d});
+    const double l55 = loss.at({5.5, d});
+    const double l2 = loss.at({2, d});
+    const double l1 = loss.at({1, d});
+    table.add_row({stats::Table::fmt(d, 0), stats::Table::fmt(l11, 2), stats::Table::fmt(l55, 2),
+                   stats::Table::fmt(l2, 2), stats::Table::fmt(l1, 2)});
+    csv.numeric_row({d, l11, l55, l2, l1});
   }
   std::cout << table.to_string();
   std::cout << "\nPaper shape check: curves rise in rate order; 11 Mbps saturates "

@@ -1,0 +1,30 @@
+#include "campaign/aggregate.hpp"
+
+#include <algorithm>
+
+namespace adhoc::campaign {
+
+std::vector<PointAggregate> aggregate_by_point(const CampaignResult& result) {
+  // Records arrive in expansion order (point-major), but be robust to
+  // sharded subsets: collect per point index, then emit ascending.
+  std::map<std::size_t, PointAggregate> by_point;
+  for (const RunRecord& r : result.runs) {
+    PointAggregate& agg = by_point[r.spec.point_index];
+    if (agg.ok_runs == 0 && agg.failed_runs == 0) {
+      agg.point_index = r.spec.point_index;
+      agg.params = r.spec.params;
+    }
+    if (r.ok) {
+      ++agg.ok_runs;
+      for (const auto& [name, value] : r.metrics.metrics) agg.metrics[name].add(value);
+    } else {
+      ++agg.failed_runs;
+    }
+  }
+  std::vector<PointAggregate> out;
+  out.reserve(by_point.size());
+  for (auto& [index, agg] : by_point) out.push_back(std::move(agg));
+  return out;
+}
+
+}  // namespace adhoc::campaign

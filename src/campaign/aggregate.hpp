@@ -1,0 +1,34 @@
+#pragma once
+// Aggregation: fold per-run records into per-grid-point statistics.
+//
+// For every grid point, each metric's successful replications are folded
+// into a stats::Summary (mean / stddev / 95% CI over seeds). Records are
+// consumed in expansion order, so the fold order — and therefore the
+// floating-point result — is identical whether the campaign ran on one
+// worker or many.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/result.hpp"
+#include "stats/summary.hpp"
+
+namespace adhoc::campaign {
+
+struct PointAggregate {
+  std::size_t point_index = 0;
+  std::vector<std::pair<std::string, double>> params;
+  /// Per-metric summary over the point's successful runs.
+  std::map<std::string, stats::Summary> metrics;
+  std::size_t ok_runs = 0;
+  std::size_t failed_runs = 0;
+};
+
+/// Group records by grid point, ascending point_index. Failed runs are
+/// counted but contribute no samples.
+[[nodiscard]] std::vector<PointAggregate> aggregate_by_point(const CampaignResult& result);
+
+}  // namespace adhoc::campaign

@@ -1,0 +1,11 @@
+#pragma once
+// Umbrella header for the campaign subsystem: declarative parameter
+// grids (grid.hpp), the parallel execution engine with failure isolation
+// (engine.hpp), JSONL progress telemetry (telemetry.hpp) and per-point
+// statistical aggregation (aggregate.hpp).
+
+#include "campaign/aggregate.hpp"
+#include "campaign/engine.hpp"
+#include "campaign/grid.hpp"
+#include "campaign/result.hpp"
+#include "campaign/telemetry.hpp"

@@ -1,0 +1,103 @@
+#include "campaign/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace adhoc::campaign {
+
+namespace {
+
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(EngineConfig cfg) : cfg_(cfg) {
+  jobs_ = cfg_.jobs != 0 ? cfg_.jobs : std::max(1u, std::thread::hardware_concurrency());
+  if (cfg_.max_attempts == 0) cfg_.max_attempts = 1;
+}
+
+RunRecord CampaignEngine::execute(const RunSpec& spec, const RunFn& fn) const {
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->run_start(spec);
+  RunRecord record;
+  record.spec = spec;
+  const auto started = std::chrono::steady_clock::now();
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    record.attempts = attempt;
+    try {
+      record.metrics = fn(spec);
+      record.ok = true;
+      break;
+    } catch (const TransientError& e) {
+      if (attempt >= cfg_.max_attempts) {
+        record.error = {e.what(), /*transient=*/true};
+        break;
+      }
+      // retry: fall through to the next attempt
+    } catch (const std::exception& e) {
+      record.error = {e.what(), /*transient=*/false};
+      break;
+    } catch (...) {
+      record.error = {"unknown exception", /*transient=*/false};
+      break;
+    }
+  }
+  record.wall_seconds = elapsed_seconds(started);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->run_end(record);
+  return record;
+}
+
+CampaignResult CampaignEngine::run_specs(const Campaign& campaign, std::vector<RunSpec> specs,
+                                         const RunFn& fn) const {
+  CampaignResult result;
+  result.name = campaign.name;
+  result.jobs = jobs_;
+  result.runs.resize(specs.size());
+
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->campaign_start(campaign.name, specs.size(), campaign.grid.points(),
+                                   campaign.seeds.size(), jobs_);
+  }
+  const auto started = std::chrono::steady_clock::now();
+
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      // Each slot is written by exactly one worker; no lock needed.
+      result.runs[i] = execute(specs[i], fn);
+    }
+  };
+
+  const unsigned n_workers =
+      static_cast<unsigned>(std::min<std::size_t>(jobs_, std::max<std::size_t>(specs.size(), 1)));
+  if (n_workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_seconds = elapsed_seconds(started);
+  if (cfg_.telemetry != nullptr) cfg_.telemetry->campaign_end(result);
+  return result;
+}
+
+CampaignResult CampaignEngine::run(const Campaign& campaign, const RunFn& fn) const {
+  return run_specs(campaign, campaign.expand(), fn);
+}
+
+CampaignResult CampaignEngine::run_shard(const Campaign& campaign, std::size_t shard_index,
+                                         std::size_t shard_count, const RunFn& fn) const {
+  return run_specs(campaign, shard(campaign.expand(), shard_index, shard_count), fn);
+}
+
+}  // namespace adhoc::campaign

@@ -1,0 +1,72 @@
+#pragma once
+// Parallel campaign execution.
+//
+// The engine runs every RunSpec of a campaign through a user-supplied run
+// function on a std::thread worker pool. Each run builds its own
+// Simulator from its seed, so results are bit-identical for a given
+// (point, seed) no matter how many workers execute the sweep; workers
+// pull specs from a shared atomic cursor and write into pre-sized,
+// per-run result slots (no locks on the result path).
+//
+// Failure isolation: an exception escaping the run function is captured
+// as a RunError on that run's record — sibling runs are unaffected.
+// A run function may throw TransientError to request a bounded retry
+// (e.g. resource exhaustion in an external stage); other exception types
+// fail the run on the first attempt.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "campaign/grid.hpp"
+#include "campaign/result.hpp"
+#include "campaign/telemetry.hpp"
+
+namespace adhoc::campaign {
+
+/// Executes one RunSpec. Must be callable from any worker thread; any
+/// state it touches beyond the spec must be its own (build the Simulator
+/// inside) or immutable.
+using RunFn = std::function<RunMetrics(const RunSpec&)>;
+
+/// Throw from a RunFn to mark a failure as retryable.
+class TransientError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct EngineConfig {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned jobs = 0;
+  /// Total tries per run for TransientError (>= 1). Non-transient
+  /// exceptions never retry.
+  unsigned max_attempts = 3;
+  /// Optional progress sink; must outlive the engine's run() call.
+  TelemetrySink* telemetry = nullptr;
+};
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(EngineConfig cfg = {});
+
+  /// Effective worker count after resolving jobs == 0.
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Run the full campaign. Records come back in expansion order.
+  [[nodiscard]] CampaignResult run(const Campaign& campaign, const RunFn& fn) const;
+
+  /// Run one round-robin shard of the campaign (see campaign::shard).
+  [[nodiscard]] CampaignResult run_shard(const Campaign& campaign, std::size_t shard_index,
+                                         std::size_t shard_count, const RunFn& fn) const;
+
+ private:
+  [[nodiscard]] CampaignResult run_specs(const Campaign& campaign, std::vector<RunSpec> specs,
+                                         const RunFn& fn) const;
+  [[nodiscard]] RunRecord execute(const RunSpec& spec, const RunFn& fn) const;
+
+  EngineConfig cfg_;
+  unsigned jobs_;
+};
+
+}  // namespace adhoc::campaign

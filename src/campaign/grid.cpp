@@ -1,0 +1,78 @@
+#include "campaign/grid.hpp"
+
+#include <stdexcept>
+
+namespace adhoc::campaign {
+
+Grid& Grid::add(std::string name, std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("Grid axis '" + name + "' has no values");
+  }
+  for (const Axis& a : axes_) {
+    if (a.name == name) throw std::invalid_argument("Grid axis '" + name + "' already exists");
+  }
+  axes_.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+std::size_t Grid::points() const {
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::vector<std::pair<std::string, double>> Grid::point(std::size_t index) const {
+  if (index >= points()) {
+    throw std::out_of_range("Grid::point: index " + std::to_string(index) + " >= " +
+                            std::to_string(points()));
+  }
+  // Row-major decode: last axis varies fastest.
+  std::vector<std::pair<std::string, double>> out(axes_.size());
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const Axis& a = axes_[i];
+    out[i] = {a.name, a.values[index % a.values.size()]};
+    index /= a.values.size();
+  }
+  return out;
+}
+
+double RunSpec::param(std::string_view name) const {
+  for (const auto& [key, value] : params) {
+    if (key == name) return value;
+  }
+  throw std::out_of_range("RunSpec: no parameter named '" + std::string(name) + "'");
+}
+
+std::vector<RunSpec> Campaign::expand() const {
+  std::vector<RunSpec> specs;
+  specs.reserve(total_runs());
+  const std::size_t n_points = grid.points();
+  for (std::size_t p = 0; p < n_points; ++p) {
+    const auto params = grid.point(p);
+    for (const std::uint64_t s : seeds) {
+      RunSpec spec;
+      spec.run_index = specs.size();
+      spec.point_index = p;
+      spec.seed = s;
+      spec.params = params;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+std::vector<RunSpec> shard(const std::vector<RunSpec>& specs, std::size_t shard_index,
+                           std::size_t shard_count) {
+  if (shard_count == 0 || shard_index >= shard_count) {
+    throw std::invalid_argument("shard: need shard_index < shard_count, got " +
+                                std::to_string(shard_index) + "/" + std::to_string(shard_count));
+  }
+  std::vector<RunSpec> out;
+  out.reserve(specs.size() / shard_count + 1);
+  for (const RunSpec& s : specs) {
+    if (s.run_index % shard_count == shard_index) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace adhoc::campaign

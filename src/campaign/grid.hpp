@@ -1,0 +1,84 @@
+#pragma once
+// Parameter grids and campaign plans.
+//
+// A Campaign describes an experiment sweep declaratively: named numeric
+// axes crossed into a grid of points, replicated over a seed list. The
+// plan expands into a flat, deterministically ordered vector of RunSpecs
+// (point-major, seeds innermost) so that result slot i always means the
+// same (point, seed) regardless of how many workers execute the runs —
+// the basis for the engine's determinism guarantee and for splitting a
+// campaign across processes/hosts with `shard()`.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adhoc::campaign {
+
+/// One named sweep dimension. Values are doubles; booleans and enums are
+/// encoded as 0/1/2... and decoded by the run function.
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Cross product of axes. With no axes the grid has exactly one point
+/// (a plain replication study).
+class Grid {
+ public:
+  /// Add an axis; throws std::invalid_argument on empty values or a
+  /// duplicate name.
+  Grid& add(std::string name, std::vector<double> values);
+
+  [[nodiscard]] std::size_t axes() const { return axes_.size(); }
+  [[nodiscard]] const Axis& axis(std::size_t i) const { return axes_.at(i); }
+
+  /// Number of grid points (product of axis sizes; 1 when empty).
+  [[nodiscard]] std::size_t points() const;
+
+  /// Decode a point index into resolved (axis name, value) pairs.
+  /// Row-major: the first axis varies slowest. Throws std::out_of_range.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> point(std::size_t index) const;
+
+ private:
+  std::vector<Axis> axes_;
+};
+
+/// One independent simulation run: a grid point plus a seed. `run_index`
+/// is the slot in the campaign's expansion order and is stable across
+/// worker counts.
+struct RunSpec {
+  std::size_t run_index = 0;
+  std::size_t point_index = 0;
+  std::uint64_t seed = 1;
+  std::vector<std::pair<std::string, double>> params;
+
+  /// Resolved axis value; throws std::out_of_range for an unknown name.
+  [[nodiscard]] double param(std::string_view name) const;
+  /// Axis value interpreted as a boolean switch (non-zero = true).
+  [[nodiscard]] bool flag(std::string_view name) const { return param(name) != 0.0; }
+};
+
+/// A full campaign plan: grid × seeds.
+struct Campaign {
+  std::string name = "campaign";
+  Grid grid;
+  std::vector<std::uint64_t> seeds{1};
+
+  [[nodiscard]] std::size_t total_runs() const { return grid.points() * seeds.size(); }
+
+  /// Deterministic expansion: for each point (ascending), each seed in
+  /// list order. run_index enumerates the result 0..total_runs()-1.
+  [[nodiscard]] std::vector<RunSpec> expand() const;
+};
+
+/// Round-robin shard of an expanded campaign: specs whose run_index ≡
+/// shard_index (mod shard_count). Shards are disjoint, cover the input,
+/// and are stable across machines — suitable for multi-process sweeps.
+/// Throws std::invalid_argument unless shard_index < shard_count.
+[[nodiscard]] std::vector<RunSpec> shard(const std::vector<RunSpec>& specs,
+                                         std::size_t shard_index, std::size_t shard_count);
+
+}  // namespace adhoc::campaign

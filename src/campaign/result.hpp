@@ -1,0 +1,55 @@
+#pragma once
+// Per-run and per-campaign result records shared by the engine, the
+// telemetry sinks and the aggregation layer.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.hpp"
+
+namespace adhoc::campaign {
+
+/// What a run function returns on success: named scalar metrics plus the
+/// number of simulation events executed (for throughput telemetry).
+/// std::map keeps metric iteration order deterministic.
+struct RunMetrics {
+  std::map<std::string, double> metrics;
+  std::uint64_t events = 0;
+};
+
+/// A captured failure. `transient` marks runs that kept failing with
+/// TransientError through every retry.
+struct RunError {
+  std::string message;
+  bool transient = false;
+};
+
+/// Outcome of one RunSpec: success with metrics, or an isolated error.
+struct RunRecord {
+  RunSpec spec;
+  bool ok = false;
+  RunMetrics metrics;       // valid when ok
+  RunError error;           // valid when !ok
+  std::uint32_t attempts = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Outcome of a whole campaign. `runs` is in expansion order (run_index),
+/// independent of worker count.
+struct CampaignResult {
+  std::string name;
+  std::vector<RunRecord> runs;
+  unsigned jobs = 1;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] std::size_t ok_count() const {
+    std::size_t n = 0;
+    for (const RunRecord& r : runs) n += r.ok ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] std::size_t error_count() const { return runs.size() - ok_count(); }
+};
+
+}  // namespace adhoc::campaign

@@ -1,0 +1,122 @@
+#include "campaign/telemetry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace adhoc::campaign {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer the shortest representation that round-trips.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.15g", v);
+  double back = 0.0;
+  std::sscanf(shorter, "%lf", &back);
+  return back == v ? shorter : buf;
+}
+
+namespace {
+
+std::string params_json(const std::vector<std::pair<std::string, double>>& params) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  return out + "}";
+}
+
+std::string metrics_json(const std::map<std::string, double>& metrics) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)), out_(owned_.get()) {
+  if (!*owned_) throw std::runtime_error("JsonlSink: cannot open " + path);
+}
+
+void JsonlSink::emit(const std::string& line) {
+  const std::scoped_lock lock{mutex_};
+  *out_ << line << '\n';
+  out_->flush();  // keep the file tailable while the campaign runs
+}
+
+void JsonlSink::campaign_start(const std::string& name, std::size_t runs, std::size_t points,
+                               std::size_t seeds, unsigned jobs) {
+  std::ostringstream os;
+  os << R"({"event":"campaign_start","campaign":")" << json_escape(name) << R"(","runs":)" << runs
+     << R"(,"points":)" << points << R"(,"seeds":)" << seeds << R"(,"jobs":)" << jobs << '}';
+  emit(os.str());
+}
+
+void JsonlSink::run_start(const RunSpec& spec) {
+  std::ostringstream os;
+  os << R"({"event":"run_start","run":)" << spec.run_index << R"(,"point":)" << spec.point_index
+     << R"(,"seed":)" << spec.seed << R"(,"params":)" << params_json(spec.params) << '}';
+  emit(os.str());
+}
+
+void JsonlSink::run_end(const RunRecord& r) {
+  std::ostringstream os;
+  os << R"({"event":"run_end","run":)" << r.spec.run_index << R"(,"ok":)"
+     << (r.ok ? "true" : "false") << R"(,"attempts":)" << r.attempts << R"(,"wall_ms":)"
+     << json_number(r.wall_seconds * 1e3);
+  if (r.ok) {
+    const double rate =
+        r.wall_seconds > 0.0 ? static_cast<double>(r.metrics.events) / r.wall_seconds : 0.0;
+    os << R"(,"events":)" << r.metrics.events << R"(,"events_per_sec":)" << json_number(rate)
+       << R"(,"metrics":)" << metrics_json(r.metrics.metrics);
+  } else {
+    os << R"(,"error":")" << json_escape(r.error.message) << R"(","transient":)"
+       << (r.error.transient ? "true" : "false");
+  }
+  os << '}';
+  emit(os.str());
+}
+
+void JsonlSink::campaign_end(const CampaignResult& result) {
+  std::ostringstream os;
+  os << R"({"event":"campaign_end","ok":)" << result.ok_count() << R"(,"errors":)"
+     << result.error_count() << R"(,"wall_ms":)" << json_number(result.wall_seconds * 1e3) << '}';
+  emit(os.str());
+}
+
+}  // namespace adhoc::campaign

@@ -1,0 +1,67 @@
+#pragma once
+// Campaign progress telemetry.
+//
+// The engine reports run lifecycle events to a TelemetrySink; the JSONL
+// sink serialises them as one JSON object per line so external tools can
+// tail a live campaign. Schema (all times wall-clock):
+//
+//   {"event":"campaign_start","campaign":N,"runs":R,"points":P,"seeds":S,"jobs":J}
+//   {"event":"run_start","run":i,"point":p,"seed":s,"params":{...}}
+//   {"event":"run_end","run":i,"ok":true,"attempts":a,"wall_ms":w,
+//    "events":e,"events_per_sec":r,"metrics":{...}}
+//   {"event":"run_end","run":i,"ok":false,"attempts":a,"wall_ms":w,
+//    "error":"...","transient":bool}
+//   {"event":"campaign_end","ok":k,"errors":f,"wall_ms":w}
+//
+// Sinks must be safe to call from multiple worker threads concurrently;
+// JsonlSink serialises each record under a mutex.
+
+#include <cstddef>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "campaign/result.hpp"
+
+namespace adhoc::campaign {
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void campaign_start(const std::string& name, std::size_t runs, std::size_t points,
+                              std::size_t seeds, unsigned jobs) = 0;
+  virtual void run_start(const RunSpec& spec) = 0;
+  virtual void run_end(const RunRecord& record) = 0;
+  virtual void campaign_end(const CampaignResult& result) = 0;
+};
+
+/// Thread-safe JSON-lines sink writing to a stream or file.
+class JsonlSink final : public TelemetrySink {
+ public:
+  /// Write to an externally owned stream (e.g. std::cout, stringstream).
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  /// Write to a file (truncated). Throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path);
+
+  void campaign_start(const std::string& name, std::size_t runs, std::size_t points,
+                      std::size_t seeds, unsigned jobs) override;
+  void run_start(const RunSpec& spec) override;
+  void run_end(const RunRecord& record) override;
+  void campaign_end(const CampaignResult& result) override;
+
+ private:
+  void emit(const std::string& line);
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::mutex mutex_;
+};
+
+/// Escape a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view s);
+/// Format a double as a JSON number (round-trippable, finite-checked).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace adhoc::campaign

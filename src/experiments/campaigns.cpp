@@ -1,0 +1,182 @@
+#include "experiments/campaigns.hpp"
+
+#include "phy/calibration.hpp"
+#include "scenario/network.hpp"
+
+namespace adhoc::experiments {
+
+namespace {
+
+scenario::Transport transport_of(const campaign::RunSpec& spec) {
+  return spec.flag("tcp") ? scenario::Transport::kTcp : scenario::Transport::kUdp;
+}
+
+campaign::RunMetrics four_station_metrics(const FourStationRun& run) {
+  return {{{"s1_kbps", run.session1_kbps}, {"s2_kbps", run.session2_kbps}}, run.events};
+}
+
+/// One fig7-layout replication with overridable PHY/MAC knobs — the unit
+/// the ablation campaigns sweep. Mirrors the fig7 experiment except for
+/// the knob under study.
+FourStationRun fig7_variant_run(double pcs_range_m, phy::Rate control_rate,
+                                bool ack_requires_idle, bool ns2_phy,
+                                const ExperimentConfig& cfg, std::uint64_t seed) {
+  sim::Simulator sim{seed};
+  scenario::NetworkConfig nc;
+  nc.shadowing = cfg.shadowing;
+  nc.mac = mac_params_for(phy::Rate::kR11, /*rts=*/false);
+  nc.mac.control_rate = control_rate;
+  nc.mac.ack_requires_idle_medium = ack_requires_idle;
+  if (ns2_phy) {
+    nc.phy_override = phy::ns2_style_params(phy::default_outdoor_model());
+  } else {
+    auto phy = phy::paper_calibrated_params(phy::default_outdoor_model());
+    // pcs_range_m <= 0 keeps the calibrated carrier-sense threshold.
+    if (pcs_range_m > 0.0) {
+      phy.cs_threshold_dbm =
+          phy::threshold_for_range(phy::default_outdoor_model(), phy.tx_power_dbm, pcs_range_m);
+    }
+    nc.phy_override = phy;
+  }
+
+  scenario::Network net{sim, nc};
+  net.add_node({0, 0});
+  net.add_node({25, 0});
+  net.add_node({107.5, 0});
+  net.add_node({132.5, 0});
+  scenario::RunConfig rc;
+  rc.warmup = cfg.warmup;
+  rc.measure = cfg.measure;
+  const auto r = scenario::run_sessions(
+      net, {{0, 1, scenario::Transport::kUdp}, {2, 3, scenario::Transport::kUdp}}, rc);
+  return {r.sessions[0].kbps, r.sessions[1].kbps, sim.scheduler().total_executed()};
+}
+
+}  // namespace
+
+ExperimentCampaign fig2_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "fig2";
+  plan.grid.add("rts", {0, 1}).add("tcp", {0, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
+    TwoNodeSpec tn{phy::Rate::kR11, spec.flag("rts"), transport_of(spec), 512, 10.0};
+    const auto r = two_node_run(tn, cfg, spec.seed);
+    return {{{"kbps", r.value}}, r.events};
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign two_node_rates_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "two-node-rates";
+  plan.grid.add("rate_mbps", {1, 2, 5.5}).add("tcp", {0, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
+    TwoNodeSpec tn{phy::rate_from_mbps(spec.param("rate_mbps")), false, transport_of(spec), 512,
+                   10.0};
+    const auto r = two_node_run(tn, cfg, spec.seed);
+    return {{{"kbps", r.value}}, r.events};
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign fig3_campaign(const ExperimentConfig& cfg, std::uint32_t probes) {
+  campaign::Campaign plan;
+  plan.name = "fig3";
+  plan.grid.add("rate_mbps", {11, 5.5, 2, 1}).add("distance_m", fig3_distances());
+  plan.seeds = cfg.seeds;
+  auto run = [cfg, probes](const campaign::RunSpec& spec) -> campaign::RunMetrics {
+    LossSweepSpec ls;
+    ls.rate = phy::rate_from_mbps(spec.param("rate_mbps"));
+    ls.probes = probes;
+    const auto r = loss_run(ls, spec.param("distance_m"), cfg, spec.seed);
+    return {{{"loss", r.value}}, r.events};
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign four_station_campaign(const FourStationSpec& base,
+                                         const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "four-station";
+  plan.grid.add("rts", {0, 1}).add("tcp", {0, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [base, cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
+    FourStationSpec fs = base;
+    fs.rts = spec.flag("rts");
+    fs.transport = transport_of(spec);
+    return four_station_metrics(four_station_run(fs, cfg, spec.seed));
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign saturation_campaign(std::vector<double> station_counts,
+                                       const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "saturation";
+  plan.grid.add("stations", std::move(station_counts)).add("rts", {0, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
+    SaturationSpec ss;
+    ss.n_stations = static_cast<std::uint32_t>(spec.param("stations"));
+    ss.rts = spec.flag("rts");
+    const auto r = saturation_run(ss, cfg, spec.seed);
+    return {{{"kbps", r.value}}, r.events};
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign ablation_pcs_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "ablation-pcs";
+  plan.grid.add("pcs_m", {60, 150, 250});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) {
+    return four_station_metrics(fig7_variant_run(spec.param("pcs_m"), phy::Rate::kR2,
+                                                 /*ack_requires_idle=*/true, /*ns2_phy=*/false,
+                                                 cfg, spec.seed));
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign ablation_control_rate_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "ablation-control-rate";
+  plan.grid.add("control_mbps", {2, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) {
+    return four_station_metrics(
+        fig7_variant_run(150.0, phy::rate_from_mbps(spec.param("control_mbps")),
+                         /*ack_requires_idle=*/true, /*ns2_phy=*/false, cfg, spec.seed));
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign ablation_ack_policy_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "ablation-ack-policy";
+  plan.grid.add("ack_idle", {1, 0});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) {
+    return four_station_metrics(fig7_variant_run(150.0, phy::Rate::kR2, spec.flag("ack_idle"),
+                                                 /*ns2_phy=*/false, cfg, spec.seed));
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign ablation_phy_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "ablation-phy";
+  plan.grid.add("ns2", {0, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) {
+    // pcs -1: compare the two calibrations as shipped, no PCS override.
+    return four_station_metrics(fig7_variant_run(-1.0, phy::Rate::kR2,
+                                                 /*ack_requires_idle=*/true, spec.flag("ns2"),
+                                                 cfg, spec.seed));
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+}  // namespace adhoc::experiments

@@ -1,0 +1,54 @@
+#pragma once
+// Prebuilt campaign definitions: the paper's sweeps (and the ablation
+// grids) expressed as campaign::Campaign plans plus the run function
+// that executes one (point, seed) replication. Used by the refactored
+// bench binaries and the `adhocsim campaign` subcommand; axes encode
+// booleans/enums as doubles (rts 0/1, tcp 0/1, rate in Mbps).
+
+#include <cstdint>
+
+#include "campaign/campaign.hpp"
+#include "experiments/experiments.hpp"
+
+namespace adhoc::experiments {
+
+/// A campaign plan paired with its per-run simulation function.
+struct ExperimentCampaign {
+  campaign::Campaign plan;
+  campaign::RunFn run;
+};
+
+/// Figure 2 grid: rts × tcp at 11 Mbps, m = 512. Metric: "kbps".
+ExperimentCampaign fig2_campaign(const ExperimentConfig& cfg);
+
+/// Two-node rate sweep (paper §3.1: "similar results" at other NIC
+/// rates): rate_mbps × tcp, basic access. Metric: "kbps".
+ExperimentCampaign two_node_rates_campaign(const ExperimentConfig& cfg);
+
+/// Figure 3 sweep: rate_mbps × distance_m broadcast-probe loss.
+/// Metric: "loss".
+ExperimentCampaign fig3_campaign(const ExperimentConfig& cfg, std::uint32_t probes);
+
+/// Four-station grid over rts × tcp for a fixed layout (use
+/// fig7_spec/fig9_spec/... for `base`; its rts/transport fields are
+/// overridden by the axes). Metrics: "s1_kbps", "s2_kbps".
+ExperimentCampaign four_station_campaign(const FourStationSpec& base,
+                                         const ExperimentConfig& cfg);
+
+/// Saturation sweep: n_stations axis × rts. Metric: "kbps" (aggregate).
+ExperimentCampaign saturation_campaign(std::vector<double> station_counts,
+                                       const ExperimentConfig& cfg);
+
+// Ablations on the fig7 layout (see bench_ablation / DESIGN.md). All
+// report metrics "s1_kbps" / "s2_kbps".
+
+/// Axis "pcs_m": physical-carrier-sense range in meters.
+ExperimentCampaign ablation_pcs_campaign(const ExperimentConfig& cfg);
+/// Axis "control_mbps": control-frame rate (1 or 2 Mbps).
+ExperimentCampaign ablation_control_rate_campaign(const ExperimentConfig& cfg);
+/// Axis "ack_idle": ACK-requires-idle-medium policy (1) vs strict SIFS (0).
+ExperimentCampaign ablation_ack_policy_campaign(const ExperimentConfig& cfg);
+/// Axis "ns2": paper-calibrated PHY (0) vs ns-2 defaults (1).
+ExperimentCampaign ablation_phy_campaign(const ExperimentConfig& cfg);
+
+}  // namespace adhoc::experiments

@@ -29,23 +29,27 @@ scenario::NetworkConfig net_config_for(phy::Rate rate, bool rts,
 
 // ------------------------------------------------------ two-node experiments
 
+SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg,
+                       std::uint64_t seed) {
+  sim::Simulator sim{seed};
+  // Short, clean link: the deterministic channel isolates MAC overhead,
+  // matching the paper's "stations well within range" setup.
+  scenario::Network net{sim, net_config_for(spec.rate, spec.rts, std::nullopt)};
+  net.add_node({0.0, 0.0});
+  net.add_node({spec.distance_m, 0.0});
+
+  scenario::RunConfig rc;
+  rc.warmup = cfg.warmup;
+  rc.measure = cfg.measure;
+  rc.payload_bytes = spec.payload_bytes;
+  const auto result = scenario::run_sessions(net, {{0, 1, spec.transport}}, rc);
+  return {result.sessions[0].kbps, sim.scheduler().total_executed()};
+}
+
 Measured two_node_throughput(const TwoNodeSpec& spec, const ExperimentConfig& cfg) {
   stats::Summary kbps;
   for (const std::uint64_t seed : cfg.seeds) {
-    sim::Simulator sim{seed};
-    // Short, clean link: the deterministic channel isolates MAC overhead,
-    // matching the paper's "stations well within range" setup.
-    scenario::Network net{sim, net_config_for(spec.rate, spec.rts, std::nullopt)};
-    net.add_node({0.0, 0.0});
-    net.add_node({spec.distance_m, 0.0});
-
-    scenario::RunConfig rc;
-    rc.warmup = cfg.warmup;
-    rc.measure = cfg.measure;
-    rc.payload_bytes = spec.payload_bytes;
-    const auto result =
-        scenario::run_sessions(net, {{0, 1, spec.transport}}, rc);
-    kbps.add(result.sessions[0].kbps);
+    kbps.add(two_node_run(spec, cfg, seed).value);
   }
   return Measured::from(kbps);
 }
@@ -75,30 +79,36 @@ std::vector<double> fig3_distances() {
   return d;
 }
 
+SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const ExperimentConfig& cfg,
+                   std::uint64_t seed) {
+  (void)cfg;  // probes ignore warmup/measure; kept for API uniformity
+  const sim::Time interval = sim::Time::ms(20);
+  sim::Simulator sim{seed};
+  phy::ShadowingParams shadowing = spec.shadowing;
+  shadowing.day_offset_db = spec.day_offset_db;
+  scenario::NetworkConfig nc = net_config_for(spec.rate, false, shadowing);
+  // Probes are broadcast; they must ride the rate under test.
+  nc.mac.broadcast_rate = spec.rate;
+  scenario::Network net{sim, nc};
+  net.add_node({0.0, 0.0});
+  net.add_node({distance_m, 0.0});
+
+  auto& tx_sock = net.udp(0).open(4000);
+  app::ProbeSender sender{sim, tx_sock, 4001, spec.payload_bytes, interval};
+  app::ProbeReceiver receiver{net.udp(1), 4001};
+  sender.start(sim::Time::ms(5));
+  sim.run_until(sim::Time::ms(5) + interval * spec.probes);
+  sender.stop();
+  sim.run_until(sim.now() + sim::Time::ms(50));  // drain in-flight probes
+  return {receiver.loss_rate(sender.sent()), sim.scheduler().total_executed()};
+}
+
 std::vector<LossPoint> loss_sweep(const LossSweepSpec& spec, const ExperimentConfig& cfg) {
   std::vector<LossPoint> out;
-  const sim::Time interval = sim::Time::ms(20);
   for (const double distance : spec.distances_m) {
     stats::Summary loss;
     for (const std::uint64_t seed : cfg.seeds) {
-      sim::Simulator sim{seed};
-      phy::ShadowingParams shadowing = spec.shadowing;
-      shadowing.day_offset_db = spec.day_offset_db;
-      scenario::NetworkConfig nc = net_config_for(spec.rate, false, shadowing);
-      // Probes are broadcast; they must ride the rate under test.
-      nc.mac.broadcast_rate = spec.rate;
-      scenario::Network net{sim, nc};
-      net.add_node({0.0, 0.0});
-      net.add_node({distance, 0.0});
-
-      auto& tx_sock = net.udp(0).open(4000);
-      app::ProbeSender sender{sim, tx_sock, 4001, spec.payload_bytes, interval};
-      app::ProbeReceiver receiver{net.udp(1), 4001};
-      sender.start(sim::Time::ms(5));
-      sim.run_until(sim::Time::ms(5) + interval * spec.probes);
-      sender.stop();
-      sim.run_until(sim.now() + sim::Time::ms(50));  // drain in-flight probes
-      loss.add(receiver.loss_rate(sender.sent()));
+      loss.add(loss_run(spec, distance, cfg, seed).value);
     }
     out.push_back({distance, loss.mean()});
   }
@@ -127,67 +137,78 @@ double estimate_tx_range(phy::Rate rate, const ExperimentConfig& cfg, double los
 
 // --------------------------------------------------- four-station scenarios
 
+FourStationRun four_station_run(const FourStationSpec& spec, const ExperimentConfig& cfg,
+                                std::uint64_t seed) {
+  sim::Simulator sim{seed};
+  scenario::Network net{sim, net_config_for(spec.rate, spec.rts, cfg.shadowing)};
+  const double x2 = spec.d12_m;
+  const double x3 = spec.d12_m + spec.d23_m;
+  const double x4 = spec.d12_m + spec.d23_m + spec.d34_m;
+  net.add_node({0.0, 0.0});  // S1
+  net.add_node({x2, 0.0});   // S2
+  net.add_node({x3, 0.0});   // S3
+  net.add_node({x4, 0.0});   // S4
+
+  scenario::RunConfig rc;
+  rc.warmup = cfg.warmup;
+  rc.measure = cfg.measure;
+  rc.payload_bytes = spec.payload_bytes;
+  std::vector<scenario::SessionSpec> sessions;
+  sessions.push_back({0, 1, spec.transport});  // S1 -> S2
+  if (spec.session2_reversed) {
+    sessions.push_back({3, 2, spec.transport});  // S4 -> S3
+  } else {
+    sessions.push_back({2, 3, spec.transport});  // S3 -> S4
+  }
+  const auto result = scenario::run_sessions(net, sessions, rc);
+  return {result.sessions[0].kbps, result.sessions[1].kbps, sim.scheduler().total_executed()};
+}
+
 FourStationResult four_station(const FourStationSpec& spec, const ExperimentConfig& cfg) {
   stats::Summary s1;
   stats::Summary s2;
   for (const std::uint64_t seed : cfg.seeds) {
-    sim::Simulator sim{seed};
-    scenario::Network net{sim, net_config_for(spec.rate, spec.rts, cfg.shadowing)};
-    const double x2 = spec.d12_m;
-    const double x3 = spec.d12_m + spec.d23_m;
-    const double x4 = spec.d12_m + spec.d23_m + spec.d34_m;
-    net.add_node({0.0, 0.0});  // S1
-    net.add_node({x2, 0.0});   // S2
-    net.add_node({x3, 0.0});   // S3
-    net.add_node({x4, 0.0});   // S4
-
-    scenario::RunConfig rc;
-    rc.warmup = cfg.warmup;
-    rc.measure = cfg.measure;
-    rc.payload_bytes = spec.payload_bytes;
-    std::vector<scenario::SessionSpec> sessions;
-    sessions.push_back({0, 1, spec.transport});  // S1 -> S2
-    if (spec.session2_reversed) {
-      sessions.push_back({3, 2, spec.transport});  // S4 -> S3
-    } else {
-      sessions.push_back({2, 3, spec.transport});  // S3 -> S4
-    }
-    const auto result = scenario::run_sessions(net, sessions, rc);
-    s1.add(result.sessions[0].kbps);
-    s2.add(result.sessions[1].kbps);
+    const auto run = four_station_run(spec, cfg, seed);
+    s1.add(run.session1_kbps);
+    s2.add(run.session2_kbps);
   }
   return {Measured::from(s1), Measured::from(s2)};
 }
 
 // -------------------------------------------------- saturation (extension)
 
+SingleRun saturation_run(const SaturationSpec& spec, const ExperimentConfig& cfg,
+                         std::uint64_t seed) {
+  sim::Simulator sim{seed};
+  // Deterministic channel, everyone well inside everyone's range:
+  // Bianchi's single-collision-domain, ideal-channel assumptions.
+  scenario::Network net{sim, net_config_for(spec.rate, spec.rts, std::nullopt)};
+  std::vector<scenario::SessionSpec> sessions;
+  for (std::uint32_t i = 0; i < spec.n_stations; ++i) {
+    // Senders on a 10 m circle, receivers clustered at the center:
+    // every receiver is (nearly) equidistant from every sender, so
+    // overlapping transmissions are mutually destructive — Bianchi's
+    // collision assumption. Capture cannot rescue a collision here.
+    const double angle = 2.0 * 3.14159265358979323846 * i /
+                         std::max(spec.n_stations, 1u);
+    net.add_node({10.0 * std::cos(angle), 10.0 * std::sin(angle)});  // sender
+    net.add_node({0.3 * std::cos(angle), 0.3 * std::sin(angle)});    // receiver
+    sessions.push_back({2 * i, 2 * i + 1, scenario::Transport::kUdp});
+  }
+  scenario::RunConfig rc;
+  rc.warmup = cfg.warmup;
+  rc.measure = cfg.measure;
+  rc.payload_bytes = spec.payload_bytes;
+  const auto result = scenario::run_sessions(net, sessions, rc);
+  double sum = 0.0;
+  for (const auto& s : result.sessions) sum += s.kbps;
+  return {sum, sim.scheduler().total_executed()};
+}
+
 Measured saturation_throughput(const SaturationSpec& spec, const ExperimentConfig& cfg) {
   stats::Summary total_kbps;
   for (const std::uint64_t seed : cfg.seeds) {
-    sim::Simulator sim{seed};
-    // Deterministic channel, everyone well inside everyone's range:
-    // Bianchi's single-collision-domain, ideal-channel assumptions.
-    scenario::Network net{sim, net_config_for(spec.rate, spec.rts, std::nullopt)};
-    std::vector<scenario::SessionSpec> sessions;
-    for (std::uint32_t i = 0; i < spec.n_stations; ++i) {
-      // Senders on a 10 m circle, receivers clustered at the center:
-      // every receiver is (nearly) equidistant from every sender, so
-      // overlapping transmissions are mutually destructive — Bianchi's
-      // collision assumption. Capture cannot rescue a collision here.
-      const double angle = 2.0 * 3.14159265358979323846 * i /
-                           std::max(spec.n_stations, 1u);
-      net.add_node({10.0 * std::cos(angle), 10.0 * std::sin(angle)});  // sender
-      net.add_node({0.3 * std::cos(angle), 0.3 * std::sin(angle)});    // receiver
-      sessions.push_back({2 * i, 2 * i + 1, scenario::Transport::kUdp});
-    }
-    scenario::RunConfig rc;
-    rc.warmup = cfg.warmup;
-    rc.measure = cfg.measure;
-    rc.payload_bytes = spec.payload_bytes;
-    const auto result = scenario::run_sessions(net, sessions, rc);
-    double sum = 0.0;
-    for (const auto& s : result.sessions) sum += s.kbps;
-    total_kbps.add(sum);
+    total_kbps.add(saturation_run(spec, cfg, seed).value);
   }
   Measured out = Measured::from(total_kbps);
   out.mean /= 1000.0;  // kbps -> Mbps

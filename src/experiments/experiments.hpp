@@ -135,6 +135,36 @@ struct SaturationSpec {
 
 Measured saturation_throughput(const SaturationSpec& spec, const ExperimentConfig& cfg);
 
+// ---------------------------------------------- single-replication runs
+//
+// One (spec, seed) simulation each, building a private Simulator — the
+// unit of work the campaign engine parallelises (see campaigns.hpp).
+// The aggregate functions above fold these over cfg.seeds.
+
+struct SingleRun {
+  double value = 0.0;        ///< experiment-specific metric
+  std::uint64_t events = 0;  ///< scheduler events executed
+};
+
+/// Goodput (kbps) of one two-node replication.
+SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg, std::uint64_t seed);
+
+struct FourStationRun {
+  double session1_kbps = 0.0;
+  double session2_kbps = 0.0;
+  std::uint64_t events = 0;
+};
+FourStationRun four_station_run(const FourStationSpec& spec, const ExperimentConfig& cfg,
+                                std::uint64_t seed);
+
+/// Probe loss rate at a single distance for one seed.
+SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const ExperimentConfig& cfg,
+                   std::uint64_t seed);
+
+/// Aggregate saturation goodput (kbps) for one seed.
+SingleRun saturation_run(const SaturationSpec& spec, const ExperimentConfig& cfg,
+                         std::uint64_t seed);
+
 // ------------------------------------------------------------------ helpers
 
 /// MacParams for a given data rate / RTS setting, paper defaults.

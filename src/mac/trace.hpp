@@ -38,13 +38,35 @@ struct TraceRecord {
 };
 
 /// Shared, append-only trace sink. One tracer may serve many stations.
+/// Optionally bounded: with a record cap set, records beyond the cap are
+/// dropped (newest-first) and counted, so long multi-run campaigns keep
+/// the earliest history without unbounded memory growth.
 class FrameTracer {
  public:
-  void record(TraceRecord r) { records_.push_back(r); }
+  FrameTracer() = default;
+  explicit FrameTracer(std::size_t max_records) : max_records_(max_records) {}
+
+  void record(TraceRecord r) {
+    if (max_records_ != 0 && records_.size() >= max_records_) {
+      ++dropped_;
+      return;
+    }
+    records_.push_back(r);
+  }
+
+  /// Cap the number of retained records; 0 (default) means unbounded.
+  /// Lowering the cap below the current size only affects future records.
+  void set_max_records(std::size_t cap) { max_records_ = cap; }
+  [[nodiscard]] std::size_t max_records() const { return max_records_; }
+  /// Records rejected because the cap was reached (reset by clear()).
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
 
   [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
 
   /// Count of records matching an event type.
   [[nodiscard]] std::size_t count(TraceEvent e) const;
@@ -55,6 +77,8 @@ class FrameTracer {
 
  private:
   std::vector<TraceRecord> records_;
+  std::size_t max_records_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace adhoc::mac

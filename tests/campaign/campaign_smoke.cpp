@@ -1,0 +1,46 @@
+// Tiny 2-thread campaign used as a ctest smoke test. Built and run in
+// every configuration; its real job is under -DSANITIZE=thread, where it
+// puts the worker pool, the shared cursor and the JSONL sink under
+// ThreadSanitizer to guard against data races in the engine.
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/campaign.hpp"
+#include "experiments/campaigns.hpp"
+#include "experiments/experiments.hpp"
+
+using namespace adhoc;
+
+int main() {
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = {1, 2};
+  cfg.warmup = sim::Time::ms(50);
+  cfg.measure = sim::Time::ms(200);
+
+  std::ostringstream telemetry;
+  campaign::JsonlSink sink{telemetry};
+  const campaign::CampaignEngine engine{{2, 2, &sink}};
+
+  // Real simulations on both workers, plus one induced failure to cover
+  // the error path concurrently with successful runs.
+  auto def = experiments::fig2_campaign(cfg);
+  const campaign::RunFn run = [&def](const campaign::RunSpec& spec) {
+    if (spec.run_index == 3) throw std::runtime_error("induced failure");
+    return def.run(spec);
+  };
+  const auto result = engine.run(def.plan, run);
+
+  if (result.runs.size() != 8 || result.ok_count() != 7 || result.error_count() != 1) {
+    std::cerr << "campaign_smoke: unexpected result shape: " << result.runs.size() << " runs, "
+              << result.ok_count() << " ok\n";
+    return 1;
+  }
+  if (telemetry.str().find("campaign_end") == std::string::npos) {
+    std::cerr << "campaign_smoke: telemetry missing campaign_end\n";
+    return 1;
+  }
+  std::cout << "campaign_smoke: 8 runs on 2 workers, 1 isolated failure, ok\n";
+  return 0;
+}

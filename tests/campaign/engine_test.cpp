@@ -1,0 +1,177 @@
+#include "campaign/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/aggregate.hpp"
+
+namespace adhoc::campaign {
+namespace {
+
+Campaign small_campaign(std::vector<double> xs, std::vector<std::uint64_t> seeds) {
+  Campaign c;
+  c.name = "test";
+  c.grid.add("x", std::move(xs));
+  c.seeds = std::move(seeds);
+  return c;
+}
+
+TEST(CampaignEngine, RunsEverySpecInOrder) {
+  const auto c = small_campaign({1, 2, 3}, {10, 20});
+  const CampaignEngine engine{{2, 1, nullptr}};
+  const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
+    return {{{"y", s.param("x") * 10.0 + static_cast<double>(s.seed)}}, 5};
+  });
+  ASSERT_EQ(result.runs.size(), 6u);
+  EXPECT_EQ(result.ok_count(), 6u);
+  EXPECT_EQ(result.error_count(), 0u);
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const auto& r = result.runs[i];
+    EXPECT_EQ(r.spec.run_index, i);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_DOUBLE_EQ(r.metrics.metrics.at("y"),
+                     r.spec.param("x") * 10.0 + static_cast<double>(r.spec.seed));
+  }
+}
+
+TEST(CampaignEngine, FailureIsIsolatedToTheThrowingRun) {
+  const auto c = small_campaign({1, 2, 3, 4}, {1});
+  const CampaignEngine engine{{2, 3, nullptr}};
+  const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
+    if (s.param("x") == 3.0) throw std::runtime_error("boom at x=3");
+    return {{{"y", 1.0}}, 1};
+  });
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.ok_count(), 3u);
+  EXPECT_EQ(result.error_count(), 1u);
+  const auto& failed = result.runs[2];
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.error.message, "boom at x=3");
+  EXPECT_FALSE(failed.error.transient);
+  EXPECT_EQ(failed.attempts, 1u) << "non-transient errors must not retry";
+  // Siblings unaffected.
+  EXPECT_TRUE(result.runs[0].ok);
+  EXPECT_TRUE(result.runs[1].ok);
+  EXPECT_TRUE(result.runs[3].ok);
+}
+
+TEST(CampaignEngine, TransientErrorsRetryUpToMaxAttempts) {
+  const auto c = small_campaign({1}, {1});
+  std::atomic<int> calls{0};
+  const RunFn flaky = [&](const RunSpec&) -> RunMetrics {
+    if (calls.fetch_add(1) < 2) throw TransientError("try again");
+    return {{{"y", 42.0}}, 1};
+  };
+
+  // 3 attempts: fails twice, succeeds on the third.
+  const CampaignEngine engine{{1, 3, nullptr}};
+  const auto ok = engine.run(c, flaky);
+  EXPECT_TRUE(ok.runs[0].ok);
+  EXPECT_EQ(ok.runs[0].attempts, 3u);
+  EXPECT_DOUBLE_EQ(ok.runs[0].metrics.metrics.at("y"), 42.0);
+
+  // 2 attempts: still failing when the budget runs out.
+  calls = 0;
+  const CampaignEngine strict{{1, 2, nullptr}};
+  const auto failed = strict.run(c, flaky);
+  EXPECT_FALSE(failed.runs[0].ok);
+  EXPECT_TRUE(failed.runs[0].error.transient);
+  EXPECT_EQ(failed.runs[0].attempts, 2u);
+}
+
+TEST(CampaignEngine, NonStdExceptionIsCaptured) {
+  const auto c = small_campaign({1}, {1});
+  const CampaignEngine engine{{1, 1, nullptr}};
+  const auto result = engine.run(c, [](const RunSpec&) -> RunMetrics { throw 17; });
+  EXPECT_FALSE(result.runs[0].ok);
+  EXPECT_EQ(result.runs[0].error.message, "unknown exception");
+}
+
+TEST(CampaignEngine, ShardRunsOnlyItsSlice) {
+  const auto c = small_campaign({1, 2, 3}, {1, 2});  // 6 runs
+  const CampaignEngine engine{{1, 1, nullptr}};
+  const RunFn fn = [](const RunSpec& s) -> RunMetrics {
+    return {{{"y", static_cast<double>(s.run_index)}}, 1};
+  };
+  const auto s0 = engine.run_shard(c, 0, 2, fn);
+  const auto s1 = engine.run_shard(c, 1, 2, fn);
+  EXPECT_EQ(s0.runs.size(), 3u);
+  EXPECT_EQ(s1.runs.size(), 3u);
+  for (const auto& r : s0.runs) EXPECT_EQ(r.spec.run_index % 2, 0u);
+  for (const auto& r : s1.runs) EXPECT_EQ(r.spec.run_index % 2, 1u);
+}
+
+TEST(Aggregate, FoldsPerPointWithFailuresExcluded) {
+  const auto c = small_campaign({1, 2}, {1, 2, 3});
+  const CampaignEngine engine{{1, 1, nullptr}};
+  const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
+    if (s.param("x") == 2.0 && s.seed == 2) throw std::runtime_error("lost run");
+    return {{{"y", s.param("x") * 100.0 + static_cast<double>(s.seed)}}, 1};
+  });
+  const auto points = aggregate_by_point(result);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].ok_runs, 3u);
+  EXPECT_EQ(points[0].failed_runs, 0u);
+  EXPECT_DOUBLE_EQ(points[0].metrics.at("y").mean(), (101.0 + 102.0 + 103.0) / 3.0);
+  EXPECT_EQ(points[1].ok_runs, 2u);
+  EXPECT_EQ(points[1].failed_runs, 1u);
+  EXPECT_DOUBLE_EQ(points[1].metrics.at("y").mean(), (201.0 + 203.0) / 2.0);
+}
+
+TEST(JsonlSink, EmitsOneRecordPerEventWithSchemaFields) {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  const auto c = small_campaign({1, 2}, {1});
+  const CampaignEngine engine{{2, 1, &sink}};
+  const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
+    if (s.param("x") == 2.0) throw std::runtime_error("bad \"quote\"");
+    return {{{"kbps", 123.5}}, 1000};
+  });
+  EXPECT_EQ(result.error_count(), 1u);
+
+  std::istringstream in{out.str()};
+  std::string line;
+  std::size_t lines = 0;
+  std::size_t starts = 0;
+  std::size_t ends = 0;
+  bool saw_error = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find(R"("event":"run_start")") != std::string::npos) ++starts;
+    if (line.find(R"("event":"run_end")") != std::string::npos) ++ends;
+    if (line.find(R"("error":"bad \"quote\"")") != std::string::npos) saw_error = true;
+  }
+  // campaign_start + 2 × (run_start, run_end) + campaign_end.
+  EXPECT_EQ(lines, 6u);
+  EXPECT_EQ(starts, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_TRUE(saw_error) << "error message must be JSON-escaped, got:\n" << out.str();
+  EXPECT_NE(out.str().find(R"("metrics":{"kbps":123.5})"), std::string::npos);
+  EXPECT_NE(out.str().find(R"("events":1000)"), std::string::npos);
+  EXPECT_NE(out.str().find(R"({"event":"campaign_end","ok":1,"errors":1)"), std::string::npos);
+}
+
+TEST(JsonlSink, JsonHelpers) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.0), "0");
+  // Round-trips exactly even for awkward doubles.
+  const double v = 0.1 + 0.2;
+  double back = 0.0;
+  std::istringstream{json_number(v)} >> back;
+  EXPECT_EQ(back, v);
+}
+
+TEST(CampaignEngine, ZeroJobsResolvesToHardwareConcurrency) {
+  const CampaignEngine engine{{0, 1, nullptr}};
+  EXPECT_GE(engine.jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace adhoc::campaign

@@ -1,0 +1,99 @@
+#include "campaign/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace adhoc::campaign {
+namespace {
+
+TEST(Grid, EmptyGridHasOnePoint) {
+  Grid g;
+  EXPECT_EQ(g.points(), 1u);
+  EXPECT_TRUE(g.point(0).empty());
+  EXPECT_THROW(g.point(1), std::out_of_range);
+}
+
+TEST(Grid, RowMajorDecode) {
+  Grid g;
+  g.add("a", {10, 20}).add("b", {1, 2, 3});
+  EXPECT_EQ(g.points(), 6u);
+  // First axis varies slowest.
+  const auto p0 = g.point(0);
+  EXPECT_DOUBLE_EQ(p0[0].second, 10);
+  EXPECT_DOUBLE_EQ(p0[1].second, 1);
+  const auto p2 = g.point(2);
+  EXPECT_DOUBLE_EQ(p2[0].second, 10);
+  EXPECT_DOUBLE_EQ(p2[1].second, 3);
+  const auto p5 = g.point(5);
+  EXPECT_DOUBLE_EQ(p5[0].second, 20);
+  EXPECT_DOUBLE_EQ(p5[1].second, 3);
+}
+
+TEST(Grid, RejectsEmptyAndDuplicateAxes) {
+  Grid g;
+  g.add("a", {1});
+  EXPECT_THROW(g.add("a", {2}), std::invalid_argument);
+  EXPECT_THROW(g.add("b", {}), std::invalid_argument);
+}
+
+TEST(Campaign, ExpansionIsPointMajorSeedMinor) {
+  Campaign c;
+  c.grid.add("x", {1, 2});
+  c.seeds = {7, 8, 9};
+  const auto specs = c.expand();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(c.total_runs(), 6u);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].run_index, i);
+    EXPECT_EQ(specs[i].point_index, i / 3);
+    EXPECT_EQ(specs[i].seed, c.seeds[i % 3]);
+  }
+  EXPECT_DOUBLE_EQ(specs[0].param("x"), 1);
+  EXPECT_DOUBLE_EQ(specs[5].param("x"), 2);
+}
+
+TEST(Campaign, ExpansionIsDeterministic) {
+  Campaign c;
+  c.grid.add("rate", {1, 2, 5.5, 11}).add("rts", {0, 1});
+  c.seeds = {1, 2, 3};
+  const auto a = c.expand();
+  const auto b = c.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].point_index, b[i].point_index);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].params, b[i].params);
+  }
+}
+
+TEST(RunSpec, ParamLookup) {
+  RunSpec s;
+  s.params = {{"rate", 11.0}, {"rts", 1.0}};
+  EXPECT_DOUBLE_EQ(s.param("rate"), 11.0);
+  EXPECT_TRUE(s.flag("rts"));
+  EXPECT_THROW((void)s.param("nope"), std::out_of_range);
+}
+
+TEST(Shard, PartitionsDisjointAndCovering) {
+  Campaign c;
+  c.grid.add("x", {1, 2, 3, 4, 5});
+  c.seeds = {1, 2, 3};
+  const auto all = c.expand();
+  std::set<std::size_t> seen;
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (const auto& spec : shard(all, s, 4)) {
+      EXPECT_TRUE(seen.insert(spec.run_index).second) << "run in two shards";
+      EXPECT_EQ(spec.run_index % 4, s);
+    }
+  }
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(Shard, RejectsBadIndices) {
+  EXPECT_THROW(shard({}, 1, 1), std::invalid_argument);
+  EXPECT_THROW(shard({}, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adhoc::campaign

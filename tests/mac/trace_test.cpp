@@ -32,6 +32,36 @@ TEST(FrameTracer, RecordsAndCounts) {
   EXPECT_EQ(t.size(), 0u);
 }
 
+TEST(FrameTracer, RecordCapDropsNewAndCounts) {
+  FrameTracer t{2};
+  TraceRecord r;
+  r.event = TraceEvent::kTxStart;
+  t.record(r);
+  t.record(r);
+  t.record(r);  // over the cap: dropped, not stored
+  t.record(r);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 2u);
+  EXPECT_EQ(t.max_records(), 2u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.record(r);  // capacity freed by clear()
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FrameTracer, UncappedByDefault) {
+  FrameTracer t;
+  TraceRecord r;
+  for (int i = 0; i < 100; ++i) t.record(r);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.set_max_records(100);
+  t.record(r);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
 TEST(FrameTracer, EventNames) {
   EXPECT_EQ(trace_event_name(TraceEvent::kTxStart), "TX");
   EXPECT_EQ(trace_event_name(TraceEvent::kRxError), "RX_ERR");

@@ -51,5 +51,45 @@ TEST(CliArgs, EmptyArgv) {
   EXPECT_TRUE(a.command().empty());
 }
 
+TEST(CliArgs, RejectsGarbageNumbers) {
+  const auto a = parse({"cmd", "--rate", "fast", "--seeds", "3x"});
+  EXPECT_THROW((void)a.num("rate", 11.0), std::invalid_argument);
+  EXPECT_THROW((void)a.integer("seeds", 3), std::invalid_argument);
+  try {
+    (void)a.num("rate", 11.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos)
+        << "error must name the flag: " << e.what();
+  }
+}
+
+TEST(CliArgs, LoneDashIsAValueNotAFlag) {
+  const auto a = parse({"campaign", "--telemetry", "-", "--rts"});
+  EXPECT_EQ(a.str("telemetry", ""), "-");
+  EXPECT_TRUE(a.has("rts"));
+}
+
+TEST(CliArgs, PositiveIntegerRejectsZero) {
+  const auto a = parse({"cmd", "--seeds", "0", "--jobs", "4"});
+  EXPECT_THROW((void)a.positive_integer("seeds", 3), std::invalid_argument);
+  EXPECT_EQ(a.positive_integer("jobs", 1), 4);
+  // Fallback path: flag absent, fallback valid.
+  EXPECT_EQ(a.positive_integer("retries", 2), 2);
+}
+
+TEST(CliArgs, PositiveNumRejectsZero) {
+  const auto a = parse({"cmd", "--seconds", "0.0", "--d23", "82.5"});
+  EXPECT_THROW((void)a.positive_num("seconds", 8.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(a.positive_num("d23", 1.0), 82.5);
+  try {
+    (void)a.positive_num("seconds", 8.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--seconds must be positive"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace adhoc::tools

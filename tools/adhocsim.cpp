@@ -7,17 +7,24 @@
 //   adhocsim range [--rate 2]
 //   adhocsim saturation [--stations 8] [--rts]
 //   adhocsim delay [--rate 11] [--distance 15] [--load-mbps 1.5]
+//   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation
+//                     [--jobs N] [--seeds N] [--seconds S]
+//                     [--telemetry PATH|-] [--retries R] [--shard I --shards N]
 //
 // Every subcommand maps onto the library's experiments API; run with no
 // arguments for usage.
 
 #include <iostream>
+#include <memory>
+#include <optional>
 
 #include "analysis/bianchi.hpp"
 #include "analysis/throughput_model.hpp"
 #include "app/cbr.hpp"
 #include "app/sink.hpp"
+#include "campaign/campaign.hpp"
 #include "cli_args.hpp"
+#include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
 #include "stats/table.hpp"
 
@@ -32,9 +39,9 @@ phy::Rate rate_flag(const tools::CliArgs& args) {
 experiments::ExperimentConfig config_flag(const tools::CliArgs& args) {
   experiments::ExperimentConfig cfg;
   cfg.seeds.clear();
-  const auto n = args.integer("seeds", 3);
+  const auto n = args.positive_integer("seeds", 3);
   for (std::int64_t s = 1; s <= n; ++s) cfg.seeds.push_back(static_cast<std::uint64_t>(s));
-  cfg.measure = sim::Time::from_sec(args.num("seconds", 8.0));
+  cfg.measure = sim::Time::from_sec(args.positive_num("seconds", 8.0));
   cfg.warmup = sim::Time::ms(500);
   return cfg;
 }
@@ -140,6 +147,105 @@ int cmd_delay(const tools::CliArgs& args) {
   return 0;
 }
 
+int cmd_campaign(const tools::CliArgs& args) {
+  const std::string grid = args.str("grid", "fig2");
+  const auto cfg = config_flag(args);
+  experiments::ExperimentCampaign def;
+  if (grid == "fig2") {
+    def = experiments::fig2_campaign(cfg);
+  } else if (grid == "rates") {
+    def = experiments::two_node_rates_campaign(cfg);
+  } else if (grid == "fig3") {
+    def = experiments::fig3_campaign(
+        cfg, static_cast<std::uint32_t>(args.positive_integer("probes", 300)));
+  } else if (grid == "fig7" || grid == "fig9" || grid == "fig11" || grid == "fig12") {
+    experiments::FourStationSpec base;
+    if (grid == "fig7") base = experiments::fig7_spec(false, scenario::Transport::kUdp);
+    if (grid == "fig9") base = experiments::fig9_spec(false, scenario::Transport::kUdp);
+    if (grid == "fig11") base = experiments::fig11_spec(false, scenario::Transport::kUdp);
+    if (grid == "fig12") base = experiments::fig12_spec(false, scenario::Transport::kUdp);
+    def = experiments::four_station_campaign(base, cfg);
+    def.plan.name = grid;
+  } else if (grid == "saturation") {
+    def = experiments::saturation_campaign({1, 2, 3, 5, 8, 12}, cfg);
+  } else {
+    std::cerr << "adhocsim campaign: unknown --grid '" << grid
+              << "' (fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation)\n";
+    return 1;
+  }
+
+  campaign::EngineConfig ec;
+  ec.jobs = args.has("jobs") ? static_cast<unsigned>(args.positive_integer("jobs", 1)) : 0;
+  ec.max_attempts = 1 + static_cast<unsigned>(args.integer("retries", 2));
+  std::unique_ptr<campaign::JsonlSink> sink;
+  const std::string telemetry = args.str("telemetry", "");
+  if (telemetry == "-") {
+    sink = std::make_unique<campaign::JsonlSink>(std::cout);
+  } else if (!telemetry.empty()) {
+    sink = std::make_unique<campaign::JsonlSink>(telemetry);
+  }
+  ec.telemetry = sink.get();
+
+  const campaign::CampaignEngine engine{ec};
+  const auto n_shards = static_cast<std::size_t>(args.positive_integer("shards", 1));
+  const auto shard_idx = static_cast<std::size_t>(args.integer("shard", 0));
+  const auto result =
+      n_shards > 1 ? engine.run_shard(def.plan, shard_idx, n_shards, def.run)
+                   : engine.run(def.plan, def.run);
+
+  // Aggregated table: one row per grid point, mean +- 95% CI per metric.
+  const auto points = campaign::aggregate_by_point(result);
+  std::vector<std::string> header;
+  for (std::size_t a = 0; a < def.plan.grid.axes(); ++a) {
+    header.push_back(def.plan.grid.axis(a).name);
+  }
+  std::vector<std::string> metric_names;
+  if (!points.empty()) {
+    for (const auto& [name, summary] : points.front().metrics) metric_names.push_back(name);
+  }
+  for (const auto& m : metric_names) header.push_back(m + " (mean +- ci95)");
+  header.push_back("runs");
+  stats::Table table{header};
+  for (const auto& p : points) {
+    std::vector<std::string> row;
+    for (const auto& [name, value] : p.params) row.push_back(stats::Table::fmt(value, 1));
+    for (const auto& m : metric_names) {
+      const auto it = p.metrics.find(m);
+      row.push_back(it == p.metrics.end()
+                        ? "-"
+                        : stats::Table::fmt(it->second.mean()) + " +- " +
+                              stats::Table::fmt(it->second.ci95_halfwidth()));
+    }
+    row.push_back(std::to_string(p.ok_runs) +
+                  (p.failed_runs > 0 ? " (+" + std::to_string(p.failed_runs) + " failed)" : ""));
+    table.add_row(std::move(row));
+  }
+  std::cout << "=== campaign '" << result.name << "': " << result.runs.size() << " runs on "
+            << result.jobs << " worker(s) ===\n\n"
+            << table.to_string();
+
+  std::uint64_t events = 0;
+  for (const auto& r : result.runs) {
+    if (r.ok) events += r.metrics.events;
+  }
+  std::cout << '\n'
+            << result.ok_count() << " ok, " << result.error_count() << " failed, "
+            << stats::Table::fmt(result.wall_seconds, 2) << " s wall, " << events << " events ("
+            << stats::Table::fmt(result.wall_seconds > 0
+                                     ? static_cast<double>(events) / result.wall_seconds / 1e6
+                                     : 0.0,
+                                 2)
+            << " M events/s)\n";
+  for (const auto& r : result.runs) {
+    if (!r.ok) {
+      std::cout << "  run " << r.spec.run_index << " (point " << r.spec.point_index << ", seed "
+                << r.spec.seed << ") failed after " << r.attempts
+                << " attempt(s): " << r.error.message << '\n';
+    }
+  }
+  return result.error_count() == 0 ? 0 : 1;
+}
+
 void usage() {
   std::cout <<
       "adhocsim <command> [flags]\n"
@@ -149,6 +255,9 @@ void usage() {
       "  range [--rate R]                  estimate TX range\n"
       "  saturation [--stations N] [--rts] simulated vs Bianchi\n"
       "  delay [--rate R] [--distance D] [--load-mbps L]\n"
+      "  campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation\n"
+      "           [--jobs N] [--telemetry PATH|-] [--retries R]\n"
+      "           [--shard I --shards N]   parallel sweep + JSONL telemetry\n"
       "common flags: --seeds N --seconds S\n";
 }
 
@@ -164,6 +273,7 @@ int main(int argc, char** argv) {
     if (cmd == "range") return cmd_range(args);
     if (cmd == "saturation") return cmd_saturation(args);
     if (cmd == "delay") return cmd_delay(args);
+    if (cmd == "campaign") return cmd_campaign(args);
     usage();
     return cmd.empty() ? 0 : 1;
   } catch (const std::exception& e) {

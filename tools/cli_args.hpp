@@ -25,7 +25,8 @@ class CliArgs {
         throw std::invalid_argument("unexpected argument: " + token);
       }
       token.erase(0, 2);
-      if (i < argc && argv[i][0] != '-') {
+      // A lone "-" is a conventional value (stdin/stdout), not a flag.
+      if (i < argc && (argv[i][0] != '-' || argv[i][1] == '\0')) {
         values_[token] = argv[i++];
       } else {
         switches_.insert(token);
@@ -46,12 +47,55 @@ class CliArgs {
 
   [[nodiscard]] double num(const std::string& name, double fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t consumed = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(it->second, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument("--" + name + " expects a number, got '" + it->second + "'");
+    }
+    return v;
   }
 
   [[nodiscard]] std::int64_t integer(const std::string& name, std::int64_t fallback) const {
     const auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    if (it == values_.end()) return fallback;
+    std::size_t consumed = 0;
+    std::int64_t v = 0;
+    try {
+      v = std::stoll(it->second, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != it->second.size()) {
+      throw std::invalid_argument("--" + name + " expects an integer, got '" + it->second + "'");
+    }
+    return v;
+  }
+
+  /// Numeric flag that must be strictly positive (e.g. --seconds).
+  [[nodiscard]] double positive_num(const std::string& name, double fallback) const {
+    const double v = num(name, fallback);
+    if (!(v > 0.0)) {
+      throw std::invalid_argument("--" + name + " must be positive, got " +
+                                  str(name, std::to_string(v)));
+    }
+    return v;
+  }
+
+  /// Integer flag that must be strictly positive (e.g. --seeds, --jobs).
+  [[nodiscard]] std::int64_t positive_integer(const std::string& name,
+                                              std::int64_t fallback) const {
+    const std::int64_t v = integer(name, fallback);
+    if (v <= 0) {
+      throw std::invalid_argument("--" + name + " must be a positive integer, got " +
+                                  str(name, std::to_string(v)));
+    }
+    return v;
   }
 
  private:
