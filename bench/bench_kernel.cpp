@@ -4,7 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
 #include "experiments/experiments.hpp"
+#include "obs/observer.hpp"
 #include "phy/calibration.hpp"
 #include "phy/shadowing.hpp"
 #include "scenario/network.hpp"
@@ -80,6 +84,45 @@ void BM_FullStackUdpSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullStackUdpSecond)->Unit(benchmark::kMillisecond);
+
+void BM_FullStackUdpSecondObserved(benchmark::State& state) {
+  // Same workload as BM_FullStackUdpSecond but fully observed (metrics +
+  // trace + scheduler profiling): the delta between the two is the
+  // all-on observability cost; the off cost is the null-pointer checks
+  // already included in the plain variant.
+  std::map<std::string, double> profile;
+  for (auto _ : state) {
+    obs::RunObserver observer{obs::ObsLevel::kFull};
+    sim::Simulator sim{1};
+    scenario::Network net{sim};
+    net.attach_observer(observer);
+    net.add_node({0, 0});
+    net.add_node({10, 0});
+    scenario::RunConfig rc;
+    rc.warmup = sim::Time::ms(100);
+    rc.measure = sim::Time::ms(900);
+    const auto r = scenario::run_sessions(net, {{0, 1, scenario::Transport::kUdp}}, rc);
+    observer.finalize(sim);
+    profile = observer.registry()->flatten();
+    benchmark::DoNotOptimize(r.sessions[0].bytes);
+  }
+  // Scheduler-profile summary: events, rate, queue depth, and the event
+  // label that dominated scheduler wall time in the last replication.
+  state.counters["sim_events"] = profile["scheduler.total_executed"];
+  state.counters["sim_ev_per_s"] = profile["scheduler.events_per_sec"];
+  state.counters["queue_hw"] = profile["scheduler.queue_high_water"];
+  const std::string prefix = "scheduler.wall_ms_by_label.";
+  std::string hot = "none";
+  double hot_ms = 0.0;
+  for (const auto& [key, value] : profile) {
+    if (key.rfind(prefix, 0) == 0 && value > hot_ms) {
+      hot_ms = value;
+      hot = key.substr(prefix.size());
+    }
+  }
+  state.SetLabel("hot=" + hot);
+}
+BENCHMARK(BM_FullStackUdpSecondObserved)->Unit(benchmark::kMillisecond);
 
 void BM_FullStackTcpSecond(benchmark::State& state) {
   for (auto _ : state) {

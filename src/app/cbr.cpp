@@ -18,7 +18,7 @@ sim::Time CbrSource::interval_for_rate(std::uint32_t payload_bytes, double bps) 
 
 void CbrSource::start(sim::Time at) {
   stop();
-  timer_ = sim_.at(at, [this] { tick(); });
+  timer_ = sim_.at(at, [this] { tick(); }, "app.cbr");
 }
 
 void CbrSource::stop() {
@@ -29,7 +29,7 @@ void CbrSource::stop() {
 void CbrSource::tick() {
   if (!socket_.send_to(payload_bytes_, dst_, dst_port_, seq_)) ++send_failures_;
   ++seq_;
-  timer_ = sim_.after(interval_, [this] { tick(); });
+  timer_ = sim_.after(interval_, [this] { tick(); }, "app.cbr");
 }
 
 }  // namespace adhoc::app

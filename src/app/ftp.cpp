@@ -7,7 +7,7 @@ FtpSource::FtpSource(sim::Simulator& simulator, transport::TcpStack& stack, net:
     : sim_(simulator), stack_(stack), dst_(dst), dst_port_(dst_port) {}
 
 void FtpSource::start(sim::Time at) {
-  sim_.at(at, [this] { dial(); });
+  sim_.at(at, [this] { dial(); }, "app.ftp");
 }
 
 void FtpSource::dial() {
@@ -19,7 +19,7 @@ void FtpSource::dial() {
     if (reconnect_delay_ > sim::Time::zero()) {
       sim_.after(reconnect_delay_, [this] {
         if (connection_ == nullptr) dial();
-      });
+      }, "app.ftp");
     }
   });
   connection_ = &c;

@@ -17,7 +17,7 @@ HelloService::HelloService(sim::Simulator& simulator, transport::UdpStack& stack
 
 void HelloService::start(sim::Time at) {
   stop();
-  timer_ = sim_.at(at, [this] { tick(); });
+  timer_ = sim_.at(at, [this] { tick(); }, "app.hello");
 }
 
 void HelloService::stop() {
@@ -31,7 +31,7 @@ void HelloService::tick() {
   const auto jitter_ns = params_.jitter.count_ns() > 0
                              ? rng_.uniform_int(0, params_.jitter.count_ns() - 1)
                              : 0;
-  timer_ = sim_.after(params_.interval + sim::Time::ns(jitter_ns), [this] { tick(); });
+  timer_ = sim_.after(params_.interval + sim::Time::ns(jitter_ns), [this] { tick(); }, "app.hello");
 }
 
 std::vector<net::Ipv4Address> HelloService::neighbors() const {

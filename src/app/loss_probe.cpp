@@ -12,7 +12,7 @@ ProbeSender::ProbeSender(sim::Simulator& simulator, transport::UdpSocket& socket
 
 void ProbeSender::start(sim::Time at) {
   stop();
-  timer_ = sim_.at(at, [this] { tick(); });
+  timer_ = sim_.at(at, [this] { tick(); }, "app.probe");
 }
 
 void ProbeSender::stop() {
@@ -23,7 +23,7 @@ void ProbeSender::stop() {
 void ProbeSender::tick() {
   socket_.send_to(payload_bytes_, net::Ipv4Address::broadcast(), dst_port_, seq_);
   ++seq_;
-  timer_ = sim_.after(interval_, [this] { tick(); });
+  timer_ = sim_.after(interval_, [this] { tick(); }, "app.probe");
 }
 
 ProbeReceiver::ProbeReceiver(transport::UdpStack& stack, std::uint16_t port) {

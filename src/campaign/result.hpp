@@ -17,6 +17,11 @@ namespace adhoc::campaign {
 struct RunMetrics {
   std::map<std::string, double> metrics;
   std::uint64_t events = 0;
+  /// Flattened per-run observability snapshot ("mac.sta0.tx_data": v),
+  /// present when the run was executed with an obs::RunObserver.
+  std::map<std::string, double> obs;
+  /// Trace events lost to the sink's ring wrapping during the run.
+  std::uint64_t trace_dropped = 0;
 };
 
 /// A captured failure. `transient` marks runs that kept failing with

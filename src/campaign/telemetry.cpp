@@ -1,46 +1,17 @@
 #include "campaign/telemetry.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace adhoc::campaign {
 
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer the shortest representation that round-trips.
-  char shorter[32];
-  std::snprintf(shorter, sizeof shorter, "%.15g", v);
-  double back = 0.0;
-  std::sscanf(shorter, "%lf", &back);
-  return back == v ? shorter : buf;
-}
+// One escaping implementation for the whole repo: obs/json owns it.
+// (The previous local copy missed \b and \f, which broke JSONL parsing
+// of error records containing those control characters.)
+std::string json_escape(std::string_view s) { return obs::json_escape(s); }
+std::string json_number(double v) { return obs::json_number(v); }
 
 namespace {
 
@@ -104,6 +75,10 @@ void JsonlSink::run_end(const RunRecord& r) {
         r.wall_seconds > 0.0 ? static_cast<double>(r.metrics.events) / r.wall_seconds : 0.0;
     os << R"(,"events":)" << r.metrics.events << R"(,"events_per_sec":)" << json_number(rate)
        << R"(,"metrics":)" << metrics_json(r.metrics.metrics);
+    if (!r.metrics.obs.empty()) {
+      os << R"(,"obs":)" << metrics_json(r.metrics.obs) << R"(,"trace_dropped":)"
+         << r.metrics.trace_dropped;
+    }
   } else {
     os << R"(,"error":")" << json_escape(r.error.message) << R"(","transient":)"
        << (r.error.transient ? "true" : "false");

@@ -12,7 +12,21 @@ scenario::Transport transport_of(const campaign::RunSpec& spec) {
 }
 
 campaign::RunMetrics four_station_metrics(const FourStationRun& run) {
-  return {{{"s1_kbps", run.session1_kbps}, {"s2_kbps", run.session2_kbps}}, run.events};
+  return {{{"s1_kbps", run.session1_kbps}, {"s2_kbps", run.session2_kbps}}, run.events, {}, 0};
+}
+
+/// Run one replication under a per-run observer (when cfg asks for one)
+/// and fold its snapshot into the campaign metrics. `fn` receives the
+/// observer pointer (null at kOff) and returns the plain metrics; each
+/// worker builds a private observer, so no synchronisation is needed.
+template <typename Fn>
+campaign::RunMetrics observed(const ExperimentConfig& cfg, Fn&& fn) {
+  if (cfg.obs_level == obs::ObsLevel::kOff) return fn(nullptr);
+  obs::RunObserver observer{cfg.obs_level};
+  campaign::RunMetrics m = fn(&observer);
+  if (observer.registry() != nullptr) m.obs = observer.registry()->flatten();
+  if (observer.trace_sink() != nullptr) m.trace_dropped = observer.trace_sink()->dropped();
+  return m;
 }
 
 /// One fig7-layout replication with overridable PHY/MAC knobs — the unit
@@ -20,7 +34,8 @@ campaign::RunMetrics four_station_metrics(const FourStationRun& run) {
 /// the knob under study.
 FourStationRun fig7_variant_run(double pcs_range_m, phy::Rate control_rate,
                                 bool ack_requires_idle, bool ns2_phy,
-                                const ExperimentConfig& cfg, std::uint64_t seed) {
+                                const ExperimentConfig& cfg, std::uint64_t seed,
+                                obs::RunObserver* obs) {
   sim::Simulator sim{seed};
   scenario::NetworkConfig nc;
   nc.shadowing = cfg.shadowing;
@@ -40,6 +55,7 @@ FourStationRun fig7_variant_run(double pcs_range_m, phy::Rate control_rate,
   }
 
   scenario::Network net{sim, nc};
+  if (obs != nullptr) net.attach_observer(*obs);
   net.add_node({0, 0});
   net.add_node({25, 0});
   net.add_node({107.5, 0});
@@ -49,6 +65,7 @@ FourStationRun fig7_variant_run(double pcs_range_m, phy::Rate control_rate,
   rc.measure = cfg.measure;
   const auto r = scenario::run_sessions(
       net, {{0, 1, scenario::Transport::kUdp}, {2, 3, scenario::Transport::kUdp}}, rc);
+  if (obs != nullptr) obs->finalize(sim);
   return {r.sessions[0].kbps, r.sessions[1].kbps, sim.scheduler().total_executed()};
 }
 
@@ -61,8 +78,10 @@ ExperimentCampaign fig2_campaign(const ExperimentConfig& cfg) {
   plan.seeds = cfg.seeds;
   auto run = [cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
     TwoNodeSpec tn{phy::Rate::kR11, spec.flag("rts"), transport_of(spec), 512, 10.0};
-    const auto r = two_node_run(tn, cfg, spec.seed);
-    return {{{"kbps", r.value}}, r.events};
+    return observed(cfg, [&](obs::RunObserver* obs) -> campaign::RunMetrics {
+      const auto r = two_node_run(tn, cfg, spec.seed, obs);
+      return {{{"kbps", r.value}}, r.events, {}, 0};
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -75,8 +94,10 @@ ExperimentCampaign two_node_rates_campaign(const ExperimentConfig& cfg) {
   auto run = [cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
     TwoNodeSpec tn{phy::rate_from_mbps(spec.param("rate_mbps")), false, transport_of(spec), 512,
                    10.0};
-    const auto r = two_node_run(tn, cfg, spec.seed);
-    return {{{"kbps", r.value}}, r.events};
+    return observed(cfg, [&](obs::RunObserver* obs) -> campaign::RunMetrics {
+      const auto r = two_node_run(tn, cfg, spec.seed, obs);
+      return {{{"kbps", r.value}}, r.events, {}, 0};
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -90,8 +111,10 @@ ExperimentCampaign fig3_campaign(const ExperimentConfig& cfg, std::uint32_t prob
     LossSweepSpec ls;
     ls.rate = phy::rate_from_mbps(spec.param("rate_mbps"));
     ls.probes = probes;
-    const auto r = loss_run(ls, spec.param("distance_m"), cfg, spec.seed);
-    return {{{"loss", r.value}}, r.events};
+    return observed(cfg, [&](obs::RunObserver* obs) -> campaign::RunMetrics {
+      const auto r = loss_run(ls, spec.param("distance_m"), cfg, spec.seed, obs);
+      return {{{"loss", r.value}}, r.events, {}, 0};
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -106,7 +129,9 @@ ExperimentCampaign four_station_campaign(const FourStationSpec& base,
     FourStationSpec fs = base;
     fs.rts = spec.flag("rts");
     fs.transport = transport_of(spec);
-    return four_station_metrics(four_station_run(fs, cfg, spec.seed));
+    return observed(cfg, [&](obs::RunObserver* obs) {
+      return four_station_metrics(four_station_run(fs, cfg, spec.seed, obs));
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -121,8 +146,10 @@ ExperimentCampaign saturation_campaign(std::vector<double> station_counts,
     SaturationSpec ss;
     ss.n_stations = static_cast<std::uint32_t>(spec.param("stations"));
     ss.rts = spec.flag("rts");
-    const auto r = saturation_run(ss, cfg, spec.seed);
-    return {{{"kbps", r.value}}, r.events};
+    return observed(cfg, [&](obs::RunObserver* obs) -> campaign::RunMetrics {
+      const auto r = saturation_run(ss, cfg, spec.seed, obs);
+      return {{{"kbps", r.value}}, r.events, {}, 0};
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -133,9 +160,11 @@ ExperimentCampaign ablation_pcs_campaign(const ExperimentConfig& cfg) {
   plan.grid.add("pcs_m", {60, 150, 250});
   plan.seeds = cfg.seeds;
   auto run = [cfg](const campaign::RunSpec& spec) {
-    return four_station_metrics(fig7_variant_run(spec.param("pcs_m"), phy::Rate::kR2,
-                                                 /*ack_requires_idle=*/true, /*ns2_phy=*/false,
-                                                 cfg, spec.seed));
+    return observed(cfg, [&](obs::RunObserver* obs) {
+      return four_station_metrics(fig7_variant_run(spec.param("pcs_m"), phy::Rate::kR2,
+                                                   /*ack_requires_idle=*/true, /*ns2_phy=*/false,
+                                                   cfg, spec.seed, obs));
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -146,9 +175,11 @@ ExperimentCampaign ablation_control_rate_campaign(const ExperimentConfig& cfg) {
   plan.grid.add("control_mbps", {2, 1});
   plan.seeds = cfg.seeds;
   auto run = [cfg](const campaign::RunSpec& spec) {
-    return four_station_metrics(
-        fig7_variant_run(150.0, phy::rate_from_mbps(spec.param("control_mbps")),
-                         /*ack_requires_idle=*/true, /*ns2_phy=*/false, cfg, spec.seed));
+    return observed(cfg, [&](obs::RunObserver* obs) {
+      return four_station_metrics(
+          fig7_variant_run(150.0, phy::rate_from_mbps(spec.param("control_mbps")),
+                           /*ack_requires_idle=*/true, /*ns2_phy=*/false, cfg, spec.seed, obs));
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -159,8 +190,10 @@ ExperimentCampaign ablation_ack_policy_campaign(const ExperimentConfig& cfg) {
   plan.grid.add("ack_idle", {1, 0});
   plan.seeds = cfg.seeds;
   auto run = [cfg](const campaign::RunSpec& spec) {
-    return four_station_metrics(fig7_variant_run(150.0, phy::Rate::kR2, spec.flag("ack_idle"),
-                                                 /*ns2_phy=*/false, cfg, spec.seed));
+    return observed(cfg, [&](obs::RunObserver* obs) {
+      return four_station_metrics(fig7_variant_run(150.0, phy::Rate::kR2, spec.flag("ack_idle"),
+                                                   /*ns2_phy=*/false, cfg, spec.seed, obs));
+    });
   };
   return {std::move(plan), std::move(run)};
 }
@@ -172,9 +205,11 @@ ExperimentCampaign ablation_phy_campaign(const ExperimentConfig& cfg) {
   plan.seeds = cfg.seeds;
   auto run = [cfg](const campaign::RunSpec& spec) {
     // pcs -1: compare the two calibrations as shipped, no PCS override.
-    return four_station_metrics(fig7_variant_run(-1.0, phy::Rate::kR2,
-                                                 /*ack_requires_idle=*/true, spec.flag("ns2"),
-                                                 cfg, spec.seed));
+    return observed(cfg, [&](obs::RunObserver* obs) {
+      return four_station_metrics(fig7_variant_run(-1.0, phy::Rate::kR2,
+                                                   /*ack_requires_idle=*/true, spec.flag("ns2"),
+                                                   cfg, spec.seed, obs));
+    });
   };
   return {std::move(plan), std::move(run)};
 }

@@ -29,12 +29,13 @@ scenario::NetworkConfig net_config_for(phy::Rate rate, bool rts,
 
 // ------------------------------------------------------ two-node experiments
 
-SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg,
-                       std::uint64_t seed) {
+SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg, std::uint64_t seed,
+                       obs::RunObserver* obs) {
   sim::Simulator sim{seed};
   // Short, clean link: the deterministic channel isolates MAC overhead,
   // matching the paper's "stations well within range" setup.
   scenario::Network net{sim, net_config_for(spec.rate, spec.rts, std::nullopt)};
+  if (obs != nullptr) net.attach_observer(*obs);
   net.add_node({0.0, 0.0});
   net.add_node({spec.distance_m, 0.0});
 
@@ -43,6 +44,7 @@ SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg,
   rc.measure = cfg.measure;
   rc.payload_bytes = spec.payload_bytes;
   const auto result = scenario::run_sessions(net, {{0, 1, spec.transport}}, rc);
+  if (obs != nullptr) obs->finalize(sim);
   return {result.sessions[0].kbps, sim.scheduler().total_executed()};
 }
 
@@ -80,7 +82,7 @@ std::vector<double> fig3_distances() {
 }
 
 SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const ExperimentConfig& cfg,
-                   std::uint64_t seed) {
+                   std::uint64_t seed, obs::RunObserver* obs) {
   (void)cfg;  // probes ignore warmup/measure; kept for API uniformity
   const sim::Time interval = sim::Time::ms(20);
   sim::Simulator sim{seed};
@@ -90,6 +92,7 @@ SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const Experimen
   // Probes are broadcast; they must ride the rate under test.
   nc.mac.broadcast_rate = spec.rate;
   scenario::Network net{sim, nc};
+  if (obs != nullptr) net.attach_observer(*obs);
   net.add_node({0.0, 0.0});
   net.add_node({distance_m, 0.0});
 
@@ -100,6 +103,7 @@ SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const Experimen
   sim.run_until(sim::Time::ms(5) + interval * spec.probes);
   sender.stop();
   sim.run_until(sim.now() + sim::Time::ms(50));  // drain in-flight probes
+  if (obs != nullptr) obs->finalize(sim);
   return {receiver.loss_rate(sender.sent()), sim.scheduler().total_executed()};
 }
 
@@ -138,9 +142,10 @@ double estimate_tx_range(phy::Rate rate, const ExperimentConfig& cfg, double los
 // --------------------------------------------------- four-station scenarios
 
 FourStationRun four_station_run(const FourStationSpec& spec, const ExperimentConfig& cfg,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, obs::RunObserver* obs) {
   sim::Simulator sim{seed};
   scenario::Network net{sim, net_config_for(spec.rate, spec.rts, cfg.shadowing)};
+  if (obs != nullptr) net.attach_observer(*obs);
   const double x2 = spec.d12_m;
   const double x3 = spec.d12_m + spec.d23_m;
   const double x4 = spec.d12_m + spec.d23_m + spec.d34_m;
@@ -161,6 +166,7 @@ FourStationRun four_station_run(const FourStationSpec& spec, const ExperimentCon
     sessions.push_back({2, 3, spec.transport});  // S3 -> S4
   }
   const auto result = scenario::run_sessions(net, sessions, rc);
+  if (obs != nullptr) obs->finalize(sim);
   return {result.sessions[0].kbps, result.sessions[1].kbps, sim.scheduler().total_executed()};
 }
 
@@ -178,11 +184,12 @@ FourStationResult four_station(const FourStationSpec& spec, const ExperimentConf
 // -------------------------------------------------- saturation (extension)
 
 SingleRun saturation_run(const SaturationSpec& spec, const ExperimentConfig& cfg,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, obs::RunObserver* obs) {
   sim::Simulator sim{seed};
   // Deterministic channel, everyone well inside everyone's range:
   // Bianchi's single-collision-domain, ideal-channel assumptions.
   scenario::Network net{sim, net_config_for(spec.rate, spec.rts, std::nullopt)};
+  if (obs != nullptr) net.attach_observer(*obs);
   std::vector<scenario::SessionSpec> sessions;
   for (std::uint32_t i = 0; i < spec.n_stations; ++i) {
     // Senders on a 10 m circle, receivers clustered at the center:
@@ -200,6 +207,7 @@ SingleRun saturation_run(const SaturationSpec& spec, const ExperimentConfig& cfg
   rc.measure = cfg.measure;
   rc.payload_bytes = spec.payload_bytes;
   const auto result = scenario::run_sessions(net, sessions, rc);
+  if (obs != nullptr) obs->finalize(sim);
   double sum = 0.0;
   for (const auto& s : result.sessions) sum += s.kbps;
   return {sum, sim.scheduler().total_executed()};

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/throughput_model.hpp"
+#include "obs/observer.hpp"
 #include "phy/rates.hpp"
 #include "phy/shadowing.hpp"
 #include "scenario/runner.hpp"
@@ -28,6 +29,10 @@ struct ExperimentConfig {
   /// otherwise-stable in-range links; MAC retries then see fresh channel
   /// draws, as on the real testbed.
   phy::ShadowingParams shadowing{1.5, sim::Time::ms(20), 0.0};
+  /// Observability for campaign replications: each run gets its own
+  /// obs::RunObserver at this level and its snapshot rides the run_end
+  /// telemetry record. kOff (default) costs nothing.
+  obs::ObsLevel obs_level = obs::ObsLevel::kOff;
 };
 
 /// Mean and 95% CI half-width over seeds.
@@ -140,6 +145,10 @@ Measured saturation_throughput(const SaturationSpec& spec, const ExperimentConfi
 // One (spec, seed) simulation each, building a private Simulator — the
 // unit of work the campaign engine parallelises (see campaigns.hpp).
 // The aggregate functions above fold these over cfg.seeds.
+//
+// Passing an obs::RunObserver wires it across all layers of the run's
+// network (Network::attach_observer) and finalizes it — scheduler
+// profile and trace health included — before the function returns.
 
 struct SingleRun {
   double value = 0.0;        ///< experiment-specific metric
@@ -147,7 +156,8 @@ struct SingleRun {
 };
 
 /// Goodput (kbps) of one two-node replication.
-SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg, std::uint64_t seed);
+SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg, std::uint64_t seed,
+                       obs::RunObserver* obs = nullptr);
 
 struct FourStationRun {
   double session1_kbps = 0.0;
@@ -155,15 +165,15 @@ struct FourStationRun {
   std::uint64_t events = 0;
 };
 FourStationRun four_station_run(const FourStationSpec& spec, const ExperimentConfig& cfg,
-                                std::uint64_t seed);
+                                std::uint64_t seed, obs::RunObserver* obs = nullptr);
 
 /// Probe loss rate at a single distance for one seed.
 SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const ExperimentConfig& cfg,
-                   std::uint64_t seed);
+                   std::uint64_t seed, obs::RunObserver* obs = nullptr);
 
 /// Aggregate saturation goodput (kbps) for one seed.
 SingleRun saturation_run(const SaturationSpec& spec, const ExperimentConfig& cfg,
-                         std::uint64_t seed);
+                         std::uint64_t seed, obs::RunObserver* obs = nullptr);
 
 // ------------------------------------------------------------------ helpers
 

@@ -35,6 +35,8 @@ struct MacCounters {
   std::uint64_t nav_updates = 0;
   std::uint64_t backoff_draws = 0;
   std::uint64_t backoff_slots_total = 0;
+
+  std::uint64_t queue_high_water = 0;    // deepest the tx queue ever got
 };
 
 std::ostream& operator<<(std::ostream& os, const MacCounters& c);

@@ -9,21 +9,43 @@ namespace adhoc::mac {
 namespace {
 /// Margin added to CTS/ACK timeouts to absorb propagation delays.
 const sim::Time kTimeoutMargin = sim::Time::us(5);
+
+constexpr obs::EventKind to_obs_kind(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kTxStart: return obs::EventKind::kMacTxStart;
+    case TraceEvent::kRxOk: return obs::EventKind::kMacRxOk;
+    case TraceEvent::kRxError: return obs::EventKind::kMacRxError;
+    case TraceEvent::kAckTimeout: return obs::EventKind::kMacAckTimeout;
+    case TraceEvent::kCtsTimeout: return obs::EventKind::kMacCtsTimeout;
+    case TraceEvent::kDrop: return obs::EventKind::kMacDrop;
+    case TraceEvent::kQueueDrop: return obs::EventKind::kMacQueueDrop;
+  }
+  return obs::EventKind::kMacRxError;
+}
 }  // namespace
 
+void Dcf::obs_emit(TraceEvent event, double seq, double bytes) {
+  if (obs_sink_ == nullptr) return;
+  obs_sink_->instant(sim_.now(), obs::Layer::kMac, radio_.id(), to_obs_kind(event), seq, bytes);
+}
+
 void Dcf::trace(TraceEvent event, const Frame& f) {
+  obs_emit(event, static_cast<double>(f.seq), static_cast<double>(f.sdu_bytes));
   if (tracer_ == nullptr) return;
   tracer_->record(TraceRecord{sim_.now(), address_, event, f.type, f.src, f.dst, f.seq, f.retry,
                               f.sdu_bytes});
 }
 
 void Dcf::trace_event(TraceEvent event) {
+  const bool have_item = !queue_.empty();
+  obs_emit(event, have_item ? static_cast<double>(queue_.front().seq) : 0.0,
+           have_item ? static_cast<double>(queue_.front().bytes) : 0.0);
   if (tracer_ == nullptr) return;
   TraceRecord r;
   r.at = sim_.now();
   r.station = address_;
   r.event = event;
-  if (!queue_.empty()) {
+  if (have_item) {
     r.dst = queue_.front().dst;
     r.seq = queue_.front().seq;
     r.bytes = queue_.front().bytes;
@@ -52,6 +74,7 @@ bool Dcf::enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t
   }
   ++counters_.msdu_enqueued;
   queue_.push_back(QueueItem{dst, std::move(sdu), bytes, false, 0, 0, 0});
+  counters_.queue_high_water = std::max<std::uint64_t>(counters_.queue_high_water, queue_.size());
   if (state_ == State::kIdle) try_begin_access();
   return true;
 }
@@ -69,7 +92,7 @@ void Dcf::set_nav(sim::Time until) {
   nav_timer_ = sim_.after(until - sim_.now(), [this] {
     nav_timer_ = sim::kInvalidEvent;
     try_begin_access();
-  });
+  }, "mac.nav");
   // Virtual carrier sense interrupts any DIFS wait / backoff countdown.
   cancel_access_timers();
 }
@@ -101,7 +124,7 @@ void Dcf::try_begin_access() {
   defer_timer_ = sim_.after(wait, [this] {
     defer_timer_ = sim::kInvalidEvent;
     on_defer_end();
-  });
+  }, "mac.defer");
 }
 
 void Dcf::on_defer_end() {
@@ -120,7 +143,7 @@ void Dcf::on_defer_end() {
   slot_timer_ = sim_.after(params_.timing.slot, [this] {
     slot_timer_ = sim::kInvalidEvent;
     on_backoff_slot();
-  });
+  }, "mac.slot");
 }
 
 void Dcf::on_backoff_slot() {
@@ -134,7 +157,7 @@ void Dcf::on_backoff_slot() {
   slot_timer_ = sim_.after(params_.timing.slot, [this] {
     slot_timer_ = sim::kInvalidEvent;
     on_backoff_slot();
-  });
+  }, "mac.slot");
 }
 
 void Dcf::draw_backoff() {
@@ -247,7 +270,7 @@ void Dcf::start_exchange_timeout(sim::Time timeout) {
   timeout_timer_ = sim_.after(timeout, [this] {
     timeout_timer_ = sim::kInvalidEvent;
     on_exchange_timeout();
-  });
+  }, "mac.timeout");
 }
 
 void Dcf::on_exchange_timeout() {
@@ -340,6 +363,7 @@ void Dcf::on_tx_end() {
 
 void Dcf::on_rx_error() {
   ++counters_.rx_errors;
+  obs_emit(TraceEvent::kRxError, 0.0, 0.0);
   if (tracer_ != nullptr) {
     TraceRecord r;
     r.at = sim_.now();
@@ -487,7 +511,7 @@ void Dcf::handle_cts(const Frame& f) {
   sifs_data_timer_ = sim_.after(params_.timing.sifs, [this] {
     sifs_data_timer_ = sim::kInvalidEvent;
     send_data_frame();
-  });
+  }, "mac.sifs");
 }
 
 void Dcf::handle_ack(const Frame& f) {
@@ -519,7 +543,7 @@ void Dcf::advance_fragment() {
   sifs_data_timer_ = sim_.after(params_.timing.sifs, [this] {
     sifs_data_timer_ = sim::kInvalidEvent;
     send_data_frame();
-  });
+  }, "mac.sifs");
 }
 
 void Dcf::schedule_response(Frame response, bool is_ack) {
@@ -534,30 +558,33 @@ void Dcf::schedule_response(Frame response, bool is_ack) {
     return;
   }
   cancel_access_timers();
-  response_timer_ = sim_.after(params_.timing.sifs, [this, response, is_ack] {
-    response_timer_ = sim::kInvalidEvent;
-    if (radio_.transmitting()) {
-      ++counters_.responses_suppressed;
-      try_begin_access();
-      return;
-    }
-    if (is_ack && params_.ack_requires_idle_medium && radio_.cca_busy()) {
-      ++counters_.acks_suppressed_busy;
-      try_begin_access();
-      return;
-    }
-    auto wire = std::make_shared<Frame>(response);
-    if (is_ack) {
-      ++counters_.tx_ack;
-    } else {
-      ++counters_.tx_cts;
-    }
-    trace(TraceEvent::kTxStart, *wire);
-    ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " TX " << *wire);
-    state_ = State::kResponding;
-    radio_.start_tx(
-        phy::TxDescriptor{params_.control_rate, wire->psdu_bits(), params_.preamble, wire});
-  });
+  response_timer_ = sim_.after(
+      params_.timing.sifs,
+      [this, response, is_ack] {
+        response_timer_ = sim::kInvalidEvent;
+        if (radio_.transmitting()) {
+          ++counters_.responses_suppressed;
+          try_begin_access();
+          return;
+        }
+        if (is_ack && params_.ack_requires_idle_medium && radio_.cca_busy()) {
+          ++counters_.acks_suppressed_busy;
+          try_begin_access();
+          return;
+        }
+        auto wire = std::make_shared<Frame>(response);
+        if (is_ack) {
+          ++counters_.tx_ack;
+        } else {
+          ++counters_.tx_cts;
+        }
+        trace(TraceEvent::kTxStart, *wire);
+        ADHOC_LOG(kTrace, sim_.now(), "dcf", address_ << " TX " << *wire);
+        state_ = State::kResponding;
+        radio_.start_tx(
+            phy::TxDescriptor{params_.control_rate, wire->psdu_bits(), params_.preamble, wire});
+      },
+      "mac.response");
 }
 
 std::ostream& operator<<(std::ostream& os, const MacCounters& c) {

@@ -27,6 +27,7 @@
 #include "mac/frame.hpp"
 #include "mac/mac_params.hpp"
 #include "mac/trace.hpp"
+#include "obs/trace.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
 
@@ -65,6 +66,11 @@ class Dcf final : public phy::RadioListener {
 
   /// Attach a frame tracer (shared across stations; nullptr disables).
   void set_tracer(FrameTracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] FrameTracer* tracer() const { return tracer_; }
+
+  /// Mirror MAC events into a cross-layer trace sink (nullptr disables;
+  /// the radio id is the track). Independent of the CSV FrameTracer.
+  void set_trace_sink(obs::TraceSink* sink) { obs_sink_ = sink; }
 
   /// Per-destination data-rate override, consulted for each unicast data
   /// frame. Used by rate-adaptation controllers (mac/arf.hpp); when
@@ -188,10 +194,12 @@ class Dcf final : public phy::RadioListener {
   AttemptHandler attempt_handler_;
   MacCounters counters_;
   FrameTracer* tracer_ = nullptr;
+  obs::TraceSink* obs_sink_ = nullptr;
   RateSelector rate_selector_;
 
   void trace(TraceEvent event, const Frame& f);
   void trace_event(TraceEvent event);
+  void obs_emit(TraceEvent event, double seq, double bytes);
 };
 
 }  // namespace adhoc::mac

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "sim/log.hpp"
+
 namespace adhoc::mac {
 
 std::string_view trace_event_name(TraceEvent e) {
@@ -17,6 +19,20 @@ std::string_view trace_event_name(TraceEvent e) {
     case TraceEvent::kQueueDrop: return "QDROP";
   }
   return "?";
+}
+
+void FrameTracer::record(TraceRecord r) {
+  if (max_records_ != 0 && records_.size() >= max_records_) {
+    if (dropped_ == 0) {
+      ADHOC_LOG(kWarning, r.at, "mac.trace",
+                "frame trace full at " << max_records_
+                                       << " records; further events dropped (raise the cap "
+                                          "with set_max_records)");
+    }
+    ++dropped_;
+    return;
+  }
+  records_.push_back(r);
 }
 
 std::size_t FrameTracer::count(TraceEvent e) const {

@@ -46,13 +46,7 @@ class FrameTracer {
   FrameTracer() = default;
   explicit FrameTracer(std::size_t max_records) : max_records_(max_records) {}
 
-  void record(TraceRecord r) {
-    if (max_records_ != 0 && records_.size() >= max_records_) {
-      ++dropped_;
-      return;
-    }
-    records_.push_back(r);
-  }
+  void record(TraceRecord r);
 
   /// Cap the number of retained records; 0 (default) means unbounded.
   /// Lowering the cap below the current size only affects future records.

@@ -1,0 +1,21 @@
+#pragma once
+// Minimal JSON emission helpers shared by every observability surface
+// (metrics snapshots, trace export, campaign telemetry). Emission only:
+// the simulator never needs to *parse* JSON, so there is no parser here.
+
+#include <string>
+#include <string_view>
+
+namespace adhoc::obs {
+
+/// Escape `s` for embedding inside a JSON string literal. Handles
+/// quotes, backslashes, and all control characters (U+0000..U+001F as
+/// \uXXXX or the short forms \n \r \t \b \f); other bytes pass through
+/// unchanged, so UTF-8 payloads survive round trips.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number: shortest representation that
+/// round-trips, "null" for non-finite values (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace adhoc::obs

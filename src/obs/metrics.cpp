@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace adhoc::obs {
+
+MetricsRegistry::Metric& MetricsRegistry::get_or_create(const std::string& component,
+                                                        const std::string& name,
+                                                        Metric::Kind kind) {
+  auto& slot = components_[component][name];
+  if (!slot) {
+    slot = std::make_unique<Metric>();
+    slot->kind = kind;
+  } else if (slot->kind != kind) {
+    throw std::logic_error("MetricsRegistry: '" + component + "." + name +
+                           "' re-registered as a different kind");
+  }
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& component, const std::string& name) {
+  return get_or_create(component, name, Metric::Kind::kCounter).counter;
+}
+
+void MetricsRegistry::set_gauge(const std::string& component, const std::string& name,
+                                double value) {
+  get_or_create(component, name, Metric::Kind::kGauge).gauge = value;
+}
+
+void MetricsRegistry::add_probe(const std::string& component, const std::string& name,
+                                ProbeFn fn) {
+  get_or_create(component, name, Metric::Kind::kProbe).probe = std::move(fn);
+}
+
+Distribution& MetricsRegistry::distribution(const std::string& component,
+                                            const std::string& name) {
+  return get_or_create(component, name, Metric::Kind::kDistribution).dist;
+}
+
+void MetricsRegistry::materialize_probes() {
+  for (auto& [component, metrics] : components_) {
+    for (auto& [name, metric] : metrics) {
+      if (metric->kind != Metric::Kind::kProbe) continue;
+      metric->gauge = metric->probe ? metric->probe() : 0.0;
+      metric->kind = Metric::Kind::kGauge;
+      metric->probe = nullptr;
+    }
+  }
+}
+
+void MetricsRegistry::flatten_metric(const std::string& key, const Metric& m,
+                                     std::map<std::string, double>& out) const {
+  switch (m.kind) {
+    case Metric::Kind::kCounter:
+      out[key] = static_cast<double>(m.counter.value());
+      break;
+    case Metric::Kind::kGauge:
+      out[key] = m.gauge;
+      break;
+    case Metric::Kind::kProbe:
+      out[key] = m.probe ? m.probe() : 0.0;
+      break;
+    case Metric::Kind::kDistribution: {
+      const auto& p = m.dist.samples();
+      out[key + ".count"] = static_cast<double>(p.count());
+      if (!p.empty()) {
+        out[key + ".mean"] = p.mean();
+        out[key + ".min"] = p.min();
+        out[key + ".p50"] = p.percentile(50);
+        out[key + ".p95"] = p.percentile(95);
+        out[key + ".p99"] = p.percentile(99);
+        out[key + ".max"] = p.max();
+      }
+      break;
+    }
+  }
+}
+
+std::map<std::string, double> MetricsRegistry::flatten() const {
+  std::map<std::string, double> out;
+  for (const auto& [component, metrics] : components_) {
+    for (const auto& [name, metric] : metrics) {
+      flatten_metric(component + "." + name, *metric, out);
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  std::string out = "{";
+  bool first_component = true;
+  for (const auto& [component, metrics] : components_) {
+    if (!first_component) out += ',';
+    first_component = false;
+    out += '"' + json_escape(component) + "\":{";
+    // Flatten within the component so distributions expand in place.
+    std::map<std::string, double> values;
+    for (const auto& [name, metric] : metrics) flatten_metric(name, *metric, values);
+    bool first_metric = true;
+    for (const auto& [name, value] : values) {
+      if (!first_metric) out += ',';
+      first_metric = false;
+      out += '"' + json_escape(name) + "\":" + json_number(value);
+    }
+    out += '}';
+  }
+  return out + "}";
+}
+
+void MetricsRegistry::snapshot_periodic(sim::Time now) {
+  periodic_.push_back({now, flatten()});
+}
+
+void MetricsRegistry::write_json(const std::string& path, sim::Time now) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error("MetricsRegistry: cannot open " + path);
+  out << "{\"time_us\":" << json_number(now.to_us()) << ",\"metrics\":" << snapshot_json()
+      << ",\"periodic\":[";
+  bool first = true;
+  for (const auto& snap : periodic_) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"time_us\":" << json_number(snap.at.to_us()) << ",\"metrics\":{";
+    bool first_metric = true;
+    for (const auto& [name, value] : snap.metrics) {
+      if (!first_metric) out << ',';
+      first_metric = false;
+      out << '"' << json_escape(name) << "\":" << json_number(value);
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+  if (!out) throw std::runtime_error("MetricsRegistry: write failed for " + path);
+}
+
+}  // namespace adhoc::obs

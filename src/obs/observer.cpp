@@ -1,0 +1,83 @@
+#include "obs/observer.hpp"
+
+namespace adhoc::obs {
+
+std::string_view obs_level_name(ObsLevel lv) {
+  switch (lv) {
+    case ObsLevel::kOff: return "off";
+    case ObsLevel::kMetrics: return "metrics";
+    case ObsLevel::kTrace: return "trace";
+    case ObsLevel::kFull: return "full";
+  }
+  return "?";
+}
+
+std::optional<ObsLevel> obs_level_from_string(std::string_view s) {
+  if (s == "off") return ObsLevel::kOff;
+  if (s == "metrics") return ObsLevel::kMetrics;
+  if (s == "trace") return ObsLevel::kTrace;
+  if (s == "full") return ObsLevel::kFull;
+  return std::nullopt;
+}
+
+RunObserver::RunObserver(ObsLevel level, std::size_t trace_capacity) : level_(level) {
+  if (level_ >= ObsLevel::kMetrics) registry_ = std::make_unique<MetricsRegistry>();
+  if (level_ >= ObsLevel::kTrace) trace_ = std::make_unique<TraceSink>(trace_capacity);
+  if (level_ >= ObsLevel::kFull) profiler_ = std::make_unique<SchedulerProfiler>();
+}
+
+void RunObserver::enable_periodic_snapshots(sim::Simulator& sim, sim::Time interval) {
+  if (!registry_ || interval <= sim::Time::zero()) return;
+  // Self-rescheduling tick; dies with the simulation (remaining event is
+  // simply never executed once the run horizon passes).
+  struct Tick {
+    MetricsRegistry* reg;
+    sim::Simulator* sim;
+    sim::Time interval;
+    void operator()() const {
+      reg->snapshot_periodic(sim->now());
+      sim->after(interval, Tick{*this}, "obs.snapshot");
+    }
+  };
+  sim.after(interval, Tick{registry_.get(), &sim, interval}, "obs.snapshot");
+}
+
+void RunObserver::finalize(const sim::Simulator& sim) {
+  finalized_at_ = sim.now();
+  if (!registry_) return;
+  if (profiler_) profiler_->register_in(*registry_);
+  // The scheduler's own accounting wins over the profiler's view where
+  // they overlap (its high-water covers scheduling, not just execution).
+  const sim::Scheduler& sched = sim.scheduler();
+  registry_->set_gauge("scheduler", "total_scheduled",
+                       static_cast<double>(sched.total_scheduled()));
+  registry_->set_gauge("scheduler", "total_executed",
+                       static_cast<double>(sched.total_executed()));
+  registry_->set_gauge("scheduler", "total_cancelled",
+                       static_cast<double>(sched.total_cancelled()));
+  registry_->set_gauge("scheduler", "queue_high_water",
+                       static_cast<double>(sched.queue_high_water()));
+  if (trace_) {
+    registry_->set_gauge("trace", "recorded", static_cast<double>(trace_->total_recorded()));
+    registry_->set_gauge("trace", "retained", static_cast<double>(trace_->size()));
+    registry_->set_gauge("trace", "dropped", static_cast<double>(trace_->dropped()));
+    registry_->set_gauge("trace", "capacity", static_cast<double>(trace_->capacity()));
+  }
+  // Freeze probe values while their targets (DCF, radios, TCP stacks)
+  // are still alive; the registry can then outlive the simulation.
+  registry_->materialize_probes();
+}
+
+void RunObserver::write_metrics_json(const std::string& path, sim::Time now) const {
+  if (registry_) registry_->write_json(path, now);
+}
+
+void RunObserver::write_trace_json(const std::string& path) const {
+  if (trace_) trace_->write_chrome_trace(path);
+}
+
+void RunObserver::write_trace_csv(const std::string& path) const {
+  if (trace_) trace_->write_csv(path);
+}
+
+}  // namespace adhoc::obs

@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace adhoc::obs {
+
+std::string_view layer_name(Layer l) {
+  switch (l) {
+    case Layer::kPhy: return "phy";
+    case Layer::kMac: return "mac";
+    case Layer::kTransport: return "transport";
+    case Layer::kApp: return "app";
+  }
+  return "?";
+}
+
+std::string_view event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kPhyTx: return "phy_tx";
+    case EventKind::kPhyRxOk: return "phy_rx_ok";
+    case EventKind::kPhyRxError: return "phy_rx_error";
+    case EventKind::kPhyCollision: return "phy_collision";
+    case EventKind::kPhyCapture: return "phy_capture";
+    case EventKind::kMacTxStart: return "mac_tx";
+    case EventKind::kMacRxOk: return "mac_rx";
+    case EventKind::kMacRxError: return "mac_rx_error";
+    case EventKind::kMacAckTimeout: return "mac_ack_timeout";
+    case EventKind::kMacCtsTimeout: return "mac_cts_timeout";
+    case EventKind::kMacDrop: return "mac_drop";
+    case EventKind::kMacQueueDrop: return "mac_queue_drop";
+    case EventKind::kTcpCwnd: return "tcp_cwnd";
+    case EventKind::kTcpRto: return "tcp_rto";
+    case EventKind::kTcpRetransmit: return "tcp_retransmit";
+    case EventKind::kTcpFastRetransmit: return "tcp_fast_retransmit";
+  }
+  return "?";
+}
+
+bool event_kind_is_counter(EventKind k) { return k == EventKind::kTcpCwnd; }
+
+namespace {
+
+/// Names for the two numeric args, per kind (shown in the trace UI).
+struct ArgNames {
+  const char* a;
+  const char* b;
+};
+
+ArgNames arg_names(EventKind k) {
+  switch (k) {
+    case EventKind::kPhyTx: return {"rate_mbps", "psdu_bits"};
+    case EventKind::kPhyRxOk: return {"rate_mbps", "rx_dbm"};
+    case EventKind::kPhyRxError:
+    case EventKind::kPhyCollision:
+    case EventKind::kPhyCapture: return {"rate_mbps", "rx_dbm"};
+    case EventKind::kTcpCwnd: return {"cwnd", "ssthresh"};
+    case EventKind::kTcpRto: return {"rto_ms", "flight_bytes"};
+    case EventKind::kTcpRetransmit:
+    case EventKind::kTcpFastRetransmit: return {"seq", "bytes"};
+    default: return {"seq", "bytes"};
+  }
+}
+
+}  // namespace
+
+TraceSink::TraceSink(std::size_t capacity) : capacity_(std::max<std::size_t>(capacity, 1)) {
+  // The ring grows lazily up to capacity; short runs never pay for it.
+}
+
+void TraceSink::record(const Event& e) {
+  ++total_;
+  if (!full_) {
+    ring_.push_back(e);
+    head_ = ring_.size();
+    if (head_ == capacity_) {
+      full_ = true;
+      head_ = 0;
+    }
+    return;
+  }
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<Event> TraceSink::events() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  if (full_) {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  ring_.clear();
+  head_ = 0;
+  full_ = false;
+  total_ = 0;
+}
+
+void TraceSink::write_csv(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error("TraceSink: cannot open " + path);
+  out << "time_us,dur_us,track,layer,event,a,b\n";
+  for (const Event& e : events()) {
+    out << e.ts.to_us() << ',' << e.dur.to_us() << ',' << e.track << ',' << layer_name(e.layer)
+        << ',' << event_kind_name(e.kind) << ',' << json_number(e.a) << ',' << json_number(e.b)
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("TraceSink: write failed for " + path);
+}
+
+void TraceSink::write_chrome_trace(std::ostream& out) const {
+  std::vector<Event> evs = events();
+  // Publication order is simulation-time order already; the stable sort
+  // is a guard so the exported file is valid even if a publisher ever
+  // back-dates an event.
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Event& x, const Event& y) { return x.ts < y.ts; });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& obj) {
+    if (!first) out << ',';
+    first = false;
+    out << '\n' << obj;
+  };
+
+  // Metadata: name each station's process and each layer's thread track.
+  std::vector<std::pair<std::uint32_t, Layer>> tracks;
+  for (const Event& e : evs) {
+    const auto key = std::make_pair(e.track, e.layer);
+    if (std::find(tracks.begin(), tracks.end(), key) == tracks.end()) tracks.push_back(key);
+  }
+  std::vector<std::uint32_t> stations;
+  for (const auto& [track, layer] : tracks) {
+    if (std::find(stations.begin(), stations.end(), track) == stations.end())
+      stations.push_back(track);
+  }
+  for (const std::uint32_t s : stations) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(s) +
+         ",\"tid\":0,\"args\":{\"name\":\"sta" + std::to_string(s) + "\"}}");
+  }
+  for (const auto& [track, layer] : tracks) {
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(track) +
+         ",\"tid\":" + std::to_string(static_cast<unsigned>(layer)) + ",\"args\":{\"name\":\"" +
+         std::string(layer_name(layer)) + "\"}}");
+  }
+
+  for (const Event& e : evs) {
+    const ArgNames an = arg_names(e.kind);
+    std::string obj = "{\"name\":\"";
+    obj += event_kind_name(e.kind);
+    obj += "\",\"cat\":\"";
+    obj += layer_name(e.layer);
+    obj += "\",\"pid\":" + std::to_string(e.track);
+    obj += ",\"tid\":" + std::to_string(static_cast<unsigned>(e.layer));
+    obj += ",\"ts\":" + json_number(e.ts.to_us());
+    if (event_kind_is_counter(e.kind)) {
+      obj += ",\"ph\":\"C\",\"args\":{\"" + std::string(an.a) + "\":" + json_number(e.a) +
+             ",\"" + std::string(an.b) + "\":" + json_number(e.b) + "}}";
+    } else if (e.dur > sim::Time::zero()) {
+      obj += ",\"ph\":\"X\",\"dur\":" + json_number(e.dur.to_us());
+      obj += ",\"args\":{\"" + std::string(an.a) + "\":" + json_number(e.a) + ",\"" +
+             std::string(an.b) + "\":" + json_number(e.b) + "}}";
+    } else {
+      obj += ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"" + std::string(an.a) +
+             "\":" + json_number(e.a) + ",\"" + std::string(an.b) + "\":" + json_number(e.b) +
+             "}}";
+    }
+    emit(obj);
+  }
+  out << "\n]}\n";
+}
+
+void TraceSink::write_chrome_trace(const std::string& path) const {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) throw std::runtime_error("TraceSink: cannot open " + path);
+  write_chrome_trace(out);
+  if (!out) throw std::runtime_error("TraceSink: write failed for " + path);
+}
+
+}  // namespace adhoc::obs

@@ -36,8 +36,8 @@ void Medium::begin_transmission(const Radio& tx, const TxDescriptor& desc, sim::
     const sim::Time end_at = start_at + duration;
     sim_.at(start_at, [rx, sid, rx_dbm, desc, end_at] {
       rx->signal_start(sid, rx_dbm, desc, end_at);
-    });
-    sim_.at(end_at, [rx, sid] { rx->signal_end(sid); });
+    }, "phy.signal_start");
+    sim_.at(end_at, [rx, sid] { rx->signal_end(sid); }, "phy.signal_end");
   }
 }
 

@@ -99,10 +99,14 @@ sim::Time Radio::start_tx(const TxDescriptor& desc) {
                                                            desc.preamble);
   tx_until_ = sim_.now() + duration;
   medium_.begin_transmission(*this, desc, duration);
+  if (trace_ != nullptr) {
+    trace_->span(sim_.now(), duration, obs::Layer::kPhy, id_, obs::EventKind::kPhyTx,
+                 rate_mbps(desc.rate), static_cast<double>(desc.psdu_bits));
+  }
   sim_.at(tx_until_, [this] {
     if (listener_ != nullptr) listener_->on_tx_end();
     update_cca();
-  });
+  }, "phy.tx_end");
   update_cca();
   ADHOC_LOG(kTrace, sim_.now(), "phy", "radio " << id_ << " tx start, dur=" << duration.to_us()
                                                 << "us rate=" << desc.rate);
@@ -148,6 +152,10 @@ void Radio::signal_start(SignalId sid, double rx_dbm, const TxDescriptor& desc,
     const double sinr_db = rx_dbm - mw_to_dbm(interference_mw(sid));
     if (sinr_db >= params_.sinr_threshold(Rate::kR1)) {
       ++frames_captured_over_lock_;
+      if (trace_ != nullptr) {
+        trace_->instant(sim_.now(), obs::Layer::kPhy, id_, obs::EventKind::kPhyCapture, rx_dbm,
+                        sinr_db);
+      }
       const bool payload_ok = rx_dbm >= params_.sensitivity(desc.rate) &&
                               sinr_db >= params_.sinr_threshold(desc.rate);
       lock_ = Lock{sid, dbm_to_mw(rx_dbm), desc, payload_ok, false};
@@ -170,7 +178,13 @@ void Radio::update_lock_sinr() {
   // portion only the 1 Mbps threshold. We conservatively apply the
   // payload threshold when the payload is decodable, else the PLCP one.
   const Rate gate_rate = lock_->payload_decodable ? lock_->desc.rate : Rate::kR1;
-  if (sinr_db < params_.sinr_threshold(gate_rate)) lock_->corrupted = true;
+  if (sinr_db < params_.sinr_threshold(gate_rate)) {
+    lock_->corrupted = true;
+    if (trace_ != nullptr) {
+      trace_->instant(sim_.now(), obs::Layer::kPhy, id_, obs::EventKind::kPhyCollision,
+                      mw_to_dbm(lock_->power_mw), sinr_db);
+    }
+  }
 }
 
 void Radio::signal_end(SignalId sid) {
@@ -183,9 +197,17 @@ void Radio::signal_end(SignalId sid) {
     lock_.reset();
     if (ok) {
       ++frames_decoded_;
+      if (trace_ != nullptr) {
+        trace_->instant(sim_.now(), obs::Layer::kPhy, id_, obs::EventKind::kPhyRxOk,
+                        rate_mbps(rate), rx_dbm);
+      }
       if (listener_ != nullptr) listener_->on_rx_ok(std::move(payload), rate, rx_dbm);
     } else {
       ++frames_errored_;
+      if (trace_ != nullptr) {
+        trace_->instant(sim_.now(), obs::Layer::kPhy, id_, obs::EventKind::kPhyRxError,
+                        rate_mbps(rate), rx_dbm);
+      }
       if (listener_ != nullptr) listener_->on_rx_error();
     }
   }

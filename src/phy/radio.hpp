@@ -28,6 +28,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "phy/medium.hpp"
 #include "phy/mobility.hpp"
 #include "phy/phy_params.hpp"
@@ -66,6 +67,10 @@ class Radio {
   Radio& operator=(const Radio&) = delete;
 
   void set_listener(RadioListener* listener) { listener_ = listener; }
+
+  /// Publish tx/rx/collision/capture events into a cross-layer trace
+  /// sink (nullptr disables; the radio's id is the track).
+  void set_trace_sink(obs::TraceSink* sink) { trace_ = sink; }
 
   [[nodiscard]] std::uint32_t id() const { return id_; }
   /// Current position: the mobility model's if attached, else the static
@@ -139,6 +144,7 @@ class Radio {
   Position position_;
   const MobilityModel* mobility_ = nullptr;
   RadioListener* listener_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 
   std::map<SignalId, ActiveSignal> signals_;
   std::optional<Lock> lock_;

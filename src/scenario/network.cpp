@@ -1,6 +1,86 @@
 #include "scenario/network.hpp"
 
+#include <string>
+
 namespace adhoc::scenario {
+
+namespace {
+
+// Probe tables: name -> accessor, so every per-station counter struct is
+// re-exposed through the metrics registry without double bookkeeping
+// (probes are evaluated lazily, at snapshot time only).
+
+struct MacField {
+  const char* name;
+  std::uint64_t mac::MacCounters::*field;
+};
+constexpr MacField kMacFields[] = {
+    {"msdu_enqueued", &mac::MacCounters::msdu_enqueued},
+    {"msdu_queue_drops", &mac::MacCounters::msdu_queue_drops},
+    {"msdu_delivered_up", &mac::MacCounters::msdu_delivered_up},
+    {"rx_duplicates", &mac::MacCounters::rx_duplicates},
+    {"tx_data", &mac::MacCounters::tx_data},
+    {"tx_rts", &mac::MacCounters::tx_rts},
+    {"tx_cts", &mac::MacCounters::tx_cts},
+    {"tx_ack", &mac::MacCounters::tx_ack},
+    {"tx_success", &mac::MacCounters::tx_success},
+    {"tx_retry_drops", &mac::MacCounters::tx_retry_drops},
+    {"ack_timeouts", &mac::MacCounters::ack_timeouts},
+    {"cts_timeouts", &mac::MacCounters::cts_timeouts},
+    {"acks_suppressed_busy", &mac::MacCounters::acks_suppressed_busy},
+    {"cts_withheld_nav", &mac::MacCounters::cts_withheld_nav},
+    {"responses_suppressed", &mac::MacCounters::responses_suppressed},
+    {"msdu_fragmented", &mac::MacCounters::msdu_fragmented},
+    {"fragments_tx", &mac::MacCounters::fragments_tx},
+    {"reassembly_drops", &mac::MacCounters::reassembly_drops},
+    {"rx_errors", &mac::MacCounters::rx_errors},
+    {"nav_updates", &mac::MacCounters::nav_updates},
+    {"backoff_draws", &mac::MacCounters::backoff_draws},
+    {"backoff_slots_total", &mac::MacCounters::backoff_slots_total},
+    {"queue_high_water", &mac::MacCounters::queue_high_water},
+};
+
+struct PhyField {
+  const char* name;
+  std::uint64_t (phy::Radio::*getter)() const;
+};
+constexpr PhyField kPhyFields[] = {
+    {"frames_decoded", &phy::Radio::frames_decoded},
+    {"frames_errored", &phy::Radio::frames_errored},
+    {"frames_missed_while_tx", &phy::Radio::frames_missed_while_tx},
+    {"frames_missed_while_locked", &phy::Radio::frames_missed_while_locked},
+    {"frames_below_plcp_threshold", &phy::Radio::frames_below_plcp_threshold},
+    {"frames_failed_plcp_sinr", &phy::Radio::frames_failed_plcp_sinr},
+    {"frames_captured_over_lock", &phy::Radio::frames_captured_over_lock},
+};
+
+struct NetField {
+  const char* name;
+  std::uint64_t (net::Node::*getter)() const;
+};
+constexpr NetField kNetFields[] = {
+    {"ip_tx", &net::Node::ip_tx},
+    {"ip_rx_delivered", &net::Node::ip_rx_delivered},
+    {"ip_forwarded", &net::Node::ip_forwarded},
+    {"ip_drops", &net::Node::ip_drops},
+};
+
+struct TcpField {
+  const char* name;
+  std::uint64_t transport::TcpCounters::*field;
+};
+constexpr TcpField kTcpFields[] = {
+    {"segments_tx", &transport::TcpCounters::segments_tx},
+    {"segments_rx", &transport::TcpCounters::segments_rx},
+    {"data_segments_tx", &transport::TcpCounters::data_segments_tx},
+    {"retransmits", &transport::TcpCounters::retransmits},
+    {"rto_fires", &transport::TcpCounters::rto_fires},
+    {"fast_retransmits", &transport::TcpCounters::fast_retransmits},
+    {"dup_acks_rx", &transport::TcpCounters::dup_acks_rx},
+    {"acks_tx", &transport::TcpCounters::acks_tx},
+};
+
+}  // namespace
 
 Network::Network(sim::Simulator& simulator, NetworkConfig config)
     : sim_(simulator),
@@ -31,7 +111,60 @@ net::Node& Network::add_node(phy::Position pos, std::optional<mac::MacParams> ma
   nodes_.push_back(std::move(node));
   udp_.push_back(nullptr);
   tcp_.push_back(nullptr);
+  if (obs_ != nullptr) wire_node_observer(nodes_.size() - 1);
   return *nodes_.back();
+}
+
+void Network::attach_observer(obs::RunObserver& observer) {
+  obs_ = &observer;
+  if (observer.profiler() != nullptr) sim_.scheduler().set_probe(observer.profiler());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) wire_node_observer(i);
+  for (std::size_t i = 0; i < tcp_.size(); ++i) {
+    if (tcp_[i]) wire_tcp_observer(i);
+  }
+}
+
+void Network::wire_node_observer(std::size_t i) {
+  net::Node& n = *nodes_.at(i);
+  if (obs::TraceSink* sink = obs_->trace_sink(); sink != nullptr) {
+    n.radio().set_trace_sink(sink);
+    n.dcf().set_trace_sink(sink);
+  }
+  obs::MetricsRegistry* reg = obs_->registry();
+  if (reg == nullptr) return;
+  const std::string suffix = "sta" + std::to_string(i);
+  const mac::Dcf* dcf = &n.dcf();
+  for (const auto& f : kMacFields) {
+    reg->add_probe("mac." + suffix, f.name,
+                   [dcf, field = f.field] { return static_cast<double>(dcf->counters().*field); });
+  }
+  const phy::Radio* radio = &n.radio();
+  for (const auto& f : kPhyFields) {
+    reg->add_probe("phy." + suffix, f.name,
+                   [radio, getter = f.getter] { return static_cast<double>((radio->*getter)()); });
+  }
+  reg->add_probe("phy." + suffix, "energy_j", [radio] { return radio->energy_consumed_j(); });
+  const net::Node* node = &n;
+  for (const auto& f : kNetFields) {
+    reg->add_probe("net." + suffix, f.name,
+                   [node, getter = f.getter] { return static_cast<double>((node->*getter)()); });
+  }
+}
+
+void Network::wire_tcp_observer(std::size_t i) {
+  transport::TcpStack& stack = *tcp_.at(i);
+  if (obs::TraceSink* sink = obs_->trace_sink(); sink != nullptr) {
+    stack.set_trace_sink(sink, nodes_.at(i)->id());
+  }
+  obs::MetricsRegistry* reg = obs_->registry();
+  if (reg == nullptr) return;
+  const std::string component = "tcp.sta" + std::to_string(i);
+  const transport::TcpStack* s = &stack;
+  for (const auto& f : kTcpFields) {
+    reg->add_probe(component, f.name, [s, field = f.field] {
+      return static_cast<double>(s->aggregate_counters().*field);
+    });
+  }
 }
 
 transport::UdpStack& Network::udp(std::size_t i) {
@@ -40,7 +173,10 @@ transport::UdpStack& Network::udp(std::size_t i) {
 }
 
 transport::TcpStack& Network::tcp(std::size_t i) {
-  if (!tcp_.at(i)) tcp_[i] = std::make_unique<transport::TcpStack>(*nodes_.at(i));
+  if (!tcp_.at(i)) {
+    tcp_[i] = std::make_unique<transport::TcpStack>(*nodes_.at(i));
+    if (obs_ != nullptr) wire_tcp_observer(i);
+  }
   return *tcp_[i];
 }
 

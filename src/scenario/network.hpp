@@ -10,6 +10,7 @@
 
 #include "mac/mac_params.hpp"
 #include "net/node.hpp"
+#include "obs/observer.hpp"
 #include "phy/calibration.hpp"
 #include "phy/medium.hpp"
 #include "phy/shadowing.hpp"
@@ -53,7 +54,19 @@ class Network {
   [[nodiscard]] const phy::PropagationModel& propagation() const { return *active_model_; }
   [[nodiscard]] const phy::PhyParams& phy_params() const { return phy_params_; }
 
+  /// Wire a run observer across every layer: the scheduler profiler (if
+  /// any) is installed as the scheduler probe, every radio/DCF/TCP stack
+  /// publishes into the trace sink, and per-station PHY/MAC/IP/TCP
+  /// counters are registered as lazy probes ("mac.sta0", "phy.sta0", ...)
+  /// evaluated at snapshot time. Nodes and stacks created after the call
+  /// are wired on creation. The observer must outlive the network.
+  void attach_observer(obs::RunObserver& observer);
+  [[nodiscard]] obs::RunObserver* observer() const { return obs_; }
+
  private:
+  void wire_node_observer(std::size_t i);
+  void wire_tcp_observer(std::size_t i);
+
   sim::Simulator& sim_;
   NetworkConfig cfg_;
   phy::LogDistance base_model_;
@@ -64,6 +77,7 @@ class Network {
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<std::unique_ptr<transport::UdpStack>> udp_;
   std::vector<std::unique_ptr<transport::TcpStack>> tcp_;
+  obs::RunObserver* obs_ = nullptr;
 };
 
 }  // namespace adhoc::scenario

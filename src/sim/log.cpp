@@ -1,10 +1,20 @@
 #include "sim/log.hpp"
 
 #include <iomanip>
+#include <mutex>
 
 namespace adhoc::sim {
 
-LogLevel Log::level_ = LogLevel::kWarning;
+std::atomic<LogLevel> Log::level_{LogLevel::kWarning};
+
+namespace {
+// Serialises line output across campaign worker threads. A function-local
+// static keeps the header free of <mutex> for every call site.
+std::mutex& write_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
 
 std::string_view Log::level_name(LogLevel lv) {
   switch (lv) {
@@ -19,9 +29,14 @@ std::string_view Log::level_name(LogLevel lv) {
 }
 
 void Log::write(LogLevel lv, Time now, std::string_view component, std::string_view message) {
+  // Format first, then emit the whole line under the lock: concurrent
+  // writers interleave per line, never mid-line.
+  std::ostringstream line;
+  line << '[' << std::setw(12) << std::fixed << std::setprecision(3) << now.to_us() << "us] "
+       << level_name(lv) << ' ' << component << ": " << message << '\n';
   std::ostream& os = (lv >= LogLevel::kWarning) ? std::cerr : std::clog;
-  os << '[' << std::setw(12) << std::fixed << std::setprecision(3) << now.to_us() << "us] "
-     << level_name(lv) << ' ' << component << ": " << message << '\n';
+  const std::scoped_lock lock{write_mutex()};
+  os << line.str();
 }
 
 }  // namespace adhoc::sim

@@ -6,6 +6,7 @@
 // insertion style keeps call sites allocation-free when the level is
 // filtered out (the macro short-circuits before building the message).
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -16,12 +17,15 @@ namespace adhoc::sim {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarning = 3, kError = 4, kOff = 5 };
 
-/// Global log configuration (single-threaded simulator: no locking needed).
+/// Global log configuration. Thread-safe: campaign workers run whole
+/// simulators concurrently, so the level is atomic and write() serialises
+/// line output under a mutex (lines from different workers interleave,
+/// but never mid-line).
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel lv) { level_ = lv; }
-  static bool enabled(LogLevel lv) { return lv >= level_; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel lv) { level_.store(lv, std::memory_order_relaxed); }
+  static bool enabled(LogLevel lv) { return lv >= level_.load(std::memory_order_relaxed); }
 
   /// Emit one formatted line: "[ time] level component: message".
   static void write(LogLevel lv, Time now, std::string_view component, std::string_view message);
@@ -29,7 +33,7 @@ class Log {
   static std::string_view level_name(LogLevel lv);
 
  private:
-  static LogLevel level_;
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace adhoc::sim

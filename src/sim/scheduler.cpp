@@ -1,16 +1,18 @@
 #include "sim/scheduler.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace adhoc::sim {
 
-EventId Scheduler::schedule_at(Time at, Callback cb) {
+EventId Scheduler::schedule_at(Time at, Callback cb, const char* label) {
   if (at < now_) throw std::invalid_argument("Scheduler: event scheduled in the past");
   if (!cb) throw std::invalid_argument("Scheduler: empty callback");
   const EventId id = next_seq_++;
   heap_.push(HeapEntry{at, id, id});
-  callbacks_.emplace(id, std::move(cb));
+  callbacks_.emplace(id, Pending{std::move(cb), label});
+  if (callbacks_.size() > queue_high_water_) queue_high_water_ = callbacks_.size();
   ++total_scheduled_;
   return id;
 }
@@ -32,11 +34,20 @@ bool Scheduler::step() {
   const HeapEntry top = heap_.top();
   heap_.pop();
   auto it = callbacks_.find(top.id);
-  Callback cb = std::move(it->second);
+  Callback cb = std::move(it->second.cb);
+  const char* label = it->second.label;
   callbacks_.erase(it);
   now_ = top.at;
   ++total_executed_;
-  cb();
+  if (probe_ == nullptr) {
+    cb();
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    cb();
+    const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                            .count();
+    probe_->event_executed(label, wall, callbacks_.size());
+  }
   return true;
 }
 

@@ -22,6 +22,16 @@ namespace adhoc::sim {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Profiling hook (see obs::SchedulerProfiler). When attached, the
+/// scheduler times every executed callback and reports it here together
+/// with its static label and the post-execution queue depth. Detached
+/// (the default), the only cost is one null-pointer test per event.
+class SchedulerProbe {
+ public:
+  virtual ~SchedulerProbe() = default;
+  virtual void event_executed(const char* label, double wall_seconds, std::size_t pending) = 0;
+};
+
 /// Cancellable discrete-event queue.
 ///
 /// Cancellation is O(1) lazy: the callback map entry is erased and the
@@ -36,10 +46,14 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `cb` at absolute time `at`. `at` must not precede now().
-  EventId schedule_at(Time at, Callback cb);
+  /// `label` names the event type for profiling (static storage only —
+  /// the scheduler keeps the pointer, not a copy; string literals).
+  EventId schedule_at(Time at, Callback cb, const char* label = nullptr);
 
   /// Schedule `cb` after a relative delay (>= 0) from now().
-  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+  EventId schedule_in(Time delay, Callback cb, const char* label = nullptr) {
+    return schedule_at(now_ + delay, std::move(cb), label);
+  }
 
   /// Cancel a pending event. Returns true if the event existed and had not
   /// yet run. Cancelling kInvalidEvent or an already-run event is a no-op.
@@ -65,6 +79,12 @@ class Scheduler {
   [[nodiscard]] std::uint64_t total_scheduled() const { return total_scheduled_; }
   [[nodiscard]] std::uint64_t total_executed() const { return total_executed_; }
   [[nodiscard]] std::uint64_t total_cancelled() const { return total_cancelled_; }
+  /// Largest pending-event count ever reached.
+  [[nodiscard]] std::size_t queue_high_water() const { return queue_high_water_; }
+
+  /// Attach a profiling probe (nullptr detaches). The probe must outlive
+  /// its attachment.
+  void set_probe(SchedulerProbe* probe) { probe_ = probe; }
 
  private:
   struct HeapEntry {
@@ -79,16 +99,23 @@ class Scheduler {
     }
   };
 
+  struct Pending {
+    Callback cb;
+    const char* label;  // static string for profiling, or nullptr
+  };
+
   /// Pop heap entries until the top is a live event; returns false if empty.
   bool settle_top();
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_map<EventId, Pending> callbacks_;
   std::uint64_t total_scheduled_ = 0;
   std::uint64_t total_executed_ = 0;
   std::uint64_t total_cancelled_ = 0;
+  std::size_t queue_high_water_ = 0;
+  SchedulerProbe* probe_ = nullptr;
 };
 
 }  // namespace adhoc::sim

@@ -1,5 +1,6 @@
 #include "stats/histogram.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace adhoc::stats {
@@ -10,16 +11,22 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
+  if (std::isnan(x)) {
+    ++rejected_;
+    return;
+  }
   if (x < lo_) {
     ++underflow_;
     return;
   }
-  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
-  if (idx >= counts_.size()) {
+  // Compare before casting: size_t conversion of a huge/inf position is
+  // undefined, the double comparison is not.
+  const double pos = (x - lo_) / width_;
+  if (pos >= static_cast<double>(counts_.size())) {
     ++overflow_;
     return;
   }
-  ++counts_[idx];
+  ++counts_[static_cast<std::size_t>(pos)];
   ++count_;
 }
 

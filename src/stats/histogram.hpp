@@ -13,11 +13,14 @@ class Histogram {
   /// the underflow/overflow counters.
   Histogram(double lo, double hi, std::size_t bins);
 
+  /// NaN samples are rejected (counted, not binned); +/-inf land in the
+  /// overflow/underflow buckets like any other out-of-range value.
   void add(double x);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
   /// Fraction of in-range samples in bin i.
@@ -32,6 +35,7 @@ class Histogram {
   std::uint64_t count_ = 0;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace adhoc::stats

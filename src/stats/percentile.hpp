@@ -12,12 +12,19 @@ namespace adhoc::stats {
 
 class Percentiles {
  public:
+  /// NaN samples are rejected (they would break sort ordering and poison
+  /// the mean) and counted separately.
   void add(double x) {
+    if (std::isnan(x)) {
+      ++rejected_;
+      return;
+    }
     samples_.push_back(x);
     sorted_ = false;
   }
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] std::size_t rejected() const { return rejected_; }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
 
   /// p in [0, 100]. Nearest-rank on the sorted samples.
@@ -45,6 +52,7 @@ class Percentiles {
   void clear() {
     samples_.clear();
     sorted_ = false;
+    rejected_ = 0;
   }
 
  private:
@@ -57,6 +65,7 @@ class Percentiles {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace adhoc::stats

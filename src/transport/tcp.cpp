@@ -43,6 +43,16 @@ TcpConnection::TcpConnection(TcpStack& stack, std::uint16_t local_port,
   ssthresh_ = params_.rwnd_bytes;  // effectively "unset": cap at the window
 }
 
+void TcpConnection::trace_event(obs::EventKind kind, double a, double b) {
+  obs::TraceSink* t = stack_.trace_sink();
+  if (t == nullptr) return;
+  t->instant(sim_.now(), obs::Layer::kTransport, stack_.trace_track(), kind, a, b);
+}
+
+void TcpConnection::trace_cwnd() {
+  trace_event(obs::EventKind::kTcpCwnd, cwnd_, static_cast<double>(ssthresh_));
+}
+
 std::uint64_t TcpConnection::bytes_acked() const {
   // Exclude SYN (and FIN once acknowledged) from the count.
   std::uint64_t raw = snd_una_ - iss_;
@@ -85,6 +95,7 @@ void TcpConnection::close() {
 
 void TcpConnection::enter_established() {
   state_ = State::kEstablished;
+  trace_cwnd();  // opening point of the cwnd counter track
   if (on_established_) on_established_();
   try_send();
 }
@@ -177,6 +188,7 @@ void TcpConnection::retransmit_front() {
     net::TcpFlags f;
     f.fin = true;
     f.ack = true;
+    trace_event(obs::EventKind::kTcpRetransmit, static_cast<double>(fin_seq_ - iss_), 0.0);
     send_segment(fin_seq_, 0, f, true);
     return;
   }
@@ -187,6 +199,8 @@ void TcpConnection::retransmit_front() {
   if (len == 0) return;
   net::TcpFlags f;
   f.ack = true;
+  trace_event(obs::EventKind::kTcpRetransmit, static_cast<double>(snd_una_ - iss_),
+              static_cast<double>(len));
   send_segment(snd_una_, len, f, true);
   // Karn: never time a retransmitted segment.
   rtt_probe_.reset();
@@ -197,7 +211,7 @@ void TcpConnection::arm_rto() {
   rto_timer_ = sim_.after(rto_, [this] {
     rto_timer_ = sim::kInvalidEvent;
     on_rto();
-  });
+  }, "tcp.rto");
 }
 
 void TcpConnection::cancel_rto() {
@@ -222,9 +236,12 @@ void TcpConnection::on_rto() {
   }
   if (snd_una_ == snd_nxt_) return;  // nothing outstanding
 
+  trace_event(obs::EventKind::kTcpRto, rto_.to_sec() * 1e3,
+              static_cast<double>(flight_size()));
   // Loss response: collapse to one segment and go back to snd_una.
   ssthresh_ = std::max(flight_size() / 2, 2 * params_.mss);
   cwnd_ = params_.mss;
+  trace_cwnd();
   dupacks_ = 0;
   in_recovery_ = false;
   snd_nxt_ = fin_sent_ ? std::max(snd_una_, fin_seq_) : snd_una_;
@@ -280,13 +297,14 @@ void TcpConnection::handle_ack(const net::TcpHeader& h, std::uint32_t payload_le
         cwnd_ += static_cast<double>(params_.mss) * params_.mss / cwnd_;  // AIMD
       }
     }
+    trace_cwnd();
 
     if (fin_sent_ && seq_lt(fin_seq_, snd_una_)) {
       // Our FIN is acknowledged.
       if (state_ == State::kFinWait1) {
         state_ = peer_fin_seen_ ? State::kTimeWait : State::kFinWait2;
         if (state_ == State::kTimeWait) {
-          timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); });
+          timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); }, "tcp.timewait");
         }
       } else if (state_ == State::kLastAck) {
         become_closed();
@@ -314,12 +332,16 @@ void TcpConnection::handle_ack(const net::TcpHeader& h, std::uint32_t payload_le
       recover_ = snd_nxt_;
       in_recovery_ = true;
       ++counters_.fast_retransmits;
+      trace_event(obs::EventKind::kTcpFastRetransmit, static_cast<double>(snd_una_ - iss_),
+                  static_cast<double>(flight_size()));
       retransmit_front();
       cwnd_ = static_cast<double>(ssthresh_) +
               static_cast<double>(params_.dupack_threshold) * params_.mss;
+      trace_cwnd();
       arm_rto();
     } else if (in_recovery_) {
       cwnd_ += params_.mss;  // window inflation
+      trace_cwnd();
       try_send();
     }
   }
@@ -342,7 +364,7 @@ void TcpConnection::schedule_ack() {
     delack_timer_ = sim_.after(params_.delack_timeout, [this] {
       delack_timer_ = sim::kInvalidEvent;
       send_ack_now();
-    });
+    }, "tcp.delack");
   }
 }
 
@@ -402,10 +424,10 @@ void TcpConnection::handle_data(std::uint32_t seq, std::uint32_t len, bool fin,
     } else if (state_ == State::kFinWait1) {
       // simultaneous close handled via the ACK path
       state_ = State::kTimeWait;
-      timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); });
+      timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); }, "tcp.timewait");
     } else if (state_ == State::kFinWait2) {
       state_ = State::kTimeWait;
-      timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); });
+      timewait_timer_ = sim_.after(kTimeWait, [this] { become_closed(); }, "tcp.timewait");
     }
     send_ack_now();
     if (fin_queued_) maybe_send_fin();
@@ -520,6 +542,22 @@ TcpConnection& TcpStack::connect(net::Ipv4Address dst, std::uint16_t dst_port,
 
 void TcpStack::listen(std::uint16_t port, AcceptHandler handler) {
   listeners_[port] = std::move(handler);
+}
+
+TcpCounters TcpStack::aggregate_counters() const {
+  TcpCounters total;
+  for (const auto& conn : connections_) {
+    const TcpCounters& c = conn->counters();
+    total.segments_tx += c.segments_tx;
+    total.segments_rx += c.segments_rx;
+    total.data_segments_tx += c.data_segments_tx;
+    total.retransmits += c.retransmits;
+    total.rto_fires += c.rto_fires;
+    total.fast_retransmits += c.fast_retransmits;
+    total.dup_acks_rx += c.dup_acks_rx;
+    total.acks_tx += c.acks_tx;
+  }
+  return total;
 }
 
 bool TcpStack::transmit(const TcpConnection& c, const net::TcpHeader& h,

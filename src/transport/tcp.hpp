@@ -23,6 +23,7 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace adhoc::transport {
@@ -138,6 +139,10 @@ class TcpConnection {
   void handle_data(std::uint32_t seq, std::uint32_t len, bool fin, std::uint32_t fin_seq);
   void deliver(std::uint32_t bytes);
 
+  // observability (no-ops unless the stack has a trace sink attached)
+  void trace_cwnd();
+  void trace_event(obs::EventKind kind, double a, double b);
+
   TcpStack& stack_;
   sim::Simulator& sim_;
   TcpParams params_;
@@ -211,6 +216,19 @@ class TcpStack {
   [[nodiscard]] const TcpParams& default_params() const { return default_params_; }
   [[nodiscard]] std::size_t connection_count() const { return connections_.size(); }
 
+  /// Publish cwnd/RTO/retransmit events from every connection into a
+  /// cross-layer trace sink (nullptr disables). `track` identifies this
+  /// station in the exported trace.
+  void set_trace_sink(obs::TraceSink* sink, std::uint32_t track) {
+    trace_ = sink;
+    trace_track_ = track;
+  }
+  [[nodiscard]] obs::TraceSink* trace_sink() const { return trace_; }
+  [[nodiscard]] std::uint32_t trace_track() const { return trace_track_; }
+
+  /// Counters summed across every connection this stack owns.
+  [[nodiscard]] TcpCounters aggregate_counters() const;
+
   // --- connection-facing -------------------------------------------------
   bool transmit(const TcpConnection& c, const net::TcpHeader& h, std::uint32_t payload_len);
 
@@ -233,6 +251,8 @@ class TcpStack {
 
   net::Node& node_;
   TcpParams default_params_;
+  obs::TraceSink* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
   std::vector<std::unique_ptr<TcpConnection>> connections_;
   std::unordered_map<FlowKey, TcpConnection*, FlowKeyHash> flows_;
   std::unordered_map<std::uint16_t, AcceptHandler> listeners_;

@@ -1,7 +1,8 @@
-// Tiny 2-thread campaign used as a ctest smoke test. Built and run in
+// Small 4-thread campaign used as a ctest smoke test. Built and run in
 // every configuration; its real job is under -DSANITIZE=thread, where it
-// puts the worker pool, the shared cursor and the JSONL sink under
-// ThreadSanitizer to guard against data races in the engine.
+// puts the worker pool, the shared cursor, the JSONL sink, the global
+// sim::Log, and the per-run observability plumbing under ThreadSanitizer
+// to guard against data races.
 
 #include <iostream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "campaign/campaign.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
+#include "sim/log.hpp"
 
 using namespace adhoc;
 
@@ -18,19 +20,32 @@ int main() {
   cfg.seeds = {1, 2};
   cfg.warmup = sim::Time::ms(50);
   cfg.measure = sim::Time::ms(200);
+  // Per-run observers on every worker: registry probes, trace sinks and
+  // scheduler profilers all race-tested alongside the engine itself.
+  cfg.obs_level = obs::ObsLevel::kFull;
+
+  // Concurrent logging from all workers; capture so the smoke stays quiet.
+  std::ostringstream log_capture;
+  auto* old_clog = std::clog.rdbuf(log_capture.rdbuf());
+  sim::Log::set_level(sim::LogLevel::kInfo);
 
   std::ostringstream telemetry;
   campaign::JsonlSink sink{telemetry};
-  const campaign::CampaignEngine engine{{2, 2, &sink}};
+  const campaign::CampaignEngine engine{{4, 2, &sink}};
 
-  // Real simulations on both workers, plus one induced failure to cover
-  // the error path concurrently with successful runs.
+  // Real simulations on all workers, plus one induced failure to cover
+  // the error path concurrently with successful runs. The hostile
+  // message exercises the shared JSON escaper under concurrency too.
   auto def = experiments::fig2_campaign(cfg);
   const campaign::RunFn run = [&def](const campaign::RunSpec& spec) {
-    if (spec.run_index == 3) throw std::runtime_error("induced failure");
+    ADHOC_LOG(kInfo, sim::Time::zero(), "smoke", "run " << spec.run_index << " starting");
+    if (spec.run_index == 3) throw std::runtime_error("induced \"failure\"\n\b");
     return def.run(spec);
   };
   const auto result = engine.run(def.plan, run);
+
+  std::clog.rdbuf(old_clog);
+  sim::Log::set_level(sim::LogLevel::kWarning);
 
   if (result.runs.size() != 8 || result.ok_count() != 7 || result.error_count() != 1) {
     std::cerr << "campaign_smoke: unexpected result shape: " << result.runs.size() << " runs, "
@@ -41,6 +56,21 @@ int main() {
     std::cerr << "campaign_smoke: telemetry missing campaign_end\n";
     return 1;
   }
-  std::cout << "campaign_smoke: 8 runs on 2 workers, 1 isolated failure, ok\n";
+  // Observability payloads must ride the successful run_end records,
+  // with the hostile error message escaped onto a single line.
+  if (telemetry.str().find("\"obs\":{") == std::string::npos ||
+      telemetry.str().find("\"trace_dropped\":") == std::string::npos) {
+    std::cerr << "campaign_smoke: telemetry missing obs snapshot\n";
+    return 1;
+  }
+  if (telemetry.str().find(R"(induced \"failure\"\n\b)") == std::string::npos) {
+    std::cerr << "campaign_smoke: hostile error message not escaped\n";
+    return 1;
+  }
+  if (log_capture.str().find("smoke: run") == std::string::npos) {
+    std::cerr << "campaign_smoke: concurrent log lines missing\n";
+    return 1;
+  }
+  std::cout << "campaign_smoke: 8 runs on 4 workers, 1 isolated failure, obs + logs ok\n";
   return 0;
 }

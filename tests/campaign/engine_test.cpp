@@ -23,7 +23,7 @@ TEST(CampaignEngine, RunsEverySpecInOrder) {
   const auto c = small_campaign({1, 2, 3}, {10, 20});
   const CampaignEngine engine{{2, 1, nullptr}};
   const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
-    return {{{"y", s.param("x") * 10.0 + static_cast<double>(s.seed)}}, 5};
+    return {{{"y", s.param("x") * 10.0 + static_cast<double>(s.seed)}}, 5, {}, 0};
   });
   ASSERT_EQ(result.runs.size(), 6u);
   EXPECT_EQ(result.ok_count(), 6u);
@@ -43,7 +43,7 @@ TEST(CampaignEngine, FailureIsIsolatedToTheThrowingRun) {
   const CampaignEngine engine{{2, 3, nullptr}};
   const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
     if (s.param("x") == 3.0) throw std::runtime_error("boom at x=3");
-    return {{{"y", 1.0}}, 1};
+    return {{{"y", 1.0}}, 1, {}, 0};
   });
   ASSERT_EQ(result.runs.size(), 4u);
   EXPECT_EQ(result.ok_count(), 3u);
@@ -64,7 +64,7 @@ TEST(CampaignEngine, TransientErrorsRetryUpToMaxAttempts) {
   std::atomic<int> calls{0};
   const RunFn flaky = [&](const RunSpec&) -> RunMetrics {
     if (calls.fetch_add(1) < 2) throw TransientError("try again");
-    return {{{"y", 42.0}}, 1};
+    return {{{"y", 42.0}}, 1, {}, 0};
   };
 
   // 3 attempts: fails twice, succeeds on the third.
@@ -95,7 +95,7 @@ TEST(CampaignEngine, ShardRunsOnlyItsSlice) {
   const auto c = small_campaign({1, 2, 3}, {1, 2});  // 6 runs
   const CampaignEngine engine{{1, 1, nullptr}};
   const RunFn fn = [](const RunSpec& s) -> RunMetrics {
-    return {{{"y", static_cast<double>(s.run_index)}}, 1};
+    return {{{"y", static_cast<double>(s.run_index)}}, 1, {}, 0};
   };
   const auto s0 = engine.run_shard(c, 0, 2, fn);
   const auto s1 = engine.run_shard(c, 1, 2, fn);
@@ -110,7 +110,7 @@ TEST(Aggregate, FoldsPerPointWithFailuresExcluded) {
   const CampaignEngine engine{{1, 1, nullptr}};
   const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
     if (s.param("x") == 2.0 && s.seed == 2) throw std::runtime_error("lost run");
-    return {{{"y", s.param("x") * 100.0 + static_cast<double>(s.seed)}}, 1};
+    return {{{"y", s.param("x") * 100.0 + static_cast<double>(s.seed)}}, 1, {}, 0};
   });
   const auto points = aggregate_by_point(result);
   ASSERT_EQ(points.size(), 2u);
@@ -129,7 +129,7 @@ TEST(JsonlSink, EmitsOneRecordPerEventWithSchemaFields) {
   const CampaignEngine engine{{2, 1, &sink}};
   const auto result = engine.run(c, [](const RunSpec& s) -> RunMetrics {
     if (s.param("x") == 2.0) throw std::runtime_error("bad \"quote\"");
-    return {{{"kbps", 123.5}}, 1000};
+    return {{{"kbps", 123.5}}, 1000, {}, 0};
   });
   EXPECT_EQ(result.error_count(), 1u);
 

@@ -1,0 +1,73 @@
+// JSONL telemetry records: escaping of hostile error messages (shared
+// obs::json_escape implementation) and per-run observability payloads.
+
+#include "campaign/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "campaign/result.hpp"
+
+namespace adhoc::campaign {
+namespace {
+
+RunRecord failed_record(std::string message) {
+  RunRecord r;
+  r.spec.run_index = 7;
+  r.ok = false;
+  r.error.message = std::move(message);
+  r.attempts = 1;
+  return r;
+}
+
+TEST(JsonlSink, EscapesHostileErrorMessages) {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  // Quotes, backslashes, and the control characters the old local
+  // escaper missed (\b, \f) plus a raw 0x01 byte.
+  sink.run_end(failed_record("bad \"path\\x\"\nnext\tline \b\f\x01 end"));
+  const std::string line = out.str();
+  EXPECT_NE(line.find(R"(bad \"path\\x\"\nnext\tline \b\f\u0001 end)"), std::string::npos);
+  // The emitted line must stay a single physical JSONL line with no raw
+  // control bytes.
+  ASSERT_FALSE(line.empty());
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    EXPECT_GE(static_cast<unsigned char>(line[i]), 0x20u) << "raw control byte at " << i;
+  }
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"transient\":false"), std::string::npos);
+}
+
+TEST(JsonlSink, RunEndCarriesObsSnapshot) {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  RunRecord r;
+  r.spec.run_index = 0;
+  r.ok = true;
+  r.wall_seconds = 0.5;
+  r.metrics.metrics = {{"kbps", 1234.5}};
+  r.metrics.events = 1000;
+  r.metrics.obs = {{"mac.sta0.tx_data", 42.0}, {"scheduler.total_executed", 1000.0}};
+  r.metrics.trace_dropped = 3;
+  sink.run_end(r);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"obs\":{\"mac.sta0.tx_data\":42,"), std::string::npos);
+  EXPECT_NE(line.find("\"trace_dropped\":3"), std::string::npos);
+}
+
+TEST(JsonlSink, RunEndOmitsObsWhenNotObserved) {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  RunRecord r;
+  r.spec.run_index = 0;
+  r.ok = true;
+  r.metrics.metrics = {{"kbps", 1.0}};
+  sink.run_end(r);
+  EXPECT_EQ(out.str().find("\"obs\""), std::string::npos);
+  EXPECT_EQ(out.str().find("trace_dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adhoc::campaign

@@ -1,0 +1,69 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace adhoc::obs {
+namespace {
+
+TEST(JsonEscape, PassthroughWhenClean) {
+  EXPECT_EQ(json_escape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(json_escape(""), "");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("C:\\path\\file"), "C:\\\\path\\\\file");
+}
+
+TEST(JsonEscape, ShortFormControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+}
+
+TEST(JsonEscape, OtherControlCharactersUseUnicodeForm) {
+  EXPECT_EQ(json_escape(std::string{"a\x01"} + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string{'a', '\0', 'b'}), "a\\u0000b");
+  EXPECT_EQ(json_escape("a\x1f"), "a\\u001f");
+}
+
+TEST(JsonEscape, HostileExceptionMessage) {
+  // The kind of message a failing run can inject into telemetry: quotes,
+  // newlines, backspaces, and a path with backslashes, all at once.
+  const std::string hostile = "parse \"cfg\\x\" failed:\n\tbad byte \b\f\x02 at offset 7";
+  const std::string escaped = json_escape(hostile);
+  EXPECT_EQ(escaped,
+            "parse \\\"cfg\\\\x\\\" failed:\\n\\tbad byte \\b\\f\\u0002 at offset 7");
+  // No raw control bytes or quotes survive.
+  for (const char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonEscape, Utf8PassesThrough) {
+  const std::string utf8 = "station \xc3\xa9\xe2\x82\xac";  // é€
+  EXPECT_EQ(json_escape(utf8), utf8);
+}
+
+TEST(JsonNumber, IntegersAndRoundTrip) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(v)), v);  // shortest round-trip
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace adhoc::obs

@@ -1,0 +1,127 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adhoc::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulateAndFlatten) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("mac.sta0", "tx_data");
+  c.inc();
+  c.inc(4);
+  reg.counter("mac.sta1", "tx_data").inc(7);
+
+  const auto flat = reg.flatten();
+  EXPECT_EQ(flat.at("mac.sta0.tx_data"), 5.0);
+  EXPECT_EQ(flat.at("mac.sta1.tx_data"), 7.0);
+  EXPECT_EQ(reg.component_count(), 2u);
+}
+
+TEST(MetricsRegistry, HandleStaysValidAcrossInserts) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a", "x");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("comp" + std::to_string(i), "y").inc();
+  }
+  c.inc(3);
+  EXPECT_EQ(reg.flatten().at("a.x"), 3.0);
+}
+
+TEST(MetricsRegistry, GaugesOverwrite) {
+  MetricsRegistry reg;
+  reg.set_gauge("scheduler", "queue_high_water", 5.0);
+  reg.set_gauge("scheduler", "queue_high_water", 9.0);
+  EXPECT_EQ(reg.flatten().at("scheduler.queue_high_water"), 9.0);
+}
+
+TEST(MetricsRegistry, ProbesEvaluateLazily) {
+  MetricsRegistry reg;
+  int source = 1;
+  reg.add_probe("mac.sta0", "queue_depth", [&source] { return static_cast<double>(source); });
+  source = 42;  // changed after registration, before snapshot
+  EXPECT_EQ(reg.flatten().at("mac.sta0.queue_depth"), 42.0);
+}
+
+TEST(MetricsRegistry, MaterializeFreezesProbesAsGauges) {
+  MetricsRegistry reg;
+  int source = 10;
+  reg.add_probe("phy", "energy", [&source] { return static_cast<double>(source); });
+  reg.materialize_probes();
+  source = 99;  // probe must no longer be consulted (it may dangle)
+  EXPECT_EQ(reg.flatten().at("phy.energy"), 10.0);
+}
+
+TEST(MetricsRegistry, DistributionsExpandAtSnapshot) {
+  MetricsRegistry reg;
+  Distribution& d = reg.distribution("scheduler", "event_wall_us");
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  const auto flat = reg.flatten();
+  EXPECT_EQ(flat.at("scheduler.event_wall_us.count"), 100.0);
+  EXPECT_EQ(flat.at("scheduler.event_wall_us.min"), 1.0);
+  EXPECT_EQ(flat.at("scheduler.event_wall_us.p50"), 50.0);
+  EXPECT_EQ(flat.at("scheduler.event_wall_us.p99"), 99.0);
+  EXPECT_EQ(flat.at("scheduler.event_wall_us.max"), 100.0);
+}
+
+TEST(MetricsRegistry, EmptyDistributionOnlyEmitsCount) {
+  MetricsRegistry reg;
+  reg.distribution("x", "d");
+  const auto flat = reg.flatten();
+  EXPECT_EQ(flat.at("x.d.count"), 0.0);
+  EXPECT_EQ(flat.count("x.d.mean"), 0u);
+}
+
+TEST(MetricsRegistry, KindConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("a", "x");
+  EXPECT_THROW(reg.set_gauge("a", "x", 1.0), std::logic_error);
+  EXPECT_THROW(reg.distribution("a", "x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, SnapshotJsonGroupsByComponent) {
+  MetricsRegistry reg;
+  reg.counter("mac.sta0", "tx").inc(3);
+  reg.set_gauge("scheduler", "events", 100.0);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"mac.sta0\":{\"tx\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"scheduler\":{\"events\":100}"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PeriodicSnapshotsAndWriteJson) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("mac", "tx");
+  c.inc(1);
+  reg.snapshot_periodic(sim::Time::ms(100));
+  c.inc(1);
+  reg.snapshot_periodic(sim::Time::ms(200));
+  EXPECT_EQ(reg.periodic_count(), 2u);
+
+  const std::string path = ::testing::TempDir() + "metrics_test_snapshot.json";
+  reg.write_json(path, sim::Time::ms(300));
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"time_us\":300000"), std::string::npos);
+  EXPECT_NE(doc.find("\"periodic\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"mac.tx\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"mac.tx\":2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsRegistry, WriteJsonBadPathThrows) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.write_json("/nonexistent-dir/x.json", sim::Time::zero()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adhoc::obs

@@ -1,0 +1,116 @@
+// RunObserver + SchedulerProfiler behaviour: level gating, scheduler
+// profiling through the real scheduler probe hook, and finalize()
+// freezing probe values so exports outlive the simulation.
+
+#include "obs/observer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/simulator.hpp"
+
+namespace adhoc::obs {
+namespace {
+
+TEST(ObsLevel, NamesRoundTrip) {
+  for (const ObsLevel lv :
+       {ObsLevel::kOff, ObsLevel::kMetrics, ObsLevel::kTrace, ObsLevel::kFull}) {
+    const auto parsed = obs_level_from_string(obs_level_name(lv));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, lv);
+  }
+  EXPECT_FALSE(obs_level_from_string("verbose").has_value());
+}
+
+TEST(RunObserver, LevelGatesPillars) {
+  RunObserver off{ObsLevel::kOff};
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.registry(), nullptr);
+  EXPECT_EQ(off.trace_sink(), nullptr);
+  EXPECT_EQ(off.profiler(), nullptr);
+
+  RunObserver metrics{ObsLevel::kMetrics};
+  EXPECT_NE(metrics.registry(), nullptr);
+  EXPECT_EQ(metrics.trace_sink(), nullptr);
+
+  RunObserver trace{ObsLevel::kTrace};
+  EXPECT_NE(trace.registry(), nullptr);
+  EXPECT_NE(trace.trace_sink(), nullptr);
+  EXPECT_EQ(trace.profiler(), nullptr);
+
+  RunObserver full{ObsLevel::kFull};
+  EXPECT_NE(full.profiler(), nullptr);
+}
+
+TEST(RunObserver, ProfilerCollectsThroughSchedulerProbe) {
+  RunObserver observer{ObsLevel::kFull};
+  sim::Simulator sim{1};
+  sim.scheduler().set_probe(observer.profiler());
+  int fired = 0;
+  sim.after(sim::Time::us(10), [&fired] { ++fired; }, "test.a");
+  sim.after(sim::Time::us(20), [&fired] { ++fired; }, "test.a");
+  sim.after(sim::Time::us(30), [&fired] { ++fired; }, "test.b");
+  sim.run_until(sim::Time::ms(1));
+  ASSERT_EQ(fired, 3);
+
+  const SchedulerProfiler& prof = *observer.profiler();
+  EXPECT_EQ(prof.events(), 3u);
+  EXPECT_GE(prof.wall_seconds(), 0.0);
+  ASSERT_EQ(prof.by_label().count("test.a"), 1u);
+  EXPECT_EQ(prof.by_label().at("test.a").count, 2u);
+  EXPECT_EQ(prof.by_label().at("test.b").count, 1u);
+  EXPECT_FALSE(prof.summary().empty());
+
+  observer.finalize(sim);
+  const auto flat = observer.registry()->flatten();
+  EXPECT_EQ(flat.at("scheduler.count_by_label.test.a"), 2.0);
+  EXPECT_EQ(flat.at("scheduler.total_executed"), 3.0);
+  EXPECT_GE(flat.at("scheduler.queue_high_water"), 1.0);
+  EXPECT_EQ(observer.finalized_at(), sim::Time::ms(1));
+}
+
+TEST(RunObserver, FinalizeRecordsTraceHealthAndFreezesProbes) {
+  RunObserver observer{ObsLevel::kTrace, /*trace_capacity=*/4};
+  sim::Simulator sim{1};
+  for (int i = 0; i < 6; ++i) {
+    observer.trace_sink()->instant(sim::Time::us(i), Layer::kMac, 0, EventKind::kMacRxOk);
+  }
+  // Probe over a short-lived object: finalize must freeze its value.
+  auto victim = std::make_unique<int>(17);
+  observer.registry()->add_probe("mac.sta0", "queue",
+                                 [p = victim.get()] { return static_cast<double>(*p); });
+  observer.finalize(sim);
+  victim.reset();  // dangling probe would now crash if still consulted
+
+  const auto flat = observer.registry()->flatten();
+  EXPECT_EQ(flat.at("trace.recorded"), 6.0);
+  EXPECT_EQ(flat.at("trace.retained"), 4.0);
+  EXPECT_EQ(flat.at("trace.dropped"), 2.0);
+  EXPECT_EQ(flat.at("trace.capacity"), 4.0);
+  EXPECT_EQ(flat.at("mac.sta0.queue"), 17.0);
+}
+
+TEST(RunObserver, PeriodicSnapshotsTickWithSimClock) {
+  RunObserver observer{ObsLevel::kMetrics};
+  sim::Simulator sim{1};
+  Counter& c = observer.registry()->counter("app", "ticks");
+  sim.after(sim::Time::ms(25), [&c] { c.inc(); });
+  observer.enable_periodic_snapshots(sim, sim::Time::ms(10));
+  sim.run_until(sim::Time::ms(35));
+  // Snapshots at 10/20/30 ms (the next one is past the horizon).
+  EXPECT_EQ(observer.registry()->periodic_count(), 3u);
+}
+
+TEST(RunObserver, ExportsNoOpWhenDisabled) {
+  RunObserver off{ObsLevel::kOff};
+  sim::Simulator sim{1};
+  off.finalize(sim);
+  // Must not throw or create files for disabled pillars.
+  off.write_metrics_json("/nonexistent-dir/m.json");
+  off.write_trace_json("/nonexistent-dir/t.json");
+  off.write_trace_csv("/nonexistent-dir/t.csv");
+}
+
+}  // namespace
+}  // namespace adhoc::obs

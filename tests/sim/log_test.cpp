@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace adhoc::sim {
 namespace {
@@ -63,6 +66,43 @@ TEST(Log, MacroShortCircuitsWhenDisabled) {
   EXPECT_EQ(evaluations, 1);
   EXPECT_NE(sink.str().find("DEBUG test: value 42"), std::string::npos);
   EXPECT_NE(sink.str().find("5.000us"), std::string::npos);
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveMidLine) {
+  // Campaign workers log concurrently; write() must emit whole lines.
+  // (The race itself is ThreadSanitizer's job under -DSANITIZE=thread;
+  // this checks the serialisation contract on any build.)
+  LogLevelGuard guard;
+  Log::set_level(LogLevel::kInfo);
+  std::ostringstream sink;
+  auto* old = std::clog.rdbuf(sink.rdbuf());
+
+  constexpr int kThreads = 8;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const std::string component = "worker" + std::to_string(t);
+      for (int i = 0; i < kLines; ++i) {
+        ADHOC_LOG(kInfo, Time::us(i), component.c_str(), "line " << i << " from thread " << t);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::clog.rdbuf(old);
+
+  std::istringstream in{sink.str()};
+  std::string line;
+  int total = 0;
+  while (std::getline(in, line)) {
+    ++total;
+    // Every line is exactly one record: one component tag, one payload.
+    EXPECT_NE(line.find("INFO worker"), std::string::npos) << line;
+    EXPECT_EQ(line.find("INFO "), line.rfind("INFO ")) << "interleaved: " << line;
+    EXPECT_NE(line.find("from thread "), std::string::npos) << line;
+  }
+  EXPECT_EQ(total, kThreads * kLines);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "stats/histogram.hpp"
 #include "stats/rate_meter.hpp"
 #include "stats/timeseries.hpp"
@@ -103,6 +106,25 @@ TEST(Histogram, BinsAndBounds) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW((Histogram{0.0, 0.0, 5}), std::invalid_argument);
   EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(Histogram, RejectsNanAndBucketsInfinity) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(std::nan(""));  // rejected, not binned (the cast would be UB)
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(1e300);  // far beyond the range but finite
+  EXPECT_EQ(h.rejected(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, EmptyFractionsAreZero) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(3), 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace adhoc::stats {
 namespace {
 
@@ -62,6 +64,38 @@ TEST(Percentiles, MeanAndClear) {
   EXPECT_DOUBLE_EQ(p.mean(), 3.0);
   p.clear();
   EXPECT_TRUE(p.empty());
+}
+
+TEST(Percentiles, AllEqualSamples) {
+  Percentiles p;
+  for (int i = 0; i < 50; ++i) p.add(42.0);
+  EXPECT_EQ(p.min(), 42.0);
+  EXPECT_EQ(p.median(), 42.0);
+  EXPECT_EQ(p.percentile(99.0), 42.0);
+  EXPECT_EQ(p.max(), 42.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 42.0);
+}
+
+TEST(Percentiles, RejectsNan) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(std::nan(""));
+  p.add(3.0);
+  EXPECT_EQ(p.count(), 2u);
+  EXPECT_EQ(p.rejected(), 1u);
+  EXPECT_EQ(p.min(), 1.0);
+  EXPECT_EQ(p.max(), 3.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 2.0);
+  p.clear();
+  EXPECT_EQ(p.rejected(), 0u);
+}
+
+TEST(Percentiles, NanOnlyIsEmpty) {
+  Percentiles p;
+  p.add(std::nan(""));
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.rejected(), 1u);
+  EXPECT_THROW((void)p.median(), std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""ctest `obs_trace_valid`: end-to-end check of the observability exports.
+
+Runs a short observed fig7 replication through the adhocsim CLI, then
+validates that
+  * the Chrome trace JSON parses and timestamps are monotonic per
+    (pid, tid) track, with the metadata tracks the Perfetto UI needs;
+  * the metrics snapshot parses and carries MAC counters, transport/PHY
+    components, the scheduler profile, and trace-health gauges.
+
+Usage: validate_trace.py <adhocsim-binary> <scratch-dir>
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"obs_trace_valid: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <adhocsim> <scratch-dir>")
+    adhocsim, scratch = sys.argv[1], pathlib.Path(sys.argv[2])
+    scratch.mkdir(parents=True, exist_ok=True)
+    trace_path = scratch / "trace.json"
+    metrics_path = scratch / "metrics.json"
+
+    cmd = [
+        adhocsim, "run", "--scenario", "fig7", "--seconds", "1",
+        "--trace-json", str(trace_path), "--metrics", str(metrics_path),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}: {proc.stderr}")
+
+    # --- trace: valid JSON, monotonic per track, named tracks ------------
+    with open(trace_path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    if not events:
+        fail("trace has no events")
+    last_ts = {}
+    phases = set()
+    for e in events:
+        phases.add(e["ph"])
+        if "ts" not in e:
+            continue
+        key = (e["pid"], e["tid"])
+        if e["ts"] < last_ts.get(key, float("-inf")):
+            fail(f"non-monotonic ts on track {key}: {e}")
+        last_ts[key] = e["ts"]
+    if "M" not in phases:
+        fail("no metadata events (process/thread names)")
+    if not ({"X", "i"} & phases):
+        fail("no duration or instant events")
+    names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+    if "sta0" not in names or "mac" not in names or "phy" not in names:
+        fail(f"missing track names, got {sorted(names)}")
+
+    # --- metrics: components + scheduler profile + trace health ---------
+    with open(metrics_path) as f:
+        doc = json.load(f)
+    metrics = doc["metrics"]
+    for component in ("mac.sta0", "mac.sta3", "phy.sta0", "scheduler", "trace"):
+        if component not in metrics:
+            fail(f"metrics missing component '{component}', got {sorted(metrics)}")
+    if metrics["mac.sta0"].get("tx_data", 0) <= 0:
+        fail("mac.sta0.tx_data not positive")
+    sched = metrics["scheduler"]
+    for key in ("total_executed", "queue_high_water", "events_per_sec", "wall_ms"):
+        if key not in sched:
+            fail(f"scheduler profile missing '{key}'")
+    health = metrics["trace"]
+    if health["recorded"] != health["retained"] + health["dropped"]:
+        fail(f"trace health inconsistent: {health}")
+
+    print(f"obs_trace_valid: OK ({len(events)} trace events, "
+          f"{len(last_ts)} tracks, {len(metrics)} metric components)")
+
+
+if __name__ == "__main__":
+    main()

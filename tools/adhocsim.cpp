@@ -7,8 +7,10 @@
 //   adhocsim range [--rate 2]
 //   adhocsim saturation [--stations 8] [--rts]
 //   adhocsim delay [--rate 11] [--distance 15] [--load-mbps 1.5]
+//   adhocsim run --scenario fig7 [--seed 1] [--obs-level full]
+//                [--trace-json t.json] [--trace-csv t.csv] [--metrics m.json]
 //   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation
-//                     [--jobs N] [--seeds N] [--seconds S]
+//                     [--jobs N] [--seeds N] [--seconds S] [--obs-level L]
 //                     [--telemetry PATH|-] [--retries R] [--shard I --shards N]
 //
 // Every subcommand maps onto the library's experiments API; run with no
@@ -24,6 +26,7 @@
 #include "app/sink.hpp"
 #include "campaign/campaign.hpp"
 #include "cli_args.hpp"
+#include "obs/observer.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
 #include "stats/table.hpp"
@@ -147,9 +150,91 @@ int cmd_delay(const tools::CliArgs& args) {
   return 0;
 }
 
+std::optional<obs::ObsLevel> obs_level_flag(const tools::CliArgs& args,
+                                            const std::string& fallback) {
+  const std::string name = args.str("obs-level", fallback);
+  const auto level = obs::obs_level_from_string(name);
+  if (!level) {
+    std::cerr << "adhocsim: unknown --obs-level '" << name << "' (off|metrics|trace|full)\n";
+  }
+  return level;
+}
+
+/// One fully-observed replication: runs a paper scenario under a
+/// RunObserver and exports the trace / metrics snapshots.
+int cmd_run(const tools::CliArgs& args) {
+  const std::string scen = args.str("scenario", "fig7");
+  const auto level = obs_level_flag(args, "full");
+  if (!level) return 1;
+  auto cfg = config_flag(args);
+  const auto seed = static_cast<std::uint64_t>(args.positive_integer("seed", 1));
+  const bool rts = args.has("rts");
+  const auto transport =
+      args.has("tcp") ? scenario::Transport::kTcp : scenario::Transport::kUdp;
+
+  obs::RunObserver observer{*level};
+  const std::string trace_json = args.str("trace-json", "");
+  const std::string trace_csv = args.str("trace-csv", "");
+  const std::string metrics = args.str("metrics", "");
+  // Reject export flags the chosen level cannot serve up front, before
+  // spending wall time on the simulation.
+  if ((!trace_json.empty() || !trace_csv.empty()) && observer.trace_sink() == nullptr) {
+    std::cerr << "adhocsim run: " << (trace_json.empty() ? "--trace-csv" : "--trace-json")
+              << " needs --obs-level trace or full\n";
+    return 1;
+  }
+  if (!metrics.empty() && observer.registry() == nullptr) {
+    std::cerr << "adhocsim run: --metrics needs --obs-level metrics or higher\n";
+    return 1;
+  }
+
+  if (scen == "two-node") {
+    experiments::TwoNodeSpec spec;
+    spec.rate = rate_flag(args);
+    spec.rts = rts;
+    spec.transport = transport;
+    spec.distance_m = args.num("distance", 10.0);
+    const auto r = experiments::two_node_run(spec, cfg, seed, &observer);
+    std::cout << "two-node seed " << seed << ": " << r.value / 1000.0 << " Mbps, " << r.events
+              << " events\n";
+  } else if (scen == "fig7" || scen == "fig9" || scen == "fig11" || scen == "fig12") {
+    experiments::FourStationSpec spec;
+    if (scen == "fig7") spec = experiments::fig7_spec(rts, transport);
+    if (scen == "fig9") spec = experiments::fig9_spec(rts, transport);
+    if (scen == "fig11") spec = experiments::fig11_spec(rts, transport);
+    if (scen == "fig12") spec = experiments::fig12_spec(rts, transport);
+    const auto r = experiments::four_station_run(spec, cfg, seed, &observer);
+    std::cout << scen << " seed " << seed << ": s1 " << r.session1_kbps << " kbps, s2 "
+              << r.session2_kbps << " kbps, " << r.events << " events\n";
+  } else {
+    std::cerr << "adhocsim run: unknown --scenario '" << scen
+              << "' (two-node|fig7|fig9|fig11|fig12)\n";
+    return 1;
+  }
+
+  if (!trace_json.empty()) {
+    observer.write_trace_json(trace_json);
+    std::cout << "trace   : " << trace_json << " (" << observer.trace_sink()->size()
+              << " events, " << observer.trace_sink()->dropped() << " dropped)\n";
+  }
+  if (!trace_csv.empty()) {
+    observer.write_trace_csv(trace_csv);
+    std::cout << "traceCSV: " << trace_csv << '\n';
+  }
+  if (!metrics.empty()) {
+    observer.write_metrics_json(metrics);
+    std::cout << "metrics : " << metrics << " (" << observer.registry()->component_count()
+              << " components)\n";
+  }
+  return 0;
+}
+
 int cmd_campaign(const tools::CliArgs& args) {
   const std::string grid = args.str("grid", "fig2");
-  const auto cfg = config_flag(args);
+  const auto level = obs_level_flag(args, "off");
+  if (!level) return 1;
+  auto cfg = config_flag(args);
+  cfg.obs_level = *level;
   experiments::ExperimentCampaign def;
   if (grid == "fig2") {
     def = experiments::fig2_campaign(cfg);
@@ -255,8 +340,11 @@ void usage() {
       "  range [--rate R]                  estimate TX range\n"
       "  saturation [--stations N] [--rts] simulated vs Bianchi\n"
       "  delay [--rate R] [--distance D] [--load-mbps L]\n"
+      "  run --scenario two-node|fig7|fig9|fig11|fig12 [--seed N] [--rts] [--tcp]\n"
+      "      [--obs-level off|metrics|trace|full] [--trace-json PATH]\n"
+      "      [--trace-csv PATH] [--metrics PATH]  one observed replication\n"
       "  campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation\n"
-      "           [--jobs N] [--telemetry PATH|-] [--retries R]\n"
+      "           [--jobs N] [--telemetry PATH|-] [--retries R] [--obs-level L]\n"
       "           [--shard I --shards N]   parallel sweep + JSONL telemetry\n"
       "common flags: --seeds N --seconds S\n";
 }
@@ -273,6 +361,7 @@ int main(int argc, char** argv) {
     if (cmd == "range") return cmd_range(args);
     if (cmd == "saturation") return cmd_saturation(args);
     if (cmd == "delay") return cmd_delay(args);
+    if (cmd == "run") return cmd_run(args);
     if (cmd == "campaign") return cmd_campaign(args);
     usage();
     return cmd.empty() ? 0 : 1;
