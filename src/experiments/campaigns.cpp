@@ -214,4 +214,34 @@ ExperimentCampaign ablation_phy_campaign(const ExperimentConfig& cfg) {
   return {std::move(plan), std::move(run)};
 }
 
+ExperimentCampaign fig7_faults_campaign(const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "fig7-faults";
+  plan.grid.add("fault", {0, 1, 2});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) {
+    ExperimentConfig c = cfg;
+    // Fault times are fractions of the measurement window so the same
+    // axis works at smoke-test and full-length durations alike.
+    const double t0 = cfg.warmup.to_sec();
+    const double span = cfg.measure.to_sec();
+    const int fault = static_cast<int>(spec.param("fault"));
+    if (fault == 1) {
+      // Jammer midway between the two sessions (fig7 span is 132.5 m),
+      // offset off-axis so neither link is fully shadowed by geometry.
+      c.faults.jam(sim::Time::from_sec(t0 + 0.25 * span), sim::Time::from_sec(0.25 * span),
+                   {66.25, 20.0}, 15.0);
+    } else if (fault == 2) {
+      // Crash & recovery of S3 (the second session's sender).
+      c.faults.node_off(2, sim::Time::from_sec(t0 + 0.25 * span));
+      c.faults.node_on(2, sim::Time::from_sec(t0 + 0.65 * span));
+    }
+    const FourStationSpec fs = fig7_spec(/*rts=*/false, scenario::Transport::kUdp);
+    return observed(c, [&](obs::RunObserver* obs) {
+      return four_station_metrics(four_station_run(fs, c, spec.seed, obs));
+    });
+  };
+  return {std::move(plan), std::move(run)};
+}
+
 }  // namespace adhoc::experiments

@@ -51,4 +51,12 @@ ExperimentCampaign ablation_ack_policy_campaign(const ExperimentConfig& cfg);
 /// Axis "ns2": paper-calibrated PHY (0) vs ns-2 defaults (1).
 ExperimentCampaign ablation_phy_campaign(const ExperimentConfig& cfg);
 
+/// Fault axis on the fig7 layout: "fault" selects a scripted disturbance
+/// (0 = none, 1 = mid-measure interference burst between the sessions,
+/// 2 = crash & recovery of S3). Fault times scale with cfg.warmup and
+/// cfg.measure; any plan already in cfg.faults applies to every point on
+/// top of the axis (point 0 then runs exactly cfg.faults). Metrics:
+/// "s1_kbps", "s2_kbps".
+ExperimentCampaign fig7_faults_campaign(const ExperimentConfig& cfg);
+
 }  // namespace adhoc::experiments

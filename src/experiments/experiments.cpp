@@ -38,6 +38,7 @@ SingleRun two_node_run(const TwoNodeSpec& spec, const ExperimentConfig& cfg, std
   if (obs != nullptr) net.attach_observer(*obs);
   net.add_node({0.0, 0.0});
   net.add_node({spec.distance_m, 0.0});
+  if (!cfg.faults.empty()) net.install_faults(cfg.faults);
 
   scenario::RunConfig rc;
   rc.warmup = cfg.warmup;
@@ -95,6 +96,7 @@ SingleRun loss_run(const LossSweepSpec& spec, double distance_m, const Experimen
   if (obs != nullptr) net.attach_observer(*obs);
   net.add_node({0.0, 0.0});
   net.add_node({distance_m, 0.0});
+  if (!cfg.faults.empty()) net.install_faults(cfg.faults);
 
   auto& tx_sock = net.udp(0).open(4000);
   app::ProbeSender sender{sim, tx_sock, 4001, spec.payload_bytes, interval};
@@ -153,6 +155,7 @@ FourStationRun four_station_run(const FourStationSpec& spec, const ExperimentCon
   net.add_node({x2, 0.0});   // S2
   net.add_node({x3, 0.0});   // S3
   net.add_node({x4, 0.0});   // S4
+  if (!cfg.faults.empty()) net.install_faults(cfg.faults);
 
   scenario::RunConfig rc;
   rc.warmup = cfg.warmup;
@@ -202,6 +205,7 @@ SingleRun saturation_run(const SaturationSpec& spec, const ExperimentConfig& cfg
     net.add_node({0.3 * std::cos(angle), 0.3 * std::sin(angle)});    // receiver
     sessions.push_back({2 * i, 2 * i + 1, scenario::Transport::kUdp});
   }
+  if (!cfg.faults.empty()) net.install_faults(cfg.faults);
   scenario::RunConfig rc;
   rc.warmup = cfg.warmup;
   rc.measure = cfg.measure;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/throughput_model.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/observer.hpp"
 #include "phy/rates.hpp"
 #include "phy/shadowing.hpp"
@@ -33,6 +34,11 @@ struct ExperimentConfig {
   /// obs::RunObserver at this level and its snapshot rides the run_end
   /// telemetry record. kOff (default) costs nothing.
   obs::ObsLevel obs_level = obs::ObsLevel::kOff;
+  /// Scripted disturbance timeline, installed on every replication's
+  /// network after topology build (Network::install_faults). Empty
+  /// (default) installs nothing, leaving no-fault runs bit-identical.
+  /// Event times are absolute simulation time (warmup included).
+  faults::FaultPlan faults;
 };
 
 /// Mean and 95% CI half-width over seeds.

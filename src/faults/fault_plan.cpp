@@ -1,0 +1,347 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace adhoc::faults {
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kInterference: return "jam";
+    case FaultKind::kNodeOff: return "off";
+    case FaultKind::kNodeOn: return "on";
+    case FaultKind::kTxPower: return "txpower";
+    case FaultKind::kDayOffset: return "dayoffset";
+    case FaultKind::kLinkBlackout: return "blackout";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::jam(sim::Time at, sim::Time dur, phy::Position pos, double power_dbm,
+                          sim::Time period, double duty, double jitter) {
+  FaultEvent e;
+  e.kind = FaultKind::kInterference;
+  e.at = at;
+  e.until = at + dur;
+  e.position = pos;
+  e.value = power_dbm;
+  e.period = period;
+  e.duty = duty;
+  e.jitter = jitter;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::node_off(std::uint32_t node, sim::Time at) {
+  FaultEvent e;
+  e.kind = FaultKind::kNodeOff;
+  e.node = node;
+  e.at = at;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::node_on(std::uint32_t node, sim::Time at) {
+  FaultEvent e;
+  e.kind = FaultKind::kNodeOn;
+  e.node = node;
+  e.at = at;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::tx_power(std::uint32_t node, sim::Time at, double dbm) {
+  FaultEvent e;
+  e.kind = FaultKind::kTxPower;
+  e.node = node;
+  e.at = at;
+  e.value = dbm;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::day_offset(sim::Time at, double db) {
+  FaultEvent e;
+  e.kind = FaultKind::kDayOffset;
+  e.at = at;
+  e.value = db;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::blackout(std::uint32_t a, std::uint32_t b, sim::Time start, sim::Time end,
+                               bool bidirectional) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkBlackout;
+  e.node = a;
+  e.peer = b;
+  e.at = start;
+  e.until = end;
+  e.bidirectional = bidirectional;
+  return add(e);
+}
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& msg) {
+  throw std::invalid_argument("fault plan: " + msg);
+}
+
+void check_node(std::uint32_t node, std::size_t node_count, const FaultEvent& e) {
+  if (node >= node_count) {
+    invalid(std::string(fault_kind_name(e.kind)) + ": node " + std::to_string(node) +
+            " out of range (scenario has " + std::to_string(node_count) + " nodes)");
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate(std::size_t node_count) const {
+  // Per-node power timeline: (time, is_off) entries must alternate
+  // starting with off — stations boot powered on.
+  std::map<std::uint32_t, std::vector<std::pair<sim::Time, bool>>> power;
+  // Per-directed-link blackout windows, for the overlap check.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<std::pair<sim::Time, sim::Time>>>
+      blackouts;
+
+  for (const FaultEvent& e : events_) {
+    if (e.at < sim::Time::zero()) {
+      invalid(std::string(fault_kind_name(e.kind)) + ": negative start time");
+    }
+    switch (e.kind) {
+      case FaultKind::kInterference:
+        if (e.until <= e.at) invalid("jam: duration must be positive");
+        if (!(e.duty > 0.0 && e.duty <= 1.0)) invalid("jam: duty must be in (0, 1]");
+        if (e.jitter < 0.0 || e.jitter > 1.0) invalid("jam: jitter must be in [0, 1]");
+        if (e.period < sim::Time::zero()) invalid("jam: period must be >= 0");
+        break;
+      case FaultKind::kNodeOff:
+        check_node(e.node, node_count, e);
+        power[e.node].emplace_back(e.at, true);
+        break;
+      case FaultKind::kNodeOn:
+        check_node(e.node, node_count, e);
+        power[e.node].emplace_back(e.at, false);
+        break;
+      case FaultKind::kTxPower:
+        check_node(e.node, node_count, e);
+        break;
+      case FaultKind::kDayOffset:
+        break;
+      case FaultKind::kLinkBlackout: {
+        check_node(e.node, node_count, e);
+        check_node(e.peer, node_count, e);
+        if (e.node == e.peer) invalid("blackout: a and b must differ");
+        if (e.until <= e.at) invalid("blackout: end must be after start");
+        blackouts[{e.node, e.peer}].emplace_back(e.at, e.until);
+        if (e.bidirectional) blackouts[{e.peer, e.node}].emplace_back(e.at, e.until);
+        break;
+      }
+    }
+  }
+
+  for (auto& [node, timeline] : power) {
+    std::stable_sort(timeline.begin(), timeline.end(),
+                     [](const auto& x, const auto& y) { return x.first < y.first; });
+    bool expect_off = true;  // stations start powered on
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+      if (i > 0 && timeline[i].first == timeline[i - 1].first) {
+        invalid("node " + std::to_string(node) + ": off/on events at the same instant");
+      }
+      if (timeline[i].second != expect_off) {
+        invalid("node " + std::to_string(node) + ": off/on events must alternate starting "
+                "with off (stations boot powered on)");
+      }
+      expect_off = !expect_off;
+    }
+  }
+
+  for (auto& [link, windows] : blackouts) {
+    std::sort(windows.begin(), windows.end());
+    for (std::size_t i = 1; i < windows.size(); ++i) {
+      if (windows[i].first < windows[i - 1].second) {
+        invalid("blackout: overlapping windows on link " + std::to_string(link.first) + "->" +
+                std::to_string(link.second));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- parser
+
+namespace {
+
+struct Statement {
+  std::string kind;
+  std::map<std::string, std::string> kv;
+  bool oneway = false;
+  std::string text;  // original, for error messages
+};
+
+double parse_number(const Statement& st, const std::string& key) {
+  const auto it = st.kv.find(key);
+  if (it == st.kv.end()) invalid(st.kind + ": missing " + key + "= in '" + st.text + "'");
+  std::size_t consumed = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != it->second.size()) {
+    invalid(st.kind + ": " + key + " expects a number, got '" + it->second + "'");
+  }
+  return v;
+}
+
+double parse_number(const Statement& st, const std::string& key, double fallback) {
+  return st.kv.contains(key) ? parse_number(st, key) : fallback;
+}
+
+std::uint32_t parse_node(const Statement& st, const std::string& key) {
+  const double v = parse_number(st, key);
+  if (v < 0.0 || v != static_cast<double>(static_cast<std::uint32_t>(v))) {
+    invalid(st.kind + ": " + key + " expects a non-negative node index");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+void check_keys(const Statement& st, std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : st.kv) {
+    if (std::find_if(allowed.begin(), allowed.end(),
+                     [&](const char* a) { return key == a; }) == allowed.end()) {
+      invalid(st.kind + ": unknown key '" + key + "' in '" + st.text + "'");
+    }
+  }
+}
+
+std::string trim(std::string s) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+  while (!s.empty() && is_space(s.front())) s.erase(s.begin());
+  while (!s.empty() && is_space(s.back())) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::string normalized = spec;
+  std::replace(normalized.begin(), normalized.end(), '\n', ';');
+  std::istringstream stream{normalized};
+  std::string raw;
+  while (std::getline(stream, raw, ';')) {
+    if (const auto hash = raw.find('#'); hash != std::string::npos) raw.erase(hash);
+    raw = trim(raw);
+    if (raw.empty()) continue;
+
+    Statement st;
+    st.text = raw;
+    std::istringstream tokens{raw};
+    tokens >> st.kind;
+    std::string tok;
+    while (tokens >> tok) {
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos) {
+        if (tok == "oneway") {
+          st.oneway = true;
+          continue;
+        }
+        invalid(st.kind + ": expected key=value, got '" + tok + "'");
+      }
+      st.kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+
+    if (st.kind == "jam") {
+      check_keys(st, {"start", "dur", "x", "y", "power", "period", "duty", "jitter"});
+      plan.jam(sim::Time::from_sec(parse_number(st, "start")),
+               sim::Time::from_sec(parse_number(st, "dur")),
+               {parse_number(st, "x"), parse_number(st, "y")}, parse_number(st, "power"),
+               sim::Time::from_sec(parse_number(st, "period", 0.0)),
+               parse_number(st, "duty", 1.0), parse_number(st, "jitter", 0.0));
+    } else if (st.kind == "off") {
+      check_keys(st, {"node", "at"});
+      plan.node_off(parse_node(st, "node"), sim::Time::from_sec(parse_number(st, "at")));
+    } else if (st.kind == "on") {
+      check_keys(st, {"node", "at"});
+      plan.node_on(parse_node(st, "node"), sim::Time::from_sec(parse_number(st, "at")));
+    } else if (st.kind == "txpower") {
+      check_keys(st, {"node", "at", "dbm"});
+      plan.tx_power(parse_node(st, "node"), sim::Time::from_sec(parse_number(st, "at")),
+                    parse_number(st, "dbm"));
+    } else if (st.kind == "dayoffset") {
+      check_keys(st, {"at", "db"});
+      plan.day_offset(sim::Time::from_sec(parse_number(st, "at")), parse_number(st, "db"));
+    } else if (st.kind == "blackout") {
+      check_keys(st, {"a", "b", "start", "end"});
+      plan.blackout(parse_node(st, "a"), parse_node(st, "b"),
+                    sim::Time::from_sec(parse_number(st, "start")),
+                    sim::Time::from_sec(parse_number(st, "end")), !st.oneway);
+    } else {
+      invalid("unknown event '" + st.kind + "' in '" + st.text + "'");
+    }
+  }
+  return plan;
+}
+
+// ----------------------------------------------------------------- builtins
+
+const std::vector<std::string>& builtin_plan_names() {
+  static const std::vector<std::string> names{"none", "midrun-jam", "crash", "fig4-burst"};
+  return names;
+}
+
+FaultPlan builtin_plan(const std::string& name) {
+  if (name == "none") return {};
+  if (name == "midrun-jam") {
+    return parse_fault_plan("jam start=3 dur=2 x=50 y=10 power=15");
+  }
+  if (name == "crash") {
+    return parse_fault_plan("off node=1 at=3; on node=1 at=6");
+  }
+  if (name == "fig4-burst") {
+    // A person crossing the LOS mid-session plus a weather turn: the
+    // within-session disturbance of Fig. 4 (bottom). See bench_fig4.
+    return parse_fault_plan("jam start=2 dur=2 x=40 y=10 power=15; dayoffset at=3 db=-4");
+  }
+  invalid("unknown builtin plan '" + name + "'");
+}
+
+std::string fault_plan_grammar() {
+  std::string names;
+  for (const std::string& n : builtin_plan_names()) {
+    if (!names.empty()) names += '|';
+    names += n;
+  }
+  return "fault plan: builtin name (" + names +
+         "), a file path, or an inline spec.\n"
+         "grammar (events separated by ';' or newline, '#' comments):\n"
+         "  jam start=<s> dur=<s> x=<m> y=<m> power=<dBm> [period=<s>] [duty=<0-1>] "
+         "[jitter=<0-1>]\n"
+         "  off node=<i> at=<s>\n"
+         "  on node=<i> at=<s>\n"
+         "  txpower node=<i> at=<s> dbm=<dBm>\n"
+         "  dayoffset at=<s> db=<dB>\n"
+         "  blackout a=<i> b=<i> start=<s> end=<s> [oneway]";
+}
+
+FaultPlan load_fault_plan(const std::string& arg) {
+  const auto& names = builtin_plan_names();
+  if (std::find(names.begin(), names.end(), arg) != names.end()) return builtin_plan(arg);
+  try {
+    if (std::ifstream file{arg}; file) {
+      std::ostringstream content;
+      content << file.rdbuf();
+      return parse_fault_plan(content.str());
+    }
+    if (arg.find('=') != std::string::npos) return parse_fault_plan(arg);
+    invalid("'" + arg + "' is not a builtin plan, a readable file, or an inline spec");
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string(e.what()) + "\n" + fault_plan_grammar());
+  }
+}
+
+}  // namespace adhoc::faults

@@ -1,0 +1,114 @@
+#pragma once
+// Scripted fault timelines.
+//
+// A FaultPlan is a typed, validated list of disturbance events — the
+// things the paper's testbed suffered implicitly (people crossing the
+// line of sight, weather shifts between measurement days, stations
+// rebooting) expressed as a reproducible experiment input. Plans are
+// built programmatically (fluent builders), parsed from a small text
+// grammar, or resolved from a named builtin; FaultInjector (injector.hpp)
+// schedules them onto a simulator.
+//
+// Grammar (events separated by ';' or newline, '#' starts a comment):
+//   jam start=<s> dur=<s> x=<m> y=<m> power=<dBm>
+//       [period=<s>] [duty=<0-1>] [jitter=<0-1>]
+//   off node=<i> at=<s>
+//   on node=<i> at=<s>
+//   txpower node=<i> at=<s> dbm=<dBm>
+//   dayoffset at=<s> db=<dB>
+//   blackout a=<i> b=<i> start=<s> end=<s> [oneway]
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::faults {
+
+enum class FaultKind : std::uint8_t {
+  kInterference = 0,  ///< non-802.11 energy emitter (duty-cycled jammer)
+  kNodeOff = 1,       ///< radio power-off (station crash)
+  kNodeOn = 2,        ///< radio power-on (recovery)
+  kTxPower = 3,       ///< tx-power / antenna-gain step
+  kDayOffset = 4,     ///< mid-run shadowing day-offset change (Fig. 4)
+  kLinkBlackout = 5,  ///< per-link total outage window
+};
+
+[[nodiscard]] std::string_view fault_kind_name(FaultKind k);
+
+/// One timeline entry. Field meaning depends on `kind`; unused fields
+/// keep their defaults (validate() enforces the per-kind rules).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kInterference;
+  sim::Time at = sim::Time::zero();     ///< activation instant
+  sim::Time until = sim::Time::zero();  ///< window end (interference, blackout)
+  std::uint32_t node = 0;               ///< target node; blackout: tx side
+  std::uint32_t peer = 0;               ///< blackout: rx side
+  bool bidirectional = true;            ///< blackout affects both directions
+  double value = 0.0;                   ///< power dBm / day-offset dB
+  phy::Position position{};             ///< interference emitter location
+  sim::Time period = sim::Time::zero(); ///< duty cycle (zero = one burst)
+  double duty = 1.0;                    ///< on-fraction of each period
+  double jitter = 0.0;                  ///< random start offset, fraction of slack
+};
+
+/// A validated fault timeline. Builders append and return *this so plans
+/// compose fluently; validate() (called by the injector) enforces window
+/// sanity, node bounds, off/on alternation and blackout overlap rules.
+class FaultPlan {
+ public:
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Raw append (prefer the named builders).
+  FaultPlan& add(FaultEvent e);
+
+  /// Energy emitter at `pos` radiating `power_dbm` over [at, at+dur).
+  /// period > 0 duty-cycles the window; jitter in [0, 1] randomises each
+  /// burst start within its period's idle slack (drawn from the injector's
+  /// dedicated "faults" substream).
+  FaultPlan& jam(sim::Time at, sim::Time dur, phy::Position pos, double power_dbm,
+                 sim::Time period = sim::Time::zero(), double duty = 1.0, double jitter = 0.0);
+  FaultPlan& node_off(std::uint32_t node, sim::Time at);
+  FaultPlan& node_on(std::uint32_t node, sim::Time at);
+  FaultPlan& tx_power(std::uint32_t node, sim::Time at, double dbm);
+  FaultPlan& day_offset(sim::Time at, double db);
+  FaultPlan& blackout(std::uint32_t a, std::uint32_t b, sim::Time start, sim::Time end,
+                      bool bidirectional = true);
+
+  /// Throws std::invalid_argument with a specific message when the plan
+  /// is inconsistent: negative times, empty windows, node indices >=
+  /// `node_count`, off/on sequences that do not alternate starting with
+  /// off, overlapping blackouts on the same directed link, or duty/jitter
+  /// outside their ranges.
+  void validate(std::size_t node_count) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Parse the grammar documented at the top of this header. Throws
+/// std::invalid_argument naming the offending statement on any error.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Named ready-made plans (see EXPERIMENTS.md):
+///   none       — empty plan
+///   midrun-jam — continuous interference burst, seconds 3..5
+///   crash      — node 1 powers off at 3 s, recovers at 6 s
+///   fig4-burst — LOS-crossing jam at 2..4 s plus a -4 dB day-offset step
+///                at 3 s (the Fig. 4 bottom within-session spike)
+[[nodiscard]] const std::vector<std::string>& builtin_plan_names();
+[[nodiscard]] FaultPlan builtin_plan(const std::string& name);
+
+/// One-paragraph grammar + builtin listing, appended to CLI errors.
+[[nodiscard]] std::string fault_plan_grammar();
+
+/// Resolve a --fault-plan argument: a builtin name, a readable file
+/// containing a plan, or an inline spec (recognised by '='). Throws
+/// std::invalid_argument listing the builtins and the grammar otherwise.
+[[nodiscard]] FaultPlan load_fault_plan(const std::string& arg);
+
+}  // namespace adhoc::faults

@@ -1,0 +1,71 @@
+#include "faults/interference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adhoc::faults {
+
+InterferenceSource::InterferenceSource(sim::Simulator& simulator, phy::Medium& medium,
+                                       std::uint32_t emitter_id, std::uint32_t ordinal,
+                                       Config config, sim::Rng rng, obs::TraceSink* trace)
+    : sim_(simulator),
+      medium_(medium),
+      emitter_id_(emitter_id),
+      ordinal_(ordinal),
+      cfg_(config),
+      rng_(rng),
+      trace_(trace) {
+  if (cfg_.window_end <= cfg_.window_start) {
+    throw std::invalid_argument("InterferenceSource: empty emission window");
+  }
+  if (!(cfg_.duty > 0.0 && cfg_.duty <= 1.0)) {
+    throw std::invalid_argument("InterferenceSource: duty must be in (0, 1]");
+  }
+  if (cfg_.jitter < 0.0 || cfg_.jitter > 1.0) {
+    throw std::invalid_argument("InterferenceSource: jitter must be in [0, 1]");
+  }
+}
+
+void InterferenceSource::schedule_burst(sim::Time at, sim::Time dur) {
+  sim_.at(at, [this, dur] {
+    ++stats_.bursts;
+    stats_.airtime += dur;
+    if (trace_ != nullptr) {
+      trace_->instant(sim_.now(), obs::Layer::kFault, ordinal_,
+                      obs::EventKind::kFaultInterferenceStart, cfg_.power_dbm,
+                      static_cast<double>(emitter_id_));
+    }
+    medium_.begin_interference(emitter_id_, cfg_.position, cfg_.power_dbm, dur);
+  }, "fault.interference_on");
+  sim_.at(at + dur, [this] {
+    if (trace_ != nullptr) {
+      trace_->instant(sim_.now(), obs::Layer::kFault, ordinal_,
+                      obs::EventKind::kFaultInterferenceEnd, cfg_.power_dbm,
+                      static_cast<double>(emitter_id_));
+    }
+  }, "fault.interference_off");
+}
+
+void InterferenceSource::arm() {
+  if (armed_) throw std::logic_error("InterferenceSource: arm() called twice");
+  armed_ = true;
+  if (cfg_.period <= sim::Time::zero()) {
+    schedule_burst(cfg_.window_start, cfg_.window_end - cfg_.window_start);
+    return;
+  }
+  const sim::Time on = sim::Time::from_sec(cfg_.period.to_sec() * cfg_.duty);
+  for (sim::Time t = cfg_.window_start; t < cfg_.window_end; t += cfg_.period) {
+    // Jitter shifts each burst within its period's idle slack, so bursts
+    // from one emitter can never overlap regardless of the draws.
+    const sim::Time slack = cfg_.period - on;
+    sim::Time offset = sim::Time::zero();
+    if (cfg_.jitter > 0.0 && slack > sim::Time::zero()) {
+      offset = sim::Time::from_sec(rng_.uniform(0.0, slack.to_sec() * cfg_.jitter));
+    }
+    const sim::Time start = t + offset;
+    const sim::Time dur = std::min(on, cfg_.window_end - start);
+    if (dur > sim::Time::zero()) schedule_burst(start, dur);
+  }
+}
+
+}  // namespace adhoc::faults

@@ -1,0 +1,82 @@
+#pragma once
+// Non-802.11 energy emitter.
+//
+// Models the external disturbances the paper's testbed saw — a microwave
+// oven, a person crossing the line of sight — as a point source radiating
+// undecodable energy into phy::Medium. Receivers experience it through
+// the medium's generalized emitter interface (Medium::begin_interference):
+// the energy raises carrier sense and degrades the SINR of concurrent
+// receptions, but can never be locked onto or decoded.
+//
+// All burst times are precomputed at arm() time from a dedicated RNG
+// substream, so an interference source never perturbs the draw sequences
+// of existing components and duty-cycle jitter stays deterministic per
+// seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "phy/medium.hpp"
+#include "phy/units.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::faults {
+
+/// Counters shared by the injector's end-of-run accounting.
+struct InterferenceStats {
+  std::uint64_t bursts = 0;
+  sim::Time airtime = sim::Time::zero();
+};
+
+class InterferenceSource {
+ public:
+  struct Config {
+    phy::Position position{};
+    double power_dbm = 15.0;
+    sim::Time window_start = sim::Time::zero();
+    sim::Time window_end = sim::Time::zero();
+    /// Zero: one continuous burst over the window. Positive: one burst of
+    /// `duty * period` per period, offset by up to `jitter` of the
+    /// period's idle slack (bursts never overlap).
+    sim::Time period = sim::Time::zero();
+    double duty = 1.0;
+    double jitter = 0.0;
+  };
+
+  /// `emitter_id` keys the directed shadowing processes toward each radio
+  /// and must not collide with radio ids (see kEmitterIdBase). `ordinal`
+  /// is the trace track. The source draws only from `rng`.
+  InterferenceSource(sim::Simulator& simulator, phy::Medium& medium, std::uint32_t emitter_id,
+                     std::uint32_t ordinal, Config config, sim::Rng rng,
+                     obs::TraceSink* trace = nullptr);
+
+  InterferenceSource(const InterferenceSource&) = delete;
+  InterferenceSource& operator=(const InterferenceSource&) = delete;
+
+  /// Precompute and schedule every burst. Call once, before the run.
+  void arm();
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const InterferenceStats& stats() const { return stats_; }
+
+ private:
+  void schedule_burst(sim::Time at, sim::Time dur);
+
+  sim::Simulator& sim_;
+  phy::Medium& medium_;
+  std::uint32_t emitter_id_;
+  std::uint32_t ordinal_;
+  Config cfg_;
+  sim::Rng rng_;
+  obs::TraceSink* trace_;
+  InterferenceStats stats_;
+  bool armed_ = false;
+};
+
+/// Emitter ids start well above any plausible radio id so the per-link
+/// shadowing streams of emitters and stations never collide.
+inline constexpr std::uint32_t kEmitterIdBase = 1u << 16;
+
+}  // namespace adhoc::faults

@@ -15,6 +15,7 @@ std::string_view layer_name(Layer l) {
     case Layer::kMac: return "mac";
     case Layer::kTransport: return "transport";
     case Layer::kApp: return "app";
+    case Layer::kFault: return "fault";
   }
   return "?";
 }
@@ -37,6 +38,14 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kTcpRto: return "tcp_rto";
     case EventKind::kTcpRetransmit: return "tcp_retransmit";
     case EventKind::kTcpFastRetransmit: return "tcp_fast_retransmit";
+    case EventKind::kFaultInterferenceStart: return "fault_interference_start";
+    case EventKind::kFaultInterferenceEnd: return "fault_interference_end";
+    case EventKind::kFaultNodeOff: return "fault_node_off";
+    case EventKind::kFaultNodeOn: return "fault_node_on";
+    case EventKind::kFaultTxPower: return "fault_tx_power";
+    case EventKind::kFaultDayOffset: return "fault_day_offset";
+    case EventKind::kFaultBlackoutStart: return "fault_blackout_start";
+    case EventKind::kFaultBlackoutEnd: return "fault_blackout_end";
   }
   return "?";
 }
@@ -62,6 +71,14 @@ ArgNames arg_names(EventKind k) {
     case EventKind::kTcpRto: return {"rto_ms", "flight_bytes"};
     case EventKind::kTcpRetransmit:
     case EventKind::kTcpFastRetransmit: return {"seq", "bytes"};
+    case EventKind::kFaultInterferenceStart:
+    case EventKind::kFaultInterferenceEnd: return {"power_dbm", "emitter"};
+    case EventKind::kFaultNodeOff:
+    case EventKind::kFaultNodeOn: return {"node", "reserved"};
+    case EventKind::kFaultTxPower: return {"tx_power_dbm", "prev_dbm"};
+    case EventKind::kFaultDayOffset: return {"offset_db", "prev_db"};
+    case EventKind::kFaultBlackoutStart:
+    case EventKind::kFaultBlackoutEnd: return {"from", "to"};
     default: return {"seq", "bytes"};
   }
 }

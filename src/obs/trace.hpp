@@ -25,7 +25,7 @@
 
 namespace adhoc::obs {
 
-enum class Layer : std::uint8_t { kPhy = 0, kMac = 1, kTransport = 2, kApp = 3 };
+enum class Layer : std::uint8_t { kPhy = 0, kMac = 1, kTransport = 2, kApp = 3, kFault = 4 };
 
 [[nodiscard]] std::string_view layer_name(Layer l);
 
@@ -49,6 +49,16 @@ enum class EventKind : std::uint8_t {
   kTcpRto = 13,             // RTO fired (a = backed-off RTO ms, b = flight bytes)
   kTcpRetransmit = 14,      // segment retransmitted (a = seq, b = bytes)
   kTcpFastRetransmit = 15,  // dupack-triggered loss recovery (a = seq)
+  // Faults (src/faults): scripted disturbances. Start/end pairs share a
+  // track (emitter ordinal / node id) and alternate on it.
+  kFaultInterferenceStart = 16,  // a = power dBm, b = emitter id
+  kFaultInterferenceEnd = 17,    // a = power dBm, b = emitter id
+  kFaultNodeOff = 18,            // a = node (track = node)
+  kFaultNodeOn = 19,             // a = node (track = node)
+  kFaultTxPower = 20,            // a = new tx power dBm, b = previous
+  kFaultDayOffset = 21,          // a = new day offset dB, b = previous
+  kFaultBlackoutStart = 22,      // a = tx node, b = rx node
+  kFaultBlackoutEnd = 23,        // a = tx node, b = rx node
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k);

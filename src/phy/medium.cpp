@@ -24,6 +24,10 @@ void Medium::begin_transmission(const Radio& tx, const TxDescriptor& desc, sim::
   const sim::Time now = sim_.now();
   for (Radio* rx : radios_) {
     if (rx == &tx) continue;
+    if (!blocked_links_.empty() && blocked_links_.contains(LinkId{tx.id(), rx->id()})) {
+      ++deliveries_blocked_;
+      continue;
+    }
     const double dist_m = distance(tx.position(), rx->position());
     const auto delay_ns =
         static_cast<std::int64_t>(dist_m / kSpeedOfLight * 1e9);
@@ -38,6 +42,34 @@ void Medium::begin_transmission(const Radio& tx, const TxDescriptor& desc, sim::
       rx->signal_start(sid, rx_dbm, desc, end_at);
     }, "phy.signal_start");
     sim_.at(end_at, [rx, sid] { rx->signal_end(sid); }, "phy.signal_end");
+  }
+}
+
+void Medium::begin_interference(std::uint32_t emitter_id, const Position& pos, double power_dbm,
+                                sim::Time duration) {
+  ++interference_bursts_;
+  const SignalId sid = next_signal_id_++;
+  const sim::Time now = sim_.now();
+  for (Radio* rx : radios_) {
+    const double dist_m = distance(pos, rx->position());
+    const auto delay_ns =
+        static_cast<std::int64_t>(dist_m / kSpeedOfLight * 1e9);
+    const sim::Time delay = sim::Time::ns(std::max<std::int64_t>(delay_ns, 1));
+    const LinkId link{emitter_id, rx->id()};
+    const double rx_dbm = propagation_.rx_power_dbm(power_dbm, pos, rx->position(), now, link);
+    const sim::Time start_at = now + delay;
+    const sim::Time end_at = start_at + duration;
+    sim_.at(start_at, [rx, sid, rx_dbm, end_at] { rx->noise_start(sid, rx_dbm, end_at); },
+            "phy.noise_start");
+    sim_.at(end_at, [rx, sid] { rx->signal_end(sid); }, "phy.signal_end");
+  }
+}
+
+void Medium::set_link_blocked(std::uint32_t tx_id, std::uint32_t rx_id, bool blocked) {
+  if (blocked) {
+    blocked_links_.insert(LinkId{tx_id, rx_id});
+  } else {
+    blocked_links_.erase(LinkId{tx_id, rx_id});
   }
 }
 

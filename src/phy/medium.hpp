@@ -7,9 +7,16 @@
 // at each receiver after the propagation delay. The medium itself has no
 // protocol knowledge: a transmission is a burst of energy with an opaque
 // payload; all decode decisions live in Radio.
+//
+// The emitter interface is generalized beyond radios: any point source
+// can inject undecodable energy with begin_interference (the faults
+// subsystem's jammers / LOS-crossing bursts), which raises carrier sense
+// and corrupts receptions exactly like a too-weak 802.11 frame would.
+// Directed links can also be administratively blocked (blackout faults).
 
 #include <cstdint>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "phy/propagation.hpp"
@@ -47,19 +54,41 @@ class Medium {
   /// every other attached radio. `duration` is the full frame airtime.
   void begin_transmission(const Radio& tx, const TxDescriptor& desc, sim::Time duration);
 
+  /// Non-802.11 energy burst from a point source at `pos`: fans out to
+  /// every radio as a noise signal (raises CCA, degrades SINR) that can
+  /// never be locked onto. `emitter_id` keys the directed shadowing
+  /// processes toward each receiver and must not collide with radio ids.
+  void begin_interference(std::uint32_t emitter_id, const Position& pos, double power_dbm,
+                          sim::Time duration);
+
+  /// Administratively block (or unblock) the directed link tx -> rx:
+  /// transmissions from `tx_id` are not fanned out to `rx_id` while
+  /// blocked — a total per-link outage (fault blackout windows).
+  void set_link_blocked(std::uint32_t tx_id, std::uint32_t rx_id, bool blocked);
+  [[nodiscard]] bool link_blocked(std::uint32_t tx_id, std::uint32_t rx_id) const {
+    return blocked_links_.contains(LinkId{tx_id, rx_id});
+  }
+
   [[nodiscard]] const PropagationModel& propagation() const { return propagation_; }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] std::size_t radio_count() const { return radios_.size(); }
 
   /// Total transmissions fanned out (for benchmarks/tests).
   [[nodiscard]] std::uint64_t transmissions() const { return transmissions_; }
+  /// Total interference bursts fanned out.
+  [[nodiscard]] std::uint64_t interference_bursts() const { return interference_bursts_; }
+  /// Receiver deliveries suppressed by a blocked link.
+  [[nodiscard]] std::uint64_t deliveries_blocked() const { return deliveries_blocked_; }
 
  private:
   sim::Simulator& sim_;
   const PropagationModel& propagation_;
   std::vector<Radio*> radios_;
+  std::unordered_set<LinkId, LinkIdHash> blocked_links_;
   SignalId next_signal_id_ = 1;
   std::uint64_t transmissions_ = 0;
+  std::uint64_t interference_bursts_ = 0;
+  std::uint64_t deliveries_blocked_ = 0;
 };
 
 }  // namespace adhoc::phy

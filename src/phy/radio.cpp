@@ -27,6 +27,7 @@ Position Radio::position() const {
 // --------------------------------------------------------- energy accounting
 
 Radio::Mode Radio::implied_mode() const {
+  if (!enabled_) return Mode::kOff;
   if (transmitting()) return Mode::kTx;
   if (lock_.has_value()) return Mode::kRx;
   return Mode::kIdle;
@@ -46,6 +47,7 @@ sim::Time Radio::time_in_mode(Mode m) const {
 }
 
 double Radio::energy_consumed_j() const {
+  // Time spent in Mode::kOff draws no power.
   return time_in_mode(Mode::kIdle).to_sec() * params_.power_idle_w +
          time_in_mode(Mode::kRx).to_sec() * params_.power_rx_w +
          time_in_mode(Mode::kTx).to_sec() * params_.power_tx_w;
@@ -58,6 +60,11 @@ double Radio::total_signal_dbm() const {
 }
 
 bool Radio::cca_busy() const {
+  // A powered-off radio reports busy: the MAC above freezes (cancels
+  // access timers, defers) instead of blind-transmitting into a dead
+  // front end, and resumes deterministically on the idle edge at
+  // power-on.
+  if (!enabled_) return true;
   if (transmitting() || lock_.has_value()) return true;
   // Energy detect compares the aggregate *signal* power to the CS
   // threshold (ns-2 style). The thermal noise floor is excluded here —
@@ -98,10 +105,16 @@ sim::Time Radio::start_tx(const TxDescriptor& desc) {
   const sim::Time duration = params_.timing.frame_duration(desc.psdu_bits, desc.rate,
                                                            desc.preamble);
   tx_until_ = sim_.now() + duration;
-  medium_.begin_transmission(*this, desc, duration);
-  if (trace_ != nullptr) {
-    trace_->span(sim_.now(), duration, obs::Layer::kPhy, id_, obs::EventKind::kPhyTx,
-                 rate_mbps(desc.rate), static_cast<double>(desc.psdu_bits));
+  if (enabled_) {
+    medium_.begin_transmission(*this, desc, duration);
+    if (trace_ != nullptr) {
+      trace_->span(sim_.now(), duration, obs::Layer::kPhy, id_, obs::EventKind::kPhyTx,
+                   rate_mbps(desc.rate), static_cast<double>(desc.psdu_bits));
+    }
+  } else {
+    // Powered off: keep the MAC's timing (tx_end still fires, so RTS/
+    // data/response sequences complete locally) but radiate nothing.
+    ++tx_while_disabled_;
   }
   sim_.at(tx_until_, [this] {
     if (listener_ != nullptr) listener_->on_tx_end();
@@ -115,6 +128,12 @@ sim::Time Radio::start_tx(const TxDescriptor& desc) {
 
 void Radio::signal_start(SignalId sid, double rx_dbm, const TxDescriptor& desc,
                          sim::Time end_time) {
+  if (!enabled_) {
+    // Dead front end: the energy is simply not observed. The medium's
+    // already-scheduled signal_end for this sid becomes a no-op erase.
+    ++frames_missed_while_off_;
+    return;
+  }
   signals_.emplace(sid, ActiveSignal{dbm_to_mw(rx_dbm), desc, end_time});
 
   if (transmitting()) {
@@ -167,6 +186,39 @@ void Radio::signal_start(SignalId sid, double rx_dbm, const TxDescriptor& desc,
     ++frames_missed_while_locked_;
     update_lock_sinr();
   }
+  update_cca();
+}
+
+void Radio::noise_start(SignalId sid, double rx_dbm, sim::Time end_time) {
+  if (!enabled_) {
+    ++frames_missed_while_off_;
+    return;
+  }
+  // Tracked like any signal for energy purposes, but with no descriptor:
+  // noise is never a lock candidate, only interference. It can corrupt
+  // the frame currently locked and raise carrier sense.
+  signals_.emplace(sid, ActiveSignal{dbm_to_mw(rx_dbm), TxDescriptor{}, end_time});
+  ++noise_bursts_heard_;
+  update_lock_sinr();
+  update_cca();
+  ADHOC_LOG(kTrace, sim_.now(), "phy",
+            "radio " << id_ << " noise start, rx=" << rx_dbm << " dBm");
+}
+
+void Radio::set_enabled(bool on) {
+  if (on == enabled_) return;
+  enabled_ = on;
+  if (!on) {
+    // Going down: drop the lock and all tracked energy instantly. An
+    // in-flight own transmission is truncated locally (its already-
+    // scheduled energy at the receivers completes — the wavefront has
+    // left the antenna; the documented crash approximation).
+    lock_.reset();
+    signals_.clear();
+    if (tx_until_ > sim_.now()) tx_until_ = sim_.now();
+  }
+  // Off -> CCA busy edge freezes the MAC; on -> the idle edge (no
+  // signals are tracked yet) lets it resume access deterministically.
   update_cca();
 }
 

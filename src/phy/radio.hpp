@@ -21,6 +21,13 @@
 //  * Half duplex: starting a transmission aborts any lock in progress;
 //    signals arriving during TX are tracked for energy only and can never
 //    be decoded (missed preamble).
+//  * Noise signals (non-802.11 interference from Medium's emitter
+//    interface) contribute energy to CCA and SINR like any signal but
+//    are never lock candidates.
+//  * A radio can be powered off (crash faults): it stops hearing the
+//    medium, reports CCA busy so the MAC freezes deterministically, and
+//    completes in-progress MAC timing locally without radiating. Time
+//    spent off is accounted to Mode::kOff and draws no energy.
 
 #include <cstdint>
 #include <functional>
@@ -84,6 +91,17 @@ class Radio {
   [[nodiscard]] bool transmitting() const;
   [[nodiscard]] bool receiving() const { return lock_.has_value(); }
 
+  /// Power the radio off/on (crash & recovery faults). Powering off
+  /// drops the current lock and every tracked signal; while off the
+  /// radio neither hears the medium nor radiates (start_tx keeps its
+  /// local timing so MAC sequences complete, but nothing is fanned out).
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Runtime tx-power / antenna-gain step (fault injection); applies
+  /// from the next transmission on.
+  void set_tx_power_dbm(double dbm) { params_.tx_power_dbm = dbm; }
+
   /// Energy-based clear channel assessment (see class comment).
   [[nodiscard]] bool cca_busy() const;
 
@@ -93,6 +111,10 @@ class Radio {
 
   // --- Medium-facing interface ---------------------------------------
   void signal_start(SignalId sid, double rx_dbm, const TxDescriptor& desc, sim::Time end_time);
+  /// Undecodable energy burst (interference): counts toward CCA and
+  /// SINR, corrupts the current lock if it dips below threshold, but is
+  /// never a lock candidate. Ends via signal_end like any signal.
+  void noise_start(SignalId sid, double rx_dbm, sim::Time end_time);
   void signal_end(SignalId sid);
 
   // --- Introspection for tests ---------------------------------------
@@ -100,7 +122,7 @@ class Radio {
   [[nodiscard]] double total_signal_dbm() const;
 
   // --- Energy accounting ----------------------------------------------
-  enum class Mode : std::uint8_t { kIdle = 0, kRx = 1, kTx = 2 };
+  enum class Mode : std::uint8_t { kIdle = 0, kRx = 1, kTx = 2, kOff = 3 };
 
   /// Total energy consumed up to now (joules).
   [[nodiscard]] double energy_consumed_j() const;
@@ -150,10 +172,11 @@ class Radio {
   std::optional<Lock> lock_;
   sim::Time tx_until_ = sim::Time::zero();
   bool last_cca_busy_ = false;
+  bool enabled_ = true;
 
   Mode mode_ = Mode::kIdle;
   sim::Time mode_since_ = sim::Time::zero();
-  std::array<sim::Time, 3> mode_time_{};  // accumulated, excluding current stint
+  std::array<sim::Time, 4> mode_time_{};  // accumulated, excluding current stint
 
   // Counters for tests/benches.
   std::uint64_t frames_decoded_ = 0;
@@ -163,6 +186,9 @@ class Radio {
   std::uint64_t frames_below_plcp_threshold_ = 0;
   std::uint64_t frames_failed_plcp_sinr_ = 0;
   std::uint64_t frames_captured_over_lock_ = 0;
+  std::uint64_t noise_bursts_heard_ = 0;
+  std::uint64_t frames_missed_while_off_ = 0;
+  std::uint64_t tx_while_disabled_ = 0;
 
  public:
   [[nodiscard]] std::uint64_t frames_decoded() const { return frames_decoded_; }
@@ -182,6 +208,12 @@ class Radio {
   [[nodiscard]] std::uint64_t frames_captured_over_lock() const {
     return frames_captured_over_lock_;
   }
+  /// Non-802.11 interference bursts whose energy reached this radio.
+  [[nodiscard]] std::uint64_t noise_bursts_heard() const { return noise_bursts_heard_; }
+  /// Arrivals (signals or noise) discarded because the radio was off.
+  [[nodiscard]] std::uint64_t frames_missed_while_off() const { return frames_missed_while_off_; }
+  /// Transmissions attempted while powered off (timed locally, never radiated).
+  [[nodiscard]] std::uint64_t tx_while_disabled() const { return tx_while_disabled_; }
 };
 
 }  // namespace adhoc::phy

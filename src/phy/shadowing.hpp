@@ -51,6 +51,11 @@ class ShadowedPropagation final : public PropagationModel {
 
   [[nodiscard]] const ShadowingParams& params() const { return params_; }
 
+  /// Mid-run weather change (fault injection, Fig. 4's within-session
+  /// drift): replaces the day offset for every subsequent query. The OU
+  /// processes and their draw sequences are untouched.
+  void set_day_offset_db(double db) { params_.day_offset_db = db; }
+
  private:
   struct LinkState {
     double value_db = 0.0;

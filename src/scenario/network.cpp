@@ -1,5 +1,6 @@
 #include "scenario/network.hpp"
 
+#include <stdexcept>
 #include <string>
 
 namespace adhoc::scenario {
@@ -165,6 +166,24 @@ void Network::wire_tcp_observer(std::size_t i) {
       return static_cast<double>(s->aggregate_counters().*field);
     });
   }
+}
+
+faults::FaultInjector& Network::install_faults(const faults::FaultPlan& plan) {
+  if (fault_injector_ != nullptr) {
+    throw std::logic_error("Network: install_faults called twice");
+  }
+  faults::FaultTargets targets;
+  targets.sim = &sim_;
+  targets.medium = &medium_;
+  for (const auto& n : nodes_) targets.radios.push_back(&n->radio());
+  targets.shadowing = shadowed_propagation();
+  if (obs_ != nullptr) {
+    targets.trace = obs_->trace_sink();
+    targets.metrics = obs_->registry();
+  }
+  fault_injector_ = std::make_unique<faults::FaultInjector>(std::move(targets), plan);
+  fault_injector_->arm();
+  return *fault_injector_;
 }
 
 transport::UdpStack& Network::udp(std::size_t i) {

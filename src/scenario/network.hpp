@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "mac/mac_params.hpp"
 #include "net/node.hpp"
 #include "obs/observer.hpp"
@@ -63,6 +64,20 @@ class Network {
   void attach_observer(obs::RunObserver& observer);
   [[nodiscard]] obs::RunObserver* observer() const { return obs_; }
 
+  /// Install and arm a scripted fault plan over the built topology.
+  /// Call after every node has been added (the plan validates against
+  /// the node count) and after attach_observer if fault events should be
+  /// traced; at most once per network. Returns the injector for
+  /// end-of-run fault accounting.
+  faults::FaultInjector& install_faults(const faults::FaultPlan& plan);
+  [[nodiscard]] faults::FaultInjector* fault_injector() const { return fault_injector_.get(); }
+
+  /// The shadowed channel, when the config asked for one (fault events
+  /// like day-offset steps act on it); nullptr on deterministic runs.
+  [[nodiscard]] phy::ShadowedPropagation* shadowed_propagation() {
+    return shadowed_ ? &*shadowed_ : nullptr;
+  }
+
  private:
   void wire_node_observer(std::size_t i);
   void wire_tcp_observer(std::size_t i);
@@ -77,6 +92,7 @@ class Network {
   std::vector<std::unique_ptr<net::Node>> nodes_;
   std::vector<std::unique_ptr<transport::UdpStack>> udp_;
   std::vector<std::unique_ptr<transport::TcpStack>> tcp_;
+  std::unique_ptr<faults::FaultInjector> fault_injector_;
   obs::RunObserver* obs_ = nullptr;
 };
 

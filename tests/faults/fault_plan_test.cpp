@@ -1,0 +1,204 @@
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+namespace adhoc::faults {
+namespace {
+
+// ----------------------------------------------------------- builders
+
+TEST(FaultPlan, BuildersAppendTypedEvents) {
+  FaultPlan p;
+  p.jam(sim::Time::sec(1), sim::Time::sec(2), {50, 10}, 15.0)
+      .node_off(1, sim::Time::sec(3))
+      .node_on(1, sim::Time::sec(4))
+      .tx_power(0, sim::Time::sec(2), 5.0)
+      .day_offset(sim::Time::sec(5), -4.0)
+      .blackout(0, 1, sim::Time::sec(1), sim::Time::sec(2));
+  ASSERT_EQ(p.size(), 6u);
+  EXPECT_EQ(p.events()[0].kind, FaultKind::kInterference);
+  EXPECT_EQ(p.events()[0].until, sim::Time::sec(3));  // at + dur
+  EXPECT_EQ(p.events()[1].kind, FaultKind::kNodeOff);
+  EXPECT_EQ(p.events()[2].kind, FaultKind::kNodeOn);
+  EXPECT_EQ(p.events()[3].kind, FaultKind::kTxPower);
+  EXPECT_DOUBLE_EQ(p.events()[3].value, 5.0);
+  EXPECT_EQ(p.events()[4].kind, FaultKind::kDayOffset);
+  EXPECT_EQ(p.events()[5].kind, FaultKind::kLinkBlackout);
+  EXPECT_TRUE(p.events()[5].bidirectional);
+  EXPECT_NO_THROW(p.validate(2));
+}
+
+TEST(FaultPlan, EmptyPlanIsValid) {
+  const FaultPlan p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_NO_THROW(p.validate(0));
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(FaultPlanValidate, RejectsNodeOutOfRange) {
+  FaultPlan p;
+  p.node_off(4, sim::Time::sec(1));
+  EXPECT_THROW(p.validate(4), std::invalid_argument);
+  EXPECT_NO_THROW(p.validate(5));
+}
+
+TEST(FaultPlanValidate, RejectsOnWithoutPrecedingOff) {
+  FaultPlan p;
+  p.node_on(0, sim::Time::sec(1));
+  EXPECT_THROW(p.validate(2), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsDoubleOff) {
+  FaultPlan p;
+  p.node_off(0, sim::Time::sec(1)).node_off(0, sim::Time::sec(2));
+  EXPECT_THROW(p.validate(2), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, OffOnAlternationMayEndPoweredOff) {
+  FaultPlan p;
+  p.node_off(0, sim::Time::sec(1)).node_on(0, sim::Time::sec(2)).node_off(0, sim::Time::sec(3));
+  EXPECT_NO_THROW(p.validate(1));
+}
+
+TEST(FaultPlanValidate, RejectsOverlappingBlackoutsOnSameLink) {
+  FaultPlan p;
+  p.blackout(0, 1, sim::Time::sec(1), sim::Time::sec(3))
+      .blackout(0, 1, sim::Time::sec(2), sim::Time::sec(4));
+  EXPECT_THROW(p.validate(2), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, OpposedOnewayBlackoutsMayOverlap) {
+  FaultPlan p;
+  p.blackout(0, 1, sim::Time::sec(1), sim::Time::sec(3), /*bidirectional=*/false)
+      .blackout(1, 0, sim::Time::sec(2), sim::Time::sec(4), /*bidirectional=*/false);
+  EXPECT_NO_THROW(p.validate(2));
+}
+
+TEST(FaultPlanValidate, RejectsEmptyJamWindowAndBadDuty) {
+  FaultPlan zero_dur;
+  zero_dur.jam(sim::Time::sec(1), sim::Time::zero(), {0, 0}, 10.0);
+  EXPECT_THROW(zero_dur.validate(1), std::invalid_argument);
+  FaultPlan bad_duty;
+  bad_duty.jam(sim::Time::sec(1), sim::Time::sec(1), {0, 0}, 10.0, sim::Time::ms(100), 1.5);
+  EXPECT_THROW(bad_duty.validate(1), std::invalid_argument);
+  FaultPlan bad_jitter;
+  bad_jitter.jam(sim::Time::sec(1), sim::Time::sec(1), {0, 0}, 10.0, sim::Time::ms(100), 0.5,
+                 2.0);
+  EXPECT_THROW(bad_jitter.validate(1), std::invalid_argument);
+}
+
+TEST(FaultPlanValidate, RejectsSelfBlackout) {
+  FaultPlan p;
+  p.blackout(1, 1, sim::Time::sec(1), sim::Time::sec(2));
+  EXPECT_THROW(p.validate(2), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- parser
+
+TEST(FaultPlanParse, FullGrammarRoundTrip) {
+  const auto p = parse_fault_plan(
+      "# disturbance script\n"
+      "jam start=1 dur=2 x=50 y=10 power=15 period=0.5 duty=0.4 jitter=0.2\n"
+      "off node=1 at=3; on node=1 at=4\n"
+      "txpower node=0 at=2 dbm=5\n"
+      "dayoffset at=5 db=-4\n"
+      "blackout a=0 b=1 start=1 end=2 oneway\n");
+  ASSERT_EQ(p.size(), 6u);
+  const auto& jam = p.events()[0];
+  EXPECT_EQ(jam.kind, FaultKind::kInterference);
+  EXPECT_EQ(jam.at, sim::Time::sec(1));
+  EXPECT_EQ(jam.until, sim::Time::sec(3));
+  EXPECT_DOUBLE_EQ(jam.position.x, 50.0);
+  EXPECT_DOUBLE_EQ(jam.value, 15.0);
+  EXPECT_EQ(jam.period, sim::Time::ms(500));
+  EXPECT_DOUBLE_EQ(jam.duty, 0.4);
+  EXPECT_DOUBLE_EQ(jam.jitter, 0.2);
+  EXPECT_FALSE(p.events()[5].bidirectional);
+  EXPECT_NO_THROW(p.validate(2));
+}
+
+TEST(FaultPlanParse, EmptyAndCommentOnlySpecs) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_TRUE(parse_fault_plan("# nothing here\n  \n;;").empty());
+}
+
+TEST(FaultPlanParse, RejectsUnknownStatement) {
+  EXPECT_THROW(parse_fault_plan("explode at=1"), std::invalid_argument);
+}
+
+TEST(FaultPlanParse, RejectsUnknownKey) {
+  EXPECT_THROW(parse_fault_plan("off node=1 at=3 frequency=2"), std::invalid_argument);
+}
+
+TEST(FaultPlanParse, RejectsMissingRequiredKey) {
+  EXPECT_THROW(parse_fault_plan("jam start=1 dur=2 x=0 y=0"), std::invalid_argument);
+}
+
+TEST(FaultPlanParse, RejectsMalformedNumber) {
+  EXPECT_THROW(parse_fault_plan("off node=one at=3"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("dayoffset at=3s db=1"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- builtins & load
+
+TEST(FaultPlanBuiltins, AllNamedPlansResolveAndValidate) {
+  for (const auto& name : builtin_plan_names()) {
+    const FaultPlan p = builtin_plan(name);
+    EXPECT_NO_THROW(p.validate(4)) << name;
+  }
+  EXPECT_TRUE(builtin_plan("none").empty());
+  EXPECT_FALSE(builtin_plan("midrun-jam").empty());
+  EXPECT_FALSE(builtin_plan("crash").empty());
+  EXPECT_FALSE(builtin_plan("fig4-burst").empty());
+  EXPECT_THROW(builtin_plan("bogus"), std::invalid_argument);
+}
+
+TEST(FaultPlanLoad, ResolvesBuiltinThenFileThenInline) {
+  EXPECT_FALSE(load_fault_plan("crash").empty());
+
+  const std::string path = testing::TempDir() + "plan_load_test.fp";
+  {
+    std::ofstream out{path};
+    out << "off node=0 at=1\non node=0 at=2\n";
+  }
+  const auto from_file = load_fault_plan(path);
+  ASSERT_EQ(from_file.size(), 2u);
+  EXPECT_EQ(from_file.events()[0].kind, FaultKind::kNodeOff);
+
+  const auto inline_plan = load_fault_plan("dayoffset at=2 db=-3");
+  ASSERT_EQ(inline_plan.size(), 1u);
+  EXPECT_EQ(inline_plan.events()[0].kind, FaultKind::kDayOffset);
+}
+
+TEST(FaultPlanLoad, ErrorsCarryGrammarAndBuiltinList) {
+  try {
+    (void)load_fault_plan("no-such-plan");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("midrun-jam"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("jam start="), std::string::npos) << msg;
+  }
+  try {
+    (void)load_fault_plan("jam start=1 dur=");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("blackout"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultPlanNames, KindNamesMatchTheGrammar) {
+  EXPECT_EQ(fault_kind_name(FaultKind::kInterference), "jam");
+  EXPECT_EQ(fault_kind_name(FaultKind::kNodeOff), "off");
+  EXPECT_EQ(fault_kind_name(FaultKind::kNodeOn), "on");
+  EXPECT_EQ(fault_kind_name(FaultKind::kTxPower), "txpower");
+  EXPECT_EQ(fault_kind_name(FaultKind::kDayOffset), "dayoffset");
+  EXPECT_EQ(fault_kind_name(FaultKind::kLinkBlackout), "blackout");
+}
+
+}  // namespace
+}  // namespace adhoc::faults

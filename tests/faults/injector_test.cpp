@@ -1,0 +1,299 @@
+#include "faults/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mac/dcf.hpp"
+#include "obs/trace.hpp"
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "phy/shadowing.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::faults {
+namespace {
+
+/// Two stations 20 m apart on the deterministic outdoor channel — the
+/// same link the ARF tests use, comfortably inside 11 Mbps range.
+class InjectorHarness : public ::testing::Test {
+ protected:
+  InjectorHarness()
+      : phy_params_(phy::paper_calibrated_params(phy::default_outdoor_model())),
+        medium_(sim_, phy::default_outdoor_model()),
+        r0_(sim_, medium_, 0, phy_params_, {0, 0}),
+        r1_(sim_, medium_, 1, phy_params_, {20, 0}),
+        d0_(sim_, r0_, mac::MacAddress::from_station(0), {}),
+        d1_(sim_, r1_, mac::MacAddress::from_station(1), {}) {}
+
+  FaultTargets targets() {
+    FaultTargets t;
+    t.sim = &sim_;
+    t.medium = &medium_;
+    t.radios = {&r0_, &r1_};
+    return t;
+  }
+
+  void feed(int frames) {
+    for (int i = 0; i < frames; ++i) {
+      d0_.enqueue(d1_.address(), std::make_shared<int>(0), 512);
+    }
+  }
+
+  sim::Simulator sim_{7};
+  phy::PhyParams phy_params_;
+  phy::Medium medium_;
+  phy::Radio r0_;
+  phy::Radio r1_;
+  mac::Dcf d0_;
+  mac::Dcf d1_;
+};
+
+TEST_F(InjectorHarness, InterferenceCorruptsReceptions) {
+  // Jammer 1 m from the receiver but ~20 m (below carrier sense) from
+  // the sender: receptions at r1 are swamped while r0 keeps transmitting
+  // into the burst — the classic undetectable-interferer case.
+  FaultPlan plan;
+  plan.jam(sim::Time::ms(5), sim::Time::ms(95), {20, 1}, -20.0);
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+
+  feed(100);
+  sim_.run_until(sim::Time::sec(2));
+
+  EXPECT_GE(r1_.noise_bursts_heard(), 1u);
+  // The sender saw silence in place of ACKs during the burst...
+  EXPECT_GT(d0_.counters().ack_timeouts, 0u);
+  // ...yet traffic flows again once the burst ends.
+  EXPECT_GT(d1_.counters().msdu_delivered_up, 0u);
+  EXPECT_LT(d1_.counters().msdu_delivered_up, 100u);
+  const auto acct = inj.accounting();
+  EXPECT_EQ(acct.interference_bursts, 1u);
+  EXPECT_EQ(acct.interference_airtime, sim::Time::ms(95));
+}
+
+TEST_F(InjectorHarness, InterferenceRaisesCarrierSense) {
+  // A strong emitter well inside carrier-sense range keeps CCA busy for
+  // exactly the burst window.
+  FaultPlan plan;
+  plan.jam(sim::Time::ms(10), sim::Time::ms(10), {5, 0}, 15.0);
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+
+  bool busy_mid = false;
+  bool busy_after = true;
+  sim_.at(sim::Time::ms(15), [&] { busy_mid = r0_.cca_busy(); }, "probe.mid");
+  sim_.at(sim::Time::ms(25), [&] { busy_after = r0_.cca_busy(); }, "probe.after");
+  sim_.run_until(sim::Time::ms(30));
+  EXPECT_TRUE(busy_mid);
+  EXPECT_FALSE(busy_after);
+}
+
+TEST_F(InjectorHarness, DutyCycledJamBurstsAndAirtime) {
+  // 200 ms window, 20 ms period at 50% duty: 10 bursts, 100 ms of air.
+  FaultPlan plan;
+  plan.jam(sim::Time::zero(), sim::Time::ms(200), {5, 0}, 0.0, sim::Time::ms(20), 0.5, 0.5);
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+  sim_.run_until(sim::Time::ms(250));
+  const auto acct = inj.accounting();
+  EXPECT_EQ(acct.interference_bursts, 10u);
+  // Burst lengths come through from_sec: allow sub-microsecond rounding.
+  EXPECT_GE(acct.interference_airtime, sim::Time::ms(100) - sim::Time::us(1));
+  EXPECT_LE(acct.interference_airtime, sim::Time::ms(100) + sim::Time::us(1));
+}
+
+TEST_F(InjectorHarness, CrashAndRecovery) {
+  FaultPlan plan;
+  plan.node_off(1, sim::Time::ms(50)).node_on(1, sim::Time::ms(150));
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+
+  feed(60);
+  sim_.run_until(sim::Time::sec(2));
+
+  EXPECT_TRUE(r1_.enabled());
+  // The dead station accounted its outage to kOff, to the nanosecond.
+  EXPECT_EQ(r1_.time_in_mode(phy::Radio::Mode::kOff), sim::Time::ms(100));
+  EXPECT_GE(r1_.frames_missed_while_off(), 1u);
+  // Retries rode out part of the outage; the link works again after.
+  EXPECT_GT(d1_.counters().msdu_delivered_up, 0u);
+  const auto acct = inj.accounting();
+  EXPECT_EQ(acct.node_off, 1u);
+  EXPECT_EQ(acct.node_on, 1u);
+}
+
+TEST_F(InjectorHarness, TxPowerStepApplies) {
+  FaultPlan plan;
+  plan.tx_power(0, sim::Time::ms(10), 5.0);
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+  sim_.run_until(sim::Time::ms(20));
+  EXPECT_DOUBLE_EQ(r0_.params().tx_power_dbm, 5.0);
+  EXPECT_EQ(inj.accounting().tx_power_steps, 1u);
+}
+
+TEST_F(InjectorHarness, BlackoutWindowsBlockDirectedLinks) {
+  FaultPlan plan;
+  plan.blackout(0, 1, sim::Time::ms(50), sim::Time::ms(100));
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+
+  bool fwd_mid = false, rev_mid = false, fwd_after = true, rev_after = true;
+  sim_.at(sim::Time::ms(75), [&] {
+    fwd_mid = medium_.link_blocked(0, 1);
+    rev_mid = medium_.link_blocked(1, 0);
+  }, "probe.mid");
+  sim_.at(sim::Time::ms(110), [&] {
+    fwd_after = medium_.link_blocked(0, 1);
+    rev_after = medium_.link_blocked(1, 0);
+  }, "probe.after");
+  feed(80);
+  sim_.run_until(sim::Time::sec(2));
+
+  EXPECT_TRUE(fwd_mid);
+  EXPECT_TRUE(rev_mid);
+  EXPECT_FALSE(fwd_after);
+  EXPECT_FALSE(rev_after);
+  EXPECT_GT(medium_.deliveries_blocked(), 0u);
+  EXPECT_GT(d1_.counters().msdu_delivered_up, 0u);  // resumes after the window
+  EXPECT_EQ(inj.accounting().blackouts, 1u);
+}
+
+TEST_F(InjectorHarness, OnewayBlackoutLeavesReverseDirectionUp) {
+  FaultPlan plan;
+  plan.blackout(0, 1, sim::Time::ms(50), sim::Time::ms(100), /*bidirectional=*/false);
+  FaultInjector inj{targets(), plan};
+  inj.arm();
+  bool fwd = false, rev = true;
+  sim_.at(sim::Time::ms(75), [&] {
+    fwd = medium_.link_blocked(0, 1);
+    rev = medium_.link_blocked(1, 0);
+  }, "probe.mid");
+  sim_.run_until(sim::Time::ms(120));
+  EXPECT_TRUE(fwd);
+  EXPECT_FALSE(rev);
+}
+
+TEST_F(InjectorHarness, DayOffsetRequiresShadowedChannel) {
+  FaultPlan plan;
+  plan.day_offset(sim::Time::ms(10), -4.0);
+  EXPECT_THROW((FaultInjector{targets(), plan}), std::logic_error);
+}
+
+TEST_F(InjectorHarness, DayOffsetStepReplacesTheOffset) {
+  phy::ShadowedPropagation shadowed{phy::default_outdoor_model(),
+                                    phy::ShadowingParams{1.5, sim::Time::ms(20), 2.5},
+                                    sim_.rng_stream("shadowing")};
+  FaultTargets t = targets();
+  t.shadowing = &shadowed;
+  FaultPlan plan;
+  plan.day_offset(sim::Time::ms(10), -4.0);
+  FaultInjector inj{t, plan};
+  inj.arm();
+  sim_.run_until(sim::Time::ms(20));
+  EXPECT_DOUBLE_EQ(shadowed.params().day_offset_db, -4.0);
+  EXPECT_EQ(inj.accounting().day_offset_steps, 1u);
+}
+
+TEST_F(InjectorHarness, FaultEventsLandInTheTraceAsStartEndPairs) {
+  obs::TraceSink sink;
+  FaultTargets t = targets();
+  t.trace = &sink;
+  FaultPlan plan;
+  plan.jam(sim::Time::ms(10), sim::Time::ms(20), {5, 0}, 0.0)
+      .node_off(1, sim::Time::ms(15))
+      .node_on(1, sim::Time::ms(40))
+      .blackout(0, 1, sim::Time::ms(20), sim::Time::ms(30));
+  FaultInjector inj{t, plan};
+  inj.arm();
+  sim_.run_until(sim::Time::ms(60));
+
+  int jam_start = 0, jam_end = 0, off = 0, on = 0, bo_start = 0, bo_end = 0;
+  sim::Time last_ts = sim::Time::zero();
+  for (const auto& e : sink.events()) {
+    if (e.layer != obs::Layer::kFault) continue;
+    EXPECT_GE(e.ts, last_ts);
+    last_ts = e.ts;
+    switch (e.kind) {
+      case obs::EventKind::kFaultInterferenceStart: ++jam_start; break;
+      case obs::EventKind::kFaultInterferenceEnd: ++jam_end; break;
+      case obs::EventKind::kFaultNodeOff: ++off; break;
+      case obs::EventKind::kFaultNodeOn: ++on; break;
+      case obs::EventKind::kFaultBlackoutStart: ++bo_start; break;
+      case obs::EventKind::kFaultBlackoutEnd: ++bo_end; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(jam_start, 1);
+  EXPECT_EQ(jam_end, 1);
+  EXPECT_EQ(off, 1);
+  EXPECT_EQ(on, 1);
+  EXPECT_EQ(bo_start, 1);
+  EXPECT_EQ(bo_end, 1);
+}
+
+TEST_F(InjectorHarness, ArmTwiceThrows) {
+  FaultInjector inj{targets(), FaultPlan{}};
+  inj.arm();
+  EXPECT_THROW(inj.arm(), std::logic_error);
+}
+
+TEST_F(InjectorHarness, RequiresSimAndMedium) {
+  EXPECT_THROW((FaultInjector{FaultTargets{}, FaultPlan{}}), std::invalid_argument);
+}
+
+// ------------------------------------------------- determinism contracts
+
+struct MiniRun {
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  std::uint64_t noise_heard = 0;
+};
+
+/// One self-contained two-station run; `plan` may be null (no injector
+/// at all) to probe the no-fault bit-identity contract.
+MiniRun mini_run(std::uint64_t seed, const FaultPlan* plan) {
+  sim::Simulator sim{seed};
+  const auto params = phy::paper_calibrated_params(phy::default_outdoor_model());
+  phy::Medium medium{sim, phy::default_outdoor_model()};
+  phy::Radio r0{sim, medium, 0, params, {0, 0}};
+  phy::Radio r1{sim, medium, 1, params, {20, 0}};
+  mac::Dcf d0{sim, r0, mac::MacAddress::from_station(0), {}};
+  mac::Dcf d1{sim, r1, mac::MacAddress::from_station(1), {}};
+  std::unique_ptr<FaultInjector> inj;
+  if (plan != nullptr) {
+    FaultTargets t;
+    t.sim = &sim;
+    t.medium = &medium;
+    t.radios = {&r0, &r1};
+    inj = std::make_unique<FaultInjector>(std::move(t), *plan);
+    inj->arm();
+  }
+  for (int i = 0; i < 50; ++i) d0.enqueue(d1.address(), std::make_shared<int>(0), 512);
+  sim.run_until(sim::Time::sec(1));
+  return {d1.counters().msdu_delivered_up, sim.scheduler().total_executed(),
+          r1.noise_bursts_heard()};
+}
+
+TEST(FaultDeterminism, EmptyPlanIsBitIdenticalToNoInjector) {
+  const FaultPlan empty;
+  const MiniRun without = mini_run(11, nullptr);
+  const MiniRun with = mini_run(11, &empty);
+  EXPECT_EQ(without.delivered, with.delivered);
+  EXPECT_EQ(without.events, with.events);
+}
+
+TEST(FaultDeterminism, JitteredPlanRepeatsExactlyPerSeed) {
+  FaultPlan plan;
+  plan.jam(sim::Time::ms(100), sim::Time::ms(400), {20, 1}, -20.0, sim::Time::ms(50), 0.4, 1.0);
+  const MiniRun a = mini_run(13, &plan);
+  const MiniRun b = mini_run(13, &plan);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.noise_heard, b.noise_heard);
+  EXPECT_GE(a.noise_heard, 1u);
+}
+
+}  // namespace
+}  // namespace adhoc::faults

@@ -1,0 +1,64 @@
+// CLI input validation: closed-set flags and --fault-plan resolution
+// must fail loudly, with messages that list the accepted values. The
+// process-level half (exit codes of the installed binary) lives in
+// tests/tools/validate_trace.py.
+
+#include <gtest/gtest.h>
+
+#include "cli_args.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace adhoc::tools {
+namespace {
+
+CliArgs parse(std::vector<std::string> tokens) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(tokens);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& t : storage) argv.push_back(t.data());
+  return CliArgs{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(CliChoice, AcceptsListedValuesAndFallback) {
+  const auto a = parse({"run", "--scenario", "fig9"});
+  EXPECT_EQ(a.choice("scenario", "fig7", {"two-node", "fig7", "fig9"}), "fig9");
+  // Flag absent: the fallback is returned (and must itself be listed).
+  EXPECT_EQ(a.choice("grid", "fig2", {"fig2", "rates"}), "fig2");
+}
+
+TEST(CliChoice, RejectsUnknownValueListingTheAlternatives) {
+  const auto a = parse({"run", "--scenario", "fig99"});
+  try {
+    (void)a.choice("scenario", "fig7", {"two-node", "fig7", "fig9", "fig11", "fig12"});
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--scenario"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("two-node|fig7|fig9|fig11|fig12"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'fig99'"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliFaultPlan, MalformedSpecErrorTeachesTheGrammar) {
+  const auto a = parse({"run", "--fault-plan", "jam start=oops"});
+  try {
+    (void)faults::load_fault_plan(a.str("fault-plan", ""));
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // The offending statement, the grammar, and the builtin list must
+    // all appear — the error doubles as the flag's documentation.
+    EXPECT_NE(msg.find("start"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("jam start=<s>"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("midrun-jam"), std::string::npos) << msg;
+  }
+}
+
+TEST(CliFaultPlan, UnknownNameIsNotSilentlyEmpty) {
+  EXPECT_THROW((void)faults::load_fault_plan("not-a-plan"), std::invalid_argument);
+  EXPECT_THROW((void)faults::load_fault_plan(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adhoc::tools

@@ -8,6 +8,13 @@ validates that
   * the metrics snapshot parses and carries MAC counters, transport/PHY
     components, the scheduler profile, and trace-health gauges.
 
+A second run adds a --fault-plan and validates the fault_* track: every
+fault event rides the "fault" layer with monotonic timestamps, start/end
+kinds alternate per track (an end may be cut off by the horizon), and
+the "faults" metrics component accounts for the scheduled events.
+Finally, the CLI contract: unknown --scenario and malformed --fault-plan
+must exit non-zero with messages listing the valid names / grammar.
+
 Usage: validate_trace.py <adhocsim-binary> <scratch-dir>
 """
 
@@ -79,8 +86,101 @@ def main() -> None:
     if health["recorded"] != health["retained"] + health["dropped"]:
         fail(f"trace health inconsistent: {health}")
 
+    # --- faulted run: fault_* track + accounting -------------------------
+    fault_trace = scratch / "fault_trace.json"
+    fault_metrics = scratch / "fault_metrics.json"
+    plan = ("jam start=0.7 dur=0.4 x=66 y=15 power=15; off node=3 at=0.9; "
+            "on node=3 at=1.2; blackout a=0 b=1 start=0.6 end=0.8")
+    cmd = [
+        adhocsim, "run", "--scenario", "fig7", "--seconds", "1",
+        "--fault-plan", plan,
+        "--trace-json", str(fault_trace), "--metrics", str(fault_metrics),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"faulted run exited {proc.returncode}: {proc.stderr}")
+
+    with open(fault_trace) as f:
+        fevents = json.load(f)["traceEvents"]
+    fault_events = [e for e in fevents
+                    if e.get("ph") == "i" and e.get("name", "").startswith("fault_")]
+    if not fault_events:
+        fail("faulted run produced no fault_* events")
+    # Per-track timeline: monotonic, with start/end kinds strictly
+    # alternating (a trailing start is legal — the horizon may cut the
+    # end off; not with this plan, where every window closes in time).
+    # An emitter's ordinal and a node id may share a numeric track, so
+    # windows pair up per (track, event family), not per raw track.
+    pairs = {
+        "fault_interference_start": "fault_interference_end",
+        "fault_node_off": "fault_node_on",
+        "fault_blackout_start": "fault_blackout_end",
+    }
+    family = {}
+    for start, end in pairs.items():
+        stem = start.rsplit("_", 1)[0]
+        family[start] = stem
+        family[end] = stem
+    timelines = {}
+    for e in fault_events:
+        if e["name"] not in family:
+            continue
+        timelines.setdefault((e["pid"], e["tid"], family[e["name"]]), []).append(e)
+    starts = set(pairs)
+    for key, timeline in timelines.items():
+        open_start = None
+        last = float("-inf")
+        for e in timeline:
+            if e["ts"] < last:
+                fail(f"fault track {key}: non-monotonic ts at {e}")
+            last = e["ts"]
+            if e["name"] in starts:
+                if open_start is not None:
+                    fail(f"fault track {key}: '{e['name']}' while '{open_start}' still open")
+                open_start = e["name"]
+            else:
+                if open_start is None or pairs[open_start] != e["name"]:
+                    fail(f"fault track {key}: unmatched end '{e['name']}'")
+                open_start = None
+        if open_start is not None:
+            fail(f"fault track {key}: '{open_start}' never closed before the horizon")
+
+    with open(fault_metrics) as f:
+        fdoc = json.load(f)["metrics"]
+    if "faults" not in fdoc:
+        fail(f"faulted run metrics missing 'faults' component, got {sorted(fdoc)}")
+    acct = fdoc["faults"]
+    expect = {"events_scheduled": 4, "interference_bursts": 1, "node_off": 1,
+              "node_on": 1, "blackouts": 1}
+    for key, want in expect.items():
+        if acct.get(key) != want:
+            fail(f"faults.{key} = {acct.get(key)}, expected {want} ({acct})")
+
+    # --- CLI contract: bad inputs fail loudly and helpfully --------------
+    proc = subprocess.run([adhocsim, "run", "--scenario", "bogus"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("unknown --scenario exited 0")
+    if "two-node" not in proc.stderr or "fig12" not in proc.stderr:
+        fail(f"unknown --scenario error does not list valid names: {proc.stderr}")
+
+    proc = subprocess.run([adhocsim, "run", "--fault-plan", "jam start=oops"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("malformed --fault-plan exited 0")
+    if "jam start=<s>" not in proc.stderr or "midrun-jam" not in proc.stderr:
+        fail(f"malformed --fault-plan error lacks grammar/builtins: {proc.stderr}")
+
+    proc = subprocess.run([adhocsim, "campaign", "--grid", "nope"],
+                          capture_output=True, text=True, timeout=60)
+    if proc.returncode == 0:
+        fail("unknown --grid exited 0")
+    if "faults" not in proc.stderr:
+        fail(f"unknown --grid error does not list valid names: {proc.stderr}")
+
     print(f"obs_trace_valid: OK ({len(events)} trace events, "
-          f"{len(last_ts)} tracks, {len(metrics)} metric components)")
+          f"{len(last_ts)} tracks, {len(metrics)} metric components, "
+          f"{len(fault_events)} fault events on {len(timelines)} tracks)")
 
 
 if __name__ == "__main__":

@@ -9,9 +9,11 @@
 //   adhocsim delay [--rate 11] [--distance 15] [--load-mbps 1.5]
 //   adhocsim run --scenario fig7 [--seed 1] [--obs-level full]
 //                [--trace-json t.json] [--trace-csv t.csv] [--metrics m.json]
-//   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation
+//                [--fault-plan NAME|FILE|SPEC]
+//   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults
 //                     [--jobs N] [--seeds N] [--seconds S] [--obs-level L]
 //                     [--telemetry PATH|-] [--retries R] [--shard I --shards N]
+//                     [--fault-plan NAME|FILE|SPEC]
 //
 // Every subcommand maps onto the library's experiments API; run with no
 // arguments for usage.
@@ -26,6 +28,7 @@
 #include "app/sink.hpp"
 #include "campaign/campaign.hpp"
 #include "cli_args.hpp"
+#include "faults/fault_plan.hpp"
 #include "obs/observer.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
@@ -46,6 +49,12 @@ experiments::ExperimentConfig config_flag(const tools::CliArgs& args) {
   for (std::int64_t s = 1; s <= n; ++s) cfg.seeds.push_back(static_cast<std::uint64_t>(s));
   cfg.measure = sim::Time::from_sec(args.positive_num("seconds", 8.0));
   cfg.warmup = sim::Time::ms(500);
+  // Scripted disturbances: builtin plan name, file path, or inline spec
+  // (see faults::fault_plan_grammar()). Parse errors propagate to main's
+  // handler, which prints them (grammar included) and exits non-zero.
+  if (args.has("fault-plan")) {
+    cfg.faults = faults::load_fault_plan(args.str("fault-plan", ""));
+  }
   return cfg;
 }
 
@@ -163,7 +172,8 @@ std::optional<obs::ObsLevel> obs_level_flag(const tools::CliArgs& args,
 /// One fully-observed replication: runs a paper scenario under a
 /// RunObserver and exports the trace / metrics snapshots.
 int cmd_run(const tools::CliArgs& args) {
-  const std::string scen = args.str("scenario", "fig7");
+  const std::string scen =
+      args.choice("scenario", "fig7", {"two-node", "fig7", "fig9", "fig11", "fig12"});
   const auto level = obs_level_flag(args, "full");
   if (!level) return 1;
   auto cfg = config_flag(args);
@@ -197,7 +207,7 @@ int cmd_run(const tools::CliArgs& args) {
     const auto r = experiments::two_node_run(spec, cfg, seed, &observer);
     std::cout << "two-node seed " << seed << ": " << r.value / 1000.0 << " Mbps, " << r.events
               << " events\n";
-  } else if (scen == "fig7" || scen == "fig9" || scen == "fig11" || scen == "fig12") {
+  } else {  // choice() above guarantees a four-station figure scenario
     experiments::FourStationSpec spec;
     if (scen == "fig7") spec = experiments::fig7_spec(rts, transport);
     if (scen == "fig9") spec = experiments::fig9_spec(rts, transport);
@@ -206,10 +216,6 @@ int cmd_run(const tools::CliArgs& args) {
     const auto r = experiments::four_station_run(spec, cfg, seed, &observer);
     std::cout << scen << " seed " << seed << ": s1 " << r.session1_kbps << " kbps, s2 "
               << r.session2_kbps << " kbps, " << r.events << " events\n";
-  } else {
-    std::cerr << "adhocsim run: unknown --scenario '" << scen
-              << "' (two-node|fig7|fig9|fig11|fig12)\n";
-    return 1;
   }
 
   if (!trace_json.empty()) {
@@ -230,7 +236,10 @@ int cmd_run(const tools::CliArgs& args) {
 }
 
 int cmd_campaign(const tools::CliArgs& args) {
-  const std::string grid = args.str("grid", "fig2");
+  const std::string grid =
+      args.choice("grid", "fig2",
+                  {"fig2", "rates", "fig3", "fig7", "fig9", "fig11", "fig12", "saturation",
+                   "faults"});
   const auto level = obs_level_flag(args, "off");
   if (!level) return 1;
   auto cfg = config_flag(args);
@@ -253,10 +262,8 @@ int cmd_campaign(const tools::CliArgs& args) {
     def.plan.name = grid;
   } else if (grid == "saturation") {
     def = experiments::saturation_campaign({1, 2, 3, 5, 8, 12}, cfg);
-  } else {
-    std::cerr << "adhocsim campaign: unknown --grid '" << grid
-              << "' (fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation)\n";
-    return 1;
+  } else {  // choice() above guarantees "faults"
+    def = experiments::fig7_faults_campaign(cfg);
   }
 
   campaign::EngineConfig ec;
@@ -343,10 +350,11 @@ void usage() {
       "  run --scenario two-node|fig7|fig9|fig11|fig12 [--seed N] [--rts] [--tcp]\n"
       "      [--obs-level off|metrics|trace|full] [--trace-json PATH]\n"
       "      [--trace-csv PATH] [--metrics PATH]  one observed replication\n"
-      "  campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation\n"
+      "  campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults\n"
       "           [--jobs N] [--telemetry PATH|-] [--retries R] [--obs-level L]\n"
       "           [--shard I --shards N]   parallel sweep + JSONL telemetry\n"
-      "common flags: --seeds N --seconds S\n";
+      "common flags: --seeds N --seconds S --fault-plan NAME|FILE|SPEC\n"
+      "  (fault-plan builtins: none|midrun-jam|crash|fig4-burst; see EXPERIMENTS.md)\n";
 }
 
 }  // namespace

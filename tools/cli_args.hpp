@@ -5,6 +5,7 @@
 // before the first `--` token is treated as the subcommand.
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -85,6 +86,21 @@ class CliArgs {
                                   str(name, std::to_string(v)));
     }
     return v;
+  }
+
+  /// String flag constrained to a closed set (e.g. --scenario, --grid).
+  /// Unknown values throw with the full list of accepted names, so the
+  /// caller's error message doubles as documentation.
+  [[nodiscard]] std::string choice(const std::string& name, const std::string& fallback,
+                                   std::initializer_list<const char*> allowed) const {
+    const std::string v = str(name, fallback);
+    std::string list;
+    for (const char* a : allowed) {
+      if (v == a) return v;
+      if (!list.empty()) list += '|';
+      list += a;
+    }
+    throw std::invalid_argument("--" + name + " must be one of " + list + ", got '" + v + "'");
   }
 
   /// Integer flag that must be strictly positive (e.g. --seeds, --jobs).
