@@ -24,8 +24,9 @@ double mean_kbps(const std::vector<campaign::PointAggregate>& points, bool rts, 
   for (const auto& p : points) {
     bool match = true;
     for (const auto& [name, value] : p.params) {
-      if (name == "rts" && (value != 0.0) != rts) match = false;
-      if (name == "tcp" && (value != 0.0) != tcp) match = false;
+      // Flag axes carry exactly 0.0 / 1.0 (campaign::RunSpec::flag).
+      if (name == "rts" && (value != 0.0) != rts) match = false;  // NOLINT-ADHOC(fp-compare)
+      if (name == "tcp" && (value != 0.0) != tcp) match = false;  // NOLINT-ADHOC(fp-compare)
       if (name == "rate_mbps") match = false;  // wrong campaign
     }
     if (match) return p.metrics.at("kbps").mean();
@@ -81,7 +82,7 @@ int main() {
       bool is_tcp = false;
       for (const auto& [name, value] : p.params) {
         if (name == "rate_mbps" && value == mbps) is_rate = true;
-        if (name == "tcp" && value != 0.0) is_tcp = true;
+        if (name == "tcp" && value != 0.0) is_tcp = true;  // NOLINT-ADHOC(fp-compare) 0/1 flag
       }
       if (is_rate) (is_tcp ? tcp : udp) = p.metrics.at("kbps").mean() / 1000.0;
     }

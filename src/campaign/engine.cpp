@@ -11,8 +11,11 @@ namespace adhoc::campaign {
 
 namespace {
 
-double elapsed_seconds(std::chrono::steady_clock::time_point since) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since).count();
+// Wall-clock here times the *host* (wall_ms telemetry, events/sec); it
+// never feeds simulation state, so the determinism contract is intact.
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {  // NOLINT-ADHOC(wall-clock)
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - since)  // NOLINT-ADHOC(wall-clock)
+      .count();
 }
 
 }  // namespace
@@ -26,7 +29,7 @@ RunRecord CampaignEngine::execute(const RunSpec& spec, const RunFn& fn) const {
   if (cfg_.telemetry != nullptr) cfg_.telemetry->run_start(spec);
   RunRecord record;
   record.spec = spec;
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = std::chrono::steady_clock::now();  // NOLINT-ADHOC(wall-clock) run wall_ms telemetry
   for (std::uint32_t attempt = 1;; ++attempt) {
     record.attempts = attempt;
     try {
@@ -63,7 +66,7 @@ CampaignResult CampaignEngine::run_specs(const Campaign& campaign, std::vector<R
     cfg_.telemetry->campaign_start(campaign.name, specs.size(), campaign.grid.points(),
                                    campaign.seeds.size(), jobs_);
   }
-  const auto started = std::chrono::steady_clock::now();
+  const auto started = std::chrono::steady_clock::now();  // NOLINT-ADHOC(wall-clock) campaign wall_ms telemetry
 
   std::atomic<std::size_t> cursor{0};
   const auto worker = [&] {

@@ -58,7 +58,11 @@ struct RunSpec {
   /// Resolved axis value; throws std::out_of_range for an unknown name.
   [[nodiscard]] double param(std::string_view name) const;
   /// Axis value interpreted as a boolean switch (non-zero = true).
-  [[nodiscard]] bool flag(std::string_view name) const { return param(name) != 0.0; }
+  /// Flag axes are authored as exactly 0.0 / 1.0, so the exact compare
+  /// is the contract, not a rounding hazard.
+  [[nodiscard]] bool flag(std::string_view name) const {
+    return param(name) != 0.0;  // NOLINT-ADHOC(fp-compare)
+  }
 };
 
 /// A full campaign plan: grid × seeds.

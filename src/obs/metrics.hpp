@@ -115,6 +115,10 @@ class MetricsRegistry {
   };
 
   // node-based maps: references into the structure survive inserts.
+  // Deliberately std::map, not unordered: snapshot_json/flatten iterate
+  // these into artifacts that must be byte-stable across insertion
+  // order and libstdc++ versions (enforced by the lint unordered-iter
+  // rule and MetricsRegistry.SnapshotJsonIsByteStable* tests).
   std::map<std::string, std::map<std::string, std::unique_ptr<Metric>>> components_;
   std::vector<PeriodicSnapshot> periodic_;
 };

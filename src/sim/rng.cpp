@@ -74,7 +74,9 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 double Rng::exponential(double mean) {
   if (mean <= 0) throw std::invalid_argument("Rng::exponential: mean must be > 0");
   double u = uniform01();
-  if (u == 0.0) u = 0x1.0p-53;  // avoid log(0)
+  // Exact compare intended: uniform01 can return exactly 0.0, and only
+  // that one bit pattern would reach log(0).
+  if (u == 0.0) u = 0x1.0p-53;  // NOLINT-ADHOC(fp-compare)
   return -mean * std::log(u);
 }
 
@@ -84,7 +86,7 @@ double Rng::normal() {
     return spare_normal_;
   }
   double u1 = uniform01();
-  if (u1 == 0.0) u1 = 0x1.0p-53;
+  if (u1 == 0.0) u1 = 0x1.0p-53;  // NOLINT-ADHOC(fp-compare) exact log(0) guard
   const double u2 = uniform01();
   const double r = std::sqrt(-2.0 * std::log(u1));
   const double theta = 2.0 * std::numbers::pi * u2;

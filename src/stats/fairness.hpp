@@ -16,7 +16,8 @@ namespace adhoc::stats {
     sum += v;
     sum_sq += v * v;
   }
-  if (sum_sq == 0.0) return 1.0;
+  // sum_sq is a sum of squares, so <= 0 means every sample was zero.
+  if (sum_sq <= 0.0) return 1.0;
   return sum * sum / (static_cast<double>(x.size()) * sum_sq);
 }
 

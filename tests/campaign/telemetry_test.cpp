@@ -69,5 +69,39 @@ TEST(JsonlSink, RunEndOmitsObsWhenNotObserved) {
   EXPECT_EQ(out.str().find("trace_dropped"), std::string::npos);
 }
 
+// Determinism contract for JSONL records: metric keys are emitted in
+// sorted order (std::map), so run_end lines are byte-comparable between
+// jobs=1 and jobs=N campaigns and across libstdc++ versions. Guarded by
+// the linter's unordered-iter rule on the emission side.
+TEST(JsonlSink, RunEndMetricKeysSortedAndInsertionOrderIndependent) {
+  RunRecord a;
+  a.ok = true;
+  a.attempts = 1;
+  a.metrics.metrics["zeta"] = 2.0;
+  a.metrics.metrics["alpha"] = 1.0;
+  a.metrics.obs["scheduler.events"] = 9.0;
+  a.metrics.obs["mac.sta0.tx_data"] = 3.0;
+
+  RunRecord b = a;
+  b.metrics.metrics.clear();
+  b.metrics.metrics["alpha"] = 1.0;
+  b.metrics.metrics["zeta"] = 2.0;
+
+  std::ostringstream out_a;
+  {
+    JsonlSink sink{out_a};
+    sink.run_end(a);
+  }
+  std::ostringstream out_b;
+  {
+    JsonlSink sink{out_b};
+    sink.run_end(b);
+  }
+  EXPECT_EQ(out_a.str(), out_b.str());
+  const std::string line = out_a.str();
+  EXPECT_LT(line.find("\"alpha\""), line.find("\"zeta\""));
+  EXPECT_LT(line.find("\"mac.sta0.tx_data\""), line.find("\"scheduler.events\""));
+}
+
 }  // namespace
 }  // namespace adhoc::campaign

@@ -71,8 +71,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ArfCase{50.0, phy::Rate::kR5_5},  // 30..70 m
                       ArfCase{80.0, phy::Rate::kR2},    // 70..95 m
                       ArfCase{105.0, phy::Rate::kR1}),  // 95..120 m
-    [](const ::testing::TestParamInfo<ArfCase>& info) {
-      return "d" + std::to_string(static_cast<int>(info.param.distance_m));
+    [](const ::testing::TestParamInfo<ArfCase>& param_info) {
+      return "d" + std::to_string(static_cast<int>(param_info.param.distance_m));
     });
 
 // ---------------------------------------------------------------------------
@@ -106,13 +106,15 @@ TEST_P(FragmentationProperty, DeliveryInvariant) {
   EXPECT_EQ(d1.counters().reassembly_drops, 0u);
   EXPECT_EQ(d0.counters().tx_retry_drops, 0u);
   // Fragment accounting is self-consistent.
-  if (threshold < 2000) EXPECT_GT(d0.counters().fragments_tx, 0u);
+  if (threshold < 2000) {
+    EXPECT_GT(d0.counters().fragments_tx, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Thresholds, FragmentationProperty,
                          ::testing::Values(128u, 256u, 512u, 1024u, 4096u),
-                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
-                           return "thr" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<std::uint32_t>& param_info) {
+                           return "thr" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST(Manet, MobileNetworkKeepsDeliveringThroughRouteChurn) {
   std::vector<std::unique_ptr<app::HelloService>> hello;
   for (std::size_t i = 0; i < kN; ++i) {
     hello.push_back(std::make_unique<app::HelloService>(sim, net.udp(ids[i])));
-    hello.back()->start(sim::Time::ms(10 * (i + 1)));
+    hello.back()->start(sim::Time::ms(static_cast<std::int64_t>(10 * (i + 1))));
   }
 
   // Source sends a datagram every 250 ms for 60 simulated seconds.

@@ -180,8 +180,8 @@ TEST_P(BianchiTrackingProperty, SimulationWithin12Percent) {
 
 INSTANTIATE_TEST_SUITE_P(Contention, BianchiTrackingProperty,
                          ::testing::Values(1u, 2u, 4u, 8u),
-                         [](const ::testing::TestParamInfo<std::uint32_t>& info) {
-                           return "n" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<std::uint32_t>& param_info) {
+                           return "n" + std::to_string(param_info.param);
                          });
 
 }  // namespace

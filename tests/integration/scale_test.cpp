@@ -59,7 +59,8 @@ TEST_F(GridTest, CornerToCornerRouteDiscoveredAndUsed) {
       [&](std::uint32_t, std::uint64_t, net::Ipv4Address, std::uint16_t) { ++delivered; });
 
   for (std::uint64_t i = 0; i < 20; ++i) {
-    sim_.at(sim::Time::ms(50 * (i + 1)), [this, src, dst, i] { aodv_send(src, dst, i); });
+    const auto at_ms = static_cast<std::int64_t>(50 * (i + 1));
+    sim_.at(sim::Time::ms(at_ms), [this, src, dst, i] { aodv_send(src, dst, i); });
   }
   sim_.run_until(sim::Time::sec(5));
   EXPECT_GE(delivered, 18u);  // AODV may drop the first packet(s) pre-route
@@ -86,7 +87,7 @@ TEST_F(GridTest, ConcurrentFlowsAcrossTheGrid) {
         });
   }
   for (std::uint64_t i = 0; i < 30; ++i) {
-    sim_.at(sim::Time::ms(100 + 40 * i), [this, &flows, i] {
+    sim_.at(sim::Time::ms(static_cast<std::int64_t>(100 + 40 * i)), [this, &flows, i] {
       for (std::size_t f = 0; f < flows.size(); ++f) {
         auto packet = net::Packet::make(256);
         net::UdpHeader udp;

@@ -14,8 +14,9 @@ TEST(MacAddress, DefaultIsZero) {
 }
 
 TEST(MacAddress, FromStationRoundTrips) {
-  for (const std::uint16_t idx : {0, 1, 255, 256, 65535}) {
-    EXPECT_EQ(MacAddress::from_station(static_cast<std::uint16_t>(idx)).station_index(), idx);
+  for (const int idx : {0, 1, 255, 256, 65535}) {
+    const auto station = static_cast<std::uint16_t>(idx);
+    EXPECT_EQ(MacAddress::from_station(station).station_index(), station);
   }
 }
 

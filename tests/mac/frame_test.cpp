@@ -58,7 +58,9 @@ TEST(FrameCodec, ControlFrameRoundTrips) {
     ASSERT_TRUE(parsed.has_value()) << frame_type_name(t);
     EXPECT_EQ(parsed->frame.type, t);
     EXPECT_EQ(parsed->frame.dst, f.dst);
-    if (t == FrameType::kRts) EXPECT_EQ(parsed->frame.src, f.src);
+    if (t == FrameType::kRts) {
+      EXPECT_EQ(parsed->frame.src, f.src);
+    }
   }
 }
 

@@ -123,5 +123,35 @@ TEST(MetricsRegistry, WriteJsonBadPathThrows) {
                std::runtime_error);
 }
 
+// Determinism contract for snapshots: the JSON must be byte-identical
+// regardless of metric registration order, so jobs=1 vs jobs=N campaign
+// workers (which register probes in whatever order their layers attach)
+// produce diffable artifacts across runs and libstdc++ versions.
+TEST(MetricsRegistry, SnapshotJsonIsByteStableAcrossInsertionOrder) {
+  MetricsRegistry forward;
+  forward.counter("mac.sta0", "tx_data").inc(3);
+  forward.counter("phy.sta1", "rx_ok").inc(9);
+  forward.set_gauge("scheduler", "queue_high_water", 4.0);
+
+  MetricsRegistry reversed;
+  reversed.set_gauge("scheduler", "queue_high_water", 4.0);
+  reversed.counter("phy.sta1", "rx_ok").inc(9);
+  reversed.counter("mac.sta0", "tx_data").inc(3);
+
+  EXPECT_EQ(forward.snapshot_json(), reversed.snapshot_json());
+  EXPECT_EQ(forward.flatten(), reversed.flatten());
+}
+
+TEST(MetricsRegistry, SnapshotJsonKeysAreSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta", "late").inc();
+  reg.counter("alpha", "early").inc();
+  reg.counter("alpha", "another").inc();
+  const std::string json = reg.snapshot_json();
+  // Components and the names within a component appear in sorted order.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_LT(json.find("\"another\""), json.find("\"early\""));
+}
+
 }  // namespace
 }  // namespace adhoc::obs

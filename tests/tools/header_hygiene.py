@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Header self-sufficiency check: every public header must compile as a
+standalone translation unit (include-what-you-use at the TU level).
+
+For each `*.hpp` under the given roots this writes a one-line TU
+`#include "<relative path>"` and runs `$CXX -fsyntax-only` on it.  A
+header that leans on transitively-included names fails here long before
+it breaks an unrelated caller.
+
+Usage:
+  header_hygiene.py --compiler g++ --std c++20 -I src -I tools src [more roots]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def check_header(compiler: str, std: str, includes: list[str], root: Path,
+                 header: Path) -> tuple[Path, str | None]:
+    rel = header.relative_to(root).as_posix()
+    with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as tu:
+        tu.write(f'#include "{rel}"\n')
+        tu_path = tu.name
+    cmd = [compiler, f"-std={std}", "-fsyntax-only", "-Wall", "-Wextra"]
+    for inc in includes:
+        cmd += ["-I", inc]
+    cmd += ["-x", "c++", tu_path]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        return header, f"failed to run compiler: {e}"
+    finally:
+        Path(tu_path).unlink(missing_ok=True)
+    if proc.returncode != 0:
+        return header, proc.stderr.strip() or f"exit {proc.returncode}"
+    return header, None
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("roots", nargs="+", type=Path,
+                    help="directories scanned for *.hpp; includes resolve "
+                    "relative to each root")
+    ap.add_argument("--compiler", default="c++")
+    ap.add_argument("--std", default="c++20")
+    ap.add_argument("-I", dest="includes", action="append", default=[],
+                    help="extra include directory (repeatable)")
+    ap.add_argument("--jobs", type=int, default=8)
+    args = ap.parse_args(argv)
+
+    work = []
+    for root in args.roots:
+        if not root.is_dir():
+            print(f"header_hygiene: no such directory: {root}", file=sys.stderr)
+            return 2
+        includes = [str(root)] + args.includes
+        for header in sorted(root.rglob("*.hpp")):
+            work.append((root, includes, header))
+    if not work:
+        print("header_hygiene: no headers found", file=sys.stderr)
+        return 2
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [
+            pool.submit(check_header, args.compiler, args.std, includes, root, header)
+            for root, includes, header in work
+        ]
+        for fut in concurrent.futures.as_completed(futures):
+            header, err = fut.result()
+            if err is not None:
+                failures.append((header, err))
+
+    failures.sort(key=lambda f: str(f[0]))
+    for header, err in failures:
+        print(f"FAIL {header}\n{err}\n")
+    print(f"header_hygiene: {len(work) - len(failures)}/{len(work)} headers "
+          "self-sufficient", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,30 @@
+// Fixture: fp-compare rule — exact ==/!= against floating-point
+// literals.
+namespace fixture {
+
+bool positives(double x, double y) {
+  bool a = (x == 0.0);         // EXPECT-LINT(fp-compare)
+  bool b = (y != 1.0);         // EXPECT-LINT(fp-compare)
+  bool c = (0.5 == x);         // EXPECT-LINT(fp-compare)
+  bool d = (x == 1.5e-3);      // EXPECT-LINT(fp-compare)
+  bool e = (y != .25f);        // EXPECT-LINT(fp-compare)
+  return a || b || c || d || e;
+}
+
+bool suppressed(double x) {
+  // Exact-zero sentinel, justified at the site:
+  return x == 0.0;  // NOLINT-ADHOC(fp-compare)
+}
+
+// Negatives: ordered compares, integer compares, and tolerance forms.
+bool negatives(double x, int i) {
+  bool a = (x <= 0.0);
+  bool b = (x >= 1.0);
+  bool c = (i == 0);
+  bool d = (i != 42);
+  double eps = 1e-9;
+  bool e = (x - 1.0 < eps);
+  return a || b || c || d || e;
+}
+
+}  // namespace fixture

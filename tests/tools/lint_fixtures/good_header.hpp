@@ -1,0 +1,18 @@
+#pragma once
+// Fixture: fully clean header — guard present, no banned constructs.
+// lint_selftest.py also runs the linter on this file alone and demands
+// exit code 0.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+inline std::string clean_json(const std::map<std::string, double>& metrics) {
+  std::string json;
+  for (const auto& [name, value] : metrics) {
+    json += name + "=" + std::to_string(value) + ";";
+  }
+  return json;
+}
+
+}  // namespace fixture

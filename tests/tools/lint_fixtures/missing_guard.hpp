@@ -1,0 +1,5 @@
+// EXPECT-LINT(header-guard) — this header deliberately lacks
+// '#pragma once' (and any classic guard); the finding lands on line 1.
+namespace fixture {
+inline int unguarded() { return 1; }
+}  // namespace fixture

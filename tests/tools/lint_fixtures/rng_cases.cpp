@@ -1,0 +1,47 @@
+// Fixture: rng-stream rule — std <random> machinery is banned in favor
+// of sim::Simulator::rng_stream(name) / Rng::substream draws.
+#include <random>  // EXPECT-LINT(rng-stream)
+#include <cstdint>
+
+namespace fixture {
+
+double positives(std::uint64_t seed) {
+  std::mt19937 gen(static_cast<unsigned>(seed));              // EXPECT-LINT(rng-stream)
+  std::mt19937_64 gen64(seed);                                // EXPECT-LINT(rng-stream)
+  std::uniform_real_distribution<double> uni(0.0, 1.0);       // EXPECT-LINT(rng-stream)
+  std::normal_distribution<double> norm;                      // EXPECT-LINT(rng-stream)
+  return uni(gen) + norm(gen64);
+}
+
+double suppressed(std::uint64_t seed) {
+  // Sanctioned only in a fixture: real code never gets this suppression.
+  std::mt19937 gen(static_cast<unsigned>(seed));  // NOLINT-ADHOC(rng-stream)
+  return static_cast<double>(gen());
+}
+
+// Negatives: the repo's own deterministic RNG plumbing.
+struct Rng {
+  Rng substream(const char*) const { return *this; }
+  double uniform01() { return 0.5; }
+};
+inline Rng raw_seed_positive() {
+  return Rng{};  // default is fine; a literal seed is not:
+}
+inline double raw_seeded_draw() {
+  Rng r{};
+  (void)r;
+  struct Holder { explicit Holder(Rng) {} };
+  // Raw literal seeds bypass the master-seed substream tree.
+  // (Construction form, not a macro, so the matcher sees `Rng{1}`.)
+  Holder h{Rng{12345}};  // EXPECT-LINT(rng-stream)
+  return 0.0;
+}
+struct Simulator {
+  Rng rng_stream(const char*) const { return Rng{}; }
+};
+double draws(const Simulator& sim) {
+  Rng rng = sim.rng_stream("mac").substream("sta1");
+  return rng.uniform01();
+}
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: self-include rule.
+#include "self_include.hpp"  // EXPECT-LINT(self-include)
+
+namespace fixture {
+inline int self_included() { return 2; }
+}  // namespace fixture

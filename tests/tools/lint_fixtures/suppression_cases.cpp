@@ -1,0 +1,17 @@
+// Fixture: the suppression contract itself. A suppression comment must
+// carry a parenthesised, known rule list — anything else is a finding.
+#include <ctime>
+
+namespace fixture {
+
+long bad_suppressions() {
+  long a = std::time(nullptr);  // NOLINT-ADHOC  EXPECT-LINT(bare-suppression,wall-clock)
+  long b = std::time(nullptr);  // NOLINT-ADHOC(not-a-rule)  EXPECT-LINT(unknown-rule,wall-clock)
+  return a + b;
+}
+
+long good_suppression() {
+  return std::time(nullptr);  // NOLINT-ADHOC(wall-clock)
+}
+
+}  // namespace fixture

@@ -1,0 +1,53 @@
+// Fixture: unordered-iter rule — range-for over std::unordered_*
+// containers feeding an emission path (json/telemetry/trace/snapshot).
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Emitter {
+  std::unordered_map<std::string, double> metrics_;
+  std::unordered_set<int> stations_;
+  std::map<std::string, double> sorted_metrics_;
+
+  std::string positive_json() const {
+    std::string json = "{";
+    for (const auto& [name, value] : metrics_) {  // EXPECT-LINT(unordered-iter)
+      json += name + ":" + std::to_string(value) + ",";
+    }
+    return json + "}";
+  }
+
+  std::string suppressed_fold() const {
+    double total = 0.0;
+    // Order-independent fold: the emitted record is a commutative sum.
+    for (const auto& [name, value] : metrics_) {  // NOLINT-ADHOC(unordered-iter)
+      total += value;
+    }
+    std::string record = "total=" + std::to_string(total);
+    return record;
+  }
+};
+
+// Negative: iterating a *sorted* map into JSON is the sanctioned form.
+inline std::string negative_sorted(const Emitter& e) {
+  std::string json;
+  for (const auto& [name, value] : e.sorted_metrics_) {
+    json += name + "=" + std::to_string(value);
+  }
+  return json;
+}
+
+// Negative: unordered iteration with no emission in sight (pure lookup
+// bookkeeping) is allowed without suppression.
+inline int negative_no_emission(const Emitter& e) {
+  int n = 0;
+  for (const int s : e.stations_) {
+    n += s;
+  }
+  return n;
+}
+
+}  // namespace fixture

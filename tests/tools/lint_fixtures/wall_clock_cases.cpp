@@ -1,0 +1,39 @@
+// Fixture: wall-clock rule. Lines carrying an expectation marker must
+// be reported by adhoc_lint.py; unmarked lines must stay clean. This file
+// is linted by tests/tools/lint_selftest.py only — it is not built and
+// not part of the `ctest -R lint` production sweep.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long positives() {
+  long t = std::time(nullptr);                                // EXPECT-LINT(wall-clock)
+  auto now = std::chrono::system_clock::now();                // EXPECT-LINT(wall-clock)
+  auto mono = std::chrono::steady_clock::now();               // EXPECT-LINT(wall-clock)
+  auto hi = std::chrono::high_resolution_clock::now();        // EXPECT-LINT(wall-clock)
+  int r = rand();                                             // EXPECT-LINT(wall-clock)
+  srand(42);                                                  // EXPECT-LINT(wall-clock)
+  (void)now; (void)mono; (void)hi;
+  return t + r;
+}
+
+double suppressed_profiling() {
+  auto t0 = std::chrono::steady_clock::now();  // NOLINT-ADHOC(wall-clock)
+  // NOLINT-ADHOC-NEXTLINE(wall-clock)
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Negatives: identifiers that merely contain "time"/"rand", and the
+// simulator's own virtual clock, must not trip the word-boundary match.
+double airtime(double bits) { return bits / 11e6; }
+double run_time(double x) { return airtime(x); }
+struct Time { int us; };
+Time virtual_clock() { return Time{5}; }
+int operand(int x) { return x; }
+// A banned token inside prose or data must not fire either:
+// std::random_device in a comment is fine.
+const char* kDoc = "never use time(nullptr) at runtime";
+
+}  // namespace fixture

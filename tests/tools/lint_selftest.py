@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint/adhoc_lint.py, driven by the fixture files
+under tests/tools/lint_fixtures/.
+
+Each fixture line that must produce a finding carries an inline marker:
+
+    offending_code();  // EXPECT-LINT(rule-id)            one rule
+    offending_code();  // EXPECT-LINT(rule-a,rule-b)      several rules
+
+The test runs the linter over the fixture directory and demands the
+reported (file, line, rule) set equals the expected set exactly — so it
+fails on missed positives AND on false positives (every untagged fixture
+line is an implicit negative case).  It also checks the exit-code
+contract: 1 for the fixture sweep, 0 for a clean file, and a populated
+--list-rules table.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+LINTER = REPO / "tools" / "lint" / "adhoc_lint.py"
+FIXTURES = HERE / "lint_fixtures"
+
+EXPECT = re.compile(r"EXPECT-LINT\(([^)]*)\)")
+FINDING = re.compile(r"^(.*?):(\d+): \[([\w-]+)\] ")
+
+
+def run_linter(*args: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), *args], capture_output=True, text=True, timeout=120
+    )
+    return proc.returncode, proc.stdout
+
+
+def collect_expected() -> set[tuple[str, int, str]]:
+    expected = set()
+    for fixture in sorted(FIXTURES.iterdir()):
+        if fixture.suffix not in {".cpp", ".hpp", ".h", ".cc"}:
+            continue
+        for lineno, line in enumerate(fixture.read_text().splitlines(), start=1):
+            m = EXPECT.search(line)
+            if not m:
+                continue
+            for rule in m.group(1).split(","):
+                expected.add((fixture.name, lineno, rule.strip()))
+    return expected
+
+
+def main() -> int:
+    failures = []
+
+    expected = collect_expected()
+    if not expected:
+        print("lint_selftest: no EXPECT-LINT markers found — fixture dir broken?")
+        return 2
+
+    code, out = run_linter(str(FIXTURES))
+    actual = set()
+    for line in out.splitlines():
+        m = FINDING.match(line)
+        if m:
+            actual.add((Path(m.group(1)).name, int(m.group(2)), m.group(3)))
+
+    for miss in sorted(expected - actual):
+        failures.append(f"MISSED  {miss[0]}:{miss[1]} [{miss[2]}] (expected, not reported)")
+    for extra in sorted(actual - expected):
+        failures.append(f"SPURIOUS {extra[0]}:{extra[1]} [{extra[2]}] (reported, not expected)")
+    if code != 1:
+        failures.append(f"exit code for fixture sweep was {code}, want 1")
+
+    code, out = run_linter(str(FIXTURES / "good_header.hpp"))
+    if code != 0:
+        failures.append(f"clean file exited {code}, want 0; output:\n{out}")
+
+    code, out = run_linter("--list-rules")
+    if code != 0 or "wall-clock" not in out or "fp-compare" not in out:
+        failures.append("--list-rules missing rules or non-zero exit")
+
+    for f in failures:
+        print(f)
+    print(
+        f"lint_selftest: {len(expected)} expected finding(s), "
+        f"{len(failures)} failure(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,9 +133,9 @@ TEST_F(TcpTest, ConnectToDeafHostTimesOut) {
 }
 
 TEST_F(TcpTest, DelayedAckReducesAckTraffic) {
-  TcpParams delack = net_.tcp(0).default_params();
-  delack.delayed_ack = true;
-  // Server with delayed ACKs.
+  // Delayed ACKs are the stack default (TcpParams::delayed_ack), so the
+  // server below already coalesces ACKs; the assertion checks the effect.
+  ASSERT_TRUE(net_.tcp(1).default_params().delayed_ack);
   net_.tcp(1).listen(80, [this](TcpConnection& c) {
     server_ = &c;
     c.set_delivered_handler([this](std::uint32_t b) { delivered_ += b; });

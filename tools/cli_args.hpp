@@ -116,6 +116,9 @@ class CliArgs {
 
  private:
   std::string command_;
+  // Lookup-only storage: these are never iterated (the determinism
+  // linter's unordered-iter rule would flag emission loops over them),
+  // so unordered containers are safe here.
   std::unordered_map<std::string, std::string> values_;
   std::unordered_set<std::string> switches_;
 };
