@@ -11,6 +11,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
@@ -26,11 +27,16 @@ struct FourStationOutcome {
   double s2 = 0.0;
 };
 
-/// Run an ablation campaign and return per-point (S1, S2) means in grid
-/// order.
+/// Run an ablation campaign, fold it into the scorecard (cells keyed
+/// "<metric>/<point_id>", counters accumulated), and return per-point
+/// (S1, S2) means in grid order.
 std::vector<FourStationOutcome> run_points(const campaign::CampaignEngine& engine,
-                                           const experiments::ExperimentCampaign& def) {
-  const auto points = campaign::aggregate_by_point(engine.run(def.plan, def.run));
+                                           const experiments::ExperimentCampaign& def,
+                                           report::Scorecard& card) {
+  const auto result = engine.run(def.plan, def.run);
+  const auto points = campaign::aggregate_by_point(result);
+  card.add_campaign(result);
+  card.add_points(points, {{"s1_kbps", "kbps"}, {"s2_kbps", "kbps"}});
   std::vector<FourStationOutcome> out;
   out.reserve(points.size());
   for (const auto& p : points) {
@@ -45,18 +51,22 @@ std::string fmt_pair(const FourStationOutcome& o) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
+  const bench::WallTimer timer;
+
   experiments::ExperimentConfig cfg;
-  cfg.seeds = {1, 2, 3};
+  cfg.seeds = opt.seeds;
   cfg.warmup = sim::Time::ms(500);
   cfg.measure = sim::Time::sec(4);
 
-  const campaign::CampaignEngine engine{{}};
+  const campaign::CampaignEngine engine{bench::engine_config(opt)};
+  report::Scorecard card{"ablation"};
 
   std::cout << "=== Ablation 1: PCS range vs four-station coupling (fig7 layout, UDP) ===\n\n";
   {
     // Grid order matches the pcs_m axis: 60, 150, 250.
-    const auto o = run_points(engine, experiments::ablation_pcs_campaign(cfg));
+    const auto o = run_points(engine, experiments::ablation_pcs_campaign(cfg), card);
     stats::Table t({"PCS range (m)", "S1->S2 / S3->S4 (kbps)", "note"});
     t.add_row({"60", fmt_pair(o[0]), "sessions decoupled (no mutual CS)"});
     t.add_row({"150 (default)", fmt_pair(o[1]), "paper regime: coupled, asymmetric"});
@@ -66,7 +76,7 @@ int main() {
 
   std::cout << "=== Ablation 2: control-frame rate (fig7 layout, UDP) ===\n\n";
   {
-    const auto o = run_points(engine, experiments::ablation_control_rate_campaign(cfg));
+    const auto o = run_points(engine, experiments::ablation_control_rate_campaign(cfg), card);
     stats::Table t({"control rate", "S1->S2 / S3->S4 (kbps)"});
     t.add_row({"2 Mbps (default)", fmt_pair(o[0])});
     t.add_row({"1 Mbps", fmt_pair(o[1])});
@@ -75,7 +85,7 @@ int main() {
 
   std::cout << "=== Ablation 3: ACK policy (fig7 layout, UDP) ===\n\n";
   {
-    const auto o = run_points(engine, experiments::ablation_ack_policy_campaign(cfg));
+    const auto o = run_points(engine, experiments::ablation_ack_policy_campaign(cfg), card);
     stats::Table t({"ACK policy", "S1->S2 / S3->S4 (kbps)", "note"});
     t.add_row({"defer when busy (card)", fmt_pair(o[0]), "paper's observed behaviour"});
     t.add_row({"always at SIFS (standard)", fmt_pair(o[1]), "strict 802.11 responder"});
@@ -87,7 +97,7 @@ int main() {
     // The paper's critique made concrete: with ns-2's TX_range=250 m /
     // PCS=550 m, all four stations decode everything — the topology that
     // produced the measured unfairness cannot even be expressed.
-    const auto o = run_points(engine, experiments::ablation_phy_campaign(cfg));
+    const auto o = run_points(engine, experiments::ablation_phy_campaign(cfg), card);
     stats::Table t({"PHY calibration", "S1->S2 / S3->S4 (kbps)", "imbalance"});
     t.add_row({"paper Table 3 ranges", fmt_pair(o[0]),
                stats::Table::fmt(std::abs(o[0].s1 - o[0].s2) / (o[0].s1 + o[0].s2), 2)});
@@ -106,6 +116,7 @@ int main() {
       t.add_row({std::string(phy::rate_name(r)),
                  stats::Table::fmt(p.sinr_threshold(r), 0) + " dB",
                  stats::Table::fmt(f, 2) + "x"});
+      card.add_cell("if_range_factor/" + std::string(phy::rate_name(r)), f, std::nullopt, "x");
     }
     std::cout << t.to_string();
     std::cout << "\nIF_range grows linearly with the sender-receiver distance and\n"
@@ -119,5 +130,5 @@ int main() {
                "policy and the control rate are second-order here (ablations 2-3) —\n"
                "i.e. the paper's suppressed-ACK hypothesis is sufficient but not\n"
                "necessary to produce the unfairness it measured.\n";
-  return 0;
+  return bench::finish_bench(card, opt, timer);
 }

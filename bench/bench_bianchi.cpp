@@ -7,18 +7,23 @@
 #include <iostream>
 
 #include "analysis/bianchi.hpp"
+#include "bench_common.hpp"
 #include "experiments/experiments.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
+  const bench::WallTimer timer;
+
   experiments::ExperimentConfig cfg;
-  cfg.seeds = {1, 2, 3};
+  cfg.seeds = opt.seeds;
   cfg.warmup = sim::Time::ms(500);
   cfg.measure = sim::Time::sec(5);
 
+  report::Scorecard card{"bianchi"};
   std::cout << "=== Saturation throughput vs contention: simulation vs Bianchi ===\n"
             << "(11 Mbps, m=512 B, basic access)\n\n";
   stats::Table table({"stations", "model (Mbps)", "sim (Mbps)", "sim/model %", "model p"});
@@ -39,6 +44,10 @@ int main() {
                    stats::Table::fmt(sim_result.mean / model.throughput_mbps * 100.0, 1),
                    stats::Table::fmt(model.p)});
     csv.numeric_row({static_cast<double>(n), model.throughput_mbps, sim_result.mean, model.p});
+    // The analytical model is the reference the simulated MAC is scored
+    // against (the shape check says "within ~15%").
+    card.add_cell("sim_mbps/basic/n=" + std::to_string(n), sim_result.mean,
+                  model.throughput_mbps, "Mbps");
   }
   std::cout << table.to_string();
 
@@ -56,6 +65,8 @@ int main() {
     rts_table.add_row({std::to_string(n), stats::Table::fmt(model.throughput_mbps),
                        stats::Table::fmt(sim_result.mean),
                        stats::Table::fmt(sim_result.mean / model.throughput_mbps * 100.0, 1)});
+    card.add_cell("sim_mbps/rts/n=" + std::to_string(n), sim_result.mean,
+                  model.throughput_mbps, "Mbps");
   }
   std::cout << rts_table.to_string();
 
@@ -64,5 +75,5 @@ int main() {
                "contention RTS/CTS closes the gap to basic access (collisions only\n"
                "cost an RTS) — Bianchi's classic observation.\n";
   std::cout << "(series written to bianchi.csv)\n";
-  return 0;
+  return bench::finish_bench(card, opt, timer);
 }

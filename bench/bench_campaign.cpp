@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
@@ -22,7 +23,7 @@ using namespace adhoc;
 namespace {
 
 experiments::ExperimentCampaign grid16(const experiments::ExperimentConfig& cfg) {
-  // 4 points (rts × tcp) × 4 seeds = 16 independent runs.
+  // 4 points (rts × tcp) × the seed set = one run per (point, seed).
   auto def = experiments::fig2_campaign(cfg);
   def.plan.name = "scalability-16";
   return def;
@@ -41,9 +42,12 @@ bool identical(const campaign::CampaignResult& a, const campaign::CampaignResult
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv, {1, 2, 3, 4});
+  const bench::WallTimer timer;
+
   experiments::ExperimentConfig cfg;
-  cfg.seeds = {1, 2, 3, 4};
+  cfg.seeds = opt.seeds;
   cfg.warmup = sim::Time::ms(500);
   cfg.measure = sim::Time::sec(4);
 
@@ -84,5 +88,15 @@ int main() {
     std::cout << "note: only " << hw << " hardware thread(s) — speedup is expected to be\n"
                  "flat here; the >= 2x criterion applies on a 4-core host.\n";
   }
-  return all_identical ? 0 : 1;
+  if (!all_identical) return 1;
+
+  // Scorecard: the jobs=1 grid aggregates are the fidelity record (they
+  // are bit-identical at every worker count, as just verified); speedup
+  // and per-worker wall times are perf-sidecar material.
+  report::Scorecard card{"campaign"};
+  card.add_points(campaign::aggregate_by_point(results.front()), {{"kbps", "kbps"}});
+  card.add_cell("determinism_contract_holds", 1.0);  // reaching here means it held
+  for (const auto& r : results) card.add_campaign(r);
+  card.set_perf("speedup_max_jobs", base / results.back().wall_seconds);
+  return bench::finish_bench(card, opt, timer);
 }

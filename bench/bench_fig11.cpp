@@ -4,13 +4,10 @@
 
 #include "four_station_common.hpp"
 
-int main() {
-  adhoc::benchfs::run_four_station_bench(
-      "fig11", "symmetric, 11 Mbps, d(1,2)=25 m, d(2,3)=62.5 m, d(3,4)=25 m", "S4->S3",
-      [](bool rts, adhoc::scenario::Transport t) {
-        return adhoc::experiments::fig11_spec(rts, t);
-      },
+int main(int argc, char** argv) {
+  return adhoc::benchfs::run_four_station_bench(
+      argc, argv, "fig11", "symmetric, 11 Mbps, d(1,2)=25 m, d(2,3)=62.5 m, d(3,4)=25 m",
+      "S4->S3", adhoc::experiments::fig11_spec(false, adhoc::scenario::Transport::kUdp),
       "Paper shape check: symmetric roles => the two sessions are far closer\n"
       "to each other than in fig7 (results 'aligned with previous observations').");
-  return 0;
 }

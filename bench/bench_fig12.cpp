@@ -3,13 +3,10 @@
 
 #include "four_station_common.hpp"
 
-int main() {
-  adhoc::benchfs::run_four_station_bench(
-      "fig12", "symmetric, 2 Mbps, d(1,2)=25 m, d(2,3)=62.5 m, d(3,4)=25 m", "S4->S3",
-      [](bool rts, adhoc::scenario::Transport t) {
-        return adhoc::experiments::fig12_spec(rts, t);
-      },
+int main(int argc, char** argv) {
+  return adhoc::benchfs::run_four_station_bench(
+      argc, argv, "fig12", "symmetric, 2 Mbps, d(1,2)=25 m, d(2,3)=62.5 m, d(3,4)=25 m",
+      "S4->S3", adhoc::experiments::fig12_spec(false, adhoc::scenario::Transport::kUdp),
       "Paper shape check: balanced sharing at the lower rate, lower totals\n"
       "than fig11 (2 Mbps channel).");
-  return 0;
 }

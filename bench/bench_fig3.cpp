@@ -10,6 +10,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
 #include "campaign/campaign.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
@@ -18,13 +19,21 @@
 
 using namespace adhoc;
 
-int main() {
-  experiments::ExperimentConfig cfg;
-  cfg.seeds = {1, 2, 3};
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
+  const bench::WallTimer timer;
 
-  const campaign::CampaignEngine engine{{}};
+  experiments::ExperimentConfig cfg;
+  cfg.seeds = opt.seeds;
+
+  const campaign::CampaignEngine engine{bench::engine_config(opt)};
   const auto def = experiments::fig3_campaign(cfg, /*probes=*/300);
-  const auto points = campaign::aggregate_by_point(engine.run(def.plan, def.run));
+  const auto result = engine.run(def.plan, def.run);
+  const auto points = campaign::aggregate_by_point(result);
+
+  report::Scorecard card{"fig3"};
+  card.add_campaign(result);
+  card.add_points(points, {{"loss", "loss"}});
 
   // Index mean loss by (rate, distance) for the table below.
   std::map<std::pair<double, double>, double> loss;
@@ -56,5 +65,5 @@ int main() {
   std::cout << "\nPaper shape check: curves rise in rate order; 11 Mbps saturates "
                "by ~40 m, 1 Mbps survives past 110 m.\n";
   std::cout << "(series written to fig3.csv)\n";
-  return 0;
+  return bench::finish_bench(card, opt, timer);
 }

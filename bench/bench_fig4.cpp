@@ -11,6 +11,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "experiments/experiments.hpp"
 #include "faults/fault_plan.hpp"
 #include "stats/csv.hpp"
@@ -18,9 +19,12 @@
 
 using namespace adhoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
+  const bench::WallTimer timer;
+
   experiments::ExperimentConfig cfg;
-  cfg.seeds = {1, 2, 3};
+  cfg.seeds = opt.seeds;
 
   std::vector<double> distances;
   for (double d = 50.0; d <= 160.0; d += 10.0) distances.push_back(d);
@@ -43,6 +47,7 @@ int main() {
   disturbed_cfg.faults = faults::builtin_plan("fig4-burst");
   const auto curve_d = experiments::loss_sweep(day_a, disturbed_cfg);
 
+  report::Scorecard card{"fig4"};
   std::cout << "=== Figure 4: 1 Mbps transmission range on two different days ===\n\n";
   stats::Table table({"distance (m)", "day A (+2.5 dB)", "day B (-2.5 dB)",
                       "day A disturbed (fig4-burst)"});
@@ -53,6 +58,10 @@ int main() {
                    stats::Table::fmt(curve_b[i].loss, 2),
                    stats::Table::fmt(curve_d[i].loss, 2)});
     csv.numeric_row({distances[i], curve_a[i].loss, curve_b[i].loss, curve_d[i].loss});
+    const std::string d = "d=" + stats::Table::fmt(distances[i], 0);
+    card.add_cell("loss/day_a/" + d, curve_a[i].loss, std::nullopt, "loss");
+    card.add_cell("loss/day_b/" + d, curve_b[i].loss, std::nullopt, "loss");
+    card.add_cell("loss/disturbed/" + d, curve_d[i].loss, std::nullopt, "loss");
   }
   std::cout << table.to_string();
   std::cout << "\nPaper shape check: the adverse-day curve rises earlier — the same "
@@ -60,5 +69,5 @@ int main() {
                "series sits above day A: a mid-run burst plus weather step erodes the "
                "same link's measured range.\n";
   std::cout << "(series written to fig4.csv)\n";
-  return 0;
+  return bench::finish_bench(card, opt, timer);
 }

@@ -8,11 +8,10 @@
 
 #include "four_station_common.hpp"
 
-int main() {
-  adhoc::benchfs::run_four_station_bench(
-      "fig7", "11 Mbps, d(1,2)=25 m, d(2,3)=82.5 m, d(3,4)=25 m", "S3->S4",
-      [](bool rts, adhoc::scenario::Transport t) { return adhoc::experiments::fig7_spec(rts, t); },
+int main(int argc, char** argv) {
+  return adhoc::benchfs::run_four_station_bench(
+      argc, argv, "fig7", "11 Mbps, d(1,2)=25 m, d(2,3)=82.5 m, d(3,4)=25 m", "S3->S4",
+      adhoc::experiments::fig7_spec(false, adhoc::scenario::Transport::kUdp),
       "Paper shape check: UDP strongly favours S3->S4 (both with and without\n"
       "RTS/CTS); TCP reduces but does not remove the gap.");
-  return 0;
 }

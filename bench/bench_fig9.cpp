@@ -7,11 +7,10 @@
 
 #include "four_station_common.hpp"
 
-int main() {
-  adhoc::benchfs::run_four_station_bench(
-      "fig9", "2 Mbps, d(1,2)=25 m, d(2,3)=92.5 m, d(3,4)=25 m", "S3->S4",
-      [](bool rts, adhoc::scenario::Transport t) { return adhoc::experiments::fig9_spec(rts, t); },
+int main(int argc, char** argv) {
+  return adhoc::benchfs::run_four_station_bench(
+      argc, argv, "fig9", "2 Mbps, d(1,2)=25 m, d(2,3)=92.5 m, d(3,4)=25 m", "S3->S4",
+      adhoc::experiments::fig9_spec(false, adhoc::scenario::Transport::kUdp),
       "Paper shape check: visibly more balanced than fig7 — all stations are\n"
       "within (or near) one transmission/PCS range.");
-  return 0;
 }

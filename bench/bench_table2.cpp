@@ -7,14 +7,19 @@
 #include <iostream>
 
 #include "analysis/throughput_model.hpp"
+#include "bench_common.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
+  const bench::WallTimer timer;
+
   const analysis::ThroughputModel standard{analysis::Assumptions::standard()};
   const analysis::ThroughputModel fitted{analysis::Assumptions::paper_fit()};
+  report::Scorecard card{"table2"};
 
   std::cout << "=== Table 2: maximum throughput (Mbps) at different data rates ===\n\n";
   stats::Table table({"rate", "m (B)", "access", "paper", "model(std)", "model(fit)",
@@ -34,12 +39,18 @@ int main() {
                    stats::Table::fmt(err, 1)});
     csv.numeric_row({phy::rate_mbps(cell.rate), static_cast<double>(cell.m_bytes),
                      cell.rts ? 1.0 : 0.0, cell.paper_mbps, std_v, fit_v});
+    // Scorecard cell ids match tests/report/compare_test.cpp's layout.
+    card.add_cell(std::string(phy::rate_name(cell.rate)) + "/" + std::to_string(cell.m_bytes) +
+                      "B/" + (cell.rts ? "rts" : "basic"),
+                  fit_v, cell.paper_mbps, "Mbps");
   }
   std::cout << table.to_string();
+
+  const double util_pct =
+      standard.max_throughput_basic_mbps(1024, phy::Rate::kR11) / 11.0 * 100.0;
+  card.add_cell("utilization_11mbps_1024B", util_pct, std::nullopt, "%");
   std::cout << "\nBandwidth utilization at 11 Mbps, m=1024 (paper: < 44%): "
-            << stats::Table::fmt(
-                   standard.max_throughput_basic_mbps(1024, phy::Rate::kR11) / 11.0 * 100.0, 1)
-            << "%\n";
+            << stats::Table::fmt(util_pct, 1) << "%\n";
   std::cout << "\n(series written to table2.csv)\n";
-  return 0;
+  return bench::finish_bench(card, opt, timer);
 }

@@ -4,6 +4,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "experiments/experiments.hpp"
 #include "phy/calibration.hpp"
 #include "stats/csv.hpp"
@@ -11,23 +12,28 @@
 
 using namespace adhoc;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_bench_options(argc, argv);
+  const bench::WallTimer timer;
+
   experiments::ExperimentConfig cfg;
-  cfg.seeds = {1, 2, 3};
+  cfg.seeds = opt.seeds;
 
   std::cout << "=== Table 3: transmission range estimates (50% loss crossing) ===\n\n";
 
   struct Row {
     phy::Rate rate;
     const char* paper;
+    double paper_mid_m;  // midpoint of the paper's published range
   };
   const Row rows[] = {
-      {phy::Rate::kR11, "30 m"},
-      {phy::Rate::kR5_5, "70 m"},
-      {phy::Rate::kR2, "90-100 m"},
-      {phy::Rate::kR1, "110-130 m"},
+      {phy::Rate::kR11, "30 m", 30.0},
+      {phy::Rate::kR5_5, "70 m", 70.0},
+      {phy::Rate::kR2, "90-100 m", 95.0},
+      {phy::Rate::kR1, "110-130 m", 120.0},
   };
 
+  report::Scorecard card{"table3"};
   stats::Table table({"rate", "paper data TX_range", "measured (sim)"});
   stats::CsvWriter csv{"table3.csv"};
   csv.header({"rate_mbps", "measured_range_m"});
@@ -38,6 +44,7 @@ int main() {
     table.add_row({std::string(phy::rate_name(row.rate)), row.paper,
                    stats::Table::fmt(r, 1) + " m"});
     csv.numeric_row({phy::rate_mbps(row.rate), r});
+    card.add_cell("tx_range/" + std::string(phy::rate_name(row.rate)), r, row.paper_mid_m, "m");
   }
   std::cout << table.to_string();
 
@@ -52,5 +59,5 @@ int main() {
   std::cout << "\nns-2/GloMoSim default TX_range = 250 m; every measured range above "
                "is 2-8x shorter, as the paper reports.\n";
   std::cout << "(series written to table3.csv)\n";
-  return 0;
+  return bench::finish_bench(card, opt, timer);
 }

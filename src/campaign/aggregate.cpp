@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/json.hpp"
+
 namespace adhoc::campaign {
 
 std::vector<PointAggregate> aggregate_by_point(const CampaignResult& result) {
@@ -24,6 +26,16 @@ std::vector<PointAggregate> aggregate_by_point(const CampaignResult& result) {
   std::vector<PointAggregate> out;
   out.reserve(by_point.size());
   for (auto& [index, agg] : by_point) out.push_back(std::move(agg));
+  return out;
+}
+
+std::string point_id(const std::vector<std::pair<std::string, double>>& params) {
+  if (params.empty()) return "point";
+  std::string out;
+  for (const auto& [name, value] : params) {
+    if (!out.empty()) out += ',';
+    out += name + '=' + obs::json_number(value);
+  }
   return out;
 }
 

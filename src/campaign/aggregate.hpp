@@ -31,4 +31,9 @@ struct PointAggregate {
 /// counted but contribute no samples.
 [[nodiscard]] std::vector<PointAggregate> aggregate_by_point(const CampaignResult& result);
 
+/// Stable textual id for a grid point: "rts=0,tcp=1" (axis order as
+/// expanded, values through the locale-free obs::json_number formatter).
+/// Keys scorecard cells and any other per-point artifact.
+[[nodiscard]] std::string point_id(const std::vector<std::pair<std::string, double>>& params);
+
 }  // namespace adhoc::campaign

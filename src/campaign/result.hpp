@@ -55,6 +55,16 @@ struct CampaignResult {
     return n;
   }
   [[nodiscard]] std::size_t error_count() const { return runs.size() - ok_count(); }
+
+  /// Total simulation events executed across successful runs —
+  /// deterministic for a given plan+seed set, unlike wall_seconds.
+  [[nodiscard]] std::uint64_t events_total() const {
+    std::uint64_t n = 0;
+    for (const RunRecord& r : runs) {
+      if (r.ok) n += r.metrics.events;
+    }
+    return n;
+  }
 };
 
 }  // namespace adhoc::campaign

@@ -1,5 +1,6 @@
 #include "obs/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -33,14 +34,20 @@ std::string json_escape(std::string_view s) {
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // std::to_chars emits the shortest decimal form that round-trips and
+  // never consults the C locale, so the output is byte-stable under any
+  // LC_NUMERIC (snprintf "%g" would print "3,14" under de_DE) — the
+  // property every BENCH_*.json / telemetry consumer relies on.
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer the shortest representation that round-trips.
-  char shorter[32];
-  std::snprintf(shorter, sizeof shorter, "%.15g", v);
-  double back = 0.0;
-  std::sscanf(shorter, "%lf", &back);
-  return back == v ? shorter : buf;
+  // Exactly-integral values below 2^53 print in integer form (to_chars'
+  // shortest form would render 1e6 as "1e+06", which diffs poorly in
+  // checked-in baselines full of event counts and timestamps).
+  if (v == std::trunc(v) && std::abs(v) < 9.007199254740992e15) {
+    const auto res = std::to_chars(buf, buf + sizeof buf, static_cast<long long>(v));
+    return {buf, res.ptr};
+  }
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  return {buf, res.ptr};
 }
 
 }  // namespace adhoc::obs

@@ -15,7 +15,11 @@ namespace adhoc::obs {
 [[nodiscard]] std::string json_escape(std::string_view s);
 
 /// Format a double as a JSON number: shortest representation that
-/// round-trips, "null" for non-finite values (JSON has no inf/nan).
+/// round-trips (std::to_chars), "null" for non-finite values (JSON has
+/// no inf/nan). Locale-independent: the result is byte-identical under
+/// any global C/C++ locale, which makes it the single sanctioned float
+/// formatter for every byte-stable artifact (BENCH_*.json, telemetry,
+/// metrics snapshots).
 [[nodiscard]] std::string json_number(double v);
 
 }  // namespace adhoc::obs

@@ -1,0 +1,155 @@
+#include "report/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "stats/table.hpp"
+
+namespace adhoc::report {
+
+std::string_view drift_kind_name(DriftKind k) {
+  switch (k) {
+    case DriftKind::kFidelity: return "fidelity";
+    case DriftKind::kPaperDeviation: return "paper-dev";
+    case DriftKind::kPerf: return "perf";
+    case DriftKind::kMissingCell: return "missing-cell";
+    case DriftKind::kNewCell: return "new-cell";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CellView {
+  double sim = 0.0;
+  bool has_paper = false;
+  double rel_dev = 0.0;
+};
+
+std::map<std::string, CellView> index_cells(const JsonValue& doc, const char* which) {
+  const JsonValue* cells = doc.find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    throw std::runtime_error(std::string{"not a scorecard ("} + which +
+                             " document has no \"cells\" array)");
+  }
+  std::map<std::string, CellView> out;
+  for (const JsonValue& cell : cells->array()) {
+    const JsonValue* id = cell.find("id");
+    const JsonValue* sim = cell.find("sim");
+    if (id == nullptr || !id->is_string() || sim == nullptr || !sim->is_number()) continue;
+    CellView v;
+    v.sim = sim->number();
+    if (const JsonValue* dev = cell.find("rel_dev"); dev != nullptr && dev->is_number()) {
+      v.has_paper = true;
+      v.rel_dev = dev->number();
+    }
+    out[id->str()] = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+CompareReport compare_scorecards(const JsonValue& baseline, const JsonValue& current,
+                                 const CompareOptions& opt) {
+  CompareReport report;
+  if (const JsonValue* name = current.find("bench"); name != nullptr && name->is_string()) {
+    report.bench = name->str();
+  }
+  const auto base_cells = index_cells(baseline, "baseline");
+  const auto cur_cells = index_cells(current, "current");
+
+  for (const auto& [id, base] : base_cells) {
+    const auto it = cur_cells.find(id);
+    if (it == cur_cells.end()) {
+      report.drifts.push_back({DriftKind::kMissingCell, id, base.sim, 0.0, 0.0, true,
+                               "cell present in baseline, absent in current run"});
+      report.fidelity_ok = false;
+      continue;
+    }
+    const CellView& cur = it->second;
+    ++report.cells_compared;
+
+    // Fidelity class 1: sim value drift relative to the baseline. The
+    // denominator saturates at 1 so cells whose natural scale is tiny
+    // (loss rates near zero) compare on an absolute tolerance.
+    const double denom = std::max(std::abs(base.sim), 1.0);
+    const double rel_change = std::abs(cur.sim - base.sim) / denom;
+    if (rel_change > opt.fidelity_rel_tol) {
+      report.drifts.push_back({DriftKind::kFidelity, id, base.sim, cur.sim,
+                               opt.fidelity_rel_tol, true,
+                               "sim value moved " +
+                                   stats::Table::fmt(rel_change * 100.0, 1) + "% vs baseline"});
+      report.fidelity_ok = false;
+    }
+
+    // Fidelity class 2: deviation from the paper's published value may
+    // not worsen beyond the allowance.
+    if (base.has_paper && cur.has_paper) {
+      const double worsened = std::abs(cur.rel_dev) - std::abs(base.rel_dev);
+      if (worsened > opt.dev_worsen_tol) {
+        report.drifts.push_back(
+            {DriftKind::kPaperDeviation, id, base.rel_dev, cur.rel_dev, opt.dev_worsen_tol, true,
+             "|deviation from paper| worsened by " +
+                 stats::Table::fmt(worsened * 100.0, 1) + " points"});
+        report.fidelity_ok = false;
+      }
+    }
+  }
+
+  for (const auto& [id, cur] : cur_cells) {
+    if (base_cells.find(id) == base_cells.end()) {
+      report.drifts.push_back({DriftKind::kNewCell, id, 0.0, cur.sim, 0.0, false,
+                               "new cell (not in baseline; refresh baselines to adopt)"});
+    }
+  }
+  return report;
+}
+
+void compare_perf(const JsonValue& baseline_perf, const JsonValue& current_perf,
+                  const CompareOptions& opt, CompareReport& report) {
+  if (!opt.check_perf) return;
+  if (!baseline_perf.is_object() || !current_perf.is_object()) return;
+  const JsonValue* base = baseline_perf.find("perf");
+  const JsonValue* cur = current_perf.find("perf");
+  if (base == nullptr || cur == nullptr || !base->is_object() || !cur->is_object()) return;
+
+  const double base_eps = base->number_or("events_per_sec", 0.0);
+  const double cur_eps = cur->number_or("events_per_sec", 0.0);
+  if (base_eps > 0.0 && cur_eps > 0.0) {
+    const double drop = 1.0 - cur_eps / base_eps;
+    if (drop > opt.perf_drop_frac) {
+      report.drifts.push_back({DriftKind::kPerf, "events_per_sec", base_eps, cur_eps,
+                               opt.perf_drop_frac, true,
+                               "throughput dropped " + stats::Table::fmt(drop * 100.0, 1) + "%"});
+      report.perf_ok = false;
+    }
+  }
+  const double base_wall = base->number_or("wall_ms", 0.0);
+  const double cur_wall = cur->number_or("wall_ms", 0.0);
+  if (base_wall > 0.0 && cur_wall > 0.0) {
+    const double rise = cur_wall / base_wall - 1.0;
+    // Mirror of the events/sec gate: a drop of f in rate is a rise of
+    // f/(1-f) in wall time.
+    const double limit = opt.perf_drop_frac / (1.0 - opt.perf_drop_frac);
+    if (rise > limit) {
+      report.drifts.push_back({DriftKind::kPerf, "wall_ms", base_wall, cur_wall, limit, true,
+                               "wall time rose " + stats::Table::fmt(rise * 100.0, 1) + "%"});
+      report.perf_ok = false;
+    }
+  }
+}
+
+std::string CompareReport::table() const {
+  if (drifts.empty()) return {};
+  stats::Table t({"class", "cell / metric", "baseline", "current", "verdict", "note"});
+  for (const Drift& d : drifts) {
+    t.add_row({std::string{drift_kind_name(d.kind)}, d.id, stats::Table::fmt(d.baseline),
+               stats::Table::fmt(d.current), d.failing ? "FAIL" : "info", d.note});
+  }
+  return t.to_string();
+}
+
+}  // namespace adhoc::report

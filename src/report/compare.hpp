@@ -1,0 +1,77 @@
+#pragma once
+// Scorecard drift comparison: a fresh BENCH_*.json (+ perf sidecar)
+// against the checked-in baseline, with two tolerance classes:
+//
+//   fidelity  cell sim values may not move more than `fidelity_rel_tol`
+//             relative to the baseline (denominator max(|baseline|, 1)
+//             so near-zero loss/throughput cells degrade to an absolute
+//             tolerance instead of exploding); where both sides carry a
+//             paper reference, |rel_dev| may not worsen by more than
+//             `dev_worsen_tol` absolute points. Cells that disappear
+//             fail; new cells are reported but pass (a baseline refresh
+//             adopts them).
+//   perf      events_per_sec may not drop by more than `perf_drop_frac`
+//             (and wall_ms may not rise by the mirrored factor). Perf
+//             drift is waivable per bench (see tools/bench_check.py's
+//             waiver file); the C++ report only flags it.
+//
+// Exit-code contract for the CLI front ends (`adhocsim scorecard`,
+// tools/bench_check.py): 0 clean, 1 drift detected, 2 usage/I-O error.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "report/json_read.hpp"
+
+namespace adhoc::report {
+
+struct CompareOptions {
+  double fidelity_rel_tol = 0.05;  ///< max relative sim-value drift
+  double dev_worsen_tol = 0.02;    ///< max |rel_dev| worsening (absolute)
+  double perf_drop_frac = 0.30;    ///< max events/sec drop (fraction)
+  bool check_perf = true;
+};
+
+enum class DriftKind { kFidelity, kPaperDeviation, kPerf, kMissingCell, kNewCell };
+
+[[nodiscard]] std::string_view drift_kind_name(DriftKind k);
+
+struct Drift {
+  DriftKind kind = DriftKind::kFidelity;
+  std::string id;       ///< cell id or perf metric name
+  double baseline = 0.0;
+  double current = 0.0;
+  double limit = 0.0;   ///< the tolerance that was applied
+  bool failing = false;
+  std::string note;
+};
+
+struct CompareReport {
+  std::string bench;
+  std::vector<Drift> drifts;  ///< failing drifts plus informational rows
+  std::size_t cells_compared = 0;
+  bool fidelity_ok = true;
+  bool perf_ok = true;
+
+  [[nodiscard]] bool ok(bool perf_waived = false) const {
+    return fidelity_ok && (perf_ok || perf_waived);
+  }
+  /// Human-readable drift table (one row per drift; empty-string when
+  /// there is nothing to report).
+  [[nodiscard]] std::string table() const;
+};
+
+/// Diff two fidelity documents (the parsed BENCH_<name>.json values).
+/// Throws std::runtime_error when either document is not a scorecard.
+[[nodiscard]] CompareReport compare_scorecards(const JsonValue& baseline,
+                                               const JsonValue& current,
+                                               const CompareOptions& opt = {});
+
+/// Fold a perf-sidecar diff into `report`. Either side may be an absent
+/// (null) document — perf checking is skipped silently then, since perf
+/// sidecars are optional and machine-bound.
+void compare_perf(const JsonValue& baseline_perf, const JsonValue& current_perf,
+                  const CompareOptions& opt, CompareReport& report);
+
+}  // namespace adhoc::report

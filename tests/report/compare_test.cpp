@@ -1,0 +1,159 @@
+// Drift-gate contract: fidelity vs perf tolerance classes, injected
+// regressions must be caught, clean reruns must pass.
+
+#include "report/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/throughput_model.hpp"
+#include "report/scorecard.hpp"
+
+namespace adhoc {
+namespace {
+
+// Scorecard of all 16 Table 2 cells under the given assumptions —
+// the same construction bench_table2 uses.
+report::Scorecard table2_scorecard(const analysis::Assumptions& a) {
+  analysis::ThroughputModel model{a};
+  report::Scorecard card{"table2"};
+  for (const auto& cell : analysis::paper_table2()) {
+    const double sim = cell.rts ? model.max_throughput_rts_mbps(cell.m_bytes, cell.rate)
+                                : model.max_throughput_basic_mbps(cell.m_bytes, cell.rate);
+    const std::string id = std::string{phy::rate_name(cell.rate)} + "/" +
+                           std::to_string(cell.m_bytes) + "B/" +
+                           (cell.rts ? "rts" : "basic");
+    card.add_cell(id, sim, cell.paper_mbps, "Mbps");
+  }
+  return card;
+}
+
+report::JsonValue parsed(const report::Scorecard& card) {
+  return report::JsonValue::parse(card.to_json());
+}
+
+TEST(Compare, IdenticalScorecardsAreClean) {
+  const report::Scorecard card = table2_scorecard(analysis::Assumptions::paper_fit());
+  const report::CompareReport rep = compare_scorecards(parsed(card), parsed(card));
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(rep.fidelity_ok);
+  EXPECT_TRUE(rep.perf_ok);
+  EXPECT_EQ(rep.cells_compared, 16u);
+  for (const report::Drift& d : rep.drifts) EXPECT_FALSE(d.failing) << d.id;
+}
+
+TEST(Compare, DetectsInjectedSifsFidelityRegression) {
+  // Injected protocol-timing regression: SIFS blown up from 10 us to
+  // 200 us shifts every Table 2 throughput well past the 5% gate.
+  const report::Scorecard baseline = table2_scorecard(analysis::Assumptions::paper_fit());
+  analysis::Assumptions broken = analysis::Assumptions::paper_fit();
+  broken.timing.sifs = sim::Time::us(200);
+  const report::Scorecard current = table2_scorecard(broken);
+
+  const report::CompareReport rep = compare_scorecards(parsed(baseline), parsed(current));
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.fidelity_ok);
+  bool saw_fidelity = false;
+  bool saw_dev_worsening = false;
+  for (const report::Drift& d : rep.drifts) {
+    if (!d.failing) continue;
+    saw_fidelity |= d.kind == report::DriftKind::kFidelity;
+    saw_dev_worsening |= d.kind == report::DriftKind::kPaperDeviation;
+  }
+  EXPECT_TRUE(saw_fidelity);
+  // The paper reference makes the deviation worsening visible too.
+  EXPECT_TRUE(saw_dev_worsening);
+  EXPECT_NE(rep.table(), "");
+}
+
+TEST(Compare, NearZeroCellsUseAbsoluteTolerance) {
+  // Denominator max(|baseline|, 1): a loss-rate cell at 0.001 moving to
+  // 0.04 is a 0.039 absolute move — inside the 5% gate, not a 39x
+  // relative explosion.
+  report::Scorecard baseline{"loss"};
+  baseline.add_cell("loss_rate", 0.001);
+  report::Scorecard ok_current{"loss"};
+  ok_current.add_cell("loss_rate", 0.04);
+  EXPECT_TRUE(compare_scorecards(parsed(baseline), parsed(ok_current)).ok());
+
+  report::Scorecard bad_current{"loss"};
+  bad_current.add_cell("loss_rate", 0.06);
+  EXPECT_FALSE(compare_scorecards(parsed(baseline), parsed(bad_current)).ok());
+}
+
+TEST(Compare, MissingCellFailsNewCellInforms) {
+  report::Scorecard baseline{"cells"};
+  baseline.add_cell("kept", 1.0);
+  baseline.add_cell("dropped", 2.0);
+  report::Scorecard current{"cells"};
+  current.add_cell("kept", 1.0);
+  current.add_cell("added", 3.0);
+
+  const report::CompareReport rep = compare_scorecards(parsed(baseline), parsed(current));
+  EXPECT_FALSE(rep.ok());
+  bool missing_failing = false;
+  bool new_informational = false;
+  for (const report::Drift& d : rep.drifts) {
+    if (d.kind == report::DriftKind::kMissingCell && d.id == "dropped") {
+      missing_failing = d.failing;
+    }
+    if (d.kind == report::DriftKind::kNewCell && d.id == "added") {
+      new_informational = !d.failing;
+    }
+  }
+  EXPECT_TRUE(missing_failing);
+  EXPECT_TRUE(new_informational);
+}
+
+report::JsonValue perf_doc(double events_per_sec, double wall_ms) {
+  report::Scorecard card{"perf"};
+  card.set_perf("events_per_sec", events_per_sec);
+  card.set_perf("wall_ms", wall_ms);
+  return report::JsonValue::parse(card.perf_json());
+}
+
+TEST(Compare, DetectsInjectedPerfRegressionAndHonoursWaiver) {
+  report::Scorecard card{"perf"};
+  card.add_cell("c", 1.0);
+  report::CompareReport rep = compare_scorecards(parsed(card), parsed(card));
+
+  // 50% events/sec drop against a 30% gate: perf fails, fidelity holds.
+  compare_perf(perf_doc(1e6, 100.0), perf_doc(5e5, 200.0), {}, rep);
+  EXPECT_TRUE(rep.fidelity_ok);
+  EXPECT_FALSE(rep.perf_ok);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(rep.ok(/*perf_waived=*/true));  // explicit waiver passes
+
+  // A small dip stays inside the gate.
+  report::CompareReport rep2 = compare_scorecards(parsed(card), parsed(card));
+  compare_perf(perf_doc(1e6, 100.0), perf_doc(9e5, 110.0), {}, rep2);
+  EXPECT_TRUE(rep2.ok());
+}
+
+TEST(Compare, PerfCheckingIsSkippableAndNullSidecarsAreSilent) {
+  report::Scorecard card{"perf"};
+  card.add_cell("c", 1.0);
+
+  report::CompareOptions no_perf;
+  no_perf.check_perf = false;
+  report::CompareReport rep = compare_scorecards(parsed(card), parsed(card), no_perf);
+  compare_perf(perf_doc(1e6, 100.0), perf_doc(1e5, 1000.0), no_perf, rep);
+  EXPECT_TRUE(rep.ok());
+
+  // Absent sidecars (null documents) skip perf silently.
+  report::CompareReport rep2 = compare_scorecards(parsed(card), parsed(card));
+  compare_perf(report::JsonValue{}, perf_doc(1e6, 100.0), {}, rep2);
+  compare_perf(perf_doc(1e6, 100.0), report::JsonValue{}, {}, rep2);
+  EXPECT_TRUE(rep2.ok());
+}
+
+TEST(Compare, RejectsDocumentsThatAreNotScorecards) {
+  const report::JsonValue not_a_scorecard = report::JsonValue::parse(R"({"schema":1})");
+  const report::Scorecard card{"x"};
+  EXPECT_THROW((void)compare_scorecards(not_a_scorecard, parsed(card)), std::runtime_error);
+  EXPECT_THROW((void)compare_scorecards(parsed(card), not_a_scorecard), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adhoc

@@ -1,11 +1,17 @@
-// CLI input validation: closed-set flags and --fault-plan resolution
-// must fail loudly, with messages that list the accepted values. The
-// process-level half (exit codes of the installed binary) lives in
-// tests/tools/validate_trace.py.
+// CLI input validation: closed-set flags, --fault-plan resolution, and
+// export-path probing must fail loudly, with messages that list the
+// accepted values / name the offending path. The process-level half
+// (exit codes of the installed binary) lives in tests/tools/
+// validate_trace.py and scorecard_smoke.py.
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "cli_args.hpp"
+#include "cli_paths.hpp"
 #include "faults/fault_plan.hpp"
 
 namespace adhoc::tools {
@@ -58,6 +64,47 @@ TEST(CliFaultPlan, MalformedSpecErrorTeachesTheGrammar) {
 TEST(CliFaultPlan, UnknownNameIsNotSilentlyEmpty) {
   EXPECT_THROW((void)faults::load_fault_plan("not-a-plan"), std::invalid_argument);
   EXPECT_THROW((void)faults::load_fault_plan(""), std::invalid_argument);
+}
+
+TEST(CliPaths, UnwritablePathFailsNamingFlagAndPath) {
+  std::ostringstream err;
+  EXPECT_FALSE(require_writable("--metrics", "/no/such/dir/m.json", err));
+  const std::string msg = err.str();
+  EXPECT_NE(msg.find("--metrics"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("/no/such/dir/m.json"), std::string::npos) << msg;
+}
+
+TEST(CliPaths, WritablePathPassesAndLeavesNoProbeFile) {
+  const std::string path = testing::TempDir() + "cli_paths_probe.json";
+  std::remove(path.c_str());
+  std::ostringstream err;
+  EXPECT_TRUE(require_writable("--telemetry", path, err));
+  EXPECT_TRUE(err.str().empty()) << err.str();
+  // The probe created the file only to check writability; it must not
+  // leave an empty dropping behind.
+  EXPECT_FALSE(static_cast<bool>(std::ifstream{path}));
+}
+
+TEST(CliPaths, ExistingFileContentSurvivesTheProbe) {
+  const std::string path = testing::TempDir() + "cli_paths_existing.json";
+  {
+    std::ofstream out{path};
+    out << "{\"keep\":1}";
+  }
+  std::ostringstream err;
+  EXPECT_TRUE(require_writable("--trace-json", path, err));
+  std::ifstream in{path};
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "{\"keep\":1}");
+  std::remove(path.c_str());
+}
+
+TEST(CliPaths, EmptyAndStdoutSentinelPassTrivially) {
+  std::ostringstream err;
+  EXPECT_TRUE(require_writable("--telemetry", "", err));
+  EXPECT_TRUE(require_writable("--telemetry", "-", err));
+  EXPECT_TRUE(err.str().empty()) << err.str();
 }
 
 }  // namespace

@@ -1,0 +1,37 @@
+# Fixture: py-json-sort-keys rule — every json.dump()/json.dumps() call
+# must pass sort_keys=True so the artifact bytes are insertion-order
+# independent. (This file is lint fodder, never imported.)
+import json
+
+
+def positive_dump(doc, f):
+    json.dump(doc, f)  # EXPECT-LINT(py-json-sort-keys)
+
+
+def positive_dumps_multiline(doc):
+    return json.dumps(  # EXPECT-LINT(py-json-sort-keys)
+        doc,
+        indent=2,
+    )
+
+
+def negative_sorted(doc, f):
+    json.dump(doc, f, sort_keys=True)
+
+
+def negative_sorted_multiline(doc):
+    return json.dumps(
+        doc,
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def negative_load(f):
+    # Reading is always fine; only emission is gated.
+    return json.load(f)
+
+
+def suppressed_display_only(doc):
+    # Human-facing debug print, never diffed byte-wise.
+    return json.dumps(doc, indent=2)  # NOLINT-ADHOC(py-json-sort-keys)

@@ -1,0 +1,31 @@
+// Fixture: unordered-iter inside a path matching src/report — the
+// always-ordered dirs flag ANY unordered iteration, even with no
+// emission marker in the loop body, because this layer exists to
+// serialize byte-stable scorecards.
+#include <string>
+#include <unordered_map>
+
+namespace fixture::report {
+
+struct Card {
+  std::unordered_map<std::string, double> cells_;
+
+  double positive_no_emission_marker_needed() const {
+    double total = 0.0;
+    for (const auto& [id, sim] : cells_) {  // EXPECT-LINT(unordered-iter)
+      total += sim;
+    }
+    return total;
+  }
+
+  double suppressed_commutative_fold() const {
+    double total = 0.0;
+    // Commutative sum: order cannot reach the artifact bytes.
+    for (const auto& [id, sim] : cells_) {  // NOLINT-ADHOC(unordered-iter)
+      total += sim;
+    }
+    return total;
+  }
+};
+
+}  // namespace fixture::report

@@ -40,8 +40,11 @@ def run_linter(*args: str) -> tuple[int, str]:
 
 def collect_expected() -> set[tuple[str, int, str]]:
     expected = set()
-    for fixture in sorted(FIXTURES.iterdir()):
-        if fixture.suffix not in {".cpp", ".hpp", ".h", ".cc"}:
+    # rglob: fixtures for path-scoped rules (e.g. src/report's
+    # always-ordered unordered-iter) live in subdirectories whose path
+    # fragment triggers the scope. Fixture basenames stay unique.
+    for fixture in sorted(FIXTURES.rglob("*")):
+        if fixture.suffix not in {".cpp", ".hpp", ".h", ".cc", ".py"}:
             continue
         for lineno, line in enumerate(fixture.read_text().splitlines(), start=1):
             m = EXPECT.search(line)

@@ -13,11 +13,15 @@
 //   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults
 //                     [--jobs N] [--seeds N] [--seconds S] [--obs-level L]
 //                     [--telemetry PATH|-] [--retries R] [--shard I --shards N]
-//                     [--fault-plan NAME|FILE|SPEC]
+//                     [--fault-plan NAME|FILE|SPEC] [--scorecard DIR]
+//   adhocsim scorecard --baseline BENCH_x.json --current BENCH_x.json
+//                      [--fidelity-tol F] [--dev-tol F] [--perf-tol F]
+//                      [--no-perf] [--perf-waived]
 //
 // Every subcommand maps onto the library's experiments API; run with no
 // arguments for usage.
 
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -28,10 +32,13 @@
 #include "app/sink.hpp"
 #include "campaign/campaign.hpp"
 #include "cli_args.hpp"
+#include "cli_paths.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/observer.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
+#include "report/compare.hpp"
+#include "report/scorecard.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
@@ -197,6 +204,12 @@ int cmd_run(const tools::CliArgs& args) {
     std::cerr << "adhocsim run: --metrics needs --obs-level metrics or higher\n";
     return 1;
   }
+  // ... and reject unwritable export paths just as early.
+  if (!tools::require_writable("--trace-json", trace_json) ||
+      !tools::require_writable("--trace-csv", trace_csv) ||
+      !tools::require_writable("--metrics", metrics)) {
+    return 1;
+  }
 
   if (scen == "two-node") {
     experiments::TwoNodeSpec spec;
@@ -235,6 +248,64 @@ int cmd_run(const tools::CliArgs& args) {
   return 0;
 }
 
+/// Load the perf sidecar that belongs to a fidelity file: the trailing
+/// ".json" becomes ".perf.json". Sidecars are optional (machine-bound),
+/// so an absent file yields a null document and perf checking is
+/// silently skipped for that side.
+report::JsonValue load_perf_sidecar(const std::string& fidelity_path) {
+  std::string path = fidelity_path;
+  const std::string suffix = ".json";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    path.replace(path.size() - suffix.size(), suffix.size(), ".perf.json");
+  } else {
+    path += ".perf.json";
+  }
+  if (!std::ifstream{path}) return {};
+  return report::parse_json_file(path);
+}
+
+/// `adhocsim scorecard --baseline A.json --current B.json`: diff two
+/// scorecards and their perf sidecars. Exit contract: 0 clean, 1 drift,
+/// 2 usage / I-O error.
+int cmd_scorecard(const tools::CliArgs& args) {
+  const std::string baseline = args.str("baseline", "");
+  const std::string current = args.str("current", "");
+  if (baseline.empty() || current.empty()) {
+    std::cerr << "adhocsim scorecard: --baseline FILE and --current FILE are required\n";
+    return 2;
+  }
+  report::CompareOptions opt;
+  opt.fidelity_rel_tol = args.positive_num("fidelity-tol", opt.fidelity_rel_tol);
+  opt.dev_worsen_tol = args.positive_num("dev-tol", opt.dev_worsen_tol);
+  opt.perf_drop_frac = args.positive_num("perf-tol", opt.perf_drop_frac);
+  opt.check_perf = !args.has("no-perf");
+  const bool perf_waived = args.has("perf-waived");
+
+  report::CompareReport rep;
+  try {
+    const auto base_doc = report::parse_json_file(baseline);
+    const auto cur_doc = report::parse_json_file(current);
+    rep = report::compare_scorecards(base_doc, cur_doc, opt);
+    if (opt.check_perf) {
+      report::compare_perf(load_perf_sidecar(baseline), load_perf_sidecar(current), opt, rep);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "adhocsim scorecard: " << e.what() << '\n';
+    return 2;
+  }
+
+  const std::string table = rep.table();
+  if (!table.empty()) std::cout << table;
+  std::cout << "scorecard '" << rep.bench << "': " << rep.cells_compared
+            << " cells compared, fidelity " << (rep.fidelity_ok ? "ok" : "DRIFT") << ", perf "
+            << (!opt.check_perf ? "skipped"
+                                : rep.perf_ok ? "ok"
+                                              : perf_waived ? "DRIFT (waived)" : "DRIFT")
+            << '\n';
+  return rep.ok(perf_waived) ? 0 : 1;
+}
+
 int cmd_campaign(const tools::CliArgs& args) {
   const std::string grid =
       args.choice("grid", "fig2",
@@ -266,11 +337,22 @@ int cmd_campaign(const tools::CliArgs& args) {
     def = experiments::fig7_faults_campaign(cfg);
   }
 
+  // Fail fast on unwritable output sinks before any run is spent.
+  // "-" (stdout telemetry) needs no probe; the scorecard probe targets
+  // the exact artifact path the writer will use.
+  const std::string telemetry = args.str("telemetry", "");
+  const std::string scorecard_dir = args.str("scorecard", "");
+  if (!tools::require_writable("--telemetry", telemetry)) return 1;
+  if (!scorecard_dir.empty() &&
+      !tools::require_writable(
+          "--scorecard", scorecard_dir + "/" + report::Scorecard::file_name("campaign_" + grid))) {
+    return 1;
+  }
+
   campaign::EngineConfig ec;
   ec.jobs = args.has("jobs") ? static_cast<unsigned>(args.positive_integer("jobs", 1)) : 0;
   ec.max_attempts = 1 + static_cast<unsigned>(args.integer("retries", 2));
   std::unique_ptr<campaign::JsonlSink> sink;
-  const std::string telemetry = args.str("telemetry", "");
   if (telemetry == "-") {
     sink = std::make_unique<campaign::JsonlSink>(std::cout);
   } else if (!telemetry.empty()) {
@@ -335,6 +417,18 @@ int cmd_campaign(const tools::CliArgs& args) {
                 << " attempt(s): " << r.error.message << '\n';
     }
   }
+
+  if (!scorecard_dir.empty()) {
+    // "campaign_<grid>" keeps CLI artifacts from colliding with the
+    // bench_* binaries' BENCH_<grid>.json files in a shared output dir.
+    report::Scorecard card{"campaign_" + grid};
+    card.set_seeds(cfg.seeds);
+    card.add_points(points);
+    card.add_campaign(result);
+    card.write(scorecard_dir);
+    std::cout << "scorecard: " << scorecard_dir << '/'
+              << report::Scorecard::file_name("campaign_" + grid) << '\n';
+  }
   return result.error_count() == 0 ? 0 : 1;
 }
 
@@ -352,7 +446,12 @@ void usage() {
       "      [--trace-csv PATH] [--metrics PATH]  one observed replication\n"
       "  campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults\n"
       "           [--jobs N] [--telemetry PATH|-] [--retries R] [--obs-level L]\n"
-      "           [--shard I --shards N]   parallel sweep + JSONL telemetry\n"
+      "           [--shard I --shards N] [--scorecard DIR]\n"
+      "                                    parallel sweep + JSONL telemetry\n"
+      "  scorecard --baseline FILE --current FILE [--fidelity-tol F] [--dev-tol F]\n"
+      "            [--perf-tol F] [--no-perf] [--perf-waived]\n"
+      "                                    diff BENCH_*.json against a baseline\n"
+      "                                    (exit 0 clean, 1 drift, 2 usage/IO)\n"
       "common flags: --seeds N --seconds S --fault-plan NAME|FILE|SPEC\n"
       "  (fault-plan builtins: none|midrun-jam|crash|fig4-burst; see EXPERIMENTS.md)\n";
 }
@@ -371,6 +470,7 @@ int main(int argc, char** argv) {
     if (cmd == "delay") return cmd_delay(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "scorecard") return cmd_scorecard(args);
     usage();
     return cmd.empty() ? 0 : 1;
   } catch (const std::exception& e) {

@@ -1,0 +1,35 @@
+#pragma once
+// Fail-fast validation for export-path flags (--metrics, --telemetry,
+// --trace-json, --trace-csv, --scorecard): probe that the path can be
+// opened for writing BEFORE any simulation time is spent, so a typo'd
+// directory fails in milliseconds instead of after a full campaign.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace adhoc::tools {
+
+/// True when `path` is writable (creatable/appendable). On failure
+/// prints "adhocsim: <flag> path is not writable: <path>" to `err` —
+/// the message always names the offending path. Empty paths and "-"
+/// (stdout) pass trivially. Probing appends nothing; a probe that had
+/// to create the file removes it again, so a later failing flag does
+/// not leave empty droppings behind.
+inline bool require_writable(const std::string& flag, const std::string& path,
+                             std::ostream& err = std::cerr) {
+  if (path.empty() || path == "-") return true;
+  const bool existed = static_cast<bool>(std::ifstream{path});
+  std::ofstream probe{path, std::ios::app};
+  const bool ok = static_cast<bool>(probe);
+  probe.close();
+  if (!ok) {
+    err << "adhocsim: " << flag << " path is not writable: " << path << '\n';
+  } else if (!existed) {
+    std::remove(path.c_str());
+  }
+  return ok;
+}
+
+}  // namespace adhoc::tools

@@ -22,6 +22,13 @@ banning the constructs that historically break that contract silently:
                   as its first non-comment line.
   self-include    a header that #includes itself.
 
+Python files get one rule of their own:
+
+  py-json-sort-keys  json.dump()/json.dumps() without sort_keys=True.
+                     Dict insertion order leaks run-to-run noise into
+                     artifacts the scorecard pipeline diffs byte-wise;
+                     every tool that writes JSON must sort its keys.
+
 Suppression contract (every suppression must name its rule):
 
   code();  // NOLINT-ADHOC(rule-id)            same-line
@@ -53,6 +60,8 @@ RULES = {
     "header-guard": "header missing '#pragma once' (or classic guard) as its "
     "first non-comment line",
     "self-include": "header includes itself",
+    "py-json-sort-keys": "json.dump()/json.dumps() without sort_keys=True; "
+    "unsorted keys make JSON artifacts byte-unstable",
     "bare-suppression": "NOLINT-ADHOC without a rule list; write "
     "NOLINT-ADHOC(rule-id)",
     "unknown-rule": "NOLINT-ADHOC names a rule this linter does not define",
@@ -66,7 +75,9 @@ RULE_PATH_SCOPE: dict[str, tuple[str, ...]] = {}
 
 # Directories whose unordered-container iterations are flagged even
 # without an emission marker nearby: these layers exist to serialize.
-ALWAYS_ORDERED_DIRS = ("src/obs", "src/campaign")
+# src/report is here because its scorecards are diffed byte-for-byte
+# against checked-in baselines — any order leak breaks the gate.
+ALWAYS_ORDERED_DIRS = ("src/obs", "src/campaign", "src/report")
 
 # Tokens that mark an emission context for unordered-iter outside the
 # always-ordered dirs (JSON building, telemetry records, trace export).
@@ -106,7 +117,11 @@ IFNDEF_GUARD = re.compile(r"#\s*ifndef\s+\w+")
 
 NOLINT = re.compile(r"NOLINT-ADHOC(-NEXTLINE)?(?:\(([^)]*)\))?")
 
+PY_JSON_DUMP = re.compile(r"\bjson\.dumps?\s*\(")
+PY_DUMP_WINDOW = 10  # lines scanned for sort_keys= after the call opens
+
 CXX_EXTENSIONS = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"}
+PY_EXTENSIONS = {".py"}
 SKIP_DIR_PREFIXES = ("build", "cmake-build")
 SKIP_DIR_NAMES = {".git", "CMakeFiles", "__pycache__"}
 
@@ -246,7 +261,51 @@ def rule_applies(rule: str, posix_path: str) -> bool:
     return any(fragment in posix_path for fragment in scope)
 
 
+def lint_python_file(path: Path) -> list[Finding]:
+    """Python half of the linter: every json.dump / json.dumps call
+    must pass sort_keys=True (scan the call's argument window — calls
+    routinely span lines). Shares the same suppression syntax, behind
+    a '#' comment."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [Finding(path, 0, "py-json-sort-keys", f"unreadable file: {e}")]
+    raw_lines = text.splitlines()
+    # Only the '#'-comment tail of each line can carry suppressions:
+    # Python sources (this linter included) legitimately mention the
+    # suppression token inside strings and docstrings.
+    comment_tails = [line[line.find("#"):] if "#" in line else "" for line in raw_lines]
+    same, nextline, malformed = parse_suppressions(comment_tails)
+    findings = [Finding(path, ln, rule, msg) for ln, rule, msg in malformed]
+    for lineno, line in enumerate(raw_lines, start=1):
+        stripped = line.lstrip()
+        if stripped.startswith("#"):
+            continue
+        m = PY_JSON_DUMP.search(line)
+        if not m:
+            continue
+        # The call's argument list may span lines: accumulate from the
+        # opening paren until it balances (capped, for unclosed code).
+        call = line[m.start():]
+        depth = call.count("(") - call.count(")")
+        for extra in raw_lines[lineno : lineno - 1 + PY_DUMP_WINDOW]:
+            if depth <= 0:
+                break
+            call += "\n" + extra
+            depth += extra.count("(") - extra.count(")")
+        if "sort_keys" in call:
+            continue
+        if "py-json-sort-keys" in same.get(lineno, ()) or \
+           "py-json-sort-keys" in nextline.get(lineno, ()):
+            continue
+        findings.append(Finding(path, lineno, "py-json-sort-keys",
+                                f"'{m.group(0).strip()}': {RULES['py-json-sort-keys']}"))
+    return findings
+
+
 def lint_file(path: Path, repo_root: Path) -> list[Finding]:
+    if path.suffix in PY_EXTENSIONS:
+        return lint_python_file(path)
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as e:
@@ -331,7 +390,7 @@ def collect_files(paths: list[Path]) -> list[Path]:
     files: list[Path] = []
     for p in paths:
         if p.is_file():
-            if p.suffix in CXX_EXTENSIONS:
+            if p.suffix in CXX_EXTENSIONS | PY_EXTENSIONS:
                 files.append(p)
             continue
         if not p.is_dir():
@@ -346,7 +405,7 @@ def collect_files(paths: list[Path]) -> list[Path]:
                 for part in parts[:-1]
             ):
                 continue
-            if sub.suffix in CXX_EXTENSIONS:
+            if sub.suffix in CXX_EXTENSIONS | PY_EXTENSIONS:
                 files.append(sub)
     return files
 
