@@ -1,0 +1,17 @@
+#include "cache/code_version.hpp"
+
+namespace adhoc::cache {
+
+// ADHOC_BUILD_ID is injected per-TU by src/cache/CMakeLists.txt from
+// `git rev-parse --short HEAD` at configure time; the fallback keeps
+// non-CMake consumers (header hygiene, IDE parses) compiling.
+#ifndef ADHOC_BUILD_ID
+#define ADHOC_BUILD_ID "dev+nogit"
+#endif
+
+const std::string& code_version() {
+  static const std::string stamp = ADHOC_BUILD_ID;
+  return stamp;
+}
+
+}  // namespace adhoc::cache

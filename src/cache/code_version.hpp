@@ -1,0 +1,21 @@
+#pragma once
+// Build/code-version stamp.
+//
+// One string identifies the code that produced a result: the project
+// version plus the git revision captured at CMake configure time
+// (ADHOC_BUILD_ID, see src/cache/CMakeLists.txt). The stamp is the
+// cache's invalidation unit — ResultCache keys every entry under it, so
+// results computed by a different build can never be served as hits —
+// and the `adhocsim --version` / startup-log identity.
+
+#include <string>
+
+namespace adhoc::cache {
+
+/// The compiled-in stamp, e.g. "1.0.0+d69a6ab" ("1.0.0+nogit" when the
+/// source tree was configured outside a git checkout). Stable for the
+/// lifetime of a binary; changes whenever the tree is reconfigured at a
+/// different revision.
+[[nodiscard]] const std::string& code_version();
+
+}  // namespace adhoc::cache

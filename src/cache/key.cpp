@@ -1,0 +1,68 @@
+#include "cache/key.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace adhoc::cache {
+
+namespace {
+
+void append_sorted(std::string& out, const char* label,
+                   const std::vector<std::pair<std::string, double>>& fields) {
+  std::vector<std::pair<std::string, double>> sorted = fields;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out += label;
+  out += '{';
+  for (const auto& [name, value] : sorted) {
+    out += name;
+    out += '=';
+    out += obs::json_number(value);
+    out += ';';
+  }
+  out += "}\n";
+}
+
+}  // namespace
+
+std::string RunKey::canonical() const {
+  // Length-prefixed free-text sections keep the serialization
+  // injective: no scenario/fault-plan byte sequence can masquerade as
+  // another section's content.
+  std::string out;
+  out += "scenario[" + std::to_string(scenario.size()) + "]=" + scenario + "\n";
+  append_sorted(out, "params", params);
+  out += "seed=" + std::to_string(seed) + "\n";
+  append_sorted(out, "extras", extras);
+  out += "faults[" + std::to_string(fault_plan.size()) + "]=" + fault_plan + "\n";
+  out += "code[" + std::to_string(code_version.size()) + "]=" + code_version + "\n";
+  return out;
+}
+
+std::uint64_t fnv1a64(const std::string& data, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string RunKey::hash() const {
+  const std::string text = canonical();
+  // Two independent FNV-1a streams (the standard offset basis and a
+  // re-hashed basis) give a 128-bit name; collisions across a cache of
+  // millions of entries are then negligible for this workload.
+  const std::uint64_t lo = fnv1a64(text, 0xcbf29ce484222325ULL);
+  const std::uint64_t hi = fnv1a64(text, fnv1a64("adhoc-cache-hi", 0xcbf29ce484222325ULL));
+  static const char* digits = "0123456789abcdef";
+  std::string hex(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    hex[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xF];
+    hex[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xF];
+  }
+  return hex;
+}
+
+}  // namespace adhoc::cache

@@ -1,0 +1,53 @@
+#pragma once
+// Content-addressed run keys.
+//
+// A RunKey names the complete input of one simulation run: the scenario
+// (grid name), the resolved grid-point parameters, the seed, the
+// experiment-config knobs that change results (warmup/measure windows,
+// observability level, scenario extras like the fig3 probe count), the
+// fault-plan timeline, and the code-version stamp of the binary that
+// would execute it. Runs are byte-stable and seed-addressed (PR 5), so
+// two RunKeys with equal canonical serializations are guaranteed to
+// produce byte-identical run records — the soundness argument for
+// memoizing results under the key's hash (result_cache.hpp).
+//
+// Canonicalization rules:
+//   * params and extras sort by name — field order never leaks into the
+//     key, so permuted-but-equal specs collapse (KeyTest verifies);
+//   * doubles serialize through obs::json_number (locale-free, shortest
+//     round-trip) — the same formatter every byte-stable artifact uses;
+//   * the fault plan contributes FaultPlan::canonical_text().
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace adhoc::cache {
+
+struct RunKey {
+  std::string scenario;  ///< grid / experiment family name, e.g. "fig2"
+  std::vector<std::pair<std::string, double>> params;  ///< grid-point axes
+  std::uint64_t seed = 1;
+  /// Named config knobs beyond the grid point (warmup_ns, measure_ns,
+  /// obs level, probes...). Doubles cover every knob the experiment
+  /// configs expose; integral knobs round-trip exactly below 2^53.
+  std::vector<std::pair<std::string, double>> extras;
+  std::string fault_plan;   ///< FaultPlan::canonical_text()
+  std::string code_version; ///< cache::code_version() or injected stamp
+
+  /// The canonical serialization the hash covers. Deterministic across
+  /// field-order permutations of params/extras and across processes.
+  [[nodiscard]] std::string canonical() const;
+
+  /// 128-bit content hash of canonical() as 32 lowercase hex chars —
+  /// the cache's on-disk entry name.
+  [[nodiscard]] std::string hash() const;
+};
+
+/// FNV-1a 64-bit over `data` starting from `basis` (exposed for tests).
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& data, std::uint64_t basis);
+
+}  // namespace adhoc::cache

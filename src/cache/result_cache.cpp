@@ -1,0 +1,177 @@
+#include "cache/result_cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "cache/code_version.hpp"
+#include "obs/metrics.hpp"
+
+namespace adhoc::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Version stamps become directory names; keep them portable.
+std::string sanitize_dir_name(const std::string& version) {
+  std::string out = version.empty() ? "unversioned" : version;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '-' || c == '_' || c == '+';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+[[noreturn]] void io_error(const std::string& what, const fs::path& path) {
+  throw std::runtime_error("ResultCache: " + what + ": " + path.string());
+}
+
+}  // namespace
+
+ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.root.empty()) throw std::runtime_error("ResultCache: empty root directory");
+  if (cfg_.version.empty()) cfg_.version = code_version();
+  const fs::path root{cfg_.root};
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec || !fs::is_directory(root)) io_error("cannot create root", root);
+
+  const std::string version_name = sanitize_dir_name(cfg_.version);
+  version_dir_ = (root / version_name).string();
+
+  // Versioned invalidation: any sibling version directory belongs to a
+  // different build — unreachable through current keys — so reclaim it.
+  // Names collected and sorted first: directory_iterator order is
+  // filesystem-specific, and the invalidated counter should not be.
+  std::vector<fs::path> stale;
+  for (const auto& it : fs::directory_iterator(root, ec)) {
+    if (it.is_directory() && it.path().filename().string() != version_name) {
+      stale.push_back(it.path());
+    }
+  }
+  std::sort(stale.begin(), stale.end());
+  for (const fs::path& dir : stale) {
+    for (const auto& it : fs::recursive_directory_iterator(dir, ec)) {
+      if (it.is_regular_file()) ++counters_.invalidated;
+    }
+    fs::remove_all(dir, ec);
+  }
+
+  fs::create_directories(version_dir_, ec);
+  if (ec || !fs::is_directory(version_dir_)) io_error("cannot create version dir", version_dir_);
+
+  // Index surviving entries. Sorted-hash seeding makes the initial LRU
+  // order (and therefore the first evictions) deterministic across
+  // processes and filesystems.
+  std::vector<std::pair<std::string, std::uint64_t>> found;
+  for (const auto& shard : fs::directory_iterator(version_dir_, ec)) {
+    if (!shard.is_directory()) continue;
+    for (const auto& file : fs::directory_iterator(shard.path(), ec)) {
+      if (!file.is_regular_file() || file.path().extension() != ".json") continue;
+      found.emplace_back(file.path().stem().string(),
+                         static_cast<std::uint64_t>(file.file_size()));
+    }
+  }
+  std::sort(found.begin(), found.end());
+  for (const auto& [hash, size] : found) {
+    entries_[hash] = Entry{size, ++seq_};
+    bytes_ += size;
+  }
+  evict_to_bounds();
+}
+
+std::string ResultCache::entry_path(const std::string& hash) const {
+  return (fs::path{version_dir_} / hash.substr(0, 2) / (hash + ".json")).string();
+}
+
+std::optional<std::string> ResultCache::lookup(const RunKey& key) {
+  const std::string hash = key.hash();
+  const std::scoped_lock lock{mutex_};
+  const auto it = entries_.find(hash);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  std::ifstream in{entry_path(hash), std::ios::binary};
+  if (!in) {
+    // Entry vanished under us (external cleanup): treat as a miss and
+    // forget it.
+    bytes_ -= it->second.size;
+    entries_.erase(it);
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  std::ostringstream payload;
+  payload << in.rdbuf();
+  it->second.last_use = ++seq_;
+  ++counters_.hits;
+  return payload.str();
+}
+
+void ResultCache::store(const RunKey& key, const std::string& payload) {
+  const std::string hash = key.hash();
+  const std::scoped_lock lock{mutex_};
+  const fs::path path{entry_path(hash)};
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) io_error("cannot write entry", path);
+  out << payload;
+  out.close();
+  if (!out) io_error("cannot write entry", path);
+
+  const auto it = entries_.find(hash);
+  if (it != entries_.end()) bytes_ -= it->second.size;
+  entries_[hash] = Entry{payload.size(), ++seq_};
+  bytes_ += payload.size();
+  ++counters_.stores;
+  evict_to_bounds();
+}
+
+void ResultCache::evict_to_bounds() {
+  // Caller holds mutex_.
+  const auto over = [&] {
+    return (cfg_.max_entries != 0 && entries_.size() > cfg_.max_entries) ||
+           (cfg_.max_bytes != 0 && bytes_ > cfg_.max_bytes);
+  };
+  while (over() && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = std::next(entries_.begin()); it != entries_.end(); ++it) {
+      // Oldest last_use wins; the map's sorted-hash order breaks ties.
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    std::error_code ec;
+    fs::remove(entry_path(victim->first), ec);
+    bytes_ -= victim->second.size;
+    entries_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  const std::scoped_lock lock{mutex_};
+  Stats s = counters_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void ResultCache::attach_metrics(obs::MetricsRegistry& registry) {
+  const auto probe = [this](auto member) {
+    return [this, member]() { return static_cast<double>(stats().*member); };
+  };
+  registry.add_probe("cache", "hits", probe(&Stats::hits));
+  registry.add_probe("cache", "misses", probe(&Stats::misses));
+  registry.add_probe("cache", "stores", probe(&Stats::stores));
+  registry.add_probe("cache", "evictions", probe(&Stats::evictions));
+  registry.add_probe("cache", "invalidated", probe(&Stats::invalidated));
+  registry.add_probe("cache", "entries", probe(&Stats::entries));
+  registry.add_probe("cache", "bytes", probe(&Stats::bytes));
+}
+
+}  // namespace adhoc::cache

@@ -13,6 +13,14 @@
 // A run function may throw TransientError to request a bounded retry
 // (e.g. resource exhaustion in an external stage); other exception types
 // fail the run on the first attempt.
+//
+// Duplicate collapsing: runs are pure functions of (params, seed), so a
+// grid that expands to identical specs (repeated axis values, degenerate
+// sweeps) would burn CPU recomputing the same record. The engine
+// executes one representative per identical (params, seed) group and
+// copies its record into every duplicate slot (under the duplicate's own
+// run/point indices); CampaignResult::deduped counts the collapsed runs
+// and rides the campaign_end telemetry record.
 
 #include <cstdint>
 #include <functional>
@@ -59,6 +67,13 @@ class CampaignEngine {
   /// Run one round-robin shard of the campaign (see campaign::shard).
   [[nodiscard]] CampaignResult run_shard(const Campaign& campaign, std::size_t shard_index,
                                          std::size_t shard_count, const RunFn& fn) const;
+
+  /// Run an explicit spec list (any subset/order of an expansion) under
+  /// a campaign name. Records come back in the order of `specs` — the
+  /// serve layer schedules cache misses through this, then reassembles
+  /// full expansion order around the cached hits.
+  [[nodiscard]] CampaignResult run_list(const std::string& name, std::vector<RunSpec> specs,
+                                        const RunFn& fn) const;
 
  private:
   [[nodiscard]] CampaignResult run_specs(const Campaign& campaign, std::vector<RunSpec> specs,

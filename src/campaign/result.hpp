@@ -48,6 +48,10 @@ struct CampaignResult {
   std::vector<RunRecord> runs;
   unsigned jobs = 1;
   double wall_seconds = 0.0;
+  /// Runs that were collapsed onto an identical (params, seed) sibling
+  /// instead of executing (see CampaignEngine dedupe). Their records are
+  /// copies of the representative's, under their own run/point indices.
+  std::size_t deduped = 0;
 
   [[nodiscard]] std::size_t ok_count() const {
     std::size_t n = 0;

@@ -90,7 +90,8 @@ void JsonlSink::run_end(const RunRecord& r) {
 void JsonlSink::campaign_end(const CampaignResult& result) {
   std::ostringstream os;
   os << R"({"event":"campaign_end","ok":)" << result.ok_count() << R"(,"errors":)"
-     << result.error_count() << R"(,"wall_ms":)" << json_number(result.wall_seconds * 1e3) << '}';
+     << result.error_count() << R"(,"deduped":)" << result.deduped << R"(,"wall_ms":)"
+     << json_number(result.wall_seconds * 1e3) << '}';
   emit(os.str());
 }
 

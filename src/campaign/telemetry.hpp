@@ -11,7 +11,11 @@
 //    "events":e,"events_per_sec":r,"metrics":{...}}
 //   {"event":"run_end","run":i,"ok":false,"attempts":a,"wall_ms":w,
 //    "error":"...","transient":bool}
-//   {"event":"campaign_end","ok":k,"errors":f,"wall_ms":w}
+//   {"event":"campaign_end","ok":k,"errors":f,"deduped":d,"wall_ms":w}
+//
+// "deduped" counts runs collapsed onto an identical (params, seed)
+// sibling instead of executing; collapsed runs emit no run_start/run_end
+// records of their own (their copies appear only in the final result).
 //
 // Sinks must be safe to call from multiple worker threads concurrently;
 // JsonlSink serialises each record under a mutex.

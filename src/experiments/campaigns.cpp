@@ -1,5 +1,7 @@
 #include "experiments/campaigns.hpp"
 
+#include <stdexcept>
+
 #include "phy/calibration.hpp"
 #include "scenario/network.hpp"
 
@@ -70,6 +72,37 @@ FourStationRun fig7_variant_run(double pcs_range_m, phy::Rate control_rate,
 }
 
 }  // namespace
+
+const std::vector<std::string>& campaign_names() {
+  static const std::vector<std::string> names{"fig2",  "rates", "fig3",       "fig7",  "fig9",
+                                              "fig11", "fig12", "saturation", "faults"};
+  return names;
+}
+
+ExperimentCampaign campaign_by_name(const std::string& name, const ExperimentConfig& cfg,
+                                    std::uint32_t probes) {
+  if (name == "fig2") return fig2_campaign(cfg);
+  if (name == "rates") return two_node_rates_campaign(cfg);
+  if (name == "fig3") return fig3_campaign(cfg, probes);
+  if (name == "fig7" || name == "fig9" || name == "fig11" || name == "fig12") {
+    FourStationSpec base;
+    if (name == "fig7") base = fig7_spec(false, scenario::Transport::kUdp);
+    if (name == "fig9") base = fig9_spec(false, scenario::Transport::kUdp);
+    if (name == "fig11") base = fig11_spec(false, scenario::Transport::kUdp);
+    if (name == "fig12") base = fig12_spec(false, scenario::Transport::kUdp);
+    ExperimentCampaign def = four_station_campaign(base, cfg);
+    def.plan.name = name;
+    return def;
+  }
+  if (name == "saturation") return saturation_campaign({1, 2, 3, 5, 8, 12}, cfg);
+  if (name == "faults") return fig7_faults_campaign(cfg);
+  std::string list;
+  for (const std::string& n : campaign_names()) {
+    if (!list.empty()) list += '|';
+    list += n;
+  }
+  throw std::invalid_argument("unknown grid '" + name + "' (valid: " + list + ")");
+}
 
 ExperimentCampaign fig2_campaign(const ExperimentConfig& cfg) {
   campaign::Campaign plan;

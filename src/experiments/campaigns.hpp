@@ -18,6 +18,19 @@ struct ExperimentCampaign {
   campaign::RunFn run;
 };
 
+/// The named grids `adhocsim campaign --grid` and the serve protocol's
+/// "grid" field accept, in documentation order.
+[[nodiscard]] const std::vector<std::string>& campaign_names();
+
+/// Resolve a named grid to its plan + run function under `cfg`.
+/// `probes` parameterises the fig3 loss sweep only. Throws
+/// std::invalid_argument listing the valid names on an unknown name —
+/// the single resolution point shared by the CLI, the serve daemon and
+/// the benches.
+[[nodiscard]] ExperimentCampaign campaign_by_name(const std::string& name,
+                                                  const ExperimentConfig& cfg,
+                                                  std::uint32_t probes = 300);
+
 /// Figure 2 grid: rts × tcp at 11 Mbps, m = 512. Metric: "kbps".
 ExperimentCampaign fig2_campaign(const ExperimentConfig& cfg);
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+
 namespace adhoc::faults {
 
 std::string_view fault_kind_name(FaultKind k) {
@@ -168,6 +170,29 @@ void FaultPlan::validate(std::size_t node_count) const {
       }
     }
   }
+}
+
+std::string FaultPlan::canonical_text() const {
+  // Every field serialises, used or not, so the text never depends on
+  // which fields a kind happens to read — one unambiguous byte string
+  // per timeline, fit for content hashing.
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += fault_kind_name(e.kind);
+    out += " at=" + std::to_string(e.at.count_ns());
+    out += " until=" + std::to_string(e.until.count_ns());
+    out += " node=" + std::to_string(e.node);
+    out += " peer=" + std::to_string(e.peer);
+    out += " bidir=" + std::string(e.bidirectional ? "1" : "0");
+    out += " value=" + obs::json_number(e.value);
+    out += " x=" + obs::json_number(e.position.x);
+    out += " y=" + obs::json_number(e.position.y);
+    out += " period=" + std::to_string(e.period.count_ns());
+    out += " duty=" + obs::json_number(e.duty);
+    out += " jitter=" + obs::json_number(e.jitter);
+    out += '\n';
+  }
+  return out;
 }
 
 // ------------------------------------------------------------------- parser

@@ -86,6 +86,14 @@ class FaultPlan {
   /// outside their ranges.
   void validate(std::size_t node_count) const;
 
+  /// Canonical, byte-stable serialization: one line per event in plan
+  /// order, every field in a fixed order, times as integer nanoseconds
+  /// and doubles through the locale-free obs::json_number formatter.
+  /// Two plans describe the same disturbance timeline iff their
+  /// canonical texts match — the property the result cache keys on
+  /// (cache::RunKey folds this text into the content hash).
+  [[nodiscard]] std::string canonical_text() const;
+
  private:
   std::vector<FaultEvent> events_;
 };

@@ -1,0 +1,87 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "report/json_read.hpp"
+
+namespace adhoc::serve {
+
+bool is_terminal_line(const std::string& line) {
+  try {
+    const auto doc = report::JsonValue::parse(line);
+    const auto* type = doc.find("type");
+    if (type == nullptr || !type->is_string()) return false;
+    const std::string& t = type->str();
+    return t == "submit_end" || t == "stats" || t == "pong" || t == "bye" || t == "error";
+  } catch (const std::exception&) {
+    return false;  // unparseable lines are passthrough, never terminal
+  }
+}
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve client: socket path empty or too long: '" + socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string{"serve client: socket: "} + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: cannot connect to '" + socket_path + "': " + reason);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::read_line(std::string& line) {
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& json_line,
+                            const std::function<void(const std::string&)>& on_line) {
+  std::string framed = json_line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string{"serve client: send: "} + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string line;
+  while (read_line(line)) {
+    if (on_line) on_line(line);
+    if (is_terminal_line(line)) return line;
+  }
+  throw std::runtime_error("serve client: daemon closed the connection mid-request");
+}
+
+}  // namespace adhoc::serve

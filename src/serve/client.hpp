@@ -1,0 +1,39 @@
+#pragma once
+// Thin client for the serve daemon: connect to the AF_UNIX socket,
+// send one request line, stream response lines until the terminal
+// record of that request. `adhocsim submit` and serve_smoke are the
+// consumers; the protocol itself lives in server.hpp.
+
+#include <functional>
+#include <string>
+
+namespace adhoc::serve {
+
+/// True for response types that end a request's line stream:
+/// submit_end, stats, pong, bye and error.
+[[nodiscard]] bool is_terminal_line(const std::string& line);
+
+class Client {
+ public:
+  /// Connect to the daemon. Throws std::runtime_error naming the path
+  /// when the daemon is not listening.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line and deliver every response line (without
+  /// the trailing newline) to `on_line`, stopping after the terminal
+  /// line, which is also returned. Throws std::runtime_error if the
+  /// daemon closes the connection mid-request.
+  std::string request(const std::string& json_line,
+                      const std::function<void(const std::string&)>& on_line = {});
+
+ private:
+  [[nodiscard]] bool read_line(std::string& line);
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace adhoc::serve

@@ -1,0 +1,267 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "cache/code_version.hpp"
+#include "campaign/telemetry.hpp"
+#include "experiments/campaigns.hpp"
+#include "obs/json.hpp"
+
+namespace adhoc::serve {
+
+namespace {
+
+/// Write `line` + '\n' fully. MSG_NOSIGNAL: a vanished client surfaces
+/// as an error return, not SIGPIPE. Returns false once the peer is gone.
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Minimal streambuf over a socket fd so campaign::JsonlSink can stream
+/// engine telemetry lines straight to the client while a submit runs.
+class FdStreambuf final : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return 0;
+    const char c = static_cast<char>(ch);
+    return write_all(&c, 1) ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return write_all(s, n) ? n : 0;
+  }
+
+ private:
+  bool write_all(const char* s, std::streamsize n) {
+    std::size_t off = 0;
+    const auto size = static_cast<std::size_t>(n);
+    while (off < size) {
+      const ssize_t w = ::send(fd_, s + off, size - off, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+    return true;
+  }
+  int fd_;
+};
+
+std::string params_json(const std::vector<std::pair<std::string, double>>& params) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + obs::json_escape(name) + "\":" + obs::json_number(value);
+  }
+  return out + "}";
+}
+
+std::string error_line(const std::string& message) {
+  return R"({"message":")" + obs::json_escape(message) + R"(","type":"error"})";
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), service_(cfg_.service) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(cfg_.socket_path.c_str());
+  }
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (cfg_.socket_path.empty() || cfg_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path empty or too long: '" + cfg_.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(), cfg_.socket_path.size() + 1);
+
+  if (::pipe(stop_pipe_) != 0) {
+    throw std::runtime_error(std::string{"serve: pipe: "} + std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string{"serve: socket: "} + std::strerror(errno));
+  }
+  ::unlink(cfg_.socket_path.c_str());  // replace a stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    throw std::runtime_error("serve: cannot listen on '" + cfg_.socket_path +
+                             "': " + std::strerror(errno));
+  }
+  log_line("listening on " + cfg_.socket_path);
+}
+
+void Server::run() {
+  if (listen_fd_ < 0) throw std::runtime_error("serve: run() before start()");
+  std::vector<std::thread> handlers;
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int r = ::poll(fds, 2, -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // stop() requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    handlers.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  for (std::thread& t : handlers) t.join();
+  log_line("stopped");
+}
+
+void Server::stop() {
+  const char wake = 'x';
+  // Best-effort wake; the accept loop exits on the first byte.
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &wake, 1);
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      try {
+        if (!handle_line(fd, line)) {
+          open = false;  // shutdown: reply sent, accept loop woken
+          break;
+        }
+      } catch (const std::exception& e) {
+        write_line(fd, error_line(e.what()));
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+bool Server::handle_line(int fd, const std::string& line) {
+  const auto doc = report::JsonValue::parse(line);
+  const auto* type = doc.find("type");
+  if (type == nullptr || !type->is_string()) {
+    write_line(fd, error_line("request has no \"type\" member"));
+    return true;
+  }
+  const std::string& version =
+      cfg_.service.cache != nullptr ? cfg_.service.cache->version() : cache::code_version();
+  if (type->str() == "submit") {
+    handle_submit(fd, doc);
+  } else if (type->str() == "stats") {
+    std::string out = R"({"cache":{)";
+    if (cfg_.service.cache != nullptr) {
+      const auto s = cfg_.service.cache->stats();
+      out += R"("bytes":)" + std::to_string(s.bytes) + R"(,"entries":)" +
+             std::to_string(s.entries) + R"(,"evictions":)" + std::to_string(s.evictions) +
+             R"(,"hits":)" + std::to_string(s.hits) + R"(,"invalidated":)" +
+             std::to_string(s.invalidated) + R"(,"misses":)" + std::to_string(s.misses) +
+             R"(,"stores":)" + std::to_string(s.stores);
+    }
+    out += R"(},"type":"stats","version":")" + obs::json_escape(version) + R"("})";
+    write_line(fd, out);
+  } else if (type->str() == "ping") {
+    write_line(fd, R"({"type":"pong","version":")" + obs::json_escape(version) + R"("})");
+  } else if (type->str() == "shutdown") {
+    write_line(fd, R"({"type":"bye"})");
+    log_line("shutdown requested");
+    stop();
+    return false;
+  } else {
+    write_line(fd, error_line("unknown request type '" + type->str() + "'"));
+  }
+  return true;
+}
+
+void Server::handle_submit(int fd, const report::JsonValue& doc) {
+  const SubmitRequest req = parse_submit_request(doc);
+  const auto cfg = req.to_config();
+  // Resolve the plan up front: an unknown grid becomes an error line
+  // before any start record, and the start record can announce the
+  // expansion size.
+  const auto plan = experiments::campaign_by_name(req.grid, cfg, req.probes).plan;
+  const std::string& version =
+      cfg_.service.cache != nullptr ? cfg_.service.cache->version() : cache::code_version();
+  write_line(fd, R"({"cache_version":")" + obs::json_escape(version) + R"(","campaign":")" +
+                     obs::json_escape(plan.name) + R"(","points":)" +
+                     std::to_string(plan.grid.points()) + R"(,"runs":)" +
+                     std::to_string(plan.total_runs()) + R"(,"seeds":)" +
+                     std::to_string(plan.seeds.size()) + R"(,"type":"submit_start"})");
+
+  FdStreambuf telemetry_buf{fd};
+  std::ostream telemetry_out{&telemetry_buf};
+  campaign::JsonlSink telemetry{telemetry_out};
+  const SubmitOutcome outcome = service_.submit(req, &telemetry);
+
+  for (std::size_t i = 0; i < outcome.result.runs.size(); ++i) {
+    const auto& spec = outcome.result.runs[i].spec;
+    write_line(fd, R"({"cached":)" + std::string{outcome.cached[i] ? "1" : "0"} +
+                       R"(,"params":)" + params_json(spec.params) + R"(,"point":)" +
+                       std::to_string(spec.point_index) + R"(,"record":)" + outcome.payloads[i] +
+                       R"(,"run":)" + std::to_string(spec.run_index) + R"(,"seed":)" +
+                       std::to_string(spec.seed) + R"(,"type":"run"})");
+  }
+  write_line(fd, R"({"bench":")" + obs::json_escape(outcome.bench) + R"(","scorecard":")" +
+                     obs::json_escape(outcome.scorecard_json) + R"(","type":"scorecard"})");
+  write_line(fd, R"({"cache_hits":)" + std::to_string(outcome.cache_hits) +
+                     R"(,"cache_misses":)" + std::to_string(outcome.cache_misses) +
+                     R"(,"deduped":)" + std::to_string(outcome.result.deduped) + R"(,"errors":)" +
+                     std::to_string(outcome.result.error_count()) + R"(,"ok":)" +
+                     std::to_string(outcome.result.ok_count()) + R"(,"type":"submit_end","wall_ms":)" +
+                     obs::json_number(outcome.result.wall_seconds * 1e3) + "}");
+  log_line("submit " + req.grid + ": " + std::to_string(outcome.cache_hits) + " hits, " +
+           std::to_string(outcome.cache_misses) + " misses, " +
+           std::to_string(outcome.result.error_count()) + " errors");
+}
+
+void Server::log_line(const std::string& text) {
+  if (cfg_.log == nullptr) return;
+  const std::scoped_lock lock{log_mutex_};
+  *cfg_.log << "adhocsim serve: " << text << '\n';
+  cfg_.log->flush();
+}
+
+}  // namespace adhoc::serve

@@ -1,0 +1,87 @@
+#pragma once
+// `adhocsim serve`: a long-running campaign daemon on a local AF_UNIX
+// stream socket. Clients connect, send one JSON request per line, and
+// read JSONL responses; several clients may be connected at once (one
+// handler thread per connection; the shared ResultCache and the
+// campaign engine are thread-safe).
+//
+// Response lines, per request type (keys sorted within each line):
+//
+//   submit ->
+//     {"cache_version":"V","campaign":"fig2","points":P,"runs":N,
+//      "seeds":S,"type":"submit_start"}
+//     {"event":...}                 engine telemetry for cache misses,
+//                                   streamed live (campaign/telemetry.hpp
+//                                   schema — lines with an "event" key)
+//     {"cached":0|1,"params":{...},"point":p,"record":{...},"run":i,
+//      "seed":s,"type":"run"}       one per run, expansion order; "record"
+//                                   embeds the record_json payload verbatim,
+//                                   so apart from the "cached" flag the
+//                                   line is byte-identical warm vs cold
+//     {"bench":"serve_fig2","scorecard":"<json-escaped fidelity doc>",
+//      "type":"scorecard"}          unescaping yields the exact
+//                                   Scorecard::to_json() bytes
+//     {"cache_hits":H,"cache_misses":M,"deduped":D,"errors":E,"ok":K,
+//      "type":"submit_end","wall_ms":W}
+//   stats    -> {"cache":{"bytes":...,"entries":...,"evictions":...,
+//                "hits":...,"invalidated":...,"misses":...,"stores":...},
+//                "type":"stats","version":"V"}
+//   ping     -> {"type":"pong","version":"V"}
+//   shutdown -> {"type":"bye"} and the daemon exits its accept loop
+//   (errors) -> {"message":"...","type":"error"}
+//
+// Malformed requests produce an error line and keep the connection
+// open; a submit that throws mid-expansion reports the error the same
+// way. The daemon never trusts request content beyond parsing it — an
+// unknown grid is an error line, not a crash.
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace adhoc::serve {
+
+struct ServerConfig {
+  std::string socket_path;  ///< AF_UNIX path; unlinked on close
+  ServiceConfig service;
+  std::ostream* log = nullptr;  ///< optional daemon log (not owned)
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen on cfg.socket_path (replacing a stale socket file).
+  /// Throws std::runtime_error on failure, naming the path.
+  void start();
+
+  /// Accept connections until stop() or a shutdown request; joins all
+  /// connection handlers before returning. Requires start().
+  void run();
+
+  /// Wake the accept loop (callable from any thread, including
+  /// connection handlers).
+  void stop();
+
+ private:
+  void handle_connection(int fd);
+  /// Returns false when the connection should close (shutdown request).
+  bool handle_line(int fd, const std::string& line);
+  void handle_submit(int fd, const report::JsonValue& doc);
+  void log_line(const std::string& text);
+
+  ServerConfig cfg_;
+  CampaignService service_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::mutex log_mutex_;
+};
+
+}  // namespace adhoc::serve

@@ -1,0 +1,97 @@
+#include "serve/service.hpp"
+
+#include <utility>
+
+#include "cache/code_version.hpp"
+#include "campaign/aggregate.hpp"
+#include "experiments/campaigns.hpp"
+#include "report/scorecard.hpp"
+
+namespace adhoc::serve {
+
+cache::RunKey run_key(const SubmitRequest& req, const experiments::ExperimentConfig& cfg,
+                      const campaign::RunSpec& spec, const std::string& version) {
+  cache::RunKey key;
+  key.scenario = req.grid;
+  key.params = spec.params;
+  key.seed = spec.seed;
+  // Every knob that reaches the run function. Some (probes, shadowing)
+  // only affect a subset of grids; including them for all grids trades
+  // a little hit rate for soundness that needs no per-grid knowledge.
+  key.extras = std::vector<std::pair<std::string, double>>{
+      {"measure_ns", static_cast<double>(cfg.measure.count_ns())},
+      {"obs", static_cast<double>(static_cast<int>(cfg.obs_level))},
+      {"probes", static_cast<double>(req.probes)},
+      {"shadow_corr_ns", static_cast<double>(cfg.shadowing.correlation_time.count_ns())},
+      {"shadow_offset_db", cfg.shadowing.day_offset_db},
+      {"shadow_sigma_db", cfg.shadowing.sigma_db},
+      {"warmup_ns", static_cast<double>(cfg.warmup.count_ns())},
+  };
+  key.fault_plan = cfg.faults.canonical_text();
+  key.code_version = version;
+  return key;
+}
+
+SubmitOutcome CampaignService::submit(const SubmitRequest& req,
+                                      campaign::TelemetrySink* telemetry) const {
+  const auto cfg = req.to_config();
+  const auto def = experiments::campaign_by_name(req.grid, cfg, req.probes);
+  const auto specs = def.plan.expand();
+  const std::string& version =
+      cfg_.cache != nullptr ? cfg_.cache->version() : cache::code_version();
+
+  SubmitOutcome out;
+  out.bench = "serve_" + req.grid;
+  out.result.name = def.plan.name;
+  out.result.runs.resize(specs.size());
+  out.result.jobs = 1;
+  out.payloads.resize(specs.size());
+  out.cached.assign(specs.size(), false);
+
+  std::vector<cache::RunKey> keys;
+  keys.reserve(specs.size());
+  std::vector<std::size_t> miss_indices;
+  std::vector<campaign::RunSpec> miss_specs;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    keys.push_back(run_key(req, cfg, specs[i], version));
+    auto payload = cfg_.cache != nullptr ? cfg_.cache->lookup(keys[i]) : std::nullopt;
+    if (payload.has_value()) {
+      out.result.runs[i] = parse_record_json(*payload);
+      out.result.runs[i].spec = specs[i];
+      out.payloads[i] = *std::move(payload);
+      out.cached[i] = true;
+      ++out.cache_hits;
+    } else {
+      miss_indices.push_back(i);
+      miss_specs.push_back(specs[i]);
+      ++out.cache_misses;
+    }
+  }
+
+  if (!miss_specs.empty()) {
+    campaign::EngineConfig ec;
+    ec.jobs = cfg_.jobs;
+    ec.max_attempts = 1 + cfg_.retries;
+    ec.telemetry = telemetry;
+    const campaign::CampaignEngine engine{ec};
+    auto missed = engine.run_list(def.plan.name, std::move(miss_specs), def.run);
+    for (std::size_t j = 0; j < miss_indices.size(); ++j) {
+      const std::size_t i = miss_indices[j];
+      out.payloads[i] = record_json(missed.runs[j]);
+      if (cfg_.cache != nullptr && missed.runs[j].ok) cfg_.cache->store(keys[i], out.payloads[i]);
+      out.result.runs[i] = std::move(missed.runs[j]);
+    }
+    out.result.jobs = missed.jobs;
+    out.result.deduped = missed.deduped;
+    out.result.wall_seconds = missed.wall_seconds;
+  }
+
+  report::Scorecard card{out.bench};
+  card.set_seeds(req.seeds);
+  card.add_points(campaign::aggregate_by_point(out.result));
+  card.add_campaign(out.result);
+  out.scorecard_json = card.to_json();
+  return out;
+}
+
+}  // namespace adhoc::serve

@@ -1,0 +1,113 @@
+#include "cache/key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cache/code_version.hpp"
+#include "faults/fault_plan.hpp"
+
+namespace adhoc::cache {
+namespace {
+
+RunKey base_key() {
+  RunKey k;
+  k.scenario = "fig7";
+  k.params = {{"rts", 1.0}, {"tcp", 0.0}};
+  k.seed = 3;
+  k.extras = {{"measure_ns", 8e9}, {"warmup_ns", 5e8}};
+  k.code_version = "1.0.0+abc123";
+  return k;
+}
+
+TEST(RunKey, HashIs32LowercaseHexChars) {
+  const auto h = base_key().hash();
+  ASSERT_EQ(h.size(), 32u);
+  for (const char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << h;
+  }
+}
+
+TEST(RunKey, StableAcrossFieldOrderPermutations) {
+  auto a = base_key();
+  auto b = base_key();
+  std::reverse(b.params.begin(), b.params.end());
+  std::reverse(b.extras.begin(), b.extras.end());
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(RunKey, EveryFieldFeedsTheHash) {
+  const auto h0 = base_key().hash();
+
+  auto k = base_key();
+  k.scenario = "fig9";
+  EXPECT_NE(k.hash(), h0) << "scenario must change the key";
+
+  k = base_key();
+  k.seed = 4;
+  EXPECT_NE(k.hash(), h0) << "seed must change the key";
+
+  k = base_key();
+  k.params[0].second = 0.0;
+  EXPECT_NE(k.hash(), h0) << "param value must change the key";
+
+  k = base_key();
+  k.extras.emplace_back("probes", 300.0);
+  EXPECT_NE(k.hash(), h0) << "extra knob must change the key";
+
+  k = base_key();
+  k.code_version = "1.0.0+def456";
+  EXPECT_NE(k.hash(), h0) << "code version must change the key";
+
+  k = base_key();
+  k.fault_plan = faults::load_fault_plan("midrun-jam").canonical_text();
+  EXPECT_NE(k.hash(), h0) << "fault plan must change the key";
+}
+
+TEST(RunKey, LengthPrefixingPreventsSectionBleed) {
+  // Moving bytes between adjacent string sections must not collide.
+  auto a = base_key();
+  a.scenario = "figx";
+  a.fault_plan = "y";
+  auto b = base_key();
+  b.scenario = "fig";
+  b.fault_plan = "xy";
+  EXPECT_NE(a.canonical(), b.canonical());
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(RunKey, CanonicalSortsByName) {
+  auto k = base_key();
+  k.params = {{"zeta", 1.0}, {"alpha", 2.0}};
+  const auto text = k.canonical();
+  EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+TEST(RunKey, FaultPlanTimelineIsPartOfTheKey) {
+  auto jam = base_key();
+  jam.fault_plan = faults::load_fault_plan("midrun-jam").canonical_text();
+  auto crash = base_key();
+  crash.fault_plan = faults::load_fault_plan("crash").canonical_text();
+  EXPECT_NE(jam.hash(), crash.hash());
+  // Same builtin parsed twice: identical canonical text, identical key.
+  auto jam2 = base_key();
+  jam2.fault_plan = faults::load_fault_plan("midrun-jam").canonical_text();
+  EXPECT_EQ(jam.hash(), jam2.hash());
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Standard FNV-1a 64-bit test vectors (basis 0xcbf29ce484222325).
+  const std::uint64_t basis = 0xcbf29ce484222325ULL;
+  EXPECT_EQ(fnv1a64("", basis), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a", basis), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar", basis), 0x85944171f73967e8ULL);
+}
+
+TEST(CodeVersion, IsNonEmptyAndStable) {
+  EXPECT_FALSE(code_version().empty());
+  EXPECT_EQ(code_version(), code_version());
+}
+
+}  // namespace
+}  // namespace adhoc::cache

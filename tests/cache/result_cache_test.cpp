@@ -1,0 +1,159 @@
+#include "cache/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace adhoc::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("adhoc_cache_test_" +
+             std::string{::testing::UnitTest::GetInstance()->current_test_info()->name()});
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static RunKey key_for(std::uint64_t seed, const std::string& scenario = "fig7") {
+    RunKey k;
+    k.scenario = scenario;
+    k.params = {{"rts", 0.0}};
+    k.seed = seed;
+    k.code_version = "v1";
+    return k;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(ResultCacheTest, MissThenStoreThenHitRoundTrip) {
+  ResultCache cache{{root_.string(), "v1", 0, 0}};
+  const auto k = key_for(1);
+  EXPECT_FALSE(cache.lookup(k).has_value());
+  cache.store(k, R"({"ok":true})");
+  const auto hit = cache.lookup(k);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, R"({"ok":true})");
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, std::string{R"({"ok":true})"}.size());
+}
+
+TEST_F(ResultCacheTest, EntriesPersistAcrossInstances) {
+  {
+    ResultCache cache{{root_.string(), "v1", 0, 0}};
+    cache.store(key_for(1), "payload-one");
+    cache.store(key_for(2), "payload-two");
+  }
+  ResultCache reopened{{root_.string(), "v1", 0, 0}};
+  EXPECT_EQ(reopened.stats().entries, 2u);
+  const auto hit = reopened.lookup(key_for(2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-two");
+}
+
+TEST_F(ResultCacheTest, StoreIsIdempotent) {
+  ResultCache cache{{root_.string(), "v1", 0, 0}};
+  cache.store(key_for(1), "same-bytes");
+  cache.store(key_for(1), "same-bytes");
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, std::string{"same-bytes"}.size());
+}
+
+TEST_F(ResultCacheTest, MaxEntriesEvictsLeastRecentlyUsed) {
+  ResultCache cache{{root_.string(), "v1", /*max_entries=*/2, 0}};
+  cache.store(key_for(1), "a");
+  cache.store(key_for(2), "b");
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(cache.lookup(key_for(1)).has_value());
+  cache.store(key_for(3), "c");
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(key_for(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_for(2)).has_value()) << "LRU entry must be evicted";
+  EXPECT_TRUE(cache.lookup(key_for(3)).has_value());
+}
+
+TEST_F(ResultCacheTest, MaxBytesEvictsUntilUnderBound) {
+  ResultCache cache{{root_.string(), "v1", 0, /*max_bytes=*/10}};
+  cache.store(key_for(1), "aaaaa");  // 5 bytes
+  cache.store(key_for(2), "bbbbb");  // 10 total
+  cache.store(key_for(3), "ccccc");  // would be 15: evict oldest
+  const auto s = cache.stats();
+  EXPECT_LE(s.bytes, 10u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_FALSE(cache.lookup(key_for(1)).has_value());
+}
+
+TEST_F(ResultCacheTest, VersionChangeInvalidatesOldEntries) {
+  {
+    ResultCache v1{{root_.string(), "v1", 0, 0}};
+    v1.store(key_for(1), "old-build");
+    v1.store(key_for(2), "old-build");
+  }
+  ResultCache v2{{root_.string(), "v2", 0, 0}};
+  EXPECT_EQ(v2.stats().invalidated, 2u);
+  EXPECT_EQ(v2.stats().entries, 0u);
+  // The old version directory is gone from disk, not just unindexed.
+  EXPECT_FALSE(fs::exists(root_ / "v1"));
+  // A key hashed under the new stamp misses even for the same inputs.
+  auto k = key_for(1);
+  k.code_version = "v2";
+  EXPECT_FALSE(v2.lookup(k).has_value());
+}
+
+TEST_F(ResultCacheTest, ReopeningSameVersionInvalidatesNothing) {
+  {
+    ResultCache cache{{root_.string(), "v1", 0, 0}};
+    cache.store(key_for(1), "keep-me");
+  }
+  ResultCache reopened{{root_.string(), "v1", 0, 0}};
+  EXPECT_EQ(reopened.stats().invalidated, 0u);
+  EXPECT_EQ(reopened.stats().entries, 1u);
+}
+
+TEST_F(ResultCacheTest, OnDiskLayoutIsVersionThenHashFanout) {
+  ResultCache cache{{root_.string(), "v1", 0, 0}};
+  const auto k = key_for(1);
+  cache.store(k, "x");
+  const auto h = k.hash();
+  EXPECT_TRUE(fs::exists(root_ / "v1" / h.substr(0, 2) / (h + ".json")));
+}
+
+TEST_F(ResultCacheTest, MetricsProbesReportCounters) {
+  ResultCache cache{{root_.string(), "v1", 0, 0}};
+  obs::MetricsRegistry registry;
+  cache.attach_metrics(registry);
+  (void)cache.lookup(key_for(1));  // miss
+  cache.store(key_for(1), "abc");
+  (void)cache.lookup(key_for(1));  // hit
+  registry.materialize_probes();
+  const auto flat = registry.flatten();
+  EXPECT_DOUBLE_EQ(flat.at("cache.hits"), 1.0);
+  EXPECT_DOUBLE_EQ(flat.at("cache.misses"), 1.0);
+  EXPECT_DOUBLE_EQ(flat.at("cache.stores"), 1.0);
+  EXPECT_DOUBLE_EQ(flat.at("cache.entries"), 1.0);
+  EXPECT_DOUBLE_EQ(flat.at("cache.bytes"), 3.0);
+  EXPECT_DOUBLE_EQ(flat.at("cache.evictions"), 0.0);
+  EXPECT_DOUBLE_EQ(flat.at("cache.invalidated"), 0.0);
+}
+
+TEST_F(ResultCacheTest, RejectsEmptyRoot) {
+  EXPECT_THROW(ResultCache({std::string{}, "v1", 0, 0}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adhoc::cache

@@ -173,5 +173,80 @@ TEST(CampaignEngine, ZeroJobsResolvesToHardwareConcurrency) {
   EXPECT_GE(engine.jobs(), 1u);
 }
 
+TEST(CampaignEngine, CollapsesDuplicateSpecsBeforeDispatch) {
+  // Same point twice (x axis repeats the value) × same seeds: every
+  // (params, seed) pair appears twice, so half the runs must collapse.
+  const auto c = small_campaign({3, 3}, {1, 2});
+  std::atomic<int> executions{0};
+  const CampaignEngine engine{{2, 1, nullptr}};
+  const auto result = engine.run(c, [&](const RunSpec& s) -> RunMetrics {
+    executions.fetch_add(1);
+    return {{{"y", s.param("x") + static_cast<double>(s.seed)}}, 7, {}, 0};
+  });
+  ASSERT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(executions.load(), 2) << "one execution per distinct (params, seed)";
+  EXPECT_EQ(result.deduped, 2u);
+  EXPECT_EQ(result.ok_count(), 4u);
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    // Copies keep their own positional identity...
+    EXPECT_EQ(result.runs[i].spec.run_index, i);
+    // ...and carry the representative's metrics.
+    EXPECT_DOUBLE_EQ(result.runs[i].metrics.metrics.at("y"),
+                     3.0 + static_cast<double>(result.runs[i].spec.seed));
+  }
+}
+
+TEST(CampaignEngine, DistinctSpecsAreNotCollapsed) {
+  const auto c = small_campaign({1, 2}, {1, 2});
+  std::atomic<int> executions{0};
+  const CampaignEngine engine{{1, 1, nullptr}};
+  const auto result = engine.run(c, [&](const RunSpec&) -> RunMetrics {
+    executions.fetch_add(1);
+    return {{{"y", 1.0}}, 1, {}, 0};
+  });
+  EXPECT_EQ(executions.load(), 4);
+  EXPECT_EQ(result.deduped, 0u);
+}
+
+TEST(JsonlSink, CampaignEndReportsDedupedCount) {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  const auto c = small_campaign({5, 5}, {1});  // duplicate point, 1 dedupe
+  const CampaignEngine engine{{1, 1, &sink}};
+  const auto result = engine.run(c, [](const RunSpec&) -> RunMetrics {
+    return {{{"y", 1.0}}, 1, {}, 0};
+  });
+  EXPECT_EQ(result.deduped, 1u);
+  EXPECT_NE(out.str().find(R"("deduped":1)"), std::string::npos) << out.str();
+  // Collapsed runs emit no run_start/run_end of their own.
+  std::istringstream in{out.str()};
+  std::string line;
+  std::size_t starts = 0;
+  while (std::getline(in, line)) {
+    if (line.find(R"("event":"run_start")") != std::string::npos) ++starts;
+  }
+  EXPECT_EQ(starts, 1u);
+}
+
+TEST(CampaignEngine, RunListExecutesAdHocSpecLists) {
+  std::vector<RunSpec> specs(3);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].run_index = i;
+    specs[i].point_index = i;
+    specs[i].seed = 1;
+    specs[i].params = {{"x", static_cast<double>(i)}};
+  }
+  const CampaignEngine engine{{2, 1, nullptr}};
+  const auto result = engine.run_list("adhoc", specs, [](const RunSpec& s) -> RunMetrics {
+    return {{{"y", s.param("x") * 2.0}}, 1, {}, 0};
+  });
+  EXPECT_EQ(result.name, "adhoc");
+  ASSERT_EQ(result.runs.size(), 3u);
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    EXPECT_EQ(result.runs[i].spec.run_index, i);
+    EXPECT_DOUBLE_EQ(result.runs[i].metrics.metrics.at("y"), static_cast<double>(i) * 2.0);
+  }
+}
+
 }  // namespace
 }  // namespace adhoc::campaign

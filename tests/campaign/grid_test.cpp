@@ -95,5 +95,42 @@ TEST(Shard, RejectsBadIndices) {
   EXPECT_THROW(shard({}, 0, 0), std::invalid_argument);
 }
 
+TEST(Shard, EmptySpecListYieldsEmptyShards) {
+  for (std::size_t s = 0; s < 3; ++s) EXPECT_TRUE(shard({}, s, 3).empty());
+}
+
+TEST(Shard, MoreShardsThanSpecsLeavesTrailingShardsEmpty) {
+  Campaign c;
+  c.grid.add("x", {1, 2});
+  c.seeds = {1};  // 2 runs, 5 shards
+  const auto all = c.expand();
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < 5; ++s) {
+    const auto part = shard(all, s, 5);
+    total += part.size();
+    if (s < all.size()) {
+      ASSERT_EQ(part.size(), 1u);
+      EXPECT_EQ(part[0].run_index, s);
+    } else {
+      EXPECT_TRUE(part.empty());
+    }
+  }
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(Shard, SingleShardIsIdentity) {
+  Campaign c;
+  c.grid.add("x", {1, 2, 3});
+  c.seeds = {4, 5};
+  const auto all = c.expand();
+  const auto one = shard(all, 0, 1);
+  ASSERT_EQ(one.size(), all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(one[i].run_index, all[i].run_index);
+    EXPECT_EQ(one[i].seed, all[i].seed);
+    EXPECT_EQ(one[i].params, all[i].params);
+  }
+}
+
 }  // namespace
 }  // namespace adhoc::campaign

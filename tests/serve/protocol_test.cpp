@@ -1,0 +1,114 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace adhoc::serve {
+namespace {
+
+TEST(SubmitRequest, JsonRoundTrip) {
+  SubmitRequest req;
+  req.grid = "fig7";
+  req.seeds = {4, 5, 6};
+  req.seconds = 2.5;
+  req.warmup_s = 0.25;
+  req.obs_level = "metrics";
+  req.fault_plan = "midrun-jam";
+  req.probes = 120;
+
+  const auto parsed = parse_submit_request(report::JsonValue::parse(req.to_json()));
+  EXPECT_EQ(parsed.grid, req.grid);
+  EXPECT_EQ(parsed.seeds, req.seeds);
+  EXPECT_DOUBLE_EQ(parsed.seconds, req.seconds);
+  EXPECT_DOUBLE_EQ(parsed.warmup_s, req.warmup_s);
+  EXPECT_EQ(parsed.obs_level, req.obs_level);
+  EXPECT_EQ(parsed.fault_plan, req.fault_plan);
+  EXPECT_EQ(parsed.probes, req.probes);
+}
+
+TEST(SubmitRequest, MissingFieldsKeepDefaults) {
+  const auto req = parse_submit_request(report::JsonValue::parse(R"({"type":"submit"})"));
+  EXPECT_EQ(req.grid, "fig2");
+  EXPECT_EQ(req.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(req.seconds, 8.0);
+}
+
+TEST(SubmitRequest, ToConfigValidates) {
+  SubmitRequest req;
+  req.seconds = 0.0;
+  EXPECT_THROW((void)req.to_config(), std::invalid_argument);
+  req.seconds = 1.0;
+  req.seeds.clear();
+  EXPECT_THROW((void)req.to_config(), std::invalid_argument);
+  req.seeds = {1};
+  req.obs_level = "bogus";
+  EXPECT_THROW((void)req.to_config(), std::invalid_argument);
+  req.obs_level = "trace";
+  const auto cfg = req.to_config();
+  EXPECT_EQ(cfg.obs_level, obs::ObsLevel::kTrace);
+  EXPECT_EQ(cfg.measure.count_ns(), sim::Time::from_sec(1.0).count_ns());
+}
+
+TEST(RecordJson, OkRecordRoundTripsByteExactly) {
+  campaign::RunRecord record;
+  record.ok = true;
+  record.attempts = 2;
+  record.metrics.events = 123456;
+  record.metrics.metrics = {{"kbps", 3346.432}, {"s2_kbps", 0.1 + 0.2}};
+  record.metrics.obs = {{"mac.sta0.tx_data", 42.0}};
+  record.metrics.trace_dropped = 7;
+  record.wall_seconds = 9.9;   // positional/wall state must not leak in
+  record.spec.run_index = 99;  // (cache hits splice into other campaigns)
+
+  const std::string payload = record_json(record);
+  EXPECT_EQ(payload.find("wall"), std::string::npos);
+  EXPECT_EQ(payload.find("run_index"), std::string::npos);
+
+  const auto back = parse_record_json(payload);
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.attempts, 2u);
+  EXPECT_EQ(back.metrics.events, 123456u);
+  EXPECT_EQ(back.metrics.trace_dropped, 7u);
+  EXPECT_EQ(back.metrics.metrics, record.metrics.metrics);
+  EXPECT_EQ(back.metrics.obs, record.metrics.obs);
+  // The byte-identity contract: serialize(parse(p)) == p.
+  EXPECT_EQ(record_json(back), payload);
+}
+
+TEST(RecordJson, FailedRecordRoundTrips) {
+  campaign::RunRecord record;
+  record.ok = false;
+  record.attempts = 3;
+  record.error.message = "boom \"quoted\"\nnewline";
+  record.error.transient = true;
+
+  const std::string payload = record_json(record);
+  const auto back = parse_record_json(payload);
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.attempts, 3u);
+  EXPECT_EQ(back.error.message, record.error.message);
+  EXPECT_TRUE(back.error.transient);
+  EXPECT_EQ(record_json(back), payload);
+}
+
+TEST(RecordJson, PayloadKeysAreSorted) {
+  campaign::RunRecord record;
+  record.ok = true;
+  record.attempts = 1;
+  const std::string payload = record_json(record);
+  EXPECT_LT(payload.find("\"attempts\""), payload.find("\"events\""));
+  EXPECT_LT(payload.find("\"events\""), payload.find("\"metrics\""));
+  EXPECT_LT(payload.find("\"metrics\""), payload.find("\"obs\""));
+  EXPECT_LT(payload.find("\"obs\""), payload.find("\"ok\""));
+  EXPECT_LT(payload.find("\"ok\""), payload.find("\"trace_dropped\""));
+}
+
+TEST(RecordJson, MalformedPayloadsThrow) {
+  EXPECT_THROW((void)parse_record_json("not json"), std::invalid_argument);
+  EXPECT_THROW((void)parse_record_json("{}"), std::invalid_argument);
+  EXPECT_THROW((void)parse_record_json(R"({"ok":true,"attempts":1})"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adhoc::serve

@@ -1,0 +1,152 @@
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "campaign/telemetry.hpp"
+
+namespace adhoc::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+SubmitRequest tiny_request() {
+  SubmitRequest req;
+  req.grid = "fig2";
+  req.seeds = {1, 2};
+  req.seconds = 0.5;  // keep the sims short: this is a plumbing test
+  req.warmup_s = 0.1;
+  return req;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("adhoc_service_test_" +
+             std::string{::testing::UnitTest::GetInstance()->current_test_info()->name()});
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(ServiceTest, ColdThenWarmSubmitIsByteIdentical) {
+  cache::ResultCache cache{{root_.string(), "", 0, 0}};
+  const CampaignService service{{2, 2, &cache}};
+
+  const auto cold = service.submit(tiny_request());
+  ASSERT_EQ(cold.result.runs.size(), 8u);  // fig2: 4 points x 2 seeds
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 8u);
+  EXPECT_EQ(cold.result.error_count(), 0u);
+
+  const auto warm = service.submit(tiny_request());
+  EXPECT_EQ(warm.cache_hits, 8u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_FALSE(cold.cached[i]);
+    EXPECT_TRUE(warm.cached[i]);
+    EXPECT_EQ(warm.payloads[i], cold.payloads[i]) << "run " << i;
+    EXPECT_EQ(warm.result.runs[i].spec.run_index, i);
+  }
+  // The whole scorecard — aggregates included — matches byte for byte.
+  EXPECT_EQ(warm.scorecard_json, cold.scorecard_json);
+  EXPECT_EQ(warm.bench, "serve_fig2");
+}
+
+TEST_F(ServiceTest, ChangedParametersMissTheCache) {
+  cache::ResultCache cache{{root_.string(), "", 0, 0}};
+  const CampaignService service{{2, 2, &cache}};
+  (void)service.submit(tiny_request());
+
+  auto longer = tiny_request();
+  longer.seconds = 0.6;  // different measure window = different keys
+  const auto out = service.submit(longer);
+  EXPECT_EQ(out.cache_hits, 0u);
+  EXPECT_EQ(out.cache_misses, 8u);
+}
+
+TEST_F(ServiceTest, OverlappingSeedSetsHitPartially) {
+  cache::ResultCache cache{{root_.string(), "", 0, 0}};
+  const CampaignService service{{2, 2, &cache}};
+  (void)service.submit(tiny_request());  // seeds {1,2}
+
+  auto wider = tiny_request();
+  wider.seeds = {1, 2, 3};
+  const auto out = service.submit(wider);
+  EXPECT_EQ(out.cache_hits, 8u) << "seeds 1,2 are already cached per point";
+  EXPECT_EQ(out.cache_misses, 4u) << "seed 3 is new at each of the 4 points";
+}
+
+TEST_F(ServiceTest, NoCacheRunsEverySubmitCold) {
+  const CampaignService service{{2, 2, nullptr}};
+  const auto a = service.submit(tiny_request());
+  const auto b = service.submit(tiny_request());
+  EXPECT_EQ(a.cache_hits, 0u);
+  EXPECT_EQ(b.cache_hits, 0u);
+  EXPECT_EQ(b.cache_misses, 8u);
+  // Still deterministic: byte-identical payloads without any cache.
+  for (std::size_t i = 0; i < a.payloads.size(); ++i) {
+    EXPECT_EQ(a.payloads[i], b.payloads[i]);
+  }
+}
+
+TEST_F(ServiceTest, TelemetryObservesOnlyCacheMisses) {
+  cache::ResultCache cache{{root_.string(), "", 0, 0}};
+  const CampaignService service{{1, 2, &cache}};
+  (void)service.submit(tiny_request());
+
+  std::ostringstream out;
+  campaign::JsonlSink sink{out};
+  const auto warm = service.submit(tiny_request(), &sink);
+  EXPECT_EQ(warm.cache_hits, 8u);
+  EXPECT_TRUE(out.str().empty()) << "all-hit submits run no campaign:\n" << out.str();
+}
+
+TEST_F(ServiceTest, UnknownGridThrowsListingNames) {
+  const CampaignService service{{1, 2, nullptr}};
+  auto req = tiny_request();
+  req.grid = "nope";
+  try {
+    (void)service.submit(req);
+    FAIL() << "unknown grid must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("fig2"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(ServiceTest, RunKeyDistinguishesGridAndSeedAndKnobs) {
+  const auto req = tiny_request();
+  const auto cfg = req.to_config();
+  campaign::RunSpec spec;
+  spec.seed = 1;
+  spec.params = {{"rts", 0.0}, {"tcp", 0.0}};
+
+  const auto base = run_key(req, cfg, spec, "v1").hash();
+  auto other_req = req;
+  other_req.grid = "fig7";
+  EXPECT_NE(run_key(other_req, cfg, spec, "v1").hash(), base);
+
+  auto other_spec = spec;
+  other_spec.seed = 2;
+  EXPECT_NE(run_key(req, cfg, other_spec, "v1").hash(), base);
+
+  auto other_cfg = cfg;
+  other_cfg.obs_level = obs::ObsLevel::kMetrics;
+  EXPECT_NE(run_key(req, other_cfg, spec, "v1").hash(), base);
+
+  EXPECT_NE(run_key(req, cfg, spec, "v2").hash(), base);
+  // run_index/point_index are positional, not identity: same key.
+  auto repositioned = spec;
+  repositioned.run_index = 17;
+  repositioned.point_index = 3;
+  EXPECT_EQ(run_key(req, cfg, repositioned, "v1").hash(), base);
+}
+
+}  // namespace
+}  // namespace adhoc::serve

@@ -17,6 +17,13 @@
 //   adhocsim scorecard --baseline BENCH_x.json --current BENCH_x.json
 //                      [--fidelity-tol F] [--dev-tol F] [--perf-tol F]
 //                      [--no-perf] [--perf-waived]
+//   adhocsim serve --socket PATH [--cache DIR] [--cache-entries N]
+//                  [--cache-mb M] [--jobs N] [--retries R] [--quiet]
+//   adhocsim submit --socket PATH [--grid G] [--seeds N] [--seconds S]
+//                   [--warmup W] [--obs-level L] [--fault-plan P]
+//                   [--probes N] [--scorecard DIR] [--quiet]
+//   adhocsim submit --socket PATH --stats | --ping | --shutdown
+//   adhocsim version | --version
 //
 // Every subcommand maps onto the library's experiments API; run with no
 // arguments for usage.
@@ -30,6 +37,8 @@
 #include "analysis/throughput_model.hpp"
 #include "app/cbr.hpp"
 #include "app/sink.hpp"
+#include "cache/code_version.hpp"
+#include "cache/result_cache.hpp"
 #include "campaign/campaign.hpp"
 #include "cli_args.hpp"
 #include "cli_paths.hpp"
@@ -39,6 +48,8 @@
 #include "experiments/experiments.hpp"
 #include "report/compare.hpp"
 #include "report/scorecard.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
@@ -211,6 +222,9 @@ int cmd_run(const tools::CliArgs& args) {
     return 1;
   }
 
+  // Build id first: the one-observed-replication artifacts only mean
+  // something pinned to the code that produced them.
+  std::cout << "adhocsim " << cache::code_version() << '\n';
   if (scen == "two-node") {
     experiments::TwoNodeSpec spec;
     spec.rate = rate_flag(args);
@@ -307,35 +321,16 @@ int cmd_scorecard(const tools::CliArgs& args) {
 }
 
 int cmd_campaign(const tools::CliArgs& args) {
-  const std::string grid =
-      args.choice("grid", "fig2",
-                  {"fig2", "rates", "fig3", "fig7", "fig9", "fig11", "fig12", "saturation",
-                   "faults"});
+  const std::string grid = args.str("grid", "fig2");
   const auto level = obs_level_flag(args, "off");
   if (!level) return 1;
   auto cfg = config_flag(args);
   cfg.obs_level = *level;
-  experiments::ExperimentCampaign def;
-  if (grid == "fig2") {
-    def = experiments::fig2_campaign(cfg);
-  } else if (grid == "rates") {
-    def = experiments::two_node_rates_campaign(cfg);
-  } else if (grid == "fig3") {
-    def = experiments::fig3_campaign(
-        cfg, static_cast<std::uint32_t>(args.positive_integer("probes", 300)));
-  } else if (grid == "fig7" || grid == "fig9" || grid == "fig11" || grid == "fig12") {
-    experiments::FourStationSpec base;
-    if (grid == "fig7") base = experiments::fig7_spec(false, scenario::Transport::kUdp);
-    if (grid == "fig9") base = experiments::fig9_spec(false, scenario::Transport::kUdp);
-    if (grid == "fig11") base = experiments::fig11_spec(false, scenario::Transport::kUdp);
-    if (grid == "fig12") base = experiments::fig12_spec(false, scenario::Transport::kUdp);
-    def = experiments::four_station_campaign(base, cfg);
-    def.plan.name = grid;
-  } else if (grid == "saturation") {
-    def = experiments::saturation_campaign({1, 2, 3, 5, 8, 12}, cfg);
-  } else {  // choice() above guarantees "faults"
-    def = experiments::fig7_faults_campaign(cfg);
-  }
+  // The shared grid registry (experiments::campaign_by_name) is the
+  // same resolution path the serve daemon uses; unknown names throw,
+  // listing the valid grids, and main() prints that to stderr.
+  const auto def = experiments::campaign_by_name(
+      grid, cfg, static_cast<std::uint32_t>(args.positive_integer("probes", 300)));
 
   // Fail fast on unwritable output sinks before any run is spent.
   // "-" (stdout telemetry) needs no probe; the scorecard probe targets
@@ -360,6 +355,10 @@ int cmd_campaign(const tools::CliArgs& args) {
   }
   ec.telemetry = sink.get();
 
+  // Startup log carries the build id (the same stamp cache keys use);
+  // keep it off stdout when stdout is the JSONL telemetry stream.
+  (telemetry == "-" ? std::cerr : std::cout)
+      << "adhocsim " << cache::code_version() << " campaign --grid " << grid << '\n';
   const campaign::CampaignEngine engine{ec};
   const auto n_shards = static_cast<std::size_t>(args.positive_integer("shards", 1));
   const auto shard_idx = static_cast<std::size_t>(args.integer("shard", 0));
@@ -432,6 +431,127 @@ int cmd_campaign(const tools::CliArgs& args) {
   return result.error_count() == 0 ? 0 : 1;
 }
 
+/// `adhocsim serve`: bring up the campaign daemon on an AF_UNIX socket
+/// with an on-disk content-addressed result cache. Runs until a client
+/// sends {"type":"shutdown"}.
+int cmd_serve(const tools::CliArgs& args) {
+  const std::string socket_path = args.str("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "adhocsim serve: --socket PATH is required\n";
+    return 2;
+  }
+  std::unique_ptr<cache::ResultCache> result_cache;
+  const std::string cache_dir = args.str("cache", "");
+  if (!cache_dir.empty()) {
+    cache::CacheConfig cc;
+    cc.root = cache_dir;
+    cc.max_entries = static_cast<std::size_t>(args.integer("cache-entries", 0));
+    cc.max_bytes = static_cast<std::uint64_t>(args.integer("cache-mb", 0)) * 1024 * 1024;
+    result_cache = std::make_unique<cache::ResultCache>(cc);
+  }
+
+  serve::ServerConfig sc;
+  sc.socket_path = socket_path;
+  sc.service.jobs = args.has("jobs") ? static_cast<unsigned>(args.positive_integer("jobs", 1)) : 0;
+  sc.service.retries = static_cast<unsigned>(args.integer("retries", 2));
+  sc.service.cache = result_cache.get();
+  sc.log = args.has("quiet") ? nullptr : &std::cout;
+
+  std::cout << "adhocsim " << cache::code_version() << " serve --socket " << socket_path << '\n';
+  if (result_cache != nullptr) {
+    const auto s = result_cache->stats();
+    std::cout << "cache: " << result_cache->root() << " (version " << result_cache->version()
+              << ", " << s.entries << " entries, " << s.bytes << " bytes, " << s.invalidated
+              << " invalidated)\n";
+  } else {
+    std::cout << "cache: disabled (no --cache DIR; every submit runs cold)\n";
+  }
+  std::cout.flush();
+
+  serve::Server server{sc};
+  server.start();
+  server.run();
+  if (result_cache != nullptr) {
+    const auto s = result_cache->stats();
+    std::cout << "cache: " << s.hits << " hits, " << s.misses << " misses, " << s.stores
+              << " stores, " << s.evictions << " evictions\n";
+  }
+  return 0;
+}
+
+/// `adhocsim submit`: one request against a running daemon. Streams the
+/// response lines to stdout (--quiet keeps only the summary), writes
+/// the scorecard artifact when --scorecard DIR is given.
+int cmd_submit(const tools::CliArgs& args) {
+  const std::string socket_path = args.str("socket", "");
+  if (socket_path.empty()) {
+    std::cerr << "adhocsim submit: --socket PATH is required\n";
+    return 2;
+  }
+  serve::Client client{socket_path};
+  const bool quiet = args.has("quiet");
+
+  // Control requests: terminal line only, no campaign involved.
+  if (args.has("stats") || args.has("ping") || args.has("shutdown")) {
+    const std::string type =
+        args.has("stats") ? "stats" : args.has("ping") ? "ping" : "shutdown";
+    const std::string reply = client.request(R"({"type":")" + type + R"("})");
+    std::cout << reply << '\n';
+    return reply.find(R"("type":"error")") == std::string::npos ? 0 : 1;
+  }
+
+  serve::SubmitRequest req;
+  req.grid = args.str("grid", "fig2");
+  req.seeds.clear();
+  const auto n_seeds = args.positive_integer("seeds", 3);
+  for (std::int64_t s = 1; s <= n_seeds; ++s) req.seeds.push_back(static_cast<std::uint64_t>(s));
+  req.seconds = args.positive_num("seconds", 8.0);
+  req.warmup_s = args.positive_num("warmup", 0.5);
+  req.obs_level = args.str("obs-level", "off");
+  req.fault_plan = args.str("fault-plan", "");
+  req.probes = static_cast<std::uint32_t>(args.positive_integer("probes", 300));
+
+  const std::string scorecard_dir = args.str("scorecard", "");
+  std::string scorecard_error;
+  const std::string terminal =
+      client.request(req.to_json(), [&](const std::string& line) {
+        if (!quiet) std::cout << line << '\n';
+        if (scorecard_dir.empty() || line.find(R"("type":"scorecard")") == std::string::npos) {
+          return;
+        }
+        try {
+          // Unescaping the "scorecard" member yields the exact
+          // byte-stable fidelity document the daemon built.
+          const auto doc = report::JsonValue::parse(line);
+          const auto* body = doc.find("scorecard");
+          const auto* bench = doc.find("bench");
+          if (body == nullptr || bench == nullptr) throw std::runtime_error("malformed scorecard line");
+          const std::string path =
+              scorecard_dir + "/" + report::Scorecard::file_name(bench->str());
+          std::ofstream out{path, std::ios::binary | std::ios::trunc};
+          if (!out) throw std::runtime_error("cannot write " + path);
+          out << body->str();
+          if (!quiet) std::cout << "scorecard: " << path << '\n';
+        } catch (const std::exception& e) {
+          scorecard_error = e.what();
+        }
+      });
+  if (quiet) std::cout << terminal << '\n';
+  if (!scorecard_error.empty()) {
+    std::cerr << "adhocsim submit: scorecard: " << scorecard_error << '\n';
+    return 1;
+  }
+  if (terminal.find(R"("type":"error")") != std::string::npos) return 1;
+  // submit_end carries the error count; non-zero means failed runs.
+  const auto doc = report::JsonValue::parse(terminal);
+  return doc.number_or("errors", 0.0) == 0.0 ? 0 : 1;  // NOLINT-ADHOC(fp-compare)
+}
+
+int cmd_version() {
+  std::cout << "adhocsim " << cache::code_version() << '\n';
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "adhocsim <command> [flags]\n"
@@ -452,6 +572,14 @@ void usage() {
       "            [--perf-tol F] [--no-perf] [--perf-waived]\n"
       "                                    diff BENCH_*.json against a baseline\n"
       "                                    (exit 0 clean, 1 drift, 2 usage/IO)\n"
+      "  serve --socket PATH [--cache DIR] [--cache-entries N] [--cache-mb M]\n"
+      "        [--jobs N] [--retries R] [--quiet]\n"
+      "                                    campaign daemon + result cache\n"
+      "  submit --socket PATH [--grid G] [--seeds N] [--seconds S] [--warmup W]\n"
+      "         [--obs-level L] [--fault-plan P] [--probes N] [--scorecard DIR]\n"
+      "         [--quiet] | --stats | --ping | --shutdown\n"
+      "                                    send one request to a serve daemon\n"
+      "  version                           build id (also --version)\n"
       "common flags: --seeds N --seconds S --fault-plan NAME|FILE|SPEC\n"
       "  (fault-plan builtins: none|midrun-jam|crash|fig4-burst; see EXPERIMENTS.md)\n";
 }
@@ -471,6 +599,9 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "campaign") return cmd_campaign(args);
     if (cmd == "scorecard") return cmd_scorecard(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "submit") return cmd_submit(args);
+    if (cmd == "version" || (cmd.empty() && args.has("version"))) return cmd_version();
     usage();
     return cmd.empty() ? 0 : 1;
   } catch (const std::exception& e) {

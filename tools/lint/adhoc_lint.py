@@ -77,7 +77,9 @@ RULE_PATH_SCOPE: dict[str, tuple[str, ...]] = {}
 # without an emission marker nearby: these layers exist to serialize.
 # src/report is here because its scorecards are diffed byte-for-byte
 # against checked-in baselines — any order leak breaks the gate.
-ALWAYS_ORDERED_DIRS = ("src/obs", "src/campaign", "src/report")
+# src/cache and src/serve serialize cache keys and run-record payloads
+# whose bytes ARE the contract (content addressing, warm==cold).
+ALWAYS_ORDERED_DIRS = ("src/obs", "src/campaign", "src/report", "src/cache", "src/serve")
 
 # Tokens that mark an emission context for unordered-iter outside the
 # always-ordered dirs (JSON building, telemetry records, trace export).
