@@ -25,6 +25,7 @@
 #include "campaign/campaign.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
+#include "obs/svc/telemetry.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
 #include "stats/table.hpp"
@@ -139,6 +140,37 @@ int main(int argc, char** argv) {
   }
   fs::remove_all(cache_root);
 
+  // === Telemetry overhead pass =============================================
+  // The same warm-serve loop with the full service-telemetry stack
+  // attached — per-request phase tracing, counter/summary folds, and a
+  // metrics exposition in both formats after every submit — prices the
+  // observability layer against the plain loop above. Perf-sidecar
+  // material only; the payloads must stay byte-identical.
+  double telem_wall_ms = 0.0;
+  bool telem_identical = true;
+  {
+    cache::ResultCache cache{{cache_root.string(), "", 0, 0}};
+    obs::svc::ServiceTelemetry telemetry;
+    telemetry.metrics.attach([&cache](obs::MetricsRegistry& reg) { cache.attach_metrics(reg); });
+    serve::ServiceConfig scfg;
+    scfg.jobs = opt.jobs;
+    scfg.cache = &cache;
+    scfg.metrics = &telemetry.metrics;
+    const serve::CampaignService service{scfg};
+    const auto cold = service.submit(req);
+    const bench::WallTimer telem_timer;
+    for (std::size_t i = 0; i < kWarmSubmits; ++i) {
+      obs::svc::RequestTrace trace{telemetry.mint_request_id(), "submit"};
+      const auto warm = service.submit(req, nullptr, &trace);
+      telemetry.finish_request(trace);
+      telem_identical = telem_identical && warm.payloads == cold.payloads;
+      (void)telemetry.metrics.snapshot_json();
+      (void)telemetry.metrics.prometheus_text();
+    }
+    telem_wall_ms = telem_timer.elapsed_ms();
+  }
+  fs::remove_all(cache_root);
+
   const double cold_rate =
       cold_total ? static_cast<double>(cold_hits) / static_cast<double>(cold_total) : 0.0;
   const double warm_rate =
@@ -147,7 +179,9 @@ int main(int argc, char** argv) {
             << kWarmSubmits << " warm submits ===\n"
             << "cold hit rate: " << cold_rate << "  warm hit rate: " << warm_rate
             << "  warm bytes identical to cold: " << (warm_identical ? "yes" : "NO") << '\n';
-  if (cold_hits != 0 || warm_hits != warm_total || !warm_identical) {
+  std::cout << "telemetry-on warm pass: " << kWarmSubmits << " submits in " << telem_wall_ms
+            << " ms, bytes identical: " << (telem_identical ? "yes" : "NO") << '\n';
+  if (cold_hits != 0 || warm_hits != warm_total || !warm_identical || !telem_identical) {
     std::cout << "cache saturation contract VIOLATED\n";
     return 1;
   }
@@ -168,6 +202,10 @@ int main(int argc, char** argv) {
   if (warm_wall_ms > 0.0) {
     card.set_perf("served_requests_per_sec",
                   static_cast<double>(kWarmSubmits) / (warm_wall_ms / 1e3));
+  }
+  if (telem_wall_ms > 0.0) {
+    card.set_perf("served_requests_per_sec_telemetry",
+                  static_cast<double>(kWarmSubmits) / (telem_wall_ms / 1e3));
   }
   return bench::finish_bench(card, opt, timer);
 }

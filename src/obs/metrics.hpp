@@ -63,6 +63,12 @@ class MetricsRegistry {
   /// Set (creating if needed) a gauge value.
   void set_gauge(const std::string& component, const std::string& name, double value);
 
+  /// Add `delta` to a gauge (creating it at 0 if needed) and return the
+  /// new value. The read-modify-write form in-flight/queue-depth gauges
+  /// need; callers requiring thread safety must serialize externally
+  /// (obs::svc::ServiceMetrics does).
+  double add_gauge(const std::string& component, const std::string& name, double delta);
+
   /// Register a lazy probe, evaluated at snapshot time. Re-registering
   /// the same (component, name) replaces the callback.
   void add_probe(const std::string& component, const std::string& name, ProbeFn fn);
@@ -85,6 +91,18 @@ class MetricsRegistry {
 
   /// One JSON object: {"component":{"name":value,...},...}.
   [[nodiscard]] std::string snapshot_json() const;
+
+  /// Prometheus text exposition format. Each metric becomes a family
+  /// named `<prefix>_<component>_<name>` (characters outside
+  /// [a-zA-Z0-9_:] become '_'); a metric name may carry a rendered
+  /// label set (`requests_total{verb="submit"}`, see
+  /// svc::ServiceMetrics::with_labels) which is preserved on the sample
+  /// line, so label variants of one family share a single `# TYPE`
+  /// line. Counters expose as counter, gauges and probes as gauge, and
+  /// distributions as summary (quantile 0.5/0.95/0.99 samples plus
+  /// _sum/_count). Families emit in sorted order — the output is
+  /// byte-stable for equal metric values, like snapshot_json().
+  [[nodiscard]] std::string prometheus_text(const std::string& prefix = "adhocsim") const;
 
   /// Take a periodic snapshot (flattened) tagged with the sim clock.
   void snapshot_periodic(sim::Time now);

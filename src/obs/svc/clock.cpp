@@ -1,0 +1,23 @@
+#include "obs/svc/clock.hpp"
+
+#include <chrono>
+
+namespace adhoc::obs::svc {
+
+// The one sanctioned wall-clock read site in the serving path: host
+// time here is telemetry-only and never reaches simulation state or
+// byte-stable artifacts (see clock.hpp).
+
+std::uint64_t steady_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();  // NOLINT-ADHOC(wall-clock)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+std::uint64_t unix_ms() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();  // NOLINT-ADHOC(wall-clock)
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+}  // namespace adhoc::obs::svc

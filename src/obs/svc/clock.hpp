@@ -1,0 +1,27 @@
+#pragma once
+// Sanctioned wall-clock shim for *service-level* telemetry: daemon
+// request latencies, log timestamps, flight-recorder capture times.
+//
+// Simulation code must keep using sim::Time — the determinism lint's
+// wall-clock rule enforces that. The serving layer (src/serve/,
+// src/obs/svc/) legitimately measures host time, but routing every
+// read through this one translation unit keeps the suppression surface
+// a single file instead of scattering NOLINT-ADHOC(wall-clock) markers
+// across the daemon. Nothing returned here may ever feed simulation
+// state or any byte-stable artifact (scorecards, run records, cache
+// payloads); it is telemetry-only by contract.
+
+#include <cstdint>
+
+namespace adhoc::obs::svc {
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch
+/// (steady clock). The unit for request phase timings and durations.
+[[nodiscard]] std::uint64_t steady_ns();
+
+/// Milliseconds since the Unix epoch (system clock). Timestamps for
+/// structured log lines and flight-recorder entries only — never use
+/// for durations (the system clock can step).
+[[nodiscard]] std::uint64_t unix_ms();
+
+}  // namespace adhoc::obs::svc

@@ -1,0 +1,77 @@
+#include "obs/svc/flight_recorder.hpp"
+
+#include "obs/json.hpp"
+
+namespace adhoc::obs::svc {
+
+FlightRecorder::FlightRecorder(std::size_t requests_cap, std::size_t errors_cap)
+    : requests_cap_{requests_cap}, errors_cap_{errors_cap} {}
+
+void FlightRecorder::record(const RequestSummary& summary) {
+  const std::scoped_lock lock{mutex_};
+  ++recorded_;
+  requests_.push_back(summary);
+  if (requests_.size() > requests_cap_) {
+    requests_.pop_front();
+    ++dropped_requests_;
+  }
+  if (summary.outcome != "ok") {
+    errors_.push_back(summary);
+    if (errors_.size() > errors_cap_) {
+      errors_.pop_front();
+      ++dropped_errors_;
+    }
+  }
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::scoped_lock lock{mutex_};
+  return recorded_;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::scoped_lock lock{mutex_};
+  return dropped_requests_ + dropped_errors_;
+}
+
+std::string FlightRecorder::entry_line(const char* kind, const RequestSummary& s) {
+  // Keys sorted: error < id < kind < outcome < phases_ms < ts_ms < verb
+  // < wall_ms.
+  std::string out = "{\"error\":\"" + json_escape(s.error) + "\",\"id\":\"" +
+                    json_escape(s.id) + "\",\"kind\":\"" + kind + "\",\"outcome\":\"" +
+                    json_escape(s.outcome) + "\",\"phases_ms\":{";
+  bool first = true;
+  for (const auto& [phase, ms] : s.phases_ms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(phase) + "\":" + json_number(ms);
+  }
+  out += "},\"ts_ms\":" + std::to_string(s.ts_unix_ms) + ",\"verb\":\"" + json_escape(s.verb) +
+         "\",\"wall_ms\":" + json_number(s.wall_ms) + "}";
+  return out;
+}
+
+std::string FlightRecorder::to_jsonl(std::uint64_t ts_unix_ms) const {
+  const std::scoped_lock lock{mutex_};
+  std::string out = "{\"dropped_errors\":" + std::to_string(dropped_errors_) +
+                    ",\"dropped_requests\":" + std::to_string(dropped_requests_) +
+                    ",\"kind\":\"flight_recorder_header\",\"recorded_errors\":" +
+                    std::to_string(errors_.size()) +
+                    ",\"recorded_requests\":" + std::to_string(requests_.size()) +
+                    ",\"ts_ms\":" + std::to_string(ts_unix_ms) + "}\n";
+  for (const auto& s : requests_) {
+    out += entry_line("request", s);
+    out += '\n';
+  }
+  for (const auto& s : errors_) {
+    out += entry_line("error", s);
+    out += '\n';
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::ostream& out, std::uint64_t ts_unix_ms) const {
+  out << to_jsonl(ts_unix_ms);
+}
+
+}  // namespace adhoc::obs::svc

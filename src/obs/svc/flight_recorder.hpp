@@ -1,0 +1,66 @@
+#pragma once
+// Flight recorder: a bounded in-memory ring of recent request
+// summaries plus a second ring of recent errors, dumped as JSONL on
+// shutdown (SIGTERM) and on demand via the daemon's `debug` verb.
+//
+// The dump is diagnostic output stamped with host time — it is NOT a
+// byte-stable artifact and must never be compared across runs. Keys
+// within each line are emitted sorted all the same, so tooling that
+// greps or diffs single lines stays deterministic for equal content.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adhoc::obs::svc {
+
+/// One finished request, as recorded for the flight rings.
+struct RequestSummary {
+  std::string id;
+  std::string verb;
+  std::string outcome;  ///< "ok" or "error"
+  std::string error;    ///< empty on success; truncated capture otherwise
+  std::uint64_t ts_unix_ms = 0;
+  double wall_ms = 0.0;
+  /// (phase name, accumulated ms) for phases the request touched, in
+  /// pipeline order.
+  std::vector<std::pair<std::string, double>> phases_ms;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t requests_cap = 256, std::size_t errors_cap = 64);
+
+  /// Record one finished request. Failed requests additionally land in
+  /// the error ring. Oldest entries fall off when a ring is full.
+  void record(const RequestSummary& summary);
+
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Render the full dump: one header line, then request lines, then
+  /// error lines, each oldest -> newest, keys sorted within each line.
+  /// `ts_unix_ms` stamps the header with when the dump was taken.
+  [[nodiscard]] std::string to_jsonl(std::uint64_t ts_unix_ms) const;
+
+  /// to_jsonl convenience for shutdown dumps.
+  void dump(std::ostream& out, std::uint64_t ts_unix_ms) const;
+
+ private:
+  [[nodiscard]] static std::string entry_line(const char* kind, const RequestSummary& s);
+
+  mutable std::mutex mutex_;
+  std::size_t requests_cap_;
+  std::size_t errors_cap_;
+  std::deque<RequestSummary> requests_;
+  std::deque<RequestSummary> errors_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_requests_ = 0;
+  std::uint64_t dropped_errors_ = 0;
+};
+
+}  // namespace adhoc::obs::svc

@@ -1,0 +1,32 @@
+#include "obs/svc/log.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/svc/clock.hpp"
+
+namespace adhoc::obs::svc {
+
+void Logger::write(const char* level, const std::string& message,
+                   const std::string& request_id) {
+  if (out_ == nullptr) return;
+  const std::scoped_lock lock{mutex_};
+  if (format_ == LogFormat::kText) {
+    *out_ << "adhocsim serve: " << message << "\n";
+  } else {
+    // Keys sorted: component < level < msg < request < ts_ms.
+    *out_ << "{\"component\":\"serve\",\"level\":\"" << level << "\",\"msg\":\""
+          << json_escape(message) << "\"";
+    if (!request_id.empty()) *out_ << ",\"request\":\"" << json_escape(request_id) << "\"";
+    *out_ << ",\"ts_ms\":" << unix_ms() << "}\n";
+  }
+  out_->flush();
+}
+
+LogFormat parse_log_format(const std::string& name) {
+  if (name == "text") return LogFormat::kText;
+  if (name == "json") return LogFormat::kJson;
+  throw std::invalid_argument("unknown --log-format '" + name + "' (expected text|json)");
+}
+
+}  // namespace adhoc::obs::svc

@@ -1,0 +1,52 @@
+#pragma once
+// Structured daemon logging. Two formats behind one call site:
+//
+//   text:  adhocsim serve: accepted connection        (human, default)
+//   json:  {"component":"serve","level":"info","msg":"accepted
+//           connection","request":"r-3","ts_ms":1754700000000}
+//
+// selectable via `adhocsim serve --log-format`. JSON lines carry the
+// request id when one is in scope so log lines join against flight
+// recorder entries and per-request traces. Logs are diagnostics, not
+// artifacts: host timestamps are fine here and nothing downstream may
+// treat them as byte-stable.
+
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace adhoc::obs::svc {
+
+enum class LogFormat { kText, kJson };
+
+class Logger {
+ public:
+  /// `out` may be null to disable logging entirely.
+  explicit Logger(std::ostream* out, LogFormat format = LogFormat::kText)
+      : out_{out}, format_{format} {}
+
+  void info(const std::string& message, const std::string& request_id = "") {
+    write("info", message, request_id);
+  }
+  void warn(const std::string& message, const std::string& request_id = "") {
+    write("warn", message, request_id);
+  }
+  void error(const std::string& message, const std::string& request_id = "") {
+    write("error", message, request_id);
+  }
+
+  [[nodiscard]] LogFormat format() const { return format_; }
+
+ private:
+  void write(const char* level, const std::string& message, const std::string& request_id);
+
+  std::ostream* out_;
+  LogFormat format_;
+  std::mutex mutex_;
+};
+
+/// Parse a --log-format value; throws std::invalid_argument on
+/// anything but "text" or "json".
+[[nodiscard]] LogFormat parse_log_format(const std::string& name);
+
+}  // namespace adhoc::obs::svc

@@ -1,0 +1,71 @@
+#include "obs/svc/request_trace.hpp"
+
+#include <utility>
+
+namespace adhoc::obs::svc {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kAccept: return "accept";
+    case Phase::kParse: return "parse";
+    case Phase::kCacheLookup: return "cache_lookup";
+    case Phase::kQueueWait: return "queue_wait";
+    case Phase::kCompute: return "compute";
+    case Phase::kSerialize: return "serialize";
+    case Phase::kStream: return "stream";
+  }
+  return "unknown";
+}
+
+RequestTrace::RequestTrace(std::string id, std::string verb)
+    : id_{std::move(id)}, verb_{std::move(verb)}, born_ns_{steady_ns()} {}
+
+void RequestTrace::start(Phase phase) {
+  const auto i = static_cast<std::size_t>(phase);
+  open_since_ns_[i] = steady_ns();
+  open_[i] = true;
+  touched_[i] = true;
+}
+
+void RequestTrace::stop(Phase phase) {
+  const auto i = static_cast<std::size_t>(phase);
+  if (!open_[i]) return;
+  const std::uint64_t now = steady_ns();
+  accumulated_ns_[i] += now > open_since_ns_[i] ? now - open_since_ns_[i] : 0;
+  open_[i] = false;
+}
+
+void RequestTrace::add_ns(Phase phase, std::uint64_t ns) {
+  const auto i = static_cast<std::size_t>(phase);
+  accumulated_ns_[i] += ns;
+  touched_[i] = true;
+}
+
+void RequestTrace::fail(const std::string& error) {
+  failed_ = true;
+  // Keep error captures bounded; the flight rings hold many of them.
+  constexpr std::size_t kMaxError = 512;
+  error_ = error.size() > kMaxError ? error.substr(0, kMaxError) + "..." : error;
+}
+
+RequestSummary RequestTrace::summary(std::uint64_t ts_unix_ms) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (open_[i]) stop(static_cast<Phase>(i));
+  }
+  RequestSummary out;
+  out.id = id_;
+  out.verb = verb_;
+  out.outcome = failed_ ? "error" : "ok";
+  out.error = error_;
+  out.ts_unix_ms = ts_unix_ms;
+  const std::uint64_t now = steady_ns();
+  out.wall_ms = static_cast<double>(now > born_ns_ ? now - born_ns_ : 0) / 1e6;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (!touched_[i]) continue;
+    out.phases_ms.emplace_back(phase_name(static_cast<Phase>(i)),
+                               static_cast<double>(accumulated_ns_[i]) / 1e6);
+  }
+  return out;
+}
+
+}  // namespace adhoc::obs::svc

@@ -1,0 +1,107 @@
+#pragma once
+// Per-request tracing for the campaign daemon.
+//
+// A RequestTrace is minted when a connection handler starts reading a
+// request and travels (by pointer) through Server -> CampaignService ->
+// engine telemetry. It accumulates wall time per serving phase; at
+// request end ServiceTelemetry::finish_request folds the phase timings
+// into the shared latency distributions and the flight recorder.
+//
+// A trace is owned and driven by ONE connection handler thread; it is
+// not thread-safe and never shared across requests. All clock reads go
+// through the sanctioned obs::svc clock shim — host time is
+// telemetry-only and never reaches byte-stable artifacts.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/svc/clock.hpp"
+#include "obs/svc/flight_recorder.hpp"
+
+namespace adhoc::obs::svc {
+
+/// Serving phases, in pipeline order. A request need not touch every
+/// phase (control verbs skip compute); untouched phases are omitted
+/// from summaries and histograms.
+enum class Phase : std::size_t {
+  kAccept,       ///< waiting for / reading the request line off the socket
+  kParse,        ///< JSON parse + request validation
+  kCacheLookup,  ///< result-cache partitioning of the expanded grid
+  kQueueWait,    ///< delay between cache partitioning and engine start
+  kCompute,      ///< campaign engine run_list for cache misses
+  kSerialize,    ///< response line assembly
+  kStream,       ///< writing response lines to the socket
+};
+
+inline constexpr std::size_t kPhaseCount = 7;
+
+/// Stable lowercase phase name ("accept", "cache_lookup", ...).
+[[nodiscard]] const char* phase_name(Phase phase);
+
+class RequestTrace {
+ public:
+  RequestTrace(std::string id, std::string verb);
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] const std::string& verb() const { return verb_; }
+
+  /// Re-label once the verb is known (traces are minted before parse).
+  void set_verb(std::string verb) { verb_ = std::move(verb); }
+
+  /// Begin timing a phase. Re-entering an open phase restarts its
+  /// segment (previously accumulated time is kept).
+  void start(Phase phase);
+
+  /// Stop timing a phase, accumulating the elapsed segment. No-op if
+  /// the phase is not open.
+  void stop(Phase phase);
+
+  /// Directly account time measured elsewhere into a phase.
+  void add_ns(Phase phase, std::uint64_t ns);
+
+  /// Mark the request failed; the (truncated) message lands in the
+  /// flight-recorder error ring.
+  void fail(const std::string& error);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Accumulated time for one phase so far (open segments excluded).
+  [[nodiscard]] std::uint64_t phase_ns(Phase phase) const {
+    return accumulated_ns_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Close any still-open phases and render the summary record.
+  /// `ts_unix_ms` stamps when the request finished (epoch ms).
+  [[nodiscard]] RequestSummary summary(std::uint64_t ts_unix_ms);
+
+ private:
+  std::string id_;
+  std::string verb_;
+  std::string error_;
+  bool failed_ = false;
+  std::uint64_t born_ns_;
+  std::array<std::uint64_t, kPhaseCount> accumulated_ns_{};
+  std::array<std::uint64_t, kPhaseCount> open_since_ns_{};
+  std::array<bool, kPhaseCount> open_{};
+  std::array<bool, kPhaseCount> touched_{};
+};
+
+/// RAII phase guard tolerating a null trace (telemetry disabled).
+class PhaseScope {
+ public:
+  PhaseScope(RequestTrace* trace, Phase phase) : trace_{trace}, phase_{phase} {
+    if (trace_ != nullptr) trace_->start(phase_);
+  }
+  ~PhaseScope() {
+    if (trace_ != nullptr) trace_->stop(phase_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  RequestTrace* trace_;
+  Phase phase_;
+};
+
+}  // namespace adhoc::obs::svc

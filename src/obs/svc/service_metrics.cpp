@@ -1,0 +1,90 @@
+#include "obs/svc/service_metrics.hpp"
+
+#include <algorithm>
+
+namespace adhoc::obs::svc {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ServiceMetrics::with_labels(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + escape_label_value(value) + "\"";
+  }
+  return out + "}";
+}
+
+void ServiceMetrics::inc(const std::string& component, const std::string& name, std::uint64_t n,
+                         const Labels& labels) {
+  const std::scoped_lock lock{mutex_};
+  registry_.counter(component, with_labels(name, labels)).inc(n);
+}
+
+void ServiceMetrics::set_gauge(const std::string& component, const std::string& name,
+                               double value, const Labels& labels) {
+  const std::scoped_lock lock{mutex_};
+  registry_.set_gauge(component, with_labels(name, labels), value);
+}
+
+void ServiceMetrics::add_gauge(const std::string& component, const std::string& name,
+                               double delta, const Labels& labels) {
+  const std::scoped_lock lock{mutex_};
+  registry_.add_gauge(component, with_labels(name, labels), delta);
+}
+
+void ServiceMetrics::observe(const std::string& component, const std::string& name, double value,
+                             const Labels& labels) {
+  const std::scoped_lock lock{mutex_};
+  registry_.distribution(component, with_labels(name, labels)).add(value);
+}
+
+void ServiceMetrics::attach(const std::function<void(MetricsRegistry&)>& fn) {
+  const std::scoped_lock lock{mutex_};
+  fn(registry_);
+}
+
+std::string ServiceMetrics::snapshot_json() const {
+  const std::scoped_lock lock{mutex_};
+  return registry_.snapshot_json();
+}
+
+std::string ServiceMetrics::prometheus_text() const {
+  const std::scoped_lock lock{mutex_};
+  return registry_.prometheus_text();
+}
+
+std::map<std::string, double> ServiceMetrics::flatten() const {
+  const std::scoped_lock lock{mutex_};
+  return registry_.flatten();
+}
+
+double ServiceMetrics::value(const std::string& component, const std::string& key) const {
+  const auto all = flatten();
+  const auto it = all.find(component + "." + key);
+  return it == all.end() ? 0.0 : it->second;
+}
+
+}  // namespace adhoc::obs::svc

@@ -1,0 +1,84 @@
+#pragma once
+// Thread-safe service-level metrics for the campaign daemon.
+//
+// obs::MetricsRegistry is deliberately single-threaded (per-run
+// registries live on one campaign worker). The daemon is not: every
+// connection handler and every engine worker updates shared counters.
+// ServiceMetrics wraps one registry behind a mutex and adds the one
+// concept a serving layer needs that a simulation run does not:
+// labels. A label set is rendered into the metric name
+// (`requests_total{outcome="ok",verb="submit"}`, keys sorted), so the
+// registry's byte-stable sorted-snapshot contract carries over
+// unchanged — equal label sets map onto equal names, snapshots emit in
+// sorted order, and the Prometheus exposition
+// (MetricsRegistry::prometheus_text) groups label variants under one
+// family.
+//
+// Lock ordering: snapshot paths evaluate probes under the metrics
+// mutex; probes may take their owner's lock (cache::ResultCache does).
+// Nothing called under those locks re-enters ServiceMetrics, so the
+// order metrics -> owner is acyclic.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace adhoc::obs::svc {
+
+class ServiceMetrics {
+ public:
+  /// A label set: (key, value) pairs, rendered sorted by key.
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  /// Render `name{k1="v1",k2="v2"}` (keys sorted; '\', '"' and newline
+  /// in values escaped Prometheus-style). Empty labels yield `name`.
+  [[nodiscard]] static std::string with_labels(const std::string& name, const Labels& labels);
+
+  /// Increment a counter by n.
+  void inc(const std::string& component, const std::string& name, std::uint64_t n = 1,
+           const Labels& labels = {});
+
+  /// Set a gauge.
+  void set_gauge(const std::string& component, const std::string& name, double value,
+                 const Labels& labels = {});
+
+  /// Add delta (may be negative) to a gauge; the atomic
+  /// read-modify-write in-flight and queue-depth gauges need.
+  void add_gauge(const std::string& component, const std::string& name, double delta,
+                 const Labels& labels = {});
+
+  /// Record one sample into a latency/size distribution.
+  void observe(const std::string& component, const std::string& name, double value,
+               const Labels& labels = {});
+
+  /// Run `fn` against the underlying registry under the metrics lock —
+  /// the hook for probe attachment (cache::ResultCache::attach_metrics).
+  void attach(const std::function<void(MetricsRegistry&)>& fn);
+
+  /// JSON snapshot ({"component":{"name":value,...},...}), keys sorted;
+  /// probes evaluate live. See MetricsRegistry::snapshot_json.
+  [[nodiscard]] std::string snapshot_json() const;
+
+  /// Prometheus text exposition. See MetricsRegistry::prometheus_text.
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// Every metric flattened to "component.name" -> value (distributions
+  /// expand to .count/.mean/...). See MetricsRegistry::flatten.
+  [[nodiscard]] std::map<std::string, double> flatten() const;
+
+  /// One flattened value, 0.0 when absent: value("serve",
+  /// "trace_dropped_total") or value("serve", "phase_ms{...}.count").
+  [[nodiscard]] double value(const std::string& component, const std::string& key) const;
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsRegistry registry_;
+};
+
+}  // namespace adhoc::obs::svc

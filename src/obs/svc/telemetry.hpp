@@ -1,0 +1,59 @@
+#pragma once
+// ServiceTelemetry: the one object the daemon threads share. Bundles
+// the thread-safe metrics registry and the flight recorder, mints
+// request ids, and folds finished request traces into both.
+//
+// Metric catalogue produced here (component "serve"):
+//   requests_total{outcome,verb}  counter, one per finished request
+//   request_wall_ms{verb}         summary, end-to-end request latency
+//   phase_ms{phase}               summary, per-phase serving latency
+// plus whatever the Server / CampaignService record directly
+// (connections_in_flight, queue_depth, engine_* counters, ...) and the
+// probes attached via metrics.attach (cache::ResultCache).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/svc/flight_recorder.hpp"
+#include "obs/svc/request_trace.hpp"
+#include "obs/svc/service_metrics.hpp"
+
+namespace adhoc::obs::svc {
+
+struct TelemetryConfig {
+  std::size_t flight_requests = 256;  ///< request-ring capacity
+  std::size_t flight_errors = 64;     ///< error-ring capacity
+};
+
+class ServiceTelemetry {
+ public:
+  explicit ServiceTelemetry(const TelemetryConfig& config = {})
+      : recorder{config.flight_requests, config.flight_errors} {}
+
+  /// Process-unique request id: "r-1", "r-2", ...
+  [[nodiscard]] std::string mint_request_id() {
+    return "r-" + std::to_string(next_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  /// Fold a finished trace into counters, latency distributions, and
+  /// the flight recorder. Call exactly once per request.
+  void finish_request(RequestTrace& trace) {
+    const RequestSummary s = trace.summary(unix_ms());
+    metrics.inc("serve", "requests_total", 1,
+                {{"outcome", s.outcome}, {"verb", s.verb}});
+    metrics.observe("serve", "request_wall_ms", s.wall_ms, {{"verb", s.verb}});
+    for (const auto& [phase, ms] : s.phases_ms) {
+      metrics.observe("serve", "phase_ms", ms, {{"phase", phase}});
+    }
+    recorder.record(s);
+  }
+
+  ServiceMetrics metrics;
+  FlightRecorder recorder;
+
+ private:
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+}  // namespace adhoc::obs::svc

@@ -18,7 +18,8 @@ bool is_terminal_line(const std::string& line) {
     const auto* type = doc.find("type");
     if (type == nullptr || !type->is_string()) return false;
     const std::string& t = type->str();
-    return t == "submit_end" || t == "stats" || t == "pong" || t == "bye" || t == "error";
+    return t == "submit_end" || t == "stats" || t == "metrics" || t == "debug" || t == "pong" ||
+           t == "bye" || t == "error";
   } catch (const std::exception&) {
     return false;  // unparseable lines are passthrough, never terminal
   }

@@ -6,7 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -14,10 +16,15 @@
 #include "campaign/telemetry.hpp"
 #include "experiments/campaigns.hpp"
 #include "obs/json.hpp"
+#include "obs/svc/clock.hpp"
 
 namespace adhoc::serve {
 
 namespace {
+
+using obs::svc::Phase;
+using obs::svc::PhaseScope;
+using obs::svc::RequestTrace;
 
 /// Write `line` + '\n' fully. MSG_NOSIGNAL: a vanished client surfaces
 /// as an error return, not SIGPIPE. Returns false once the peer is gone.
@@ -34,6 +41,12 @@ bool write_line(int fd, const std::string& line) {
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// write_line, attributing the time to the trace's stream phase.
+bool send_line(int fd, const std::string& line, RequestTrace* trace) {
+  const PhaseScope scope{trace, Phase::kStream};
+  return write_line(fd, line);
 }
 
 /// Minimal streambuf over a socket fd so campaign::JsonlSink can stream
@@ -80,13 +93,21 @@ std::string params_json(const std::vector<std::pair<std::string, double>>& param
   return out + "}";
 }
 
-std::string error_line(const std::string& message) {
-  return R"({"message":")" + obs::json_escape(message) + R"(","type":"error"})";
+/// `{"message":"...","request":"r-N","type":"error"}` (request omitted
+/// when no trace is in scope).
+std::string error_line(const std::string& message, const RequestTrace* trace) {
+  std::string out = R"({"message":")" + obs::json_escape(message) + '"';
+  if (trace != nullptr) out += R"(,"request":")" + obs::json_escape(trace->id()) + '"';
+  return out + R"(,"type":"error"})";
 }
 
 }  // namespace
 
-Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), service_(cfg_.service) {}
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)), service_(cfg_.service) {
+  if (cfg_.telemetry != nullptr) {
+    cfg_.telemetry->metrics.set_gauge("serve", "connections_in_flight", 0.0);
+  }
+}
 
 Server::~Server() {
   if (listen_fd_ >= 0) {
@@ -119,7 +140,7 @@ void Server::start() {
     throw std::runtime_error("serve: cannot listen on '" + cfg_.socket_path +
                              "': " + std::strerror(errno));
   }
-  log_line("listening on " + cfg_.socket_path);
+  log_info("listening on " + cfg_.socket_path);
 }
 
 void Server::run() {
@@ -141,20 +162,48 @@ void Server::run() {
     }
     handlers.emplace_back([this, fd] { handle_connection(fd); });
   }
+  // Drain: give open connections shutdown_grace_ms to finish, then
+  // force-close the stragglers so blocked handlers unwind (each still
+  // records its in-flight request in the flight recorder on the way
+  // out).
+  {
+    std::unique_lock<std::mutex> lock{conn_mutex_};
+    const bool drained =
+        conn_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.shutdown_grace_ms),
+                          [this] { return active_fds_.empty(); });
+    if (!drained) {
+      for (const int cfd : active_fds_) ::shutdown(cfd, SHUT_RDWR);
+      log_info("shutdown grace elapsed; force-closed " +
+               std::to_string(active_fds_.size()) + " connection(s)");
+    }
+  }
   for (std::thread& t : handlers) t.join();
-  log_line("stopped");
+  log_info("stopped");
 }
 
 void Server::stop() {
   const char wake = 'x';
-  // Best-effort wake; the accept loop exits on the first byte.
+  // Best-effort wake; the accept loop exits on the first byte. One
+  // write() on a pre-opened pipe — async-signal-safe, so SIGTERM
+  // handlers may call this directly.
   [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &wake, 1);
 }
 
 void Server::handle_connection(int fd) {
+  {
+    const std::scoped_lock lock{conn_mutex_};
+    active_fds_.insert(fd);
+  }
+  obs::svc::ServiceTelemetry* telemetry = cfg_.telemetry;
+  if (telemetry != nullptr) {
+    telemetry->metrics.add_gauge("serve", "connections_in_flight", 1.0);
+  }
+
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // accept phase = idle-on-socket time before each request line lands.
+  std::uint64_t wait_begin_ns = obs::svc::steady_ns();
   while (open) {
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
@@ -166,31 +215,61 @@ void Server::handle_connection(int fd) {
       const std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
       if (line.empty()) continue;
+      std::optional<RequestTrace> trace;
+      if (telemetry != nullptr) {
+        trace.emplace(telemetry->mint_request_id(), "unknown");
+        const std::uint64_t now = obs::svc::steady_ns();
+        trace->add_ns(Phase::kAccept, now > wait_begin_ns ? now - wait_begin_ns : 0);
+      }
+      RequestTrace* trace_ptr = trace.has_value() ? &*trace : nullptr;
       try {
-        if (!handle_line(fd, line)) {
+        if (!handle_line(fd, line, trace_ptr)) {
           open = false;  // shutdown: reply sent, accept loop woken
-          break;
         }
       } catch (const std::exception& e) {
-        write_line(fd, error_line(e.what()));
+        if (trace_ptr != nullptr) trace_ptr->fail(e.what());
+        send_line(fd, error_line(e.what(), trace_ptr), trace_ptr);
+        log_info(std::string{"request failed: "} + e.what(),
+                 trace_ptr != nullptr ? trace_ptr->id() : "");
       }
+      if (trace.has_value()) telemetry->finish_request(*trace);
+      wait_begin_ns = obs::svc::steady_ns();
+      if (!open) break;
     }
     buffer.erase(0, start);
   }
   ::close(fd);
+
+  if (telemetry != nullptr) {
+    telemetry->metrics.add_gauge("serve", "connections_in_flight", -1.0);
+  }
+  {
+    const std::scoped_lock lock{conn_mutex_};
+    active_fds_.erase(fd);
+  }
+  conn_cv_.notify_all();
 }
 
-bool Server::handle_line(int fd, const std::string& line) {
+bool Server::handle_line(int fd, const std::string& line, RequestTrace* trace) {
+  if (trace != nullptr) trace->start(Phase::kParse);
   const auto doc = report::JsonValue::parse(line);
   const auto* type = doc.find("type");
   if (type == nullptr || !type->is_string()) {
-    write_line(fd, error_line("request has no \"type\" member"));
+    if (trace != nullptr) {
+      trace->stop(Phase::kParse);
+      trace->fail("request has no \"type\" member");
+    }
+    send_line(fd, error_line("request has no \"type\" member", trace), trace);
     return true;
+  }
+  if (trace != nullptr) {
+    trace->set_verb(type->str());
+    trace->stop(Phase::kParse);
   }
   const std::string& version =
       cfg_.service.cache != nullptr ? cfg_.service.cache->version() : cache::code_version();
   if (type->str() == "submit") {
-    handle_submit(fd, doc);
+    handle_submit(fd, doc, trace);
   } else if (type->str() == "stats") {
     std::string out = R"({"cache":{)";
     if (cfg_.service.cache != nullptr) {
@@ -201,67 +280,138 @@ bool Server::handle_line(int fd, const std::string& line) {
              std::to_string(s.invalidated) + R"(,"misses":)" + std::to_string(s.misses) +
              R"(,"stores":)" + std::to_string(s.stores);
     }
-    out += R"(},"type":"stats","version":")" + obs::json_escape(version) + R"("})";
-    write_line(fd, out);
+    out += '}';
+    if (cfg_.telemetry != nullptr) {
+      const auto& metrics = cfg_.telemetry->metrics;
+      out += R"(,"serve":{"frame_trace_dropped":)" +
+             std::to_string(static_cast<std::uint64_t>(
+                 metrics.value("serve", "frame_trace_dropped_total"))) +
+             R"(,"trace_dropped":)" +
+             std::to_string(
+                 static_cast<std::uint64_t>(metrics.value("serve", "trace_dropped_total"))) +
+             '}';
+    }
+    out += R"(,"type":"stats","version":")" + obs::json_escape(version) + R"("})";
+    send_line(fd, out, trace);
+  } else if (type->str() == "metrics") {
+    if (cfg_.telemetry == nullptr) {
+      send_line(fd, error_line("telemetry disabled; no metrics to expose", trace), trace);
+      return true;
+    }
+    const auto* format = doc.find("format");
+    const std::string fmt =
+        format != nullptr && format->is_string() ? format->str() : std::string{"json"};
+    std::string out;
+    {
+      const PhaseScope serialize_scope{trace, Phase::kSerialize};
+      if (fmt == "json") {
+        out = R"({"format":"json","metrics":)" + cfg_.telemetry->metrics.snapshot_json();
+      } else if (fmt == "prometheus") {
+        out = R"({"format":"prometheus","text":")" +
+              obs::json_escape(cfg_.telemetry->metrics.prometheus_text()) + '"';
+      } else {
+        send_line(fd, error_line("unknown metrics format '" + fmt + "' (expected json|prometheus)",
+                                 trace),
+                  trace);
+        return true;
+      }
+      if (trace != nullptr) out += R"(,"request":")" + obs::json_escape(trace->id()) + '"';
+      out += R"(,"type":"metrics"})";
+    }
+    send_line(fd, out, trace);
+  } else if (type->str() == "debug") {
+    if (cfg_.telemetry == nullptr) {
+      send_line(fd, error_line("telemetry disabled; no flight recorder", trace), trace);
+      return true;
+    }
+    std::string out;
+    {
+      const PhaseScope serialize_scope{trace, Phase::kSerialize};
+      out = R"({"flight":")" +
+            obs::json_escape(cfg_.telemetry->recorder.to_jsonl(obs::svc::unix_ms())) + '"';
+      if (trace != nullptr) out += R"(,"request":")" + obs::json_escape(trace->id()) + '"';
+      out += R"(,"type":"debug"})";
+    }
+    send_line(fd, out, trace);
   } else if (type->str() == "ping") {
-    write_line(fd, R"({"type":"pong","version":")" + obs::json_escape(version) + R"("})");
+    send_line(fd, R"({"type":"pong","version":")" + obs::json_escape(version) + R"("})", trace);
   } else if (type->str() == "shutdown") {
-    write_line(fd, R"({"type":"bye"})");
-    log_line("shutdown requested");
+    send_line(fd, R"({"type":"bye"})", trace);
+    log_info("shutdown requested", trace != nullptr ? trace->id() : "");
     stop();
     return false;
   } else {
-    write_line(fd, error_line("unknown request type '" + type->str() + "'"));
+    send_line(fd, error_line("unknown request type '" + type->str() + "'", trace), trace);
+    if (trace != nullptr) trace->fail("unknown request type '" + type->str() + "'");
   }
   return true;
 }
 
-void Server::handle_submit(int fd, const report::JsonValue& doc) {
+void Server::handle_submit(int fd, const report::JsonValue& doc, RequestTrace* trace) {
+  if (trace != nullptr) trace->start(Phase::kParse);
   const SubmitRequest req = parse_submit_request(doc);
   const auto cfg = req.to_config();
   // Resolve the plan up front: an unknown grid becomes an error line
   // before any start record, and the start record can announce the
   // expansion size.
   const auto plan = experiments::campaign_by_name(req.grid, cfg, req.probes).plan;
+  if (trace != nullptr) trace->stop(Phase::kParse);
   const std::string& version =
       cfg_.service.cache != nullptr ? cfg_.service.cache->version() : cache::code_version();
-  write_line(fd, R"({"cache_version":")" + obs::json_escape(version) + R"(","campaign":")" +
-                     obs::json_escape(plan.name) + R"(","points":)" +
-                     std::to_string(plan.grid.points()) + R"(,"runs":)" +
-                     std::to_string(plan.total_runs()) + R"(,"seeds":)" +
-                     std::to_string(plan.seeds.size()) + R"(,"type":"submit_start"})");
+  std::string start_line = R"({"cache_version":")" + obs::json_escape(version) +
+                           R"(","campaign":")" + obs::json_escape(plan.name) + R"(","points":)" +
+                           std::to_string(plan.grid.points());
+  if (trace != nullptr) start_line += R"(,"request":")" + obs::json_escape(trace->id()) + '"';
+  start_line += R"(,"runs":)" + std::to_string(plan.total_runs()) + R"(,"seeds":)" +
+                std::to_string(plan.seeds.size()) + R"(,"type":"submit_start"})";
+  send_line(fd, start_line, trace);
 
   FdStreambuf telemetry_buf{fd};
   std::ostream telemetry_out{&telemetry_buf};
   campaign::JsonlSink telemetry{telemetry_out};
-  const SubmitOutcome outcome = service_.submit(req, &telemetry);
+  const SubmitOutcome outcome = service_.submit(req, &telemetry, trace);
 
-  for (std::size_t i = 0; i < outcome.result.runs.size(); ++i) {
-    const auto& spec = outcome.result.runs[i].spec;
-    write_line(fd, R"({"cached":)" + std::string{outcome.cached[i] ? "1" : "0"} +
-                       R"(,"params":)" + params_json(spec.params) + R"(,"point":)" +
-                       std::to_string(spec.point_index) + R"(,"record":)" + outcome.payloads[i] +
-                       R"(,"run":)" + std::to_string(spec.run_index) + R"(,"seed":)" +
-                       std::to_string(spec.seed) + R"(,"type":"run"})");
+  // Assemble every response line first (serialize), then stream. Run
+  // and scorecard lines are byte-stable artifacts shared warm vs cold —
+  // they must never carry the request id (see server.hpp).
+  std::vector<std::string> lines;
+  {
+    const PhaseScope serialize_scope{trace, Phase::kSerialize};
+    lines.reserve(outcome.result.runs.size() + 2);
+    for (std::size_t i = 0; i < outcome.result.runs.size(); ++i) {
+      const auto& spec = outcome.result.runs[i].spec;
+      lines.push_back(R"({"cached":)" + std::string{outcome.cached[i] ? "1" : "0"} +
+                      R"(,"params":)" + params_json(spec.params) + R"(,"point":)" +
+                      std::to_string(spec.point_index) + R"(,"record":)" + outcome.payloads[i] +
+                      R"(,"run":)" + std::to_string(spec.run_index) + R"(,"seed":)" +
+                      std::to_string(spec.seed) + R"(,"type":"run"})");
+    }
+    lines.push_back(R"({"bench":")" + obs::json_escape(outcome.bench) + R"(","scorecard":")" +
+                    obs::json_escape(outcome.scorecard_json) + R"(","type":"scorecard"})");
+    std::string end_line = R"({"cache_hits":)" + std::to_string(outcome.cache_hits) +
+                           R"(,"cache_misses":)" + std::to_string(outcome.cache_misses) +
+                           R"(,"deduped":)" + std::to_string(outcome.result.deduped) +
+                           R"(,"errors":)" + std::to_string(outcome.result.error_count()) +
+                           R"(,"ok":)" + std::to_string(outcome.result.ok_count());
+    if (trace != nullptr) end_line += R"(,"request":")" + obs::json_escape(trace->id()) + '"';
+    end_line += R"(,"type":"submit_end","wall_ms":)" +
+                obs::json_number(outcome.result.wall_seconds * 1e3) + "}";
+    lines.push_back(std::move(end_line));
   }
-  write_line(fd, R"({"bench":")" + obs::json_escape(outcome.bench) + R"(","scorecard":")" +
-                     obs::json_escape(outcome.scorecard_json) + R"(","type":"scorecard"})");
-  write_line(fd, R"({"cache_hits":)" + std::to_string(outcome.cache_hits) +
-                     R"(,"cache_misses":)" + std::to_string(outcome.cache_misses) +
-                     R"(,"deduped":)" + std::to_string(outcome.result.deduped) + R"(,"errors":)" +
-                     std::to_string(outcome.result.error_count()) + R"(,"ok":)" +
-                     std::to_string(outcome.result.ok_count()) + R"(,"type":"submit_end","wall_ms":)" +
-                     obs::json_number(outcome.result.wall_seconds * 1e3) + "}");
-  log_line("submit " + req.grid + ": " + std::to_string(outcome.cache_hits) + " hits, " +
-           std::to_string(outcome.cache_misses) + " misses, " +
-           std::to_string(outcome.result.error_count()) + " errors");
+  {
+    const PhaseScope stream_scope{trace, Phase::kStream};
+    for (const std::string& out_line : lines) {
+      if (!write_line(fd, out_line)) break;
+    }
+  }
+  log_info("submit " + req.grid + ": " + std::to_string(outcome.cache_hits) + " hits, " +
+               std::to_string(outcome.cache_misses) + " misses, " +
+               std::to_string(outcome.result.error_count()) + " errors",
+           trace != nullptr ? trace->id() : "");
 }
 
-void Server::log_line(const std::string& text) {
-  if (cfg_.log == nullptr) return;
-  const std::scoped_lock lock{log_mutex_};
-  *cfg_.log << "adhocsim serve: " << text << '\n';
-  cfg_.log->flush();
+void Server::log_info(const std::string& text, const std::string& request_id) {
+  if (cfg_.log != nullptr) cfg_.log->info(text, request_id);
 }
 
 }  // namespace adhoc::serve

@@ -1,5 +1,7 @@
 #include "serve/service.hpp"
 
+#include <cstdint>
+#include <string_view>
 #include <utility>
 
 #include "cache/code_version.hpp"
@@ -8,6 +10,62 @@
 #include "report/scorecard.hpp"
 
 namespace adhoc::serve {
+
+namespace {
+
+/// Telemetry tee: forwards engine lifecycle events to the client-facing
+/// sink while folding them into the shared service metrics —
+/// queue_depth tracks scheduled-but-unfinished runs, run_end feeds the
+/// engine counters and the run_wall_ms summary. Sinks must be
+/// thread-safe; ServiceMetrics is, and `inner` (JsonlSink) serialises
+/// internally.
+class MetricsTee final : public campaign::TelemetrySink {
+ public:
+  MetricsTee(campaign::TelemetrySink* inner, obs::svc::ServiceMetrics* metrics)
+      : inner_{inner}, metrics_{metrics} {}
+
+  void campaign_start(const std::string& name, std::size_t runs, std::size_t points,
+                      std::size_t seeds, unsigned jobs) override {
+    if (metrics_ != nullptr) {
+      metrics_->add_gauge("serve", "queue_depth", static_cast<double>(runs));
+    }
+    if (inner_ != nullptr) inner_->campaign_start(name, runs, points, seeds, jobs);
+  }
+
+  void run_start(const campaign::RunSpec& spec) override {
+    if (inner_ != nullptr) inner_->run_start(spec);
+  }
+
+  void run_end(const campaign::RunRecord& record) override {
+    if (metrics_ != nullptr) {
+      metrics_->add_gauge("serve", "queue_depth", -1.0);
+      metrics_->inc("serve", "engine_runs_total");
+      if (record.attempts > 1) {
+        metrics_->inc("serve", "engine_retries_total", record.attempts - 1);
+      }
+      if (!record.ok) metrics_->inc("serve", "engine_runs_failed_total");
+      metrics_->observe("serve", "run_wall_ms", record.wall_seconds * 1e3);
+    }
+    if (inner_ != nullptr) inner_->run_end(record);
+  }
+
+  void campaign_end(const campaign::CampaignResult& result) override {
+    if (metrics_ != nullptr) {
+      // Deduped runs never reach run_end; retire their queue slots here.
+      if (result.deduped > 0) {
+        metrics_->add_gauge("serve", "queue_depth", -static_cast<double>(result.deduped));
+        metrics_->inc("serve", "engine_deduped_total", result.deduped);
+      }
+    }
+    if (inner_ != nullptr) inner_->campaign_end(result);
+  }
+
+ private:
+  campaign::TelemetrySink* inner_;
+  obs::svc::ServiceMetrics* metrics_;
+};
+
+}  // namespace
 
 cache::RunKey run_key(const SubmitRequest& req, const experiments::ExperimentConfig& cfg,
                       const campaign::RunSpec& spec, const std::string& version) {
@@ -33,7 +91,11 @@ cache::RunKey run_key(const SubmitRequest& req, const experiments::ExperimentCon
 }
 
 SubmitOutcome CampaignService::submit(const SubmitRequest& req,
-                                      campaign::TelemetrySink* telemetry) const {
+                                      campaign::TelemetrySink* telemetry,
+                                      obs::svc::RequestTrace* trace) const {
+  using obs::svc::Phase;
+  using obs::svc::PhaseScope;
+
   const auto cfg = req.to_config();
   const auto def = experiments::campaign_by_name(req.grid, cfg, req.probes);
   const auto specs = def.plan.expand();
@@ -52,45 +114,100 @@ SubmitOutcome CampaignService::submit(const SubmitRequest& req,
   keys.reserve(specs.size());
   std::vector<std::size_t> miss_indices;
   std::vector<campaign::RunSpec> miss_specs;
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    keys.push_back(run_key(req, cfg, specs[i], version));
-    auto payload = cfg_.cache != nullptr ? cfg_.cache->lookup(keys[i]) : std::nullopt;
-    if (payload.has_value()) {
-      out.result.runs[i] = parse_record_json(*payload);
-      out.result.runs[i].spec = specs[i];
-      out.payloads[i] = *std::move(payload);
-      out.cached[i] = true;
-      ++out.cache_hits;
-    } else {
-      miss_indices.push_back(i);
-      miss_specs.push_back(specs[i]);
-      ++out.cache_misses;
+  {
+    const PhaseScope lookup_scope{trace, Phase::kCacheLookup};
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      keys.push_back(run_key(req, cfg, specs[i], version));
+      auto payload = cfg_.cache != nullptr ? cfg_.cache->lookup(keys[i]) : std::nullopt;
+      if (payload.has_value()) {
+        out.result.runs[i] = parse_record_json(*payload);
+        out.result.runs[i].spec = specs[i];
+        out.payloads[i] = *std::move(payload);
+        out.cached[i] = true;
+        ++out.cache_hits;
+      } else {
+        miss_indices.push_back(i);
+        miss_specs.push_back(specs[i]);
+        ++out.cache_misses;
+      }
     }
   }
 
-  if (!miss_specs.empty()) {
-    campaign::EngineConfig ec;
-    ec.jobs = cfg_.jobs;
-    ec.max_attempts = 1 + cfg_.retries;
-    ec.telemetry = telemetry;
-    const campaign::CampaignEngine engine{ec};
-    auto missed = engine.run_list(def.plan.name, std::move(miss_specs), def.run);
-    for (std::size_t j = 0; j < miss_indices.size(); ++j) {
-      const std::size_t i = miss_indices[j];
-      out.payloads[i] = record_json(missed.runs[j]);
-      if (cfg_.cache != nullptr && missed.runs[j].ok) cfg_.cache->store(keys[i], out.payloads[i]);
-      out.result.runs[i] = std::move(missed.runs[j]);
+  // queue_wait: from cache partitioning until the engine takes over.
+  // Negligible today (the engine starts immediately) but the phase
+  // keeps its histogram slot so admission queues can appear later
+  // without a schema change.
+  if (trace != nullptr) trace->start(Phase::kQueueWait);
+  {
+    MetricsTee tee{telemetry, cfg_.metrics};
+    if (trace != nullptr) {
+      trace->stop(Phase::kQueueWait);
+      // compute is timed even for all-hit submits: histogram count per
+      // phase then equals the submit count, which the hammer test pins.
+      trace->start(Phase::kCompute);
     }
-    out.result.jobs = missed.jobs;
-    out.result.deduped = missed.deduped;
-    out.result.wall_seconds = missed.wall_seconds;
+    if (!miss_specs.empty()) {
+      campaign::EngineConfig ec;
+      ec.jobs = cfg_.jobs;
+      ec.max_attempts = 1 + cfg_.retries;
+      ec.telemetry = &tee;
+      const campaign::CampaignEngine engine{ec};
+      auto missed = engine.run_list(def.plan.name, std::move(miss_specs), def.run);
+      if (trace != nullptr) trace->stop(Phase::kCompute);
+      const PhaseScope serialize_scope{trace, Phase::kSerialize};
+      for (std::size_t j = 0; j < miss_indices.size(); ++j) {
+        const std::size_t i = miss_indices[j];
+        out.payloads[i] = record_json(missed.runs[j]);
+        if (cfg_.cache != nullptr && missed.runs[j].ok) {
+          cfg_.cache->store(keys[i], out.payloads[i]);
+        }
+        out.result.runs[i] = std::move(missed.runs[j]);
+      }
+      out.result.jobs = missed.jobs;
+      out.result.deduped = missed.deduped;
+      out.result.wall_seconds = missed.wall_seconds;
+    } else if (trace != nullptr) {
+      trace->stop(Phase::kCompute);
+    }
   }
 
+  const PhaseScope serialize_scope{trace, Phase::kSerialize};
   report::Scorecard card{out.bench};
   card.set_seeds(req.seeds);
   card.add_points(campaign::aggregate_by_point(out.result));
   card.add_campaign(out.result);
   out.scorecard_json = card.to_json();
+
+  if (cfg_.metrics != nullptr) {
+    if (out.cache_hits > 0) {
+      cfg_.metrics->inc("serve", "runs_served_total", out.cache_hits, {{"source", "cache"}});
+    }
+    if (out.cache_misses > 0) {
+      cfg_.metrics->inc("serve", "runs_served_total", out.cache_misses, {{"source", "engine"}});
+    }
+    // Observability-loss counters: TraceSink ring drops recorded per
+    // run, plus per-node FrameTracer drops surfaced through the obs
+    // snapshot (keys "mac.<sta>.frame_trace_dropped").
+    std::uint64_t trace_dropped = 0;
+    std::uint64_t frame_trace_dropped = 0;
+    constexpr std::string_view kFrameDropKey = "frame_trace_dropped";
+    for (const auto& record : out.result.runs) {
+      trace_dropped += record.metrics.trace_dropped;
+      for (const auto& [key, value] : record.metrics.obs) {
+        if (key.size() >= kFrameDropKey.size() &&
+            key.compare(key.size() - kFrameDropKey.size(), kFrameDropKey.size(),
+                        kFrameDropKey) == 0) {
+          frame_trace_dropped += static_cast<std::uint64_t>(value);
+        }
+      }
+    }
+    if (trace_dropped > 0) {
+      cfg_.metrics->inc("serve", "trace_dropped_total", trace_dropped);
+    }
+    if (frame_trace_dropped > 0) {
+      cfg_.metrics->inc("serve", "frame_trace_dropped_total", frame_trace_dropped);
+    }
+  }
   return out;
 }
 

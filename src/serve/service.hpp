@@ -24,6 +24,8 @@
 
 #include "cache/result_cache.hpp"
 #include "campaign/engine.hpp"
+#include "obs/svc/request_trace.hpp"
+#include "obs/svc/service_metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace adhoc::serve {
@@ -37,6 +39,10 @@ struct ServiceConfig {
   /// and store identical bytes (harmless, no cross-client
   /// single-flight).
   cache::ResultCache* cache = nullptr;
+  /// Shared service metrics (component "serve": engine_* counters,
+  /// queue_depth gauge, run_wall_ms summary, runs_served_total by
+  /// source, trace-drop counters); null disables. Not owned.
+  obs::svc::ServiceMetrics* metrics = nullptr;
 };
 
 /// Everything one submit produced, in expansion order.
@@ -61,14 +67,20 @@ struct SubmitOutcome {
 
 class CampaignService {
  public:
-  explicit CampaignService(ServiceConfig cfg) : cfg_(cfg) {}
+  explicit CampaignService(ServiceConfig cfg) : cfg_(cfg) {
+    // All-hit submits never touch the engine; create the gauge up
+    // front so scrapes read 0 rather than finding no sample at all.
+    if (cfg_.metrics != nullptr) cfg_.metrics->set_gauge("serve", "queue_depth", 0.0);
+  }
 
   /// Execute one submit request. `telemetry` (optional) observes the
-  /// miss sub-campaign only — cache hits emit no run telemetry. Throws
-  /// std::invalid_argument on an unknown grid or malformed request
-  /// fields.
+  /// miss sub-campaign only — cache hits emit no run telemetry. `trace`
+  /// (optional) accrues per-phase wall time (cache_lookup, queue_wait,
+  /// compute, serialize) for the request. Throws std::invalid_argument
+  /// on an unknown grid or malformed request fields.
   [[nodiscard]] SubmitOutcome submit(const SubmitRequest& req,
-                                     campaign::TelemetrySink* telemetry = nullptr) const;
+                                     campaign::TelemetrySink* telemetry = nullptr,
+                                     obs::svc::RequestTrace* trace = nullptr) const;
 
  private:
   ServiceConfig cfg_;

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "campaign/telemetry.hpp"
 
@@ -106,6 +108,52 @@ TEST_F(ServiceTest, TelemetryObservesOnlyCacheMisses) {
   const auto warm = service.submit(tiny_request(), &sink);
   EXPECT_EQ(warm.cache_hits, 8u);
   EXPECT_TRUE(out.str().empty()) << "all-hit submits run no campaign:\n" << out.str();
+}
+
+TEST_F(ServiceTest, MetricsAccountEngineRunsAndCacheServes) {
+  cache::ResultCache cache{{root_.string(), "", 0, 0}};
+  obs::svc::ServiceMetrics metrics;
+  ServiceConfig cfg;
+  cfg.jobs = 2;
+  cfg.cache = &cache;
+  cfg.metrics = &metrics;
+  const CampaignService service{cfg};
+
+  (void)service.submit(tiny_request());
+  EXPECT_EQ(metrics.value("serve", "engine_runs_total"), 8.0);
+  EXPECT_EQ(metrics.value("serve", "engine_runs_failed_total"), 0.0);
+  EXPECT_EQ(metrics.value("serve", R"(runs_served_total{source="engine"})"), 8.0);
+  EXPECT_EQ(metrics.value("serve", R"(runs_served_total{source="cache"})"), 0.0);
+  EXPECT_EQ(metrics.value("serve", "run_wall_ms.count"), 8.0);
+  EXPECT_EQ(metrics.value("serve", "queue_depth"), 0.0) << "all queue slots retired";
+
+  (void)service.submit(tiny_request());
+  EXPECT_EQ(metrics.value("serve", "engine_runs_total"), 8.0) << "warm submit runs no engine";
+  EXPECT_EQ(metrics.value("serve", R"(runs_served_total{source="cache"})"), 8.0);
+  EXPECT_EQ(metrics.value("serve", "queue_depth"), 0.0);
+}
+
+TEST_F(ServiceTest, RequestTraceTouchesEveryServicePhase) {
+  cache::ResultCache cache{{root_.string(), "", 0, 0}};
+  const CampaignService service{{2, 2, &cache}};
+
+  obs::svc::RequestTrace cold_trace{"r-1", "submit"};
+  (void)service.submit(tiny_request(), nullptr, &cold_trace);
+  const auto cold = cold_trace.summary(0);
+  std::vector<std::string> phases;
+  phases.reserve(cold.phases_ms.size());
+  for (const auto& [phase, ms] : cold.phases_ms) phases.push_back(phase);
+  EXPECT_EQ(phases, (std::vector<std::string>{"cache_lookup", "queue_wait", "compute",
+                                              "serialize"}));
+  EXPECT_GT(cold.phases_ms[2].second, 0.0) << "compute phase must accrue engine time";
+
+  // All-hit submits still time the compute phase (zero-ish), keeping
+  // histogram counts equal to the submit count.
+  obs::svc::RequestTrace warm_trace{"r-2", "submit"};
+  (void)service.submit(tiny_request(), nullptr, &warm_trace);
+  const auto warm = warm_trace.summary(0);
+  ASSERT_EQ(warm.phases_ms.size(), 4u);
+  EXPECT_EQ(warm.phases_ms[2].first, "compute");
 }
 
 TEST_F(ServiceTest, UnknownGridThrowsListingNames) {

@@ -22,6 +22,7 @@ Usage: serve_smoke.py <adhocsim> <scratch-dir>
 import json
 import pathlib
 import re
+import shutil
 import subprocess
 import sys
 import time
@@ -71,6 +72,10 @@ def main():
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} <adhocsim> <scratch-dir>")
     adhocsim, scratch = sys.argv[1], pathlib.Path(sys.argv[2])
+    # Wipe the scratch: a rerun in the same build dir would otherwise
+    # find the previous run's cache warm (same build-id, same keys) and
+    # the cold-phase assertions would fail.
+    shutil.rmtree(scratch, ignore_errors=True)
     scratch.mkdir(parents=True, exist_ok=True)
     sock = scratch / "serve.sock"
     cold_dir, warm_dir = scratch / "cold", scratch / "warm"

@@ -19,15 +19,20 @@
 //                      [--no-perf] [--perf-waived]
 //   adhocsim serve --socket PATH [--cache DIR] [--cache-entries N]
 //                  [--cache-mb M] [--jobs N] [--retries R] [--quiet]
+//                  [--log-format text|json] [--shutdown-grace-ms MS]
+//                  [--flight-requests N] [--flight-errors K]
+//                  [--flight-dump PATH]
 //   adhocsim submit --socket PATH [--grid G] [--seeds N] [--seconds S]
 //                   [--warmup W] [--obs-level L] [--fault-plan P]
 //                   [--probes N] [--scorecard DIR] [--quiet]
 //   adhocsim submit --socket PATH --stats | --ping | --shutdown
+//                   | --metrics [--format json|prometheus] | --debug
 //   adhocsim version | --version
 //
 // Every subcommand maps onto the library's experiments API; run with no
 // arguments for usage.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -44,6 +49,9 @@
 #include "cli_paths.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/observer.hpp"
+#include "obs/svc/clock.hpp"
+#include "obs/svc/log.hpp"
+#include "obs/svc/telemetry.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
 #include "report/compare.hpp"
@@ -431,9 +439,16 @@ int cmd_campaign(const tools::CliArgs& args) {
   return result.error_count() == 0 ? 0 : 1;
 }
 
+/// SIGTERM/SIGINT target for cmd_serve. A handler may only touch
+/// async-signal-safe state; Server::stop() qualifies (one write() on a
+/// pre-opened pipe), so graceful shutdown — drain, flight dump, cache
+/// summary — runs on the normal path after run() returns.
+serve::Server* g_serve_server = nullptr;
+
 /// `adhocsim serve`: bring up the campaign daemon on an AF_UNIX socket
 /// with an on-disk content-addressed result cache. Runs until a client
-/// sends {"type":"shutdown"}.
+/// sends {"type":"shutdown"} or the process receives SIGTERM/SIGINT;
+/// either way the flight recorder is dumped to --flight-dump on exit.
 int cmd_serve(const tools::CliArgs& args) {
   const std::string socket_path = args.str("socket", "");
   if (socket_path.empty()) {
@@ -450,12 +465,27 @@ int cmd_serve(const tools::CliArgs& args) {
     result_cache = std::make_unique<cache::ResultCache>(cc);
   }
 
+  obs::svc::TelemetryConfig tc;
+  tc.flight_requests = static_cast<std::size_t>(args.positive_integer("flight-requests", 256));
+  tc.flight_errors = static_cast<std::size_t>(args.positive_integer("flight-errors", 64));
+  obs::svc::ServiceTelemetry telemetry{tc};
+  if (result_cache != nullptr) {
+    telemetry.metrics.attach(
+        [&](obs::MetricsRegistry& reg) { result_cache->attach_metrics(reg); });
+  }
+  const auto log_format =
+      obs::svc::parse_log_format(args.choice("log-format", "text", {"text", "json"}));
+  obs::svc::Logger logger{args.has("quiet") ? nullptr : &std::cout, log_format};
+
   serve::ServerConfig sc;
   sc.socket_path = socket_path;
   sc.service.jobs = args.has("jobs") ? static_cast<unsigned>(args.positive_integer("jobs", 1)) : 0;
   sc.service.retries = static_cast<unsigned>(args.integer("retries", 2));
   sc.service.cache = result_cache.get();
-  sc.log = args.has("quiet") ? nullptr : &std::cout;
+  sc.service.metrics = &telemetry.metrics;
+  sc.log = &logger;
+  sc.telemetry = &telemetry;
+  sc.shutdown_grace_ms = static_cast<unsigned>(args.positive_integer("shutdown-grace-ms", 5000));
 
   std::cout << "adhocsim " << cache::code_version() << " serve --socket " << socket_path << '\n';
   if (result_cache != nullptr) {
@@ -470,7 +500,29 @@ int cmd_serve(const tools::CliArgs& args) {
 
   serve::Server server{sc};
   server.start();
+  g_serve_server = &server;
+  std::signal(SIGTERM, [](int) {
+    if (g_serve_server != nullptr) g_serve_server->stop();
+  });
+  std::signal(SIGINT, [](int) {
+    if (g_serve_server != nullptr) g_serve_server->stop();
+  });
   server.run();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_server = nullptr;
+
+  const std::string flight_path = args.str("flight-dump", socket_path + ".flight.jsonl");
+  {
+    std::ofstream flight_out{flight_path, std::ios::binary | std::ios::trunc};
+    if (flight_out) {
+      telemetry.recorder.dump(flight_out, obs::svc::unix_ms());
+      std::cout << "flight: " << flight_path << " (" << telemetry.recorder.recorded()
+                << " requests recorded, " << telemetry.recorder.dropped() << " dropped)\n";
+    } else {
+      std::cerr << "adhocsim serve: cannot write flight dump to " << flight_path << '\n';
+    }
+  }
   if (result_cache != nullptr) {
     const auto s = result_cache->stats();
     std::cout << "cache: " << s.hits << " hits, " << s.misses << " misses, " << s.stores
@@ -492,11 +544,36 @@ int cmd_submit(const tools::CliArgs& args) {
   const bool quiet = args.has("quiet");
 
   // Control requests: terminal line only, no campaign involved.
-  if (args.has("stats") || args.has("ping") || args.has("shutdown")) {
-    const std::string type =
-        args.has("stats") ? "stats" : args.has("ping") ? "ping" : "shutdown";
-    const std::string reply = client.request(R"({"type":")" + type + R"("})");
-    std::cout << reply << '\n';
+  if (args.has("stats") || args.has("ping") || args.has("shutdown") || args.has("metrics") ||
+      args.has("debug")) {
+    std::string request_line;
+    if (args.has("metrics")) {
+      const std::string fmt = args.choice("format", "json", {"json", "prometheus"});
+      request_line = R"({"format":")" + fmt + R"(","type":"metrics"})";
+    } else if (args.has("debug")) {
+      request_line = R"({"type":"debug"})";
+    } else {
+      const std::string type =
+          args.has("stats") ? "stats" : args.has("ping") ? "ping" : "shutdown";
+      request_line = R"({"type":")" + type + R"("})";
+    }
+    const std::string reply = client.request(request_line);
+    // Prometheus expositions and flight dumps embed multi-line text;
+    // unescape so the output is directly scrapeable / greppable.
+    bool printed_raw = false;
+    if (reply.find(R"("type":"error")") == std::string::npos) {
+      const auto doc = report::JsonValue::parse(reply);
+      const auto* text = doc.find("text");
+      const auto* flight = doc.find("flight");
+      if (text != nullptr && text->is_string()) {
+        std::cout << text->str();
+        printed_raw = true;
+      } else if (flight != nullptr && flight->is_string()) {
+        std::cout << flight->str();
+        printed_raw = true;
+      }
+    }
+    if (!printed_raw) std::cout << reply << '\n';
     return reply.find(R"("type":"error")") == std::string::npos ? 0 : 1;
   }
 
@@ -573,11 +650,15 @@ void usage() {
       "                                    diff BENCH_*.json against a baseline\n"
       "                                    (exit 0 clean, 1 drift, 2 usage/IO)\n"
       "  serve --socket PATH [--cache DIR] [--cache-entries N] [--cache-mb M]\n"
-      "        [--jobs N] [--retries R] [--quiet]\n"
-      "                                    campaign daemon + result cache\n"
+      "        [--jobs N] [--retries R] [--quiet] [--log-format text|json]\n"
+      "        [--shutdown-grace-ms MS] [--flight-requests N] [--flight-errors K]\n"
+      "        [--flight-dump PATH]\n"
+      "                                    campaign daemon + result cache;\n"
+      "                                    dumps the flight recorder on exit\n"
       "  submit --socket PATH [--grid G] [--seeds N] [--seconds S] [--warmup W]\n"
       "         [--obs-level L] [--fault-plan P] [--probes N] [--scorecard DIR]\n"
       "         [--quiet] | --stats | --ping | --shutdown\n"
+      "         | --metrics [--format json|prometheus] | --debug\n"
       "                                    send one request to a serve daemon\n"
       "  version                           build id (also --version)\n"
       "common flags: --seeds N --seconds S --fault-plan NAME|FILE|SPEC\n"

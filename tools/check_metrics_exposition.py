@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition produced by the serve daemon.
+
+Usage:
+    check_metrics_exposition.py SCRAPE1 [SCRAPE2]
+
+Checks, per scrape file:
+  * every line is either `# TYPE <family> <type>` or `<sample> <value>`
+    (the daemon emits no HELP lines or timestamps);
+  * metric/family names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+    match [a-zA-Z_][a-zA-Z0-9_]*, label values are well-quoted;
+  * each family has exactly one TYPE line, emitted before its samples,
+    with a known type (counter|gauge|summary|histogram|untyped);
+  * every sample belongs to a declared family (summary samples may add
+    the _sum/_count suffixes and a quantile label);
+  * sample values parse as floats (NaN/+Inf/-Inf included);
+  * within one scrape no sample key (name + label set) repeats.
+
+With two scrapes, additionally checks monotonicity: for every counter
+sample key present in both, the second value is >= the first — the
+hammer test scrapes twice around a batch of submits to pin this.
+
+Exit 0 when every check passes, 1 otherwise (violations on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FAMILY_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_LINE = re.compile(r"^# TYPE (\S+) (\S+)$")
+# name, optional {labels}, single-space, value (no timestamp support).
+SAMPLE_LINE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)$")
+# One label: name="value" with \\, \" and \n escapes inside the value.
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\[\\"n])*)"')
+KNOWN_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+SUMMARY_SUFFIXES = ("_sum", "_count")
+
+
+def parse_value(token: str) -> float | None:
+    if token in ("NaN", "+Inf", "-Inf", "Inf"):
+        return float(token.replace("Inf", "inf"))
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def parse_labels(raw: str, where: str, errors: list[str]) -> str | None:
+    """Validate `{k="v",...}` and return a canonical key, or None."""
+    body = raw[1:-1]
+    if not body:
+        errors.append(f"{where}: empty label set '{{}}'")
+        return None
+    pairs = []
+    pos = 0
+    while pos < len(body):
+        m = LABEL_PAIR.match(body, pos)
+        if m is None:
+            errors.append(f"{where}: malformed label at '{body[pos:]}'")
+            return None
+        pairs.append((m.group(1), m.group(2)))
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                errors.append(f"{where}: expected ',' between labels at '{body[pos:]}'")
+                return None
+            pos += 1
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        errors.append(f"{where}: duplicate label name in {names}")
+        return None
+    return "{" + ",".join(f'{n}="{v}"' for n, v in sorted(pairs)) + "}"
+
+
+def family_of(sample_name: str, declared: dict[str, str]) -> str | None:
+    """Resolve a sample to its declared family (handling summary suffixes)."""
+    if sample_name in declared:
+        return sample_name
+    for suffix in SUMMARY_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) in ("summary", "histogram"):
+                return base
+    return None
+
+
+def check_scrape(path: Path, errors: list[str]) -> dict[str, tuple[str, float]]:
+    """Validate one scrape; return sample key -> (family type, value)."""
+    declared: dict[str, str] = {}  # family -> type
+    samples: dict[str, tuple[str, float]] = {}
+    try:
+        text = path.read_text()
+    except OSError as e:
+        errors.append(f"{path}: unreadable: {e}")
+        return samples
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"{path}:{lineno}"
+        if not line:
+            errors.append(f"{where}: blank line")
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if m is None:
+                errors.append(f"{where}: comment is not a '# TYPE family type' line: {line!r}")
+                continue
+            family, ftype = m.group(1), m.group(2)
+            if not FAMILY_NAME.match(family):
+                errors.append(f"{where}: bad family name {family!r}")
+            if ftype not in KNOWN_TYPES:
+                errors.append(f"{where}: unknown type {ftype!r} for family {family!r}")
+            if family in declared:
+                errors.append(f"{where}: duplicate TYPE line for family {family!r}")
+            declared[family] = ftype
+            continue
+        m = SAMPLE_LINE.match(line)
+        if m is None:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name, raw_labels, raw_value = m.group(1), m.group(2), m.group(3)
+        label_key = ""
+        if raw_labels is not None:
+            canonical = parse_labels(raw_labels, where, errors)
+            if canonical is None:
+                continue
+            label_key = canonical
+        value = parse_value(raw_value)
+        if value is None:
+            errors.append(f"{where}: value {raw_value!r} is not a float")
+            continue
+        family = family_of(name, declared)
+        if family is None:
+            errors.append(f"{where}: sample {name!r} has no preceding TYPE line")
+            continue
+        key = name + label_key
+        if key in samples:
+            errors.append(f"{where}: duplicate sample key {key!r}")
+            continue
+        samples[key] = (declared[family], value)
+    return samples
+
+
+def check_monotonic(
+    first: dict[str, tuple[str, float]],
+    second: dict[str, tuple[str, float]],
+    errors: list[str],
+) -> None:
+    shared = sorted(set(first) & set(second))
+    counters = 0
+    for key in shared:
+        ftype, before = first[key]
+        _, after = second[key]
+        if ftype != "counter":
+            continue
+        counters += 1
+        if after < before:
+            errors.append(f"counter {key!r} went backwards: {before} -> {after}")
+    if counters == 0:
+        errors.append("no counter sample keys shared between the two scrapes")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    first = check_scrape(Path(argv[1]), errors)
+    if not first:
+        errors.append(f"{argv[1]}: no samples parsed")
+    if len(argv) == 3:
+        second = check_scrape(Path(argv[2]), errors)
+        if not second:
+            errors.append(f"{argv[2]}: no samples parsed")
+        check_monotonic(first, second, errors)
+    if errors:
+        for e in errors:
+            print(f"check_metrics_exposition: {e}", file=sys.stderr)
+        print(f"check_metrics_exposition: FAILED ({len(errors)} violation(s))",
+              file=sys.stderr)
+        return 1
+    n = len(first)
+    print(f"check_metrics_exposition: ok ({n} sample(s) in {argv[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -79,7 +79,16 @@ RULE_PATH_SCOPE: dict[str, tuple[str, ...]] = {}
 # against checked-in baselines — any order leak breaks the gate.
 # src/cache and src/serve serialize cache keys and run-record payloads
 # whose bytes ARE the contract (content addressing, warm==cold).
-ALWAYS_ORDERED_DIRS = ("src/obs", "src/campaign", "src/report", "src/cache", "src/serve")
+ALWAYS_ORDERED_DIRS = (
+    "src/obs",
+    "src/obs/svc",  # covered by src/obs; listed so the service-telemetry
+    # layer (metrics exposition, flight recorder) stays pinned even if
+    # the parent entry is ever narrowed
+    "src/campaign",
+    "src/report",
+    "src/cache",
+    "src/serve",
+)
 
 # Tokens that mark an emission context for unordered-iter outside the
 # always-ordered dirs (JSON building, telemetry records, trace export).
