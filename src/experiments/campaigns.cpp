@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "experiments/manet.hpp"
 #include "phy/calibration.hpp"
 #include "scenario/network.hpp"
 
@@ -74,8 +75,9 @@ FourStationRun fig7_variant_run(double pcs_range_m, phy::Rate control_rate,
 }  // namespace
 
 const std::vector<std::string>& campaign_names() {
-  static const std::vector<std::string> names{"fig2",  "rates", "fig3",       "fig7",  "fig9",
-                                              "fig11", "fig12", "saturation", "faults"};
+  static const std::vector<std::string> names{"fig2",  "rates",      "fig3",   "fig7",
+                                              "fig9",  "fig11",      "fig12",  "saturation",
+                                              "faults", "manet_sweep"};
   return names;
 }
 
@@ -96,6 +98,7 @@ ExperimentCampaign campaign_by_name(const std::string& name, const ExperimentCon
   }
   if (name == "saturation") return saturation_campaign({1, 2, 3, 5, 8, 12}, cfg);
   if (name == "faults") return fig7_faults_campaign(cfg);
+  if (name == "manet_sweep") return manet_sweep_campaign({5, 10, 25, 50, 100, 200}, cfg);
   std::string list;
   for (const std::string& n : campaign_names()) {
     if (!list.empty()) list += '|';
@@ -182,6 +185,34 @@ ExperimentCampaign saturation_campaign(std::vector<double> station_counts,
     return observed(cfg, [&](obs::RunObserver* obs) -> campaign::RunMetrics {
       const auto r = saturation_run(ss, cfg, spec.seed, obs);
       return {{{"kbps", r.value}}, r.events, {}, 0};
+    });
+  };
+  return {std::move(plan), std::move(run)};
+}
+
+ExperimentCampaign manet_sweep_campaign(std::vector<double> station_counts,
+                                        const ExperimentConfig& cfg) {
+  campaign::Campaign plan;
+  plan.name = "manet_sweep";
+  plan.grid.add("stations", std::move(station_counts))
+      .add("mobility", {0, 1, 2})
+      .add("rts", {0, 1});
+  plan.seeds = cfg.seeds;
+  auto run = [cfg](const campaign::RunSpec& spec) -> campaign::RunMetrics {
+    ManetRunSpec ms;
+    ms.manet.stations = static_cast<std::size_t>(spec.param("stations"));
+    ms.manet.mobility = static_cast<scenario::ManetMobility>(
+        static_cast<std::uint8_t>(spec.param("mobility")));
+    ms.rts = spec.flag("rts");
+    return observed(cfg, [&](obs::RunObserver* obs) -> campaign::RunMetrics {
+      const ManetRun r = manet_run(ms, cfg, spec.seed, obs);
+      return {{{"kbps", r.goodput_kbps},
+               {"delivery", r.delivery_ratio},
+               {"delay_ms", r.mean_delay_ms},
+               {"culled_frac", r.culled_fraction()}},
+              r.events,
+              {},
+              0};
     });
   };
   return {std::move(plan), std::move(run)};

@@ -52,6 +52,15 @@ ExperimentCampaign four_station_campaign(const FourStationSpec& base,
 ExperimentCampaign saturation_campaign(std::vector<double> station_counts,
                                        const ExperimentConfig& cfg);
 
+/// Large-N MANET sweep: stations × mobility (0 static, 1 waypoint,
+/// 2 gauss-markov) × rts at constant station density (CBR over AODV).
+/// Metrics: "kbps" (aggregate goodput), "delivery" (in-window delivery
+/// ratio), "delay_ms" (mean end-to-end delay), "culled_frac" (fraction
+/// of medium deliveries the spatial index skipped — the O(neighbors)
+/// evidence).
+ExperimentCampaign manet_sweep_campaign(std::vector<double> station_counts,
+                                        const ExperimentConfig& cfg);
+
 // Ablations on the fig7 layout (see bench_ablation / DESIGN.md). All
 // report metrics "s1_kbps" / "s2_kbps".
 

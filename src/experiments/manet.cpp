@@ -1,0 +1,46 @@
+#include "experiments/manet.hpp"
+
+#include "scenario/network.hpp"
+
+namespace adhoc::experiments {
+
+ManetRun manet_run(const ManetRunSpec& spec, const ExperimentConfig& cfg, std::uint64_t seed,
+                   obs::RunObserver* obs) {
+  sim::Simulator sim{seed};
+  scenario::NetworkConfig nc;
+  nc.mac = mac_params_for(spec.rate, spec.rts);
+  scenario::Network net{sim, nc};
+  if (obs != nullptr) net.attach_observer(*obs);
+
+  scenario::ManetScenario manet{net, spec.manet};
+  if (!cfg.faults.empty()) net.install_faults(cfg.faults);
+
+  const sim::Time measure_from = cfg.warmup;
+  const sim::Time measure_until = cfg.warmup + cfg.measure;
+  manet.start(measure_from, measure_until);
+  // Flows stop producing at measure_until; the drain lets datagrams
+  // already inside the network reach their sinks and still count.
+  sim.run_until(measure_until + sim::Time::ms(250));
+  if (obs != nullptr) obs->finalize(sim);
+
+  const scenario::ManetStats& stats = manet.stats();
+  const net::AodvCounters aodv = manet.aodv_totals();
+  const phy::Medium& medium = net.medium();
+
+  ManetRun out;
+  out.goodput_kbps =
+      static_cast<double>(stats.bytes_delivered) * 8.0 / 1000.0 / cfg.measure.to_sec();
+  out.delivery_ratio = stats.delivery_ratio();
+  out.mean_delay_ms = stats.mean_delay_ms();
+  out.sent = stats.sent;
+  out.delivered = stats.delivered;
+  out.events = sim.scheduler().total_executed();
+  out.deliveries_scheduled = medium.deliveries_scheduled();
+  out.deliveries_culled = medium.deliveries_culled();
+  out.rreq_originated = aodv.rreq_originated;
+  out.routes_invalidated = aodv.routes_invalidated;
+  out.cs_cutoff_m = medium.cs_cutoff_m();
+  return out;
+}
+
+}  // namespace adhoc::experiments

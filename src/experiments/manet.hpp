@@ -1,0 +1,59 @@
+#pragma once
+// MANET experiment: one large-N mobile multi-hop replication.
+//
+// Wraps scenario::ManetScenario in the single-replication shape the
+// campaign engine parallelises (cf. experiments.hpp): fresh Simulator
+// per (spec, seed), traffic warm-up before the measurement window, and
+// a short drain afterwards so in-flight datagrams still count. The
+// channel is deterministic by default — mobility already randomises
+// link quality; layering slow fading on top is a separate study.
+//
+// Beyond traffic outcomes the run reports the medium's fan-out
+// accounting (deliveries scheduled vs culled): at small N the culled
+// fraction is ~0 (everyone within carrier-sense range), and it grows
+// with N at fixed density — the evidence that per-transmission work is
+// O(neighbors), not O(N).
+
+#include <cstdint>
+
+#include "experiments/experiments.hpp"
+#include "scenario/manet.hpp"
+
+namespace adhoc::experiments {
+
+struct ManetRunSpec {
+  scenario::ManetSpec manet;
+  /// 2 Mbps by default: its ~100 m decode range (paper Table 3) matches
+  /// the 60 m default spacing. At 11 Mbps (~30 m range) the default
+  /// lattice is disconnected — set spacing ~25 m to go with it.
+  phy::Rate rate = phy::Rate::kR2;
+  bool rts = false;
+};
+
+struct ManetRun {
+  double goodput_kbps = 0.0;    ///< delivered application bytes over the window
+  double delivery_ratio = 0.0;  ///< delivered / sent (in-window datagrams)
+  double mean_delay_ms = 0.0;   ///< mean end-to-end delay of deliveries
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;  ///< scheduler events executed
+  std::uint64_t deliveries_scheduled = 0;
+  std::uint64_t deliveries_culled = 0;
+  std::uint64_t rreq_originated = 0;   ///< route-discovery pressure
+  std::uint64_t routes_invalidated = 0;
+  double cs_cutoff_m = 0.0;
+
+  /// Fraction of potential receiver deliveries the spatial index culled.
+  [[nodiscard]] double culled_fraction() const {
+    const std::uint64_t total = deliveries_scheduled + deliveries_culled;
+    return total == 0 ? 0.0 : static_cast<double>(deliveries_culled) / static_cast<double>(total);
+  }
+};
+
+/// One replication: build, warm up (cfg.warmup), measure (cfg.measure),
+/// drain 250 ms, and report. Honors cfg.faults; ignores cfg.shadowing
+/// (see file comment).
+ManetRun manet_run(const ManetRunSpec& spec, const ExperimentConfig& cfg, std::uint64_t seed,
+                   obs::RunObserver* obs = nullptr);
+
+}  // namespace adhoc::experiments

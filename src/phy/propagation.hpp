@@ -47,6 +47,14 @@ class PropagationModel {
   /// Inverse of path_loss_db: the distance at which the mean path loss
   /// equals `loss_db`. Used by range calibration.
   [[nodiscard]] virtual double distance_for_loss(double loss_db) const = 0;
+
+  /// How far (dB) the instantaneous loss can fall below the mean
+  /// path_loss_db — i.e., how much *stronger* than the deterministic
+  /// prediction a received signal can plausibly be. Deterministic models
+  /// return 0; stochastic wrappers return a high-confidence bound. The
+  /// medium widens its carrier-sense range cutoff by this margin so
+  /// spatial culling stays conservative under fading.
+  [[nodiscard]] virtual double stochastic_margin_db() const { return 0.0; }
 };
 
 /// Friis free-space model: PL(d) = 20 log10(4 pi d / lambda).

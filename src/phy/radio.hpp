@@ -83,9 +83,20 @@ class Radio {
   /// Current position: the mobility model's if attached, else the static
   /// position.
   [[nodiscard]] Position position() const;
-  void set_position(const Position& p) { position_ = p; }
+  void set_position(const Position& p) {
+    position_ = p;
+    medium_.notify_moved(*this);  // re-bin in the spatial index
+  }
   /// Attach a mobility model (must outlive the radio; nullptr detaches).
-  void set_mobility(const MobilityModel* m) { mobility_ = m; }
+  void set_mobility(const MobilityModel* m) {
+    mobility_ = m;
+    medium_.notify_mobility_changed(*this);
+  }
+  /// Speed bound for the medium's spatial index: the mobility model's
+  /// limit, or 0 (static) without one.
+  [[nodiscard]] double max_speed_bound() const {
+    return mobility_ == nullptr ? 0.0 : mobility_->max_speed_mps();
+  }
   [[nodiscard]] const PhyParams& params() const { return params_; }
 
   [[nodiscard]] bool transmitting() const;

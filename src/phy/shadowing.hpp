@@ -13,6 +13,7 @@
 // link fade independently (asymmetry), and a per-scenario "weather"
 // offset shifts the whole field between measurement days.
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 
@@ -45,6 +46,14 @@ class ShadowedPropagation final : public PropagationModel {
   /// the stochastic term, not of the mean).
   double path_loss_db(double distance_m) const override;
   double distance_for_loss(double loss_db) const override;
+
+  /// 4-sigma bound on the zero-mean OU term plus the current day offset
+  /// when it strengthens links. A stationary N(0, sigma) exceeds 4 sigma
+  /// with probability ~3e-5; deliveries beyond that are negligible (far
+  /// below the energy floor the margin already guards).
+  double stochastic_margin_db() const override {
+    return 4.0 * params_.sigma_db + std::max(params_.day_offset_db, 0.0);
+  }
 
   /// Current shadowing value for a link (advances the process to `now`).
   [[nodiscard]] double shadowing_db(LinkId link, sim::Time now) const;

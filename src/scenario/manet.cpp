@@ -1,0 +1,181 @@
+#include "scenario/manet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace adhoc::scenario {
+
+namespace {
+
+constexpr std::uint16_t kManetBasePort = 7000;
+
+}  // namespace
+
+ManetScenario::ManetScenario(Network& net, const ManetSpec& spec) : net_(net), spec_(spec) {
+  if (spec_.stations < 2) throw std::invalid_argument("ManetScenario: needs >= 2 stations");
+  if (spec_.spacing_m <= 0.0) throw std::invalid_argument("ManetScenario: spacing_m must be > 0");
+  if (spec_.field_m < 0.0) throw std::invalid_argument("ManetScenario: negative field_m");
+  if (spec_.min_speed_mps <= 0.0 || spec_.max_speed_mps < spec_.min_speed_mps) {
+    throw std::invalid_argument("ManetScenario: bad speed range");
+  }
+  if (spec_.flow_kbps <= 0.0 || spec_.payload_bytes == 0) {
+    throw std::invalid_argument("ManetScenario: bad flow parameters");
+  }
+  field_m_ = spec_.field_m > 0.0
+                 ? spec_.field_m
+                 : std::sqrt(static_cast<double>(spec_.stations)) * spec_.spacing_m;
+  build();
+}
+
+void ManetScenario::build() {
+  sim::Simulator& sim = net_.simulator();
+  const std::size_t n = spec_.stations;
+  base_ = net_.node_count();
+  const std::size_t base = base_;
+
+  // --- Placement ------------------------------------------------------
+  std::vector<phy::Position> positions;
+  positions.reserve(n);
+  if (spec_.placement == ManetPlacement::kGrid) {
+    const auto side =
+        static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t gx = i % side;
+      const std::size_t gy = i / side;
+      positions.push_back({spec_.spacing_m * static_cast<double>(gx),
+                           spec_.spacing_m * static_cast<double>(gy)});
+    }
+  } else {
+    sim::Rng place = sim.rng_stream("manet.place");
+    for (std::size_t i = 0; i < n; ++i) {
+      positions.push_back({place.uniform(0.0, field_m_), place.uniform(0.0, field_m_)});
+    }
+  }
+  for (const phy::Position& p : positions) net_.add_node(p);
+
+  // --- Mobility -------------------------------------------------------
+  if (spec_.mobility != ManetMobility::kStatic) {
+    mobility_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim::Rng walk = sim.rng_stream("manet.walk").substream(static_cast<std::uint64_t>(i));
+      std::unique_ptr<phy::MobilityModel> model;
+      if (spec_.mobility == ManetMobility::kWaypoint) {
+        phy::RandomWaypointMobility::Params wp;
+        wp.width_m = field_m_;
+        wp.height_m = field_m_;
+        wp.min_speed_mps = spec_.min_speed_mps;
+        wp.max_speed_mps = spec_.max_speed_mps;
+        wp.pause = spec_.pause;
+        model = std::make_unique<phy::RandomWaypointMobility>(positions[i], wp, walk);
+      } else {
+        phy::GaussMarkovMobility::Params gm;
+        gm.width_m = field_m_;
+        gm.height_m = field_m_;
+        gm.mean_speed_mps = 0.5 * (spec_.min_speed_mps + spec_.max_speed_mps);
+        gm.max_speed_mps = spec_.max_speed_mps;
+        gm.sigma_speed_mps = 0.25 * (spec_.max_speed_mps - spec_.min_speed_mps);
+        // Grid starts can sit exactly on the field edge; reflection and
+        // the edge steer-back keep the walker inside from there.
+        model = std::make_unique<phy::GaussMarkovMobility>(positions[i], gm, walk);
+      }
+      net_.node(base + i).radio().set_mobility(model.get());
+      mobility_.push_back(std::move(model));
+    }
+  }
+
+  // --- Routing --------------------------------------------------------
+  net::AodvParams ap;
+  ap.active_route_lifetime = spec_.route_lifetime;
+  aodv_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    aodv_.push_back(std::make_unique<net::Aodv>(net_.node(base + i), ap));
+  }
+
+  // --- Flows ----------------------------------------------------------
+  const std::size_t flow_count = spec_.flows > 0 ? spec_.flows : std::max<std::size_t>(1, n / 10);
+  sim::Rng pick = sim.rng_stream("manet.flows");
+  const double interval_s =
+      static_cast<double>(spec_.payload_bytes) * 8.0 / (spec_.flow_kbps * 1000.0);
+  flows_.reserve(flow_count);
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    Flow flow;
+    flow.src = base + static_cast<std::size_t>(
+                          pick.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto dst = static_cast<std::size_t>(pick.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+    if (base + dst >= flow.src) ++dst;  // distinct src/dst, uniform over the rest
+    flow.dst = base + dst;
+    flow.port = static_cast<std::uint16_t>(kManetBasePort + f);
+    flow.interval = sim::Time::from_sec(interval_s);
+    flows_.push_back(flow);
+
+    transport::UdpSocket& sink = net_.udp(flow.dst).open(flow.port);
+    const std::uint32_t payload = spec_.payload_bytes;
+    sink.set_rx_info_handler([this, payload](std::uint32_t, const transport::UdpRxInfo& info) {
+      // Count a delivery iff its datagram was first sent in-window; the
+      // send side stamps created_at, which rides UdpRxInfo::sent_at.
+      if (info.sent_at < measure_from_ || info.sent_at >= measure_until_) return;
+      ++stats_.delivered;
+      stats_.bytes_delivered += payload;
+      stats_.delay_ms_sum += (net_.simulator().now() - info.sent_at).to_ms();
+    });
+  }
+}
+
+void ManetScenario::start(sim::Time measure_from, sim::Time measure_until) {
+  if (measure_until <= measure_from) {
+    throw std::invalid_argument("ManetScenario: empty measurement window");
+  }
+  measure_from_ = measure_from;
+  measure_until_ = measure_until;
+  const sim::Time now = net_.simulator().now();
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    // Stagger first ticks across one interval so N flows don't hit the
+    // channel in the same slot.
+    const sim::Time offset = sim::Time::from_sec(
+        flows_[f].interval.to_sec() * static_cast<double>(f) /
+        static_cast<double>(flows_.size()));
+    schedule_tick(f, now + sim::Time::ms(50) + offset);
+  }
+}
+
+void ManetScenario::schedule_tick(std::size_t flow_index, sim::Time at) {
+  net_.simulator().at(at, [this, flow_index] {
+    Flow& flow = flows_[flow_index];
+    sim::Simulator& sim = net_.simulator();
+    const sim::Time now = sim.now();
+    if (now >= measure_until_) return;  // flow ends with the window
+    auto packet = net::Packet::make(spec_.payload_bytes);
+    packet->push(net::UdpHeader{
+        flow.port, flow.port,
+        static_cast<std::uint16_t>(spec_.payload_bytes + net::UdpHeader::kBytes)});
+    packet->app_seq = flow.next_seq++;
+    packet->created_at = now;
+    if (now >= measure_from_ && now < measure_until_) ++stats_.sent;
+    aodv_[flow.src - base_]->send(std::move(packet), net_.node(flow.dst).ip(), net::kProtoUdp);
+    schedule_tick(flow_index, now + flow.interval);
+  }, "manet.cbr");
+}
+
+net::AodvCounters ManetScenario::aodv_totals() const {
+  net::AodvCounters total;
+  for (const auto& a : aodv_) {
+    const net::AodvCounters& c = a->counters();
+    total.rreq_originated += c.rreq_originated;
+    total.rreq_forwarded += c.rreq_forwarded;
+    total.rreq_duplicates += c.rreq_duplicates;
+    total.rrep_originated += c.rrep_originated;
+    total.rrep_forwarded += c.rrep_forwarded;
+    total.rerr_sent += c.rerr_sent;
+    total.routes_installed += c.routes_installed;
+    total.routes_invalidated += c.routes_invalidated;
+    total.packets_buffered += c.packets_buffered;
+    total.packets_flushed += c.packets_flushed;
+    total.packets_dropped_no_route += c.packets_dropped_no_route;
+  }
+  return total;
+}
+
+}  // namespace adhoc::scenario

@@ -119,6 +119,26 @@ net::Node& Network::add_node(phy::Position pos, std::optional<mac::MacParams> ma
 void Network::attach_observer(obs::RunObserver& observer) {
   obs_ = &observer;
   if (observer.profiler() != nullptr) sim_.scheduler().set_probe(observer.profiler());
+  if (obs::MetricsRegistry* reg = observer.registry(); reg != nullptr) {
+    // Shared-medium probes: fan-out volume and how much of it the
+    // spatial index culled (the O(neighbors) evidence at large N).
+    const phy::Medium* med = &medium_;
+    reg->add_probe("phy.medium", "transmissions",
+                   [med] { return static_cast<double>(med->transmissions()); });
+    reg->add_probe("phy.medium", "interference_bursts",
+                   [med] { return static_cast<double>(med->interference_bursts()); });
+    reg->add_probe("phy.medium", "deliveries_scheduled",
+                   [med] { return static_cast<double>(med->deliveries_scheduled()); });
+    reg->add_probe("phy.medium", "deliveries_culled",
+                   [med] { return static_cast<double>(med->deliveries_culled()); });
+    reg->add_probe("phy.medium", "deliveries_blocked",
+                   [med] { return static_cast<double>(med->deliveries_blocked()); });
+    reg->add_probe("phy.medium", "cell_high_water",
+                   [med] { return static_cast<double>(med->cell_high_water()); });
+    reg->add_probe("phy.medium", "cells_in_use",
+                   [med] { return static_cast<double>(med->cells_in_use()); });
+    reg->add_probe("phy.medium", "cs_cutoff_m", [med] { return med->cs_cutoff_m(); });
+  }
   for (std::size_t i = 0; i < nodes_.size(); ++i) wire_node_observer(i);
   for (std::size_t i = 0; i < tcp_.size(); ++i) {
     if (tcp_[i]) wire_tcp_observer(i);

@@ -1,0 +1,152 @@
+#include "spatial/uniform_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace adhoc::spatial {
+
+UniformGrid::UniformGrid(Config config) : cfg_(config) {
+  if (!(cfg_.cell_m > 0.0) || !std::isfinite(cfg_.cell_m)) {
+    throw std::invalid_argument("UniformGrid: cell_m must be finite and > 0");
+  }
+  if (cfg_.slack_m < 0.0 || !std::isfinite(cfg_.slack_m)) {
+    throw std::invalid_argument("UniformGrid: slack_m must be finite and >= 0");
+  }
+}
+
+std::int64_t UniformGrid::cell_key(const phy::Position& p) const {
+  // Entries may leave any nominal field: the grid is unbounded, cells
+  // exist only while occupied. 32-bit cell coordinates cover +/- 2e9
+  // cells per axis — far beyond any simulated geometry.
+  const auto cx = static_cast<std::int32_t>(std::floor(p.x / cfg_.cell_m));
+  const auto cy = static_cast<std::int32_t>(std::floor(p.y / cfg_.cell_m));
+  return (static_cast<std::int64_t>(cx) << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(cy));
+}
+
+void UniformGrid::insert(std::uint32_t id, PositionFn position, double max_speed_mps,
+                         sim::Time now) {
+  if (index_of_.contains(id)) throw std::invalid_argument("UniformGrid: duplicate entry id");
+  if (!position) throw std::invalid_argument("UniformGrid: null position function");
+  if (max_speed_mps < 0.0) throw std::invalid_argument("UniformGrid: negative max speed");
+  Entry e;
+  e.id = id;
+  e.position = std::move(position);
+  e.max_speed_mps = max_speed_mps;
+  const auto index = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(std::move(e));
+  index_of_.emplace(id, index);
+  bin(entries_.back(), index, now);
+}
+
+void UniformGrid::set_max_speed(std::uint32_t id, double max_speed_mps, sim::Time now) {
+  if (max_speed_mps < 0.0) throw std::invalid_argument("UniformGrid: negative max speed");
+  const std::uint32_t index = index_of_.at(id);
+  entries_[index].max_speed_mps = max_speed_mps;
+  ++refreshes_;
+  bin(entries_[index], index, now);
+}
+
+void UniformGrid::touch(std::uint32_t id, sim::Time now) {
+  const std::uint32_t index = index_of_.at(id);
+  ++refreshes_;
+  bin(entries_[index], index, now);
+}
+
+void UniformGrid::refresh(sim::Time now) {
+  // Pop everything due first, then re-bin: a re-binned entry may become
+  // due again at the same instant (unbounded speed), and re-pushing
+  // inside the pop loop would never terminate.
+  std::vector<std::uint32_t> due;
+  while (!deadlines_.empty() && deadlines_.top().at <= now) {
+    const Deadline d = deadlines_.top();
+    deadlines_.pop();
+    // Lazy deletion: touch()/set_max_speed() leave superseded deadlines
+    // in the heap; only the one matching the entry's current deadline
+    // still speaks for it.
+    if (entries_[d.index].stale_after == d.at) due.push_back(d.index);
+  }
+  refreshes_ += due.size();
+  for (const std::uint32_t index : due) bin(entries_[index], index, now);
+}
+
+void UniformGrid::bin(Entry& entry, std::uint32_t index, sim::Time now) {
+  const phy::Position pos = entry.position();
+  const std::int64_t cell = cell_key(pos);
+  if (!entry.binned || cell != entry.cell) {
+    if (entry.binned) remove_from_cell(entry.cell, entry.id);
+    std::vector<std::uint32_t>& bucket = cells_[cell];
+    bucket.push_back(entry.id);
+    cell_high_water_ = std::max(cell_high_water_, bucket.size());
+    entry.cell = cell;
+    entry.binned = true;
+  }
+  entry.cached = pos;
+  if (entry.max_speed_mps <= 0.0) {
+    entry.stale_after = sim::Time::infinity();  // static: never re-binned
+    return;
+  }
+  if (cfg_.slack_m > 0.0 && std::isfinite(entry.max_speed_mps)) {
+    entry.stale_after = now + sim::Time::from_sec(cfg_.slack_m / entry.max_speed_mps);
+  } else {
+    // No slack budget (or unbounded speed): trusted only at this instant,
+    // so every later refresh() re-reads the position.
+    entry.stale_after = now;
+  }
+  deadlines_.push(Deadline{entry.stale_after, index});
+}
+
+void UniformGrid::remove_from_cell(std::int64_t cell, std::uint32_t id) {
+  const auto it = cells_.find(cell);
+  if (it == cells_.end()) return;
+  std::vector<std::uint32_t>& bucket = it->second;
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  if (bucket.empty()) cells_.erase(it);
+}
+
+void UniformGrid::query(const phy::Position& center, double radius_m,
+                        std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (radius_m < 0.0) return;
+  const double span = radius_m + cfg_.slack_m;
+  const double span_sq = span * span;
+  const auto in_span = [&](const phy::Position& p) {
+    const double dx = p.x - center.x;
+    const double dy = p.y - center.y;
+    return dx * dx + dy * dy <= span_sq;
+  };
+  const auto rings = static_cast<std::int64_t>(std::ceil(span / cfg_.cell_m));
+  const std::int64_t block = 2 * rings + 1;
+  if (block * block >= static_cast<std::int64_t>(entries_.size())) {
+    // The cell block would touch more buckets than there are entries —
+    // a linear pass over the dense entry array is cheaper (and the only
+    // path for very large radii, e.g. a hot interference burst).
+    for (const Entry& e : entries_) {
+      if (in_span(e.cached)) out.push_back(e.id);
+    }
+  } else {
+    const auto ccx = static_cast<std::int64_t>(std::floor(center.x / cfg_.cell_m));
+    const auto ccy = static_cast<std::int64_t>(std::floor(center.y / cfg_.cell_m));
+    for (std::int64_t dx = -rings; dx <= rings; ++dx) {
+      for (std::int64_t dy = -rings; dy <= rings; ++dy) {
+        // Same truncation as cell_key so probe keys match stored keys.
+        const auto kx = static_cast<std::int32_t>(ccx + dx);
+        const auto ky = static_cast<std::int32_t>(ccy + dy);
+        const std::int64_t key = (static_cast<std::int64_t>(kx) << 32) |
+                                 static_cast<std::int64_t>(static_cast<std::uint32_t>(ky));
+        const auto it = cells_.find(key);
+        if (it == cells_.end()) continue;
+        for (const std::uint32_t id : it->second) {
+          const Entry& e = entries_[index_of_.at(id)];
+          if (in_span(e.cached)) out.push_back(id);
+        }
+      }
+    }
+  }
+  // Cell-migration order must never leak into delivery order.
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace adhoc::spatial

@@ -1,0 +1,115 @@
+#pragma once
+// Uniform-grid spatial index over planar positions.
+//
+// The medium's neighbor problem: for each transmission, find every radio
+// whose received power could still matter, without touching all N. A
+// uniform grid of square cells answers range queries by scanning only the
+// cell block covering the query disc — O(neighbors) per query when the
+// cell size is on the order of the query radius.
+//
+// Mobile entries are handled with *lazy* position refresh: each entry
+// caches the position it was binned at, together with a staleness
+// deadline derived from the entry's maximum speed and the index's slack
+// budget. As long as the deadline has not passed, the cached position is
+// within `slack_m` of the true position, so a query widened by `slack_m`
+// can never miss an in-range entry (the cull-safety invariant the
+// medium's differential test pins). Deadlines sit in a min-heap popped at
+// query time, so refreshing costs nothing while nothing moves and never
+// injects events into the simulation scheduler.
+//
+// Determinism: query results are sorted ascending by entry id before they
+// are returned, so callers iterate neighbors in a reproducible order no
+// matter how entries migrated between cells.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "phy/units.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::spatial {
+
+class UniformGrid {
+ public:
+  struct Config {
+    /// Cell edge length in meters; must be > 0. Pick it on the order of
+    /// the dominant query radius so a query touches O(1) cell rings.
+    double cell_m = 100.0;
+    /// Maximum tolerated drift (meters) between an entry's cached and
+    /// true position. Queries are widened by this much, so results are a
+    /// conservative superset of the true in-range set. Must be >= 0.
+    double slack_m = 0.0;
+  };
+
+  /// Re-reads an entry's true position (called on insert, refresh, touch).
+  using PositionFn = std::function<phy::Position()>;
+
+  explicit UniformGrid(Config config);
+
+  UniformGrid(const UniformGrid&) = delete;
+  UniformGrid& operator=(const UniformGrid&) = delete;
+
+  /// Register entry `id` (must be new). `max_speed_mps` bounds how fast
+  /// the entry's true position can drift: 0 means static (never stale),
+  /// infinity means unbounded (re-binned on every refresh()).
+  void insert(std::uint32_t id, PositionFn position, double max_speed_mps, sim::Time now);
+
+  /// Update the drift bound (mobility model changed); also re-bins.
+  void set_max_speed(std::uint32_t id, double max_speed_mps, sim::Time now);
+
+  /// Force one entry's cached position up to date (teleports).
+  void touch(std::uint32_t id, sim::Time now);
+
+  /// Re-bin every entry whose staleness deadline has passed. Call before
+  /// query() at the same `now`; the cull-safety invariant holds only
+  /// between refresh and query.
+  void refresh(sim::Time now);
+
+  /// All entry ids whose *cached* position lies within
+  /// `radius_m + slack_m` of `center` — a superset of every entry whose
+  /// true position is within `radius_m` (given a preceding refresh()).
+  /// Results are sorted ascending by id. `out` is clear()ed first.
+  void query(const phy::Position& center, double radius_m, std::vector<std::uint32_t>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t cells_in_use() const { return cells_.size(); }
+  /// Most entries ever resident in one cell (occupancy high-water).
+  [[nodiscard]] std::size_t cell_high_water() const { return cell_high_water_; }
+  /// Total lazy re-bins performed by refresh()/touch().
+  [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
+  [[nodiscard]] double cell_m() const { return cfg_.cell_m; }
+  [[nodiscard]] double slack_m() const { return cfg_.slack_m; }
+
+ private:
+  struct Entry {
+    std::uint32_t id = 0;
+    PositionFn position;
+    phy::Position cached;
+    double max_speed_mps = 0.0;
+    sim::Time stale_after;  // cached position trusted until then
+    std::int64_t cell = 0;
+    bool binned = false;
+  };
+  struct Deadline {
+    sim::Time at;
+    std::uint32_t index = 0;  // into entries_
+    bool operator>(const Deadline& o) const { return at > o.at; }
+  };
+
+  [[nodiscard]] std::int64_t cell_key(const phy::Position& p) const;
+  void bin(Entry& entry, std::uint32_t index, sim::Time now);
+  void remove_from_cell(std::int64_t cell, std::uint32_t id);
+
+  Config cfg_;
+  std::vector<Entry> entries_;                        // dense, insertion order
+  std::unordered_map<std::uint32_t, std::uint32_t> index_of_;  // id -> entries_ slot
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells_;  // cell -> ids
+  std::priority_queue<Deadline, std::vector<Deadline>, std::greater<>> deadlines_;
+  std::size_t cell_high_water_ = 0;
+  std::uint64_t refreshes_ = 0;
+};
+
+}  // namespace adhoc::spatial

@@ -1,0 +1,165 @@
+// Differential test: the spatially indexed medium must deliver the exact
+// same signal set — same receiver, same rx power, same start/end times —
+// as the all-pairs oracle (MediumConfig::spatial_index = false), across
+// randomized topologies, mobile radios and interference bursts. Any
+// delivery the index *does* cull must be provably irrelevant: below the
+// medium's relevance floor at the receiver. Scheduled + culled must
+// equal the oracle's fan-out, so no delivery is ever silently dropped.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "phy/calibration.hpp"
+#include "phy/medium.hpp"
+#include "phy/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::phy {
+namespace {
+
+/// (source, rx, start_ns, noise) uniquely keys one delivery within a run.
+using Key = std::tuple<std::uint32_t, std::uint32_t, std::int64_t, bool>;
+
+struct Recorded {
+  double rx_dbm = 0.0;
+  std::int64_t end_ns = 0;
+};
+
+struct World {
+  explicit World(std::uint64_t seed, MediumConfig config)
+      : sim(seed), medium(sim, default_outdoor_model(), config) {}
+
+  sim::Simulator sim;
+  Medium medium;
+  std::vector<std::unique_ptr<Radio>> radios;
+  std::vector<std::unique_ptr<MobilityModel>> mobility;
+  std::map<Key, Recorded> records;
+  std::uint64_t recorded = 0;
+
+  void arm_probe() {
+    medium.set_delivery_probe([this](const Medium::DeliveryRecord& r) {
+      ++recorded;
+      records[{r.source, r.rx, r.start.count_ns(), r.noise}] = {r.rx_dbm, r.end.count_ns()};
+    });
+  }
+};
+
+/// Build the same randomized scenario in `w` from a private Rng: radios
+/// scattered over a field much wider than the CS cutoff (so the index
+/// actually culls), a third of them mobile, and a deterministic timeline
+/// of transmissions plus interference bursts.
+void build_and_run(World& w, std::uint64_t seed, std::size_t n_radios, double field_m) {
+  const PhyParams params = paper_calibrated_params(default_outdoor_model());
+  sim::Rng rng = w.sim.rng_stream("differential").substream(seed);
+  for (std::size_t i = 0; i < n_radios; ++i) {
+    const Position pos{rng.uniform(0.0, field_m), rng.uniform(0.0, field_m)};
+    w.radios.push_back(std::make_unique<Radio>(w.sim, w.medium,
+                                               static_cast<std::uint32_t>(i), params, pos));
+    if (i % 3 == 0) {
+      // Mobile: a straight run at up to 20 m/s (exaggerated, to force
+      // cells to go stale within the short timeline).
+      w.mobility.push_back(std::make_unique<LinearMobility>(pos, rng.uniform(-20.0, 20.0),
+                                                            rng.uniform(-20.0, 20.0)));
+      w.radios.back()->set_mobility(w.mobility.back().get());
+    }
+  }
+  w.arm_probe();
+
+  for (int burst = 0; burst < 60; ++burst) {
+    const auto at = sim::Time::from_sec(rng.uniform(0.0, 30.0));
+    const auto who = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_radios) - 1));
+    if (burst % 5 == 4) {
+      // Interference from a point source off the radio lattice; hot
+      // bursts get a wider delivery radius than regular frames.
+      const Position pos{rng.uniform(0.0, field_m), rng.uniform(0.0, field_m)};
+      const double power = rng.uniform(0.0, 30.0);
+      w.sim.at(at, [&w, pos, power] {
+        w.medium.begin_interference(9000, pos, power, sim::Time::ms(2));
+      });
+    } else {
+      w.sim.at(at, [&w, who] {
+        const TxDescriptor desc{Rate::kR2, 4368, Preamble::kLong, std::make_shared<int>(1)};
+        w.medium.begin_transmission(*w.radios[who], desc, sim::Time::ms(3));
+      });
+    }
+  }
+  w.sim.run_until(sim::Time::sec(31));
+}
+
+class MediumDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MediumDifferentialTest, SpatialMatchesAllPairsOracle) {
+  const std::uint64_t seed = GetParam();
+  // 2000 m field >> the ~380 m carrier-sense cutoff: culling is guaranteed.
+  constexpr std::size_t kRadios = 60;
+  constexpr double kField = 2000.0;
+
+  World spatial{seed, MediumConfig{/*spatial_index=*/true}};
+  World oracle{seed, MediumConfig{/*spatial_index=*/false}};
+  build_and_run(spatial, seed, kRadios, kField);
+  build_and_run(oracle, seed, kRadios, kField);
+
+  // The oracle culls nothing; its fan-out is the ground truth.
+  EXPECT_EQ(oracle.medium.deliveries_culled(), 0u);
+  EXPECT_EQ(spatial.medium.deliveries_scheduled() + spatial.medium.deliveries_culled(),
+            oracle.medium.deliveries_scheduled());
+  EXPECT_GT(spatial.medium.deliveries_culled(), 0u) << "field too small to exercise culling";
+
+  // Every spatially delivered signal must exist in the oracle with
+  // bit-identical receiver, power and timing.
+  for (const auto& [key, rec] : spatial.records) {
+    const auto it = oracle.records.find(key);
+    ASSERT_NE(it, oracle.records.end())
+        << "spatial delivered a signal the oracle never produced (src="
+        << std::get<0>(key) << " rx=" << std::get<1>(key) << ")";
+    EXPECT_EQ(rec.rx_dbm, it->second.rx_dbm);  // exact double ==: same code path
+    EXPECT_EQ(rec.end_ns, it->second.end_ns);
+  }
+
+  // Every delivery the index culled must be irrelevant: below the
+  // medium's relevance floor at the receiver.
+  std::uint64_t culled_seen = 0;
+  for (const auto& [key, rec] : oracle.records) {
+    if (spatial.records.contains(key)) continue;
+    ++culled_seen;
+    EXPECT_LT(rec.rx_dbm, spatial.medium.relevance_floor_dbm())
+        << "culled a relevant delivery (src=" << std::get<0>(key)
+        << " rx=" << std::get<1>(key) << " rx_dbm=" << rec.rx_dbm << ")";
+  }
+  EXPECT_EQ(culled_seen, spatial.medium.deliveries_culled());
+  EXPECT_EQ(spatial.recorded, spatial.medium.deliveries_scheduled());
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MediumDifferentialTest, ::testing::Values(1, 2, 3, 7, 11));
+
+TEST(MediumDifferential, TeleportIsSeenImmediately) {
+  // set_position must re-bin instantly: a radio teleported from far away
+  // into range receives the very next transmission.
+  const PhyParams params = paper_calibrated_params(default_outdoor_model());
+  World w{1, MediumConfig{}};
+  w.radios.push_back(std::make_unique<Radio>(w.sim, w.medium, 0, params, Position{0, 0}));
+  w.radios.push_back(std::make_unique<Radio>(w.sim, w.medium, 1, params, Position{50000, 0}));
+  w.arm_probe();
+
+  const TxDescriptor desc{Rate::kR2, 4368, Preamble::kLong, std::make_shared<int>(1)};
+  w.sim.at(sim::Time::ms(1), [&] { w.medium.begin_transmission(*w.radios[0], desc, sim::Time::ms(3)); });
+  w.sim.at(sim::Time::ms(10), [&] { w.radios[1]->set_position({30.0, 0.0}); });
+  w.sim.at(sim::Time::ms(20), [&] { w.medium.begin_transmission(*w.radios[0], desc, sim::Time::ms(3)); });
+  w.sim.run_until(sim::Time::ms(50));
+
+  EXPECT_EQ(w.medium.deliveries_culled(), 1u);     // the far-away first tx
+  EXPECT_EQ(w.medium.deliveries_scheduled(), 1u);  // the post-teleport tx
+  ASSERT_EQ(w.records.size(), 1u);
+  // Signal start = tx time + propagation delay (sub-microsecond at 30 m).
+  EXPECT_GE(std::get<2>(w.records.begin()->first), sim::Time::ms(20).count_ns());
+  EXPECT_LT(std::get<2>(w.records.begin()->first), sim::Time::ms(21).count_ns());
+}
+
+}  // namespace
+}  // namespace adhoc::phy

@@ -1,0 +1,175 @@
+// ManetScenario builder: placement, field derivation, flow wiring,
+// spec validation, and build determinism from the simulator seed.
+
+#include "scenario/manet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "scenario/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace adhoc::scenario {
+namespace {
+
+TEST(ManetScenario, GridPlacementIsRowMajorAtSpacing) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  ManetSpec spec;
+  spec.stations = 9;
+  spec.placement = ManetPlacement::kGrid;
+  spec.mobility = ManetMobility::kStatic;
+  spec.spacing_m = 60.0;
+  ManetScenario manet{net, spec};
+  ASSERT_EQ(net.node_count(), 9u);
+  // 3x3 lattice, row-major: node i at (i%3 * 60, i/3 * 60).
+  for (std::size_t i = 0; i < 9; ++i) {
+    const phy::Position p = net.node(i).radio().position();
+    EXPECT_DOUBLE_EQ(p.x, static_cast<double>(i % 3) * 60.0) << "node " << i;
+    EXPECT_DOUBLE_EQ(p.y, static_cast<double>(i / 3) * 60.0) << "node " << i;
+  }
+}
+
+TEST(ManetScenario, FieldDerivesFromDensityWhenUnset) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  ManetSpec spec;
+  spec.stations = 100;
+  spec.mobility = ManetMobility::kStatic;
+  spec.spacing_m = 60.0;
+  spec.field_m = 0.0;
+  ManetScenario manet{net, spec};
+  // sqrt(100) * 60 = 600: constant density as N grows.
+  EXPECT_DOUBLE_EQ(manet.field_side_m(), 600.0);
+
+  sim::Simulator sim2{1};
+  Network net2{sim2};
+  spec.field_m = 450.0;  // explicit field wins
+  ManetScenario manet2{net2, spec};
+  EXPECT_DOUBLE_EQ(manet2.field_side_m(), 450.0);
+}
+
+TEST(ManetScenario, UniformPlacementStaysInFieldAndIsSeedDeterministic) {
+  ManetSpec spec;
+  spec.stations = 40;
+  spec.placement = ManetPlacement::kUniform;
+  spec.mobility = ManetMobility::kStatic;
+
+  sim::Simulator sim_a{5};
+  Network net_a{sim_a};
+  ManetScenario a{net_a, spec};
+  sim::Simulator sim_b{5};
+  Network net_b{sim_b};
+  ManetScenario b{net_b, spec};
+  sim::Simulator sim_c{6};
+  Network net_c{sim_c};
+  ManetScenario c{net_c, spec};
+
+  double max_diff_vs_c = 0.0;
+  for (std::size_t i = 0; i < spec.stations; ++i) {
+    const phy::Position pa = net_a.node(i).radio().position();
+    const phy::Position pb = net_b.node(i).radio().position();
+    const phy::Position pc = net_c.node(i).radio().position();
+    EXPECT_GE(pa.x, 0.0);
+    EXPECT_LE(pa.x, a.field_side_m());
+    EXPECT_GE(pa.y, 0.0);
+    EXPECT_LE(pa.y, a.field_side_m());
+    // Same seed: bit-identical. Different seed: a different layout.
+    EXPECT_EQ(pa.x, pb.x) << "node " << i;
+    EXPECT_EQ(pa.y, pb.y) << "node " << i;
+    max_diff_vs_c = std::max(max_diff_vs_c, std::abs(pa.x - pc.x) + std::abs(pa.y - pc.y));
+  }
+  EXPECT_GT(max_diff_vs_c, 1.0);
+}
+
+TEST(ManetScenario, MobileStationsGetBoundedSpeedModels) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  ManetSpec spec;
+  spec.stations = 12;
+  spec.mobility = ManetMobility::kGaussMarkov;
+  spec.max_speed_mps = 2.0;
+  ManetScenario manet{net, spec};
+  for (std::size_t i = 0; i < spec.stations; ++i) {
+    // The spatial index keys staleness off this bound: it must be the
+    // spec's clamp, not the unbounded default.
+    EXPECT_DOUBLE_EQ(net.node(i).radio().max_speed_bound(), 2.0) << "node " << i;
+  }
+
+  sim::Simulator sim2{1};
+  Network net2{sim2};
+  spec.mobility = ManetMobility::kStatic;
+  ManetScenario still{net2, spec};
+  for (std::size_t i = 0; i < spec.stations; ++i) {
+    EXPECT_DOUBLE_EQ(net2.node(i).radio().max_speed_bound(), 0.0) << "node " << i;
+  }
+}
+
+TEST(ManetScenario, FlowCountDerivesFromStations) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  ManetSpec spec;
+  spec.stations = 50;
+  spec.mobility = ManetMobility::kStatic;
+  spec.flows = 0;  // derive max(1, N/10)
+  ManetScenario manet{net, spec};
+  EXPECT_EQ(manet.flow_count(), 5u);
+
+  sim::Simulator sim2{1};
+  Network net2{sim2};
+  spec.stations = 4;
+  ManetScenario small{net2, spec};
+  EXPECT_EQ(small.flow_count(), 1u);
+
+  sim::Simulator sim3{1};
+  Network net3{sim3};
+  spec.flows = 7;  // explicit wins
+  ManetScenario explicit_flows{net3, spec};
+  EXPECT_EQ(explicit_flows.flow_count(), 7u);
+}
+
+TEST(ManetScenario, RejectsDegenerateSpecs) {
+  sim::Simulator sim{1};
+  Network net{sim};
+  ManetSpec spec;
+  spec.stations = 1;  // no multi-hop with one station
+  EXPECT_THROW((ManetScenario{net, spec}), std::invalid_argument);
+  spec.stations = 10;
+  spec.spacing_m = 0.0;
+  EXPECT_THROW((ManetScenario{net, spec}), std::invalid_argument);
+  spec.spacing_m = 60.0;
+  spec.min_speed_mps = 3.0;
+  spec.max_speed_mps = 1.0;  // inverted speed range
+  EXPECT_THROW((ManetScenario{net, spec}), std::invalid_argument);
+  spec.min_speed_mps = 0.5;
+  spec.max_speed_mps = 2.0;
+  spec.flow_kbps = 0.0;  // a flow that never sends
+  EXPECT_THROW((ManetScenario{net, spec}), std::invalid_argument);
+}
+
+TEST(ManetScenario, ShortRunDeliversTraffic) {
+  // Small dense static lattice: routes resolve and CBR datagrams arrive.
+  sim::Simulator sim{3};
+  Network net{sim};
+  ManetSpec spec;
+  spec.stations = 9;
+  spec.placement = ManetPlacement::kGrid;
+  spec.mobility = ManetMobility::kStatic;
+  spec.spacing_m = 30.0;  // at the edge of the default-rate decode range
+  spec.flows = 2;
+  ManetScenario manet{net, spec};
+  manet.start(sim::Time::ms(500), sim::Time::sec(3));
+  sim.run_until(sim::Time::from_ms(3250.0));
+  const ManetStats& stats = manet.stats();
+  EXPECT_GT(stats.sent, 0u);
+  EXPECT_GT(stats.delivered, 0u);
+  EXPECT_GT(stats.delivery_ratio(), 0.5);
+  EXPECT_GT(stats.mean_delay_ms(), 0.0);
+  // Route discovery actually ran.
+  EXPECT_GT(manet.aodv_totals().rreq_originated, 0u);
+}
+
+}  // namespace
+}  // namespace adhoc::scenario

@@ -1,0 +1,174 @@
+// UniformGrid unit tests: query correctness on cell boundaries, lazy
+// refresh of mobile entries (the cull-safety invariant), field exits,
+// zero-range queries, and the deterministic sorted-by-id result order.
+
+#include "spatial/uniform_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace adhoc::spatial {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+UniformGrid::PositionFn at(phy::Position p) {
+  return [p] { return p; };
+}
+
+std::vector<std::uint32_t> ids(const UniformGrid& grid, phy::Position center, double radius) {
+  std::vector<std::uint32_t> out;
+  grid.query(center, radius, out);
+  return out;
+}
+
+TEST(UniformGrid, QueryReturnsSortedIdsRegardlessOfInsertionOrder) {
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/0.0}};
+  const sim::Time t0 = sim::Time::zero();
+  // Insert out of id order, all within one query disc.
+  grid.insert(7, at({10.0, 10.0}), 0.0, t0);
+  grid.insert(2, at({12.0, 10.0}), 0.0, t0);
+  grid.insert(9, at({8.0, 12.0}), 0.0, t0);
+  grid.insert(4, at({11.0, 9.0}), 0.0, t0);
+  EXPECT_EQ(ids(grid, {10.0, 10.0}, 20.0), (std::vector<std::uint32_t>{2, 4, 7, 9}));
+}
+
+TEST(UniformGrid, FindsEntriesAcrossCellBoundaries) {
+  UniformGrid grid{{/*cell_m=*/100.0, /*slack_m=*/0.0}};
+  const sim::Time t0 = sim::Time::zero();
+  // Entries sitting exactly on cell boundaries, including negative
+  // coordinates (floor-based binning, not truncation).
+  grid.insert(1, at({100.0, 0.0}), 0.0, t0);
+  grid.insert(2, at({99.999, 0.0}), 0.0, t0);
+  grid.insert(3, at({-0.001, 0.0}), 0.0, t0);
+  grid.insert(4, at({0.0, 100.0}), 0.0, t0);
+  grid.insert(5, at({-100.0, -100.0}), 0.0, t0);
+  // A small disc straddling the (0,0)/(100,0) cell corner sees 1-4.
+  EXPECT_EQ(ids(grid, {50.0, 50.0}, 75.0), (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  // The far negative entry needs a disc that reaches it.
+  EXPECT_EQ(ids(grid, {-100.0, -100.0}, 1.0), (std::vector<std::uint32_t>{5}));
+}
+
+TEST(UniformGrid, ZeroRangeQueryMatchesExactPosition) {
+  UniformGrid grid{{/*cell_m=*/10.0, /*slack_m=*/0.0}};
+  const sim::Time t0 = sim::Time::zero();
+  grid.insert(1, at({5.0, 5.0}), 0.0, t0);
+  grid.insert(2, at({5.0, 5.000001}), 0.0, t0);
+  EXPECT_EQ(ids(grid, {5.0, 5.0}, 0.0), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(ids(grid, {6.0, 5.0}, 0.0).empty());
+}
+
+TEST(UniformGrid, HugeRadiusFallsBackToFullScanStillSorted) {
+  UniformGrid grid{{/*cell_m=*/1.0, /*slack_m=*/0.0}};
+  const sim::Time t0 = sim::Time::zero();
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    grid.insert(19 - i, at({static_cast<double>(i) * 3.0, 0.0}), 0.0, t0);
+  }
+  // Radius spans thousands of 1 m cells: the linear fallback must kick
+  // in and still return every entry in ascending id order.
+  const auto result = ids(grid, {0.0, 0.0}, 1e6);
+  ASSERT_EQ(result.size(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) EXPECT_EQ(result[i], i);
+}
+
+TEST(UniformGrid, StaticEntriesAreNeverRefreshed) {
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/10.0}};
+  grid.insert(1, at({0.0, 0.0}), /*max_speed=*/0.0, sim::Time::zero());
+  grid.refresh(sim::Time::sec(1000));
+  EXPECT_EQ(grid.refreshes(), 0u);
+  EXPECT_EQ(ids(grid, {0.0, 0.0}, 1.0), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(UniformGrid, MobileEntryWithinSlackIsFoundWithoutRefresh) {
+  // Entry drifts up to 1 m/s with 10 m slack: for 10 s its cached
+  // position is trusted, and a query widened by the slack still covers
+  // the true position (cull-safety invariant).
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/10.0}};
+  phy::Position true_pos{0.0, 0.0};
+  grid.insert(1, [&true_pos] { return true_pos; }, /*max_speed=*/1.0, sim::Time::zero());
+  true_pos = {8.0, 0.0};  // drifted 8 m, deadline (10 s) not reached
+  grid.refresh(sim::Time::sec(8));
+  EXPECT_EQ(grid.refreshes(), 0u);  // nothing due yet
+  // True position 8 m away; cached at origin. Query at the true
+  // position with radius 0 must still find it via the slack widening.
+  EXPECT_EQ(ids(grid, true_pos, 0.0), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(UniformGrid, StaleEntryIsRebinnedOnRefresh) {
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/10.0}};
+  phy::Position true_pos{0.0, 0.0};
+  grid.insert(1, [&true_pos] { return true_pos; }, /*max_speed=*/1.0, sim::Time::zero());
+  // Past the 10 s deadline the entry must be re-read and re-binned.
+  true_pos = {200.0, 0.0};  // left the original cell block entirely
+  grid.refresh(sim::Time::sec(11));
+  EXPECT_GE(grid.refreshes(), 1u);
+  EXPECT_EQ(ids(grid, {200.0, 0.0}, 1.0), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(ids(grid, {0.0, 0.0}, 1.0).empty());
+}
+
+TEST(UniformGrid, UnboundedSpeedRebinsEveryRefresh) {
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/10.0}};
+  phy::Position true_pos{0.0, 0.0};
+  grid.insert(1, [&true_pos] { return true_pos; }, kInf, sim::Time::zero());
+  for (int step = 1; step <= 3; ++step) {
+    true_pos = {static_cast<double>(step) * 500.0, 0.0};  // teleport
+    grid.refresh(sim::Time::sec(step));
+    EXPECT_EQ(ids(grid, true_pos, 1.0), (std::vector<std::uint32_t>{1})) << step;
+  }
+  EXPECT_GE(grid.refreshes(), 3u);
+}
+
+TEST(UniformGrid, TouchForcesImmediateRebin) {
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/10.0}};
+  phy::Position true_pos{0.0, 0.0};
+  grid.insert(1, [&true_pos] { return true_pos; }, /*max_speed=*/1.0, sim::Time::zero());
+  true_pos = {300.0, 0.0};  // teleport well beyond the drift bound
+  grid.touch(1, sim::Time::ms(1));
+  EXPECT_EQ(ids(grid, {300.0, 0.0}, 1.0), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(ids(grid, {0.0, 0.0}, 1.0).empty());
+}
+
+TEST(UniformGrid, SetMaxSpeedTightensAndLoosensDeadlines) {
+  UniformGrid grid{{/*cell_m=*/50.0, /*slack_m=*/10.0}};
+  phy::Position true_pos{0.0, 0.0};
+  grid.insert(1, [&true_pos] { return true_pos; }, /*max_speed=*/0.0, sim::Time::zero());
+  // Becoming mobile: drift past slack, then refresh past the new
+  // 10 m / 5 m/s = 2 s deadline must re-bin.
+  grid.set_max_speed(1, 5.0, sim::Time::zero());
+  true_pos = {120.0, 0.0};
+  grid.refresh(sim::Time::sec(3));
+  EXPECT_EQ(ids(grid, {120.0, 0.0}, 1.0), (std::vector<std::uint32_t>{1}));
+}
+
+TEST(UniformGrid, FieldExitKeepsEntryQueryable) {
+  // Entries can leave any notional "field": the grid is unbounded, so an
+  // exit is just another cell. Far-out coordinates must bin and query.
+  UniformGrid grid{{/*cell_m=*/100.0, /*slack_m=*/0.0}};
+  grid.insert(1, at({1e7, -1e7}), 0.0, sim::Time::zero());
+  grid.insert(2, at({-1e7, 1e7}), 0.0, sim::Time::zero());
+  EXPECT_EQ(ids(grid, {1e7, -1e7}, 10.0), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(ids(grid, {-1e7, 1e7}, 10.0), (std::vector<std::uint32_t>{2}));
+  EXPECT_TRUE(ids(grid, {0.0, 0.0}, 10.0).empty());
+}
+
+TEST(UniformGrid, CellHighWaterTracksPeakOccupancy) {
+  UniformGrid grid{{/*cell_m=*/100.0, /*slack_m=*/0.0}};
+  const sim::Time t0 = sim::Time::zero();
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    grid.insert(i, at({10.0 + static_cast<double>(i), 10.0}), 0.0, t0);
+  }
+  EXPECT_EQ(grid.cell_high_water(), 5u);
+  EXPECT_EQ(grid.cells_in_use(), 1u);
+  EXPECT_EQ(grid.size(), 5u);
+}
+
+TEST(UniformGrid, DuplicateInsertThrows) {
+  UniformGrid grid{{/*cell_m=*/100.0, /*slack_m=*/0.0}};
+  grid.insert(1, at({0.0, 0.0}), 0.0, sim::Time::zero());
+  EXPECT_THROW(grid.insert(1, at({1.0, 1.0}), 0.0, sim::Time::zero()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adhoc::spatial

@@ -10,7 +10,10 @@
 //   adhocsim run --scenario fig7 [--seed 1] [--obs-level full]
 //                [--trace-json t.json] [--trace-csv t.csv] [--metrics m.json]
 //                [--fault-plan NAME|FILE|SPEC]
-//   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults
+//   adhocsim run --scenario manet [--stations 50] [--placement grid|uniform]
+//                [--mobility static|waypoint|gauss-markov] [--field M]
+//                [--spacing M] [--flows N] [--flow-kbps K]
+//   adhocsim campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults|manet_sweep
 //                     [--jobs N] [--seeds N] [--seconds S] [--obs-level L]
 //                     [--telemetry PATH|-] [--retries R] [--shard I --shards N]
 //                     [--fault-plan NAME|FILE|SPEC] [--scorecard DIR]
@@ -54,6 +57,7 @@
 #include "obs/svc/telemetry.hpp"
 #include "experiments/campaigns.hpp"
 #include "experiments/experiments.hpp"
+#include "experiments/manet.hpp"
 #include "report/compare.hpp"
 #include "report/scorecard.hpp"
 #include "serve/client.hpp"
@@ -199,7 +203,7 @@ std::optional<obs::ObsLevel> obs_level_flag(const tools::CliArgs& args,
 /// RunObserver and exports the trace / metrics snapshots.
 int cmd_run(const tools::CliArgs& args) {
   const std::string scen =
-      args.choice("scenario", "fig7", {"two-node", "fig7", "fig9", "fig11", "fig12"});
+      args.choice("scenario", "fig7", {"two-node", "fig7", "fig9", "fig11", "fig12", "manet"});
   const auto level = obs_level_flag(args, "full");
   if (!level) return 1;
   auto cfg = config_flag(args);
@@ -242,6 +246,33 @@ int cmd_run(const tools::CliArgs& args) {
     const auto r = experiments::two_node_run(spec, cfg, seed, &observer);
     std::cout << "two-node seed " << seed << ": " << r.value / 1000.0 << " Mbps, " << r.events
               << " events\n";
+  } else if (scen == "manet") {
+    experiments::ManetRunSpec spec;
+    // 2 Mbps default: its ~100 m decode range matches the 60 m spacing.
+    spec.rate = phy::rate_from_mbps(args.num("rate", 2.0));
+    spec.rts = rts;
+    spec.manet.stations = static_cast<std::size_t>(args.positive_integer("stations", 50));
+    spec.manet.placement = args.choice("placement", "uniform", {"grid", "uniform"}) == "grid"
+                               ? scenario::ManetPlacement::kGrid
+                               : scenario::ManetPlacement::kUniform;
+    const std::string mob =
+        args.choice("mobility", "waypoint", {"static", "waypoint", "gauss-markov"});
+    spec.manet.mobility = mob == "static"     ? scenario::ManetMobility::kStatic
+                          : mob == "waypoint" ? scenario::ManetMobility::kWaypoint
+                                              : scenario::ManetMobility::kGaussMarkov;
+    spec.manet.field_m = args.num("field", 0.0);
+    spec.manet.spacing_m = args.positive_num("spacing", spec.manet.spacing_m);
+    spec.manet.flows = static_cast<std::size_t>(args.integer("flows", 0));
+    spec.manet.flow_kbps = args.positive_num("flow-kbps", spec.manet.flow_kbps);
+    const auto r = experiments::manet_run(spec, cfg, seed, &observer);
+    std::cout << "manet seed " << seed << ": " << spec.manet.stations << " stations, "
+              << r.goodput_kbps << " kbps goodput, delivery "
+              << stats::Table::fmt(r.delivery_ratio) << ", delay "
+              << stats::Table::fmt(r.mean_delay_ms) << " ms, " << r.events << " events\n"
+              << "medium: " << r.deliveries_scheduled << " deliveries scheduled, "
+              << r.deliveries_culled << " culled ("
+              << stats::Table::fmt(100.0 * r.culled_fraction(), 1) << "% of fan-out), cutoff "
+              << stats::Table::fmt(r.cs_cutoff_m, 1) << " m\n";
   } else {  // choice() above guarantees a four-station figure scenario
     experiments::FourStationSpec spec;
     if (scen == "fig7") spec = experiments::fig7_spec(rts, transport);
@@ -638,10 +669,14 @@ void usage() {
       "  range [--rate R]                  estimate TX range\n"
       "  saturation [--stations N] [--rts] simulated vs Bianchi\n"
       "  delay [--rate R] [--distance D] [--load-mbps L]\n"
-      "  run --scenario two-node|fig7|fig9|fig11|fig12 [--seed N] [--rts] [--tcp]\n"
+      "  run --scenario two-node|fig7|fig9|fig11|fig12|manet [--seed N] [--rts] [--tcp]\n"
       "      [--obs-level off|metrics|trace|full] [--trace-json PATH]\n"
       "      [--trace-csv PATH] [--metrics PATH]  one observed replication\n"
+      "      manet extras: [--stations N] [--placement grid|uniform]\n"
+      "      [--mobility static|waypoint|gauss-markov] [--field M] [--spacing M]\n"
+      "      [--flows N] [--flow-kbps K]\n"
       "  campaign --grid fig2|rates|fig3|fig7|fig9|fig11|fig12|saturation|faults\n"
+      "           |manet_sweep\n"
       "           [--jobs N] [--telemetry PATH|-] [--retries R] [--obs-level L]\n"
       "           [--shard I --shards N] [--scorecard DIR]\n"
       "                                    parallel sweep + JSONL telemetry\n"

@@ -88,6 +88,9 @@ ALWAYS_ORDERED_DIRS = (
     "src/report",
     "src/cache",
     "src/serve",
+    # src/spatial's neighbor queries feed the medium's event-scheduling
+    # order; an unordered iteration there breaks bit-identical replay.
+    "src/spatial",
 )
 
 # Tokens that mark an emission context for unordered-iter outside the
