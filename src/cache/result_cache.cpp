@@ -34,6 +34,11 @@ std::string sanitize_dir_name(const std::string& version) {
 }  // namespace
 
 ResultCache::ResultCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+  // No concurrent access is possible during construction, but holding
+  // the lock keeps the guarded-member writes below (and the
+  // evict_to_bounds() REQUIRES contract) visible to the thread-safety
+  // analysis without an escape hatch.
+  const conc::MutexLock lock{mutex_};
   if (cfg_.root.empty()) throw std::runtime_error("ResultCache: empty root directory");
   if (cfg_.version.empty()) cfg_.version = code_version();
   const fs::path root{cfg_.root};
@@ -91,7 +96,7 @@ std::string ResultCache::entry_path(const std::string& hash) const {
 
 std::optional<std::string> ResultCache::lookup(const RunKey& key) {
   const std::string hash = key.hash();
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   const auto it = entries_.find(hash);
   if (it == entries_.end()) {
     ++counters_.misses;
@@ -115,7 +120,7 @@ std::optional<std::string> ResultCache::lookup(const RunKey& key) {
 
 void ResultCache::store(const RunKey& key, const std::string& payload) {
   const std::string hash = key.hash();
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   const fs::path path{entry_path(hash)};
   std::error_code ec;
   fs::create_directories(path.parent_path(), ec);
@@ -154,7 +159,7 @@ void ResultCache::evict_to_bounds() {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   Stats s = counters_;
   s.entries = entries_.size();
   s.bytes = bytes_;

@@ -36,11 +36,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "cache/key.hpp"
+#include "concurrency/mutex.hpp"
 
 namespace adhoc::obs {
 class MetricsRegistry;
@@ -67,12 +67,12 @@ class ResultCache {
 
   /// Payload bytes for `key`, or nullopt on a miss. A hit refreshes the
   /// entry's LRU position.
-  [[nodiscard]] std::optional<std::string> lookup(const RunKey& key);
+  [[nodiscard]] std::optional<std::string> lookup(const RunKey& key) EXCLUDES(mutex_);
 
   /// Store `payload` under `key` (idempotent: re-storing refreshes LRU
   /// and rewrites identical bytes). May evict least-recently-used
   /// entries to honour the size bounds.
-  void store(const RunKey& key, const std::string& payload);
+  void store(const RunKey& key, const std::string& payload) EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -83,7 +83,7 @@ class ResultCache {
     std::size_t entries = 0;
     std::uint64_t bytes = 0;
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(mutex_);
 
   [[nodiscard]] const std::string& version() const { return cfg_.version; }
   [[nodiscard]] const std::string& root() const { return cfg_.root; }
@@ -100,18 +100,20 @@ class ResultCache {
   };
 
   [[nodiscard]] std::string entry_path(const std::string& hash) const;
-  void evict_to_bounds();
+  void evict_to_bounds() REQUIRES(mutex_);
 
-  CacheConfig cfg_;
-  std::string version_dir_;
-  mutable std::mutex mutex_;
+  CacheConfig cfg_;          // immutable after the constructor
+  std::string version_dir_;  // immutable after the constructor
+  // kResultCache ranks above kServiceMetrics: snapshot probes evaluate
+  // under the ServiceMetrics lock and call stats() here.
+  mutable conc::Mutex mutex_{conc::LockRank::kResultCache, "cache.result_cache"};
   // std::map: eviction scans must break last_use ties deterministically
   // (lexicographically smallest hash first), and stats snapshots feed
   // telemetry.
-  std::map<std::string, Entry> entries_;
-  std::uint64_t bytes_ = 0;
-  std::uint64_t seq_ = 0;
-  Stats counters_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  std::uint64_t bytes_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t seq_ GUARDED_BY(mutex_) = 0;
+  Stats counters_ GUARDED_BY(mutex_);
 };
 
 }  // namespace adhoc::cache

@@ -45,7 +45,7 @@ JsonlSink::JsonlSink(const std::string& path)
 }
 
 void JsonlSink::emit(const std::string& line) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   *out_ << line << '\n';
   out_->flush();  // keep the file tailable while the campaign runs
 }

@@ -23,11 +23,11 @@
 #include <cstddef>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "campaign/result.hpp"
+#include "concurrency/mutex.hpp"
 
 namespace adhoc::campaign {
 
@@ -56,11 +56,12 @@ class JsonlSink final : public TelemetrySink {
   void campaign_end(const CampaignResult& result) override;
 
  private:
-  void emit(const std::string& line);
+  void emit(const std::string& line) EXCLUDES(mutex_);
 
   std::unique_ptr<std::ofstream> owned_;
-  std::ostream* out_;
-  std::mutex mutex_;
+  conc::Mutex mutex_{conc::LockRank::kCampaignTelemetry, "campaign.jsonl_sink"};
+  /// The output stream; writes interleave per line, never mid-line.
+  std::ostream* out_ PT_GUARDED_BY(mutex_);
 };
 
 /// Escape a string for embedding in a JSON string literal.

@@ -1,0 +1,75 @@
+#pragma once
+// Clang thread-safety annotation macros (Abseil-style GUARDED_BY et
+// al.). Under Clang these expand to the attributes that drive
+// -Wthread-safety, turning the repo's lock-protected invariants into
+// compile-time checks; under GCC (and any compiler without the
+// attribute) every macro expands to nothing, so the annotated sync
+// layer costs zero in non-Clang builds.
+//
+// Usage contract (see README "Static analysis" and DESIGN.md §10):
+//
+//   conc::Mutex mutex_{conc::LockRank::kResultCache, "cache"};
+//   std::map<K, V> entries_ GUARDED_BY(mutex_);   // data behind a lock
+//   std::ostream* out_ PT_GUARDED_BY(mutex_);     // *pointee* behind it
+//   void evict() REQUIRES(mutex_);                // caller holds lock
+//   void store(...) EXCLUDES(mutex_);             // caller must NOT hold
+//
+// Every annotation is a claim the compiler verifies on Clang builds
+// (`cmake -DTHREAD_SAFETY=ON`); the adhoc_lint `guarded-member` rule
+// additionally demands that a conc::Mutex member in a concurrent
+// subsystem guards at least one annotated member, so the annotations
+// cannot silently rot to decoration.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CONC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CONC_THREAD_ANNOTATION
+#define CONC_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define CAPABILITY(x) CONC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY CONC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) CONC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define PT_GUARDED_BY(x) CONC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: caller holds every listed capability.
+#define REQUIRES(...) CONC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: caller holds none of the listed capabilities
+/// (guards against self-deadlock on non-reentrant mutexes).
+#define EXCLUDES(...) CONC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define ACQUIRE(...) CONC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (free on return).
+#define RELEASE(...) CONC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function conditionally acquires: holds the capability iff it
+/// returned `b`.
+#define TRY_ACQUIRE(b, ...) CONC_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Declares a required acquisition order between capabilities.
+#define ACQUIRED_BEFORE(...) CONC_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CONC_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Escape hatch: the function body is not analyzed. Reserved for code
+/// whose locking the analysis cannot express (condition-variable wait
+/// internals); every use carries a justifying comment.
+#define NO_THREAD_SAFETY_ANALYSIS CONC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Returns a reference to the capability protecting the decorated
+/// function's result.
+#define RETURN_CAPABILITY(x) CONC_THREAD_ANNOTATION(lock_returned(x))

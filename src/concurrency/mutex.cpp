@@ -1,0 +1,115 @@
+#include "concurrency/mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <vector>
+
+namespace adhoc::conc {
+
+namespace {
+
+// Mutexes the calling thread currently holds, acquisition order. The
+// serve stack never nests deeper than three (connections -> metrics ->
+// cache), so a flat vector beats any cleverness.
+thread_local std::vector<const Mutex*> t_held;
+
+#ifdef NDEBUG
+std::atomic<bool> g_rank_check{false};
+#else
+std::atomic<bool> g_rank_check{true};
+#endif
+
+}  // namespace
+
+bool set_lock_rank_check_enabled(bool enabled) noexcept {
+  return g_rank_check.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool lock_rank_check_enabled() noexcept {
+  return g_rank_check.load(std::memory_order_relaxed);
+}
+
+void Mutex::check_rank_order() const noexcept {
+  if (!lock_rank_check_enabled()) return;
+  for (const Mutex* held : t_held) {
+    if (held->rank_ >= rank_) {
+      // Abort before blocking: the misordering that would deadlock two
+      // threads under load dies deterministically here, naming both
+      // sides of the inversion.
+      std::fprintf(stderr,
+                   "conc: lock rank violation: thread holding \"%s\" (rank %d) "
+                   "tried to acquire \"%s\" (rank %d); ranks must be strictly "
+                   "ascending (see DESIGN.md lock hierarchy)\n",
+                   held->name_, static_cast<int>(held->rank_), name_,
+                   static_cast<int>(rank_));
+      std::abort();
+    }
+  }
+}
+
+void Mutex::note_acquired() noexcept {
+  if (lock_rank_check_enabled()) t_held.push_back(this);
+}
+
+void Mutex::note_released() noexcept {
+  // Tolerate out-of-order release (scoped locks may unwind in any
+  // order) and a check toggled on mid-hold (entry absent).
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == this) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void Mutex::lock() {
+  check_rank_order();
+  m_.lock();
+  note_acquired();
+}
+
+void Mutex::unlock() {
+  note_released();
+  m_.unlock();
+}
+
+bool Mutex::try_lock() {
+  check_rank_order();
+  if (!m_.try_lock()) return false;
+  note_acquired();
+  return true;
+}
+
+void CondVar::wait(MutexLock& lock) {
+  Mutex& m = lock.mutex_;
+  // The wait releases the capability and re-acquires it before
+  // returning; mirror that in the rank bookkeeping so other locks the
+  // thread still holds are checked against the re-acquisition.
+  m.note_released();
+  std::unique_lock<std::mutex> ul{m.m_, std::adopt_lock};
+  cv_.wait(ul);
+  ul.release();  // ownership stays with the MutexLock
+  m.check_rank_order();
+  m.note_acquired();
+}
+
+std::cv_status CondVar::wait_for(MutexLock& lock, std::chrono::milliseconds rel) {
+  // Host-time deadline; see the header's predicate overload.
+  return wait_until(lock, std::chrono::steady_clock::now() + rel);  // NOLINT-ADHOC(wall-clock)
+}
+
+std::cv_status CondVar::wait_until(MutexLock& lock,
+                                   std::chrono::steady_clock::time_point deadline) {  // NOLINT-ADHOC(wall-clock)
+  Mutex& m = lock.mutex_;
+  m.note_released();
+  std::unique_lock<std::mutex> ul{m.m_, std::adopt_lock};
+  const std::cv_status status = cv_.wait_until(ul, deadline);
+  ul.release();
+  m.check_rank_order();
+  m.note_acquired();
+  return status;
+}
+
+}  // namespace adhoc::conc

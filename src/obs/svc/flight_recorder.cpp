@@ -8,7 +8,7 @@ FlightRecorder::FlightRecorder(std::size_t requests_cap, std::size_t errors_cap)
     : requests_cap_{requests_cap}, errors_cap_{errors_cap} {}
 
 void FlightRecorder::record(const RequestSummary& summary) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   ++recorded_;
   requests_.push_back(summary);
   if (requests_.size() > requests_cap_) {
@@ -25,12 +25,12 @@ void FlightRecorder::record(const RequestSummary& summary) {
 }
 
 std::uint64_t FlightRecorder::recorded() const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   return recorded_;
 }
 
 std::uint64_t FlightRecorder::dropped() const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   return dropped_requests_ + dropped_errors_;
 }
 
@@ -52,7 +52,7 @@ std::string FlightRecorder::entry_line(const char* kind, const RequestSummary& s
 }
 
 std::string FlightRecorder::to_jsonl(std::uint64_t ts_unix_ms) const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   std::string out = "{\"dropped_errors\":" + std::to_string(dropped_errors_) +
                     ",\"dropped_requests\":" + std::to_string(dropped_requests_) +
                     ",\"kind\":\"flight_recorder_header\",\"recorded_errors\":" +

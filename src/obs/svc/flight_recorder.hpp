@@ -10,11 +10,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "concurrency/mutex.hpp"
 
 namespace adhoc::obs::svc {
 
@@ -37,15 +38,15 @@ class FlightRecorder {
 
   /// Record one finished request. Failed requests additionally land in
   /// the error ring. Oldest entries fall off when a ring is full.
-  void record(const RequestSummary& summary);
+  void record(const RequestSummary& summary) EXCLUDES(mutex_);
 
-  [[nodiscard]] std::uint64_t recorded() const;
-  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t recorded() const EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mutex_);
 
   /// Render the full dump: one header line, then request lines, then
   /// error lines, each oldest -> newest, keys sorted within each line.
   /// `ts_unix_ms` stamps the header with when the dump was taken.
-  [[nodiscard]] std::string to_jsonl(std::uint64_t ts_unix_ms) const;
+  [[nodiscard]] std::string to_jsonl(std::uint64_t ts_unix_ms) const EXCLUDES(mutex_);
 
   /// to_jsonl convenience for shutdown dumps.
   void dump(std::ostream& out, std::uint64_t ts_unix_ms) const;
@@ -53,14 +54,14 @@ class FlightRecorder {
  private:
   [[nodiscard]] static std::string entry_line(const char* kind, const RequestSummary& s);
 
-  mutable std::mutex mutex_;
+  mutable conc::Mutex mutex_{conc::LockRank::kFlightRecorder, "svc.flight_recorder"};
   std::size_t requests_cap_;
   std::size_t errors_cap_;
-  std::deque<RequestSummary> requests_;
-  std::deque<RequestSummary> errors_;
-  std::uint64_t recorded_ = 0;
-  std::uint64_t dropped_requests_ = 0;
-  std::uint64_t dropped_errors_ = 0;
+  std::deque<RequestSummary> requests_ GUARDED_BY(mutex_);
+  std::deque<RequestSummary> errors_ GUARDED_BY(mutex_);
+  std::uint64_t recorded_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_requests_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_errors_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace adhoc::obs::svc

@@ -10,7 +10,7 @@ namespace adhoc::obs::svc {
 void Logger::write(const char* level, const std::string& message,
                    const std::string& request_id) {
   if (out_ == nullptr) return;
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   if (format_ == LogFormat::kText) {
     *out_ << "adhocsim serve: " << message << "\n";
   } else {

@@ -11,9 +11,10 @@
 // artifacts: host timestamps are fine here and nothing downstream may
 // treat them as byte-stable.
 
-#include <mutex>
 #include <ostream>
 #include <string>
+
+#include "concurrency/mutex.hpp"
 
 namespace adhoc::obs::svc {
 
@@ -38,11 +39,13 @@ class Logger {
   [[nodiscard]] LogFormat format() const { return format_; }
 
  private:
-  void write(const char* level, const std::string& message, const std::string& request_id);
+  void write(const char* level, const std::string& message, const std::string& request_id)
+      EXCLUDES(mutex_);
 
-  std::ostream* out_;
+  conc::Mutex mutex_{conc::LockRank::kServiceLog, "svc.logger"};
+  /// Lines interleave whole, never mid-line.
+  std::ostream* out_ PT_GUARDED_BY(mutex_);
   LogFormat format_;
-  std::mutex mutex_;
 };
 
 /// Parse a --log-format value; throws std::invalid_argument on

@@ -39,45 +39,45 @@ std::string ServiceMetrics::with_labels(const std::string& name, const Labels& l
 
 void ServiceMetrics::inc(const std::string& component, const std::string& name, std::uint64_t n,
                          const Labels& labels) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   registry_.counter(component, with_labels(name, labels)).inc(n);
 }
 
 void ServiceMetrics::set_gauge(const std::string& component, const std::string& name,
                                double value, const Labels& labels) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   registry_.set_gauge(component, with_labels(name, labels), value);
 }
 
 void ServiceMetrics::add_gauge(const std::string& component, const std::string& name,
                                double delta, const Labels& labels) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   registry_.add_gauge(component, with_labels(name, labels), delta);
 }
 
 void ServiceMetrics::observe(const std::string& component, const std::string& name, double value,
                              const Labels& labels) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   registry_.distribution(component, with_labels(name, labels)).add(value);
 }
 
 void ServiceMetrics::attach(const std::function<void(MetricsRegistry&)>& fn) {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   fn(registry_);
 }
 
 std::string ServiceMetrics::snapshot_json() const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   return registry_.snapshot_json();
 }
 
 std::string ServiceMetrics::prometheus_text() const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   return registry_.prometheus_text();
 }
 
 std::map<std::string, double> ServiceMetrics::flatten() const {
-  const std::scoped_lock lock{mutex_};
+  const conc::MutexLock lock{mutex_};
   return registry_.flatten();
 }
 

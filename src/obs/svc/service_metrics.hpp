@@ -17,16 +17,18 @@
 // Lock ordering: snapshot paths evaluate probes under the metrics
 // mutex; probes may take their owner's lock (cache::ResultCache does).
 // Nothing called under those locks re-enters ServiceMetrics, so the
-// order metrics -> owner is acyclic.
+// order metrics -> owner is acyclic — and enforced: kServiceMetrics
+// ranks below kResultCache in the conc::LockRank hierarchy, so the
+// debug lock-rank check aborts on any future inversion.
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "concurrency/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace adhoc::obs::svc {
@@ -42,43 +44,43 @@ class ServiceMetrics {
 
   /// Increment a counter by n.
   void inc(const std::string& component, const std::string& name, std::uint64_t n = 1,
-           const Labels& labels = {});
+           const Labels& labels = {}) EXCLUDES(mutex_);
 
   /// Set a gauge.
   void set_gauge(const std::string& component, const std::string& name, double value,
-                 const Labels& labels = {});
+                 const Labels& labels = {}) EXCLUDES(mutex_);
 
   /// Add delta (may be negative) to a gauge; the atomic
   /// read-modify-write in-flight and queue-depth gauges need.
   void add_gauge(const std::string& component, const std::string& name, double delta,
-                 const Labels& labels = {});
+                 const Labels& labels = {}) EXCLUDES(mutex_);
 
   /// Record one sample into a latency/size distribution.
   void observe(const std::string& component, const std::string& name, double value,
-               const Labels& labels = {});
+               const Labels& labels = {}) EXCLUDES(mutex_);
 
   /// Run `fn` against the underlying registry under the metrics lock —
   /// the hook for probe attachment (cache::ResultCache::attach_metrics).
-  void attach(const std::function<void(MetricsRegistry&)>& fn);
+  void attach(const std::function<void(MetricsRegistry&)>& fn) EXCLUDES(mutex_);
 
   /// JSON snapshot ({"component":{"name":value,...},...}), keys sorted;
   /// probes evaluate live. See MetricsRegistry::snapshot_json.
-  [[nodiscard]] std::string snapshot_json() const;
+  [[nodiscard]] std::string snapshot_json() const EXCLUDES(mutex_);
 
   /// Prometheus text exposition. See MetricsRegistry::prometheus_text.
-  [[nodiscard]] std::string prometheus_text() const;
+  [[nodiscard]] std::string prometheus_text() const EXCLUDES(mutex_);
 
   /// Every metric flattened to "component.name" -> value (distributions
   /// expand to .count/.mean/...). See MetricsRegistry::flatten.
-  [[nodiscard]] std::map<std::string, double> flatten() const;
+  [[nodiscard]] std::map<std::string, double> flatten() const EXCLUDES(mutex_);
 
   /// One flattened value, 0.0 when absent: value("serve",
   /// "trace_dropped_total") or value("serve", "phase_ms{...}.count").
   [[nodiscard]] double value(const std::string& component, const std::string& key) const;
 
  private:
-  mutable std::mutex mutex_;
-  MetricsRegistry registry_;
+  mutable conc::Mutex mutex_{conc::LockRank::kServiceMetrics, "svc.metrics"};
+  MetricsRegistry registry_ GUARDED_BY(mutex_);
 };
 
 }  // namespace adhoc::obs::svc

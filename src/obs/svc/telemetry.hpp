@@ -10,6 +10,14 @@
 // plus whatever the Server / CampaignService record directly
 // (connections_in_flight, queue_depth, engine_* counters, ...) and the
 // probes attached via metrics.attach (cache::ResultCache).
+//
+// Concurrency: `metrics` and `recorder` carry their own conc::Mutex
+// (ranks kServiceMetrics / kFlightRecorder — see DESIGN.md's lock
+// hierarchy); the id counter is a lone atomic. finish_request touches
+// them strictly in sequence, never nested, so this type needs no lock
+// of its own. RequestTrace stays unsynchronized by design: one trace
+// belongs to one connection-handler thread until finish_request folds
+// it in.
 
 #include <atomic>
 #include <cstdint>

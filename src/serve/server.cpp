@@ -167,10 +167,13 @@ void Server::run() {
   // records its in-flight request in the flight recorder on the way
   // out).
   {
-    std::unique_lock<std::mutex> lock{conn_mutex_};
+    conc::MutexLock lock{conn_mutex_};
+    // REQUIRES on the predicate: CondVar::wait_for holds the lock
+    // across every pred() call, but the analysis cannot see through
+    // the template — the attribute keeps the lambda body checked.
     const bool drained =
         conn_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.shutdown_grace_ms),
-                          [this] { return active_fds_.empty(); });
+                          [this]() REQUIRES(conn_mutex_) { return active_fds_.empty(); });
     if (!drained) {
       for (const int cfd : active_fds_) ::shutdown(cfd, SHUT_RDWR);
       log_info("shutdown grace elapsed; force-closed " +
@@ -191,7 +194,7 @@ void Server::stop() {
 
 void Server::handle_connection(int fd) {
   {
-    const std::scoped_lock lock{conn_mutex_};
+    const conc::MutexLock lock{conn_mutex_};
     active_fds_.insert(fd);
   }
   obs::svc::ServiceTelemetry* telemetry = cfg_.telemetry;
@@ -244,7 +247,7 @@ void Server::handle_connection(int fd) {
     telemetry->metrics.add_gauge("serve", "connections_in_flight", -1.0);
   }
   {
-    const std::scoped_lock lock{conn_mutex_};
+    const conc::MutexLock lock{conn_mutex_};
     active_fds_.erase(fd);
   }
   conn_cv_.notify_all();

@@ -59,13 +59,12 @@
 // error entry). Every finished request lands in the flight recorder, so
 // a SIGTERM'd daemon's dump accounts for all request ids it served.
 
-#include <condition_variable>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "concurrency/mutex.hpp"
 #include "obs/svc/log.hpp"
 #include "obs/svc/telemetry.hpp"
 #include "serve/service.hpp"
@@ -118,11 +117,13 @@ class Server {
   CampaignService service_;
   int listen_fd_ = -1;
   int stop_pipe_[2] = {-1, -1};
-  /// Connections currently serving a request; guarded by conn_mutex_.
-  /// run() waits on conn_cv_ for this to empty during shutdown.
-  std::set<int> active_fds_;
-  std::mutex conn_mutex_;
-  std::condition_variable conn_cv_;
+  /// Ranked below every other lock: the drain path logs (kServiceLog)
+  /// while holding it.
+  conc::Mutex conn_mutex_{conc::LockRank::kServeConnections, "serve.connections"};
+  /// Connections currently serving a request. run() waits on conn_cv_
+  /// for this to empty during shutdown.
+  std::set<int> active_fds_ GUARDED_BY(conn_mutex_);
+  conc::CondVar conn_cv_;
 };
 
 }  // namespace adhoc::serve

@@ -1,7 +1,8 @@
 #include "sim/log.hpp"
 
 #include <iomanip>
-#include <mutex>
+
+#include "concurrency/mutex.hpp"
 
 namespace adhoc::sim {
 
@@ -9,9 +10,11 @@ std::atomic<LogLevel> Log::level_{LogLevel::kWarning};
 
 namespace {
 // Serialises line output across campaign worker threads. A function-local
-// static keeps the header free of <mutex> for every call site.
-std::mutex& write_mutex() {
-  static std::mutex m;
+// static keeps the header free of sync includes for every call site.
+// The guarded data is std::cerr/std::clog — externally owned streams a
+// GUARDED_BY annotation cannot name, hence the suppression.
+conc::Mutex& write_mutex() {
+  static conc::Mutex m{conc::LockRank::kSimLog, "sim.log"};  // NOLINT-ADHOC(guarded-member)
   return m;
 }
 }  // namespace
@@ -35,7 +38,7 @@ void Log::write(LogLevel lv, Time now, std::string_view component, std::string_v
   line << '[' << std::setw(12) << std::fixed << std::setprecision(3) << now.to_us() << "us] "
        << level_name(lv) << ' ' << component << ": " << message << '\n';
   std::ostream& os = (lv >= LogLevel::kWarning) ? std::cerr : std::clog;
-  const std::scoped_lock lock{write_mutex()};
+  const conc::MutexLock lock{write_mutex()};
   os << line.str();
 }
 

@@ -1,0 +1,170 @@
+// Unit tests for the annotated sync layer (conc::Mutex / MutexLock /
+// CondVar) and the runtime lock-rank check backing the DESIGN.md lock
+// hierarchy. The Clang -Wthread-safety half of the contract is
+// compile-time only and exercised by the THREAD_SAFETY CI job.
+#include "concurrency/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace adhoc::conc {
+namespace {
+
+// Force the rank check on for a test body (the default build defines
+// NDEBUG, which defaults it off) and restore the prior setting after.
+class ScopedRankCheck {
+ public:
+  explicit ScopedRankCheck(bool enabled) : prev_(set_lock_rank_check_enabled(enabled)) {}
+  ~ScopedRankCheck() { set_lock_rank_check_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(MutexLockTest, ReleasesOnScopeExit) {
+  Mutex m{LockRank::kServiceMetrics, "test.scoped"};
+  {
+    const MutexLock lock{m};
+    // Held: another thread's try_lock must fail.
+    bool acquired = true;
+    std::thread probe([&] { acquired = m.try_lock(); });
+    probe.join();
+    EXPECT_FALSE(acquired);
+  }
+  // Scope exited: the mutex is free again.
+  ASSERT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST(MutexLockTest, RankAndNameAreVisible) {
+  Mutex m{LockRank::kResultCache, "test.named"};
+  EXPECT_EQ(m.rank(), LockRank::kResultCache);
+  EXPECT_STREQ(m.name(), "test.named");
+}
+
+TEST(MutexLockTest, AscendingRanksNestCleanly) {
+  const ScopedRankCheck check{true};
+  Mutex low{LockRank::kServeConnections, "test.low"};
+  Mutex mid{LockRank::kServiceMetrics, "test.mid"};
+  Mutex high{LockRank::kResultCache, "test.high"};
+  const MutexLock a{low};
+  const MutexLock b{mid};
+  const MutexLock c{high};
+  SUCCEED() << "strictly ascending acquisition passed the rank check";
+}
+
+TEST(MutexLockTest, RankCheckToggleReturnsPrevious) {
+  const bool prev = set_lock_rank_check_enabled(true);
+  EXPECT_TRUE(lock_rank_check_enabled());
+  EXPECT_TRUE(set_lock_rank_check_enabled(false));
+  EXPECT_FALSE(lock_rank_check_enabled());
+  set_lock_rank_check_enabled(prev);
+}
+
+TEST(MutexLockDeathTest, DescendingRankAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const ScopedRankCheck check{true};
+  Mutex cache{LockRank::kResultCache, "test.cache"};
+  Mutex metrics{LockRank::kServiceMetrics, "test.metrics"};
+  EXPECT_DEATH(
+      {
+        const MutexLock outer{cache};
+        const MutexLock inner{metrics};  // rank 20 under rank 30: inversion
+      },
+      "lock rank violation.*test\\.cache.*test\\.metrics");
+}
+
+TEST(MutexLockDeathTest, RelockingHeldMutexAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const ScopedRankCheck check{true};
+  Mutex m{LockRank::kServiceLog, "test.relock"};
+  // Equal rank is not strictly ascending, so self-deadlock dies loudly
+  // instead of blocking forever.
+  EXPECT_DEATH(
+      {
+        const MutexLock outer{m};
+        const MutexLock inner{m};
+      },
+      "lock rank violation.*test\\.relock.*test\\.relock");
+}
+
+TEST(MutexLockDeathTest, TryLockIsRankCheckedToo) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const ScopedRankCheck check{true};
+  Mutex high{LockRank::kCampaignTelemetry, "test.high"};
+  Mutex low{LockRank::kServeConnections, "test.low"};
+  EXPECT_DEATH(
+      {
+        const MutexLock outer{high};
+        (void)low.try_lock();
+      },
+      "lock rank violation");
+}
+
+TEST(CondVarTest, WaitNotifyHandsOffAFlag) {
+  Mutex m{LockRank::kServiceMetrics, "test.cv"};
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    const MutexLock lock{m};
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock{m};
+    cv.wait(lock, [&]() REQUIRES(m) { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, TimedWaitSeesNotification) {
+  Mutex m{LockRank::kServiceMetrics, "test.cv_timed"};
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    const MutexLock lock{m};
+    ready = true;
+    cv.notify_all();
+  });
+  bool satisfied = false;
+  {
+    MutexLock lock{m};
+    satisfied = cv.wait_for(lock, std::chrono::seconds(30),
+                            [&]() REQUIRES(m) { return ready; });
+  }
+  producer.join();
+  EXPECT_TRUE(satisfied);
+}
+
+TEST(CondVarTest, TimedWaitTimesOutWhenNeverNotified) {
+  Mutex m{LockRank::kServiceMetrics, "test.cv_timeout"};
+  CondVar cv;
+  MutexLock lock{m};
+  const bool satisfied = cv.wait_for(lock, std::chrono::milliseconds(10),
+                                     [&]() REQUIRES(m) { return false; });
+  EXPECT_FALSE(satisfied);
+}
+
+TEST(CondVarTest, WaitKeepsRankBookkeepingBalanced) {
+  const ScopedRankCheck check{true};
+  Mutex outer{LockRank::kServeConnections, "test.outer"};
+  Mutex waited{LockRank::kServiceMetrics, "test.waited"};
+  Mutex after{LockRank::kResultCache, "test.after"};
+  CondVar cv;
+  const MutexLock hold_outer{outer};
+  {
+    MutexLock lock{waited};
+    // The wait releases and re-acquires `waited`; the re-acquisition is
+    // itself rank-checked against `outer`, which it out-ranks.
+    (void)cv.wait_for(lock, std::chrono::milliseconds(5));
+    // Still strictly ascending afterwards: outer(10) < waited(20) < after(30).
+    const MutexLock next{after};
+  }
+  SUCCEED() << "held-lock stack stayed consistent across a timed wait";
+}
+
+}  // namespace
+}  // namespace adhoc::conc

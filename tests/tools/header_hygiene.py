@@ -7,8 +7,15 @@ For each `*.hpp` under the given roots this writes a one-line TU
 header that leans on transitively-included names fails here long before
 it breaks an unrelated caller.
 
+Discovery is dynamic (an rglob per root), so new directories are swept
+the moment they appear.  That cuts both ways: a typo'd root or a moved
+tree silently shrinks coverage to zero.  --expect-dir pins named
+subtrees — the run fails unless each one contributed at least one
+header.
+
 Usage:
-  header_hygiene.py --compiler g++ --std c++20 -I src -I tools src [more roots]
+  header_hygiene.py --compiler g++ --std c++20 -I src -I tools \\
+      --expect-dir src/concurrency src [more roots]
 """
 
 from __future__ import annotations
@@ -52,19 +59,40 @@ def main(argv: list[str]) -> int:
     ap.add_argument("-I", dest="includes", action="append", default=[],
                     help="extra include directory (repeatable)")
     ap.add_argument("--jobs", type=int, default=8)
+    ap.add_argument("--expect-dir", dest="expect_dirs", action="append",
+                    default=[], metavar="DIR",
+                    help="POSIX path fragment that must contribute at least "
+                    "one header (repeatable); guards the dynamic discovery "
+                    "against silently sweeping nothing")
     args = ap.parse_args(argv)
 
     work = []
+    per_root: dict[str, int] = {}
     for root in args.roots:
         if not root.is_dir():
             print(f"header_hygiene: no such directory: {root}", file=sys.stderr)
             return 2
         includes = [str(root)] + args.includes
-        for header in sorted(root.rglob("*.hpp")):
+        headers = sorted(root.rglob("*.hpp"))
+        per_root[str(root)] = len(headers)
+        for header in headers:
             work.append((root, includes, header))
     if not work:
         print("header_hygiene: no headers found", file=sys.stderr)
         return 2
+
+    missing = [
+        frag for frag in args.expect_dirs
+        if not any(frag in header.as_posix() for _, _, header in work)
+    ]
+    if missing:
+        for frag in missing:
+            print(f"header_hygiene: --expect-dir {frag} contributed no "
+                  "headers (moved? typo?)", file=sys.stderr)
+        return 2
+    counts = ", ".join(f"{r}: {n}" for r, n in sorted(per_root.items()))
+    print(f"header_hygiene: discovered {len(work)} headers ({counts})",
+          file=sys.stderr)
 
     failures = []
     with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:

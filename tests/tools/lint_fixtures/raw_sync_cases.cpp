@@ -1,0 +1,54 @@
+// Fixture: raw-sync rule — std sync primitives outside src/concurrency/
+// are banned in favor of the annotated conc:: wrappers, so Clang's
+// -Wthread-safety analysis and the debug lock-rank check see every lock.
+#include <mutex>               // EXPECT-LINT(raw-sync)
+#include <condition_variable>  // EXPECT-LINT(raw-sync)
+#include <shared_mutex>        // EXPECT-LINT(raw-sync)
+#include <atomic>
+#include <thread>
+
+namespace fixture {
+
+struct Positives {
+  std::mutex m;                     // EXPECT-LINT(raw-sync)
+  std::recursive_mutex rm;          // EXPECT-LINT(raw-sync)
+  std::shared_mutex sm;             // EXPECT-LINT(raw-sync)
+  std::condition_variable cv;       // EXPECT-LINT(raw-sync)
+  std::condition_variable_any cva;  // EXPECT-LINT(raw-sync)
+  std::once_flag once;              // EXPECT-LINT(raw-sync)
+
+  void locks() {
+    const std::lock_guard<std::mutex> lg(m);  // EXPECT-LINT(raw-sync)
+  }
+  void unique() {
+    std::unique_lock<std::mutex> ul(m);  // EXPECT-LINT(raw-sync)
+    cv.wait(ul);
+  }
+  void scoped() {
+    const std::scoped_lock lock(m, rm);  // EXPECT-LINT(raw-sync)
+  }
+  void shared() {
+    const std::shared_lock<std::shared_mutex> sl(sm);  // EXPECT-LINT(raw-sync)
+  }
+};
+
+struct Suppressed {
+  // Sanctioned only in a fixture: real code outside src/concurrency/
+  // never earns this suppression.
+  std::mutex m;  // NOLINT-ADHOC(raw-sync)
+};
+
+// Negatives: lock-free primitives and threads are not sync *locks*;
+// they stay legal everywhere.
+struct Negatives {
+  std::atomic<int> counter{0};
+  std::atomic<bool> flag{false};
+  void run() {
+    std::thread t([this] { counter.fetch_add(1); });
+    t.join();
+  }
+  // Prose mentioning std::mutex in a comment or string never fires:
+  const char* doc = "wrap std::mutex via conc::Mutex";
+};
+
+}  // namespace fixture

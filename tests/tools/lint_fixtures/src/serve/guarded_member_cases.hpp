@@ -1,0 +1,55 @@
+#pragma once
+// Fixture: guarded-member rule — a class in a concurrent subsystem
+// (this file sits under a src/serve/ path fragment) declaring a
+// conc::Mutex member must annotate at least one member GUARDED_BY /
+// PT_GUARDED_BY it; an unreferenced mutex is decoration the
+// thread-safety analysis cannot check.
+
+namespace fixture {
+
+// Stand-ins so the fixture is self-contained; fixtures are linted,
+// never compiled.
+#define GUARDED_BY(x)
+#define PT_GUARDED_BY(x)
+namespace conc {
+struct Mutex {};
+}  // namespace conc
+
+// Negative: the mutex guards a member.
+struct Annotated {
+  conc::Mutex mutex_;
+  int counter_ GUARDED_BY(mutex_) = 0;
+};
+
+// Negative: pointee-guarding counts too. (The guard check is
+// file-granular and matches by name, so each struct below uses a
+// distinct member name.)
+struct PointeeAnnotated {
+  conc::Mutex pt_mutex_;
+  int* out_ PT_GUARDED_BY(pt_mutex_) = nullptr;
+};
+
+// Positive: the mutex is declared but nothing names it.
+struct Bare {
+  conc::Mutex bare_mutex_;  // EXPECT-LINT(guarded-member)
+  int counter_ = 0;
+};
+
+// Positive: two mutexes, only one referenced — the other still fires.
+struct HalfAnnotated {
+  conc::Mutex a_;
+  conc::Mutex b_;  // EXPECT-LINT(guarded-member)
+  int x_ GUARDED_BY(a_) = 0;
+};
+
+// Suppressed: guarded data the annotation cannot name (an external
+// stream, say) earns an inline justification instead.
+struct SuppressedExternal {
+  conc::Mutex ext_mutex_;  // NOLINT-ADHOC(guarded-member)
+};
+
+// Negative: references are not declarations — they alias a mutex that
+// is annotated (or justified) at its owning declaration.
+inline conc::Mutex& shared_mutex_ref();
+
+}  // namespace fixture

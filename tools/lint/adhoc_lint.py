@@ -21,6 +21,16 @@ banning the constructs that historically break that contract silently:
   header-guard    .hpp without #pragma once (or a classic include guard)
                   as its first non-comment line.
   self-include    a header that #includes itself.
+  raw-sync        std sync primitives (std::mutex, std::lock_guard,
+                  std::unique_lock, std::condition_variable, ...)
+                  anywhere outside src/concurrency/ — concurrency goes
+                  through the annotated conc:: wrappers so Clang's
+                  -Wthread-safety analysis (and the debug lock-rank
+                  check) see every lock.
+  guarded-member  a class in a concurrent subsystem declares a
+                  conc::Mutex member but annotates nothing GUARDED_BY /
+                  PT_GUARDED_BY it: the mutex is decoration the
+                  thread-safety analysis cannot check.
 
 Python files get one rule of their own:
 
@@ -62,16 +72,40 @@ RULES = {
     "self-include": "header includes itself",
     "py-json-sort-keys": "json.dump()/json.dumps() without sort_keys=True; "
     "unsorted keys make JSON artifacts byte-unstable",
+    "raw-sync": "raw std sync primitive outside src/concurrency/; lock through "
+    "conc::Mutex / conc::MutexLock / conc::CondVar so the thread-safety "
+    "analysis and lock-rank check see it",
+    "guarded-member": "conc::Mutex member guards nothing; annotate at least one "
+    "member GUARDED_BY (or PT_GUARDED_BY) this mutex",
     "bare-suppression": "NOLINT-ADHOC without a rule list; write "
     "NOLINT-ADHOC(rule-id)",
     "unknown-rule": "NOLINT-ADHOC names a rule this linter does not define",
 }
 
+# The subsystems where threads actually meet: a conc::Mutex member here
+# must guard something (guarded-member). src/concurrency itself is the
+# one place allowed to touch the raw std primitives (raw-sync).
+CONCURRENT_DIRS = (
+    "src/campaign",
+    "src/cache",
+    "src/serve",
+    "src/obs",
+    "src/sim",
+)
+
 # Rules that only apply under certain path fragments (POSIX-style).
 # fp-compare is deliberately unscoped: the issue floor was src/stats/ +
 # src/analysis/, but exact floating-point compares are just as hazardous
 # in grid parameters and bench predicates, so it runs everywhere.
-RULE_PATH_SCOPE: dict[str, tuple[str, ...]] = {}
+RULE_PATH_SCOPE: dict[str, tuple[str, ...]] = {
+    "guarded-member": CONCURRENT_DIRS,
+}
+
+# Rules suspended under certain path fragments: the sync-layer wrappers
+# are implemented in terms of the std primitives they ban elsewhere.
+RULE_PATH_EXCLUDE: dict[str, tuple[str, ...]] = {
+    "raw-sync": ("src/concurrency",),
+}
 
 # Directories whose unordered-container iterations are flagged even
 # without an emission marker nearby: these layers exist to serialize.
@@ -91,6 +125,9 @@ ALWAYS_ORDERED_DIRS = (
     # src/spatial's neighbor queries feed the medium's event-scheduling
     # order; an unordered iteration there breaks bit-identical replay.
     "src/spatial",
+    # The sync layer underpins every serialization path above; any
+    # future iteration here (e.g. a held-locks dump) must be ordered.
+    "src/concurrency",
 )
 
 # Tokens that mark an emission context for unordered-iter outside the
@@ -125,6 +162,16 @@ UNORDERED_DECL = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b[^;{]*?
 # (metrics_, obj.metrics_, ...) is compared against unordered decls.
 RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*?:\s*([^;)]+?)\s*\)")
 TRAILING_IDENT = re.compile(r"(\w+)$")
+RAW_SYNC = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable(?:_any)?|call_once|once_flag)\b"
+    r"|#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
+# A conc::Mutex data member / variable declaration. The `[;{=]` tail and
+# required whitespace exclude reference returns (`conc::Mutex& f()`) and
+# parameters (`conc::Mutex& m`), which guard nothing by themselves.
+CONC_MUTEX_MEMBER = re.compile(r"\bconc::Mutex\s+(\w+)\s*[;{=]")
 INCLUDE_QUOTED = re.compile(r'#\s*include\s*"([^"]+)"')
 PRAGMA_ONCE = re.compile(r"#\s*pragma\s+once\b")
 IFNDEF_GUARD = re.compile(r"#\s*ifndef\s+\w+")
@@ -269,6 +316,9 @@ def parse_suppressions(raw_lines: list[str]):
 
 
 def rule_applies(rule: str, posix_path: str) -> bool:
+    exclude = RULE_PATH_EXCLUDE.get(rule)
+    if exclude is not None and any(fragment in posix_path for fragment in exclude):
+        return False
     scope = RULE_PATH_SCOPE.get(rule)
     if scope is None:
         return True
@@ -356,6 +406,26 @@ def lint_file(path: Path, repo_root: Path) -> list[Finding]:
         m = FP_COMPARE.search(line)
         if m:
             emit(lineno, "fp-compare", f"'{m.group(0).strip()}': {RULES['fp-compare']}")
+        m = RAW_SYNC.search(line)
+        if m:
+            emit(lineno, "raw-sync", f"'{m.group(0).strip()}': {RULES['raw-sync']}")
+
+    # --- guarded-member ----------------------------------------------
+    # File granularity: a conc::Mutex declaration must be matched by a
+    # GUARDED_BY / PT_GUARDED_BY naming it somewhere in the same file.
+    # (Members and their annotations live together in the class body, so
+    # same-file is the right resolution for a line-based linter.)
+    for lineno, line in enumerate(code_lines, start=1):
+        for m in CONC_MUTEX_MEMBER.finditer(line):
+            name = m.group(1)
+            guard_ref = re.compile(r"\b(?:PT_)?GUARDED_BY\(\s*" + re.escape(name) + r"\s*\)")
+            if any(guard_ref.search(other) for other in code_lines):
+                continue
+            emit(
+                lineno,
+                "guarded-member",
+                f"conc::Mutex '{name}': {RULES['guarded-member']}",
+            )
 
     # --- unordered-iter ----------------------------------------------
     unordered_names = set()
