@@ -3,18 +3,58 @@
 //
 // Prints the paper's published value next to this library's equations
 // under both assumption presets (see analysis/throughput_model.hpp).
+//
+// With --journeys, additionally runs one short saturated two-node
+// simulation per Table 2 configuration at the journeys obs level and
+// folds the measured per-phase delay means (buffer/queue/contend/
+// airtime/retry, microseconds) into a delay_breakdown scorecard
+// section — "where does the delay go" for each analytical cell. Opt-in:
+// without the flag the document is byte-identical to the baseline.
 
 #include <iostream>
+#include <map>
+#include <string>
 
 #include "analysis/throughput_model.hpp"
 #include "bench_common.hpp"
+#include "experiments/experiments.hpp"
+#include "obs/observer.hpp"
 #include "stats/csv.hpp"
 #include "stats/table.hpp"
 
 using namespace adhoc;
 
+namespace {
+
+/// Measured journey phase means for one Table 2 configuration, from a
+/// short saturated two-node run (seed pinned: the breakdown lands in
+/// the byte-stable fidelity file).
+std::map<std::string, double> measure_delay_breakdown(const analysis::Table2Cell& cell) {
+  experiments::TwoNodeSpec spec;
+  spec.rate = cell.rate;
+  spec.rts = cell.rts;
+  spec.payload_bytes = cell.m_bytes;
+  experiments::ExperimentConfig cfg;
+  cfg.warmup = sim::Time::ms(200);
+  cfg.measure = sim::Time::sec(1);
+  obs::RunObserver observer{obs::ObsLevel::kJourneys};
+  (void)experiments::two_node_run(spec, cfg, /*seed=*/1, &observer);
+  const auto flat = observer.registry()->flatten();
+  std::map<std::string, double> phases;
+  for (const char* phase :
+       {"e2e_us", "buffer_us", "queue_us", "contend_us", "airtime_us", "retry_us"}) {
+    const auto it = flat.find(std::string("journey.udp.0to1.") + phase + ".mean");
+    if (it != flat.end()) phases[phase] = it->second;
+  }
+  return phases;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto opt = bench::parse_bench_options(argc, argv);
+  const tools::CliArgs args{argc, argv};
+  const bool journeys = args.has("journeys");
   const bench::WallTimer timer;
 
   const analysis::ThroughputModel standard{analysis::Assumptions::standard()};
@@ -40,9 +80,10 @@ int main(int argc, char** argv) {
     csv.numeric_row({phy::rate_mbps(cell.rate), static_cast<double>(cell.m_bytes),
                      cell.rts ? 1.0 : 0.0, cell.paper_mbps, std_v, fit_v});
     // Scorecard cell ids match tests/report/compare_test.cpp's layout.
-    card.add_cell(std::string(phy::rate_name(cell.rate)) + "/" + std::to_string(cell.m_bytes) +
-                      "B/" + (cell.rts ? "rts" : "basic"),
-                  fit_v, cell.paper_mbps, "Mbps");
+    const std::string id = std::string(phy::rate_name(cell.rate)) + "/" +
+                           std::to_string(cell.m_bytes) + "B/" + (cell.rts ? "rts" : "basic");
+    card.add_cell(id, fit_v, cell.paper_mbps, "Mbps");
+    if (journeys) card.add_delay_breakdown(id, measure_delay_breakdown(cell));
   }
   std::cout << table.to_string();
 

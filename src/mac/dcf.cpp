@@ -66,15 +66,22 @@ Dcf::Dcf(sim::Simulator& simulator, phy::Radio& radio, MacAddress address, MacPa
 
 // ----------------------------------------------------------------- queueing
 
-bool Dcf::enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t bytes) {
+bool Dcf::enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t bytes,
+                  std::uint64_t journey) {
   if (queue_.size() >= params_.queue_limit) {
     ++counters_.msdu_queue_drops;
     trace_event(TraceEvent::kQueueDrop);
-    return false;
+    return false;  // the caller attributes the tagged journey's drop
   }
   ++counters_.msdu_enqueued;
   queue_.push_back(QueueItem{dst, std::move(sdu), bytes, false, 0, 0, 0});
+  queue_.back().journey = journey;
   counters_.queue_high_water = std::max<std::uint64_t>(counters_.queue_high_water, queue_.size());
+  if (journeys_ != nullptr && journey != 0) {
+    journeys_->on_mac_enqueue(journey, radio_.id(), sim_.now());
+    // Contention (or the pending post-backoff) starts now for a new head.
+    if (queue_.size() == 1) journeys_->on_head_of_queue(journey, sim_.now());
+  }
   if (state_ == State::kIdle) try_begin_access();
   return true;
 }
@@ -178,6 +185,9 @@ void Dcf::transmit_current() {
   if (!item.seq_assigned) {
     item.seq = static_cast<std::uint16_t>(next_seq_++ & 0x0fff);
     item.seq_assigned = true;
+  }
+  if (journeys_ != nullptr && item.journey != 0) {
+    journeys_->on_attempt_start(item.journey, sim_.now());
   }
 
   const bool group = item.dst.is_group();
@@ -290,6 +300,9 @@ void Dcf::on_exchange_timeout() {
 void Dcf::exchange_failed(bool used_rts) {
   QueueItem& item = queue_.front();
   if (attempt_handler_) attempt_handler_(item.dst, false);
+  if (journeys_ != nullptr && item.journey != 0) {
+    journeys_->on_attempt_fail(item.journey, sim_.now());
+  }
   ++item.retries;
   const std::uint32_t limit =
       used_rts ? params_.long_retry_limit : params_.short_retry_limit;
@@ -313,10 +326,21 @@ void Dcf::exchange_succeeded() {
 
 void Dcf::finish_current(bool success) {
   const QueueItem item = std::move(queue_.front());
+  if (journeys_ != nullptr && item.journey != 0) {
+    if (success) {
+      journeys_->on_hop_success(item.journey, radio_.id(), sim_.now());
+    } else {
+      journeys_->on_retry_drop(item.journey, radio_.id(),
+                               journey_peer_ ? journey_peer_(item.dst) : -1, sim_.now());
+    }
+  }
   queue_.pop_front();
   if (success) ++counters_.tx_success;
   cw_ = params_.cw_min;
   draw_backoff();  // post-backoff, per the standard
+  if (const std::uint64_t next = head_journey(); next != 0) {
+    journeys_->on_head_of_queue(next, sim_.now());
+  }
   if (tx_status_handler_) {
     tx_status_handler_(TxStatus{item.dst, item.bytes, success, item.transmissions});
   }

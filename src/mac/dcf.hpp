@@ -27,6 +27,7 @@
 #include "mac/frame.hpp"
 #include "mac/mac_params.hpp"
 #include "mac/trace.hpp"
+#include "obs/journey/journey.hpp"
 #include "obs/trace.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
@@ -57,8 +58,10 @@ class Dcf final : public phy::RadioListener {
   Dcf& operator=(const Dcf&) = delete;
 
   /// Queue an MSDU for `dst`. Returns false (and drops) if the transmit
-  /// queue is full.
-  bool enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t bytes);
+  /// queue is full. `journey` tags the MSDU for the journey recorder
+  /// (0 = untracked; see set_journey_recorder).
+  bool enqueue(MacAddress dst, std::shared_ptr<const void> sdu, std::uint32_t bytes,
+               std::uint64_t journey = 0);
 
   void set_rx_handler(RxHandler h) { rx_handler_ = std::move(h); }
   void set_tx_status_handler(TxStatusHandler h) { tx_status_handler_ = std::move(h); }
@@ -71,6 +74,17 @@ class Dcf final : public phy::RadioListener {
   /// Mirror MAC events into a cross-layer trace sink (nullptr disables;
   /// the radio id is the track). Independent of the CSV FrameTracer.
   void set_trace_sink(obs::TraceSink* sink) { obs_sink_ = sink; }
+
+  /// Feed journey-tagged MSDU milestones (queueing, contention,
+  /// per-attempt airtime, retries, hop completion, retry-limit drops)
+  /// into a journey recorder. `peer_lookup` maps a unicast destination
+  /// MAC to its node id for fault attribution (-1 = unknown). nullptr
+  /// disables: untagged traffic costs one pointer test per milestone.
+  using PeerLookup = std::function<int(MacAddress)>;
+  void set_journey_recorder(obs::JourneyRecorder* recorder, PeerLookup peer_lookup) {
+    journeys_ = recorder;
+    journey_peer_ = std::move(peer_lookup);
+  }
 
   /// Per-destination data-rate override, consulted for each unicast data
   /// frame. Used by rate-adaptation controllers (mac/arf.hpp); when
@@ -118,6 +132,7 @@ class Dcf final : public phy::RadioListener {
     std::uint32_t retries = 0;        // failed attempts of the CURRENT fragment
     std::uint32_t frag_sent = 0;      // bytes of this MSDU already acknowledged
     std::uint8_t frag_index = 0;      // fragment currently in flight
+    std::uint64_t journey = 0;        // obs journey tag (0 = untracked)
   };
 
   /// Reassembly of one in-progress fragmented MSDU per source.
@@ -195,11 +210,17 @@ class Dcf final : public phy::RadioListener {
   MacCounters counters_;
   FrameTracer* tracer_ = nullptr;
   obs::TraceSink* obs_sink_ = nullptr;
+  obs::JourneyRecorder* journeys_ = nullptr;
+  PeerLookup journey_peer_;
   RateSelector rate_selector_;
 
   void trace(TraceEvent event, const Frame& f);
   void trace_event(TraceEvent event);
   void obs_emit(TraceEvent event, double seq, double bytes);
+  /// Journey id of the queue head (0 when untracked or queue empty).
+  [[nodiscard]] std::uint64_t head_journey() const {
+    return (journeys_ != nullptr && !queue_.empty()) ? queue_.front().journey : 0;
+  }
 };
 
 }  // namespace adhoc::mac

@@ -30,7 +30,10 @@ bool Aodv::send(std::shared_ptr<Packet> packet, Ipv4Address dst, std::uint8_t pr
     return node_.send_ip(std::move(packet), dst, protocol);
   }
   PendingDiscovery& pending = pending_[dst];
-  if (pending.buffered.size() >= params_.buffer_limit) return false;
+  if (pending.buffered.size() >= params_.buffer_limit) {
+    journey_drop(packet->journey);
+    return false;
+  }
   pending.buffered.emplace_back(std::move(packet), protocol);
   ++counters_.packets_buffered;
   if (pending.timer == sim::kInvalidEvent) start_discovery(dst);
@@ -96,10 +99,18 @@ void Aodv::on_discovery_timeout(Ipv4Address dst) {
     return;
   }
   counters_.packets_dropped_no_route += pending.buffered.size();
+  for (const auto& [packet, protocol] : pending.buffered) journey_drop(packet->journey);
   ADHOC_LOG(kDebug, node_.simulator().now(), "aodv",
             node_.ip() << ": discovery for " << dst << " failed, dropping "
                        << pending.buffered.size() << " packets");
   pending_.erase(it);
+}
+
+void Aodv::journey_drop(std::uint64_t journey) {
+  if (journey == 0) return;
+  if (obs::JourneyRecorder* journeys = node_.journeys(); journeys != nullptr) {
+    journeys->on_pre_air_drop(journey, node_.simulator().now());
+  }
 }
 
 void Aodv::flush_buffered(Ipv4Address dst) {

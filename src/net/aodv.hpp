@@ -124,6 +124,8 @@ class Aodv {
   void invalidate_routes_via(Ipv4Address next_hop, std::vector<Ipv4Address>& broken_out);
   void flush_buffered(Ipv4Address dst);
   void transmit_control(const AodvHeader& h, Ipv4Address ip_dst);
+  /// Attribute a discovery-buffer drop for a journey-tagged packet.
+  void journey_drop(std::uint64_t journey);
 
   Node& node_;
   AodvParams params_;

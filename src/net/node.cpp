@@ -37,6 +37,7 @@ bool Node::send_ip(std::shared_ptr<Packet> packet, Ipv4Address dst, std::uint8_t
 }
 
 bool Node::transmit_routed(std::shared_ptr<const Packet> packet, const Ipv4Header& ip) {
+  const std::uint64_t journey = packet->journey;
   mac::MacAddress next_mac;
   if (ip.dst.is_broadcast()) {
     next_mac = mac::MacAddress::broadcast();
@@ -44,18 +45,28 @@ bool Node::transmit_routed(std::shared_ptr<const Packet> packet, const Ipv4Heade
     const Ipv4Address hop = routes_.next_hop(ip.dst);
     if (!resolver_) {
       ++ip_drops_;
+      journey_drop(journey);
       return false;
     }
     const auto resolved = resolver_(hop);
     if (!resolved) {
       ++ip_drops_;
+      journey_drop(journey);
       ADHOC_LOG(kDebug, sim_.now(), "net", "node " << id_ << ": no MAC for " << hop);
       return false;
     }
     next_mac = *resolved;
   }
   const std::uint32_t bytes = packet->size_bytes();
-  return mac_->enqueue(next_mac, std::move(packet), bytes);
+  if (!mac_->enqueue(next_mac, std::move(packet), bytes, journey)) {
+    journey_drop(journey);
+    return false;
+  }
+  return true;
+}
+
+void Node::journey_drop(std::uint64_t journey) {
+  if (journeys_ != nullptr && journey != 0) journeys_->on_pre_air_drop(journey, sim_.now());
 }
 
 void Node::on_mac_rx(std::shared_ptr<const void> sdu, std::uint32_t /*bytes*/,
@@ -68,6 +79,7 @@ void Node::on_mac_rx(std::shared_ptr<const void> sdu, std::uint32_t /*bytes*/,
     const auto it = protocols_.find(ip->protocol);
     if (it == protocols_.end()) {
       ++ip_drops_;
+      journey_drop(packet->journey);
       return;
     }
     ++ip_rx_delivered_;
@@ -77,11 +89,13 @@ void Node::on_mac_rx(std::shared_ptr<const void> sdu, std::uint32_t /*bytes*/,
 
   if (!forwarding_) {
     ++ip_drops_;
+    journey_drop(packet->journey);
     return;
   }
   // Forward: decrement TTL on a copy and re-route.
   if (ip->ttl <= 1) {
     ++ip_drops_;
+    journey_drop(packet->journey);
     return;
   }
   auto copy = packet->clone();

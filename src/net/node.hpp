@@ -15,6 +15,7 @@
 #include "mac/dcf.hpp"
 #include "net/packet.hpp"
 #include "net/routing.hpp"
+#include "obs/journey/journey.hpp"
 #include "phy/medium.hpp"
 #include "phy/radio.hpp"
 #include "sim/simulator.hpp"
@@ -48,6 +49,13 @@ class Node {
 
   void set_resolver(Resolver r) { resolver_ = std::move(r); }
 
+  /// Journey recorder shared by this node's send path and transports
+  /// (set by the scenario wiring; nullptr = journeys disabled). The
+  /// node attributes pre-air drops — failed resolution, full MAC queue,
+  /// TTL expiry — for journey-tagged packets.
+  void set_journey_recorder(obs::JourneyRecorder* recorder) { journeys_ = recorder; }
+  [[nodiscard]] obs::JourneyRecorder* journeys() const { return journeys_; }
+
   /// Register the handler for an IP protocol number (TCP=6, UDP=17).
   void register_protocol(std::uint8_t protocol, ProtocolHandler handler);
 
@@ -69,11 +77,17 @@ class Node {
   [[nodiscard]] static Ipv4Address address_for(std::uint32_t id) {
     return Ipv4Address{10, 0, 0, static_cast<std::uint8_t>(id + 1)};
   }
+  /// Inverse of address_for (valid for unicast scenario addresses).
+  [[nodiscard]] static std::uint32_t station_for(Ipv4Address address) {
+    return (address.value() & 0xffu) - 1;
+  }
 
  private:
   void on_mac_rx(std::shared_ptr<const void> sdu, std::uint32_t bytes, mac::MacAddress src,
                  mac::MacAddress dst);
   bool transmit_routed(std::shared_ptr<const Packet> packet, const Ipv4Header& ip);
+  /// Attribute a pre-air drop for a journey-tagged packet (0 = no-op).
+  void journey_drop(std::uint64_t journey);
 
   sim::Simulator& sim_;
   std::uint32_t id_;
@@ -82,6 +96,7 @@ class Node {
   std::unique_ptr<mac::Dcf> mac_;
   RoutingTable routes_;
   Resolver resolver_;
+  obs::JourneyRecorder* journeys_ = nullptr;
   std::unordered_map<std::uint8_t, ProtocolHandler> protocols_;
   bool forwarding_ = false;
   std::uint16_t next_ip_id_ = 1;

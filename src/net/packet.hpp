@@ -67,6 +67,7 @@ class Packet {
   // --- application-level tags (not counted as bytes) -------------------
   std::uint64_t app_seq = 0;          ///< probe/CBR sequence number
   sim::Time created_at;               ///< for delay measurements
+  std::uint64_t journey = 0;          ///< obs journey id (0 = untracked)
 
  private:
   std::uint32_t payload_bytes_ = 0;

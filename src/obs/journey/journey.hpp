@@ -1,0 +1,237 @@
+#pragma once
+// Causal packet-journey tracing with delay decomposition and a
+// cross-layer conservation ledger.
+//
+// A journey is minted when the transport layer emits a datagram (UDP)
+// or first transmits a data segment (TCP) and rides the net::Packet tag
+// through routing, MAC queueing, per-attempt DCF access and the air,
+// across forwarding hops, until the packet is delivered to the remote
+// transport — or dies. Each journey accumulates per-phase simulated
+// time:
+//
+//   buffer   mint -> MAC enqueue (routing / send path)
+//   queue    enqueue -> head of the transmit queue
+//   contend  head -> first transmission attempt (DIFS + backoff)
+//   airtime  sum of attempt start -> attempt outcome (RTS/CTS, data,
+//            SIFS gaps, ACK — the protocol exchange on the air)
+//   retry    gaps between a failed attempt and the next attempt start
+//            (CW doubling + re-contention)
+//
+// summed over every hop. The conservation ledger guarantees each minted
+// journey terminates in exactly one bucket: delivered,
+// dropped_retry_limit, dropped_buffer, dropped_radio_off,
+// dropped_blackout, or in_flight (still live at finalize). Drop
+// attribution is fault-plan-aware: the scenario wires probes for "is
+// this radio off?" (crash plans) and "is this link blacked out?"
+// (blackout plans) that are consulted when a drop happens and again at
+// finalize for journeys caught mid-flight.
+//
+// Bounded like the trace ring: completed-journey detail records live in
+// a ring (overwrites counted as dropped()); the ledger and per-flow
+// histograms always cover every journey. The sampling knob mints every
+// Nth candidate so heavy runs can trade detail for cost. Scheduler
+// context only — one recorder per run, owned by obs::RunObserver.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace adhoc::obs {
+
+enum class JourneyTerminal : std::uint8_t {
+  kInFlight = 0,
+  kDelivered = 1,
+  kDroppedRetryLimit = 2,
+  kDroppedBuffer = 3,
+  kDroppedRadioOff = 4,
+  kDroppedBlackout = 5,
+};
+
+[[nodiscard]] std::string_view journey_terminal_name(JourneyTerminal t);
+
+/// End-of-run conservation totals. Every minted journey lands in
+/// exactly one bucket once finalize() has run.
+struct JourneyLedger {
+  std::uint64_t minted = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_retry_limit = 0;
+  std::uint64_t dropped_buffer = 0;
+  std::uint64_t dropped_radio_off = 0;
+  std::uint64_t dropped_blackout = 0;
+  std::uint64_t in_flight = 0;
+
+  [[nodiscard]] std::uint64_t terminated() const {
+    return delivered + dropped_retry_limit + dropped_buffer + dropped_radio_off +
+           dropped_blackout + in_flight;
+  }
+  [[nodiscard]] bool balanced() const { return minted == terminated(); }
+};
+
+/// One completed journey (a ring entry / CSV row).
+struct JourneyRecord {
+  std::uint64_t id = 0;
+  std::uint8_t protocol = 0;  ///< IP protocol (6 TCP, 17 UDP)
+  std::uint16_t flow_port = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t bytes = 0;
+  sim::Time minted_at;
+  JourneyTerminal terminal = JourneyTerminal::kInFlight;
+  sim::Time terminal_at;
+  std::uint32_t hops = 0;        ///< successful MAC hops
+  std::uint32_t attempts = 0;    ///< medium accesses won (all hops)
+  std::uint32_t retransmits = 0; ///< transport retransmissions (TCP)
+  sim::Time buffer;
+  sim::Time queue;
+  sim::Time contend;
+  sim::Time airtime;
+  sim::Time retry;
+};
+
+class JourneyRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit JourneyRecorder(std::size_t capacity = kDefaultCapacity);
+
+  JourneyRecorder(const JourneyRecorder&) = delete;
+  JourneyRecorder& operator=(const JourneyRecorder&) = delete;
+
+  /// Mirror journey milestones into the cross-layer trace sink as
+  /// kJourneyHop/kJourneyDeliver spans (nullptr disables).
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
+  /// Fold per-flow phase histograms into a registry as journeys
+  /// deliver (nullptr disables).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  /// Mint every `n`th candidate (n >= 1; default 1 = every packet).
+  void set_sample_every(std::uint32_t n) { sample_every_ = n == 0 ? 1 : n; }
+  [[nodiscard]] std::uint32_t sample_every() const { return sample_every_; }
+
+  /// Fault-plan-aware attribution probes, wired by scenario::Network.
+  void set_radio_off_probe(std::function<bool(std::uint32_t)> probe) {
+    radio_off_ = std::move(probe);
+  }
+  void set_link_blocked_probe(std::function<bool(std::uint32_t, std::uint32_t)> probe) {
+    link_blocked_ = std::move(probe);
+  }
+
+  // --- transport layer --------------------------------------------------
+  /// Mint a journey for a transport emission. Returns 0 when the
+  /// candidate is skipped by sampling — 0 is the "untracked" tag and
+  /// every other hook ignores it.
+  std::uint64_t mint(std::uint32_t src, std::uint32_t dst, std::uint8_t protocol,
+                     std::uint32_t bytes, std::uint16_t flow_port, sim::Time now);
+  /// A TCP segment carrying this journey was retransmitted.
+  void on_retransmit(std::uint64_t id, sim::Time now);
+  /// First in-order delivery to the remote transport: the terminal.
+  void on_delivered(std::uint64_t id, std::uint32_t node, sim::Time now);
+
+  // --- net layer --------------------------------------------------------
+  /// Dropped before reaching the air: no route, unresolvable next hop,
+  /// or MAC queue full. Terminates UDP journeys — dropped_radio_off
+  /// when the carrying node's radio is off (a crashed sender overflows
+  /// its own queue), dropped_buffer otherwise; TCP journeys stay open —
+  /// the transport will retransmit.
+  void on_pre_air_drop(std::uint64_t id, sim::Time now);
+
+  // --- mac layer --------------------------------------------------------
+  void on_mac_enqueue(std::uint64_t id, std::uint32_t node, sim::Time now);
+  void on_head_of_queue(std::uint64_t id, sim::Time now);
+  void on_attempt_start(std::uint64_t id, sim::Time now);
+  void on_attempt_fail(std::uint64_t id, sim::Time now);
+  /// The MSDU was acknowledged (or was group-addressed): one hop done.
+  void on_hop_success(std::uint64_t id, std::uint32_t node, sim::Time now);
+  /// Retry limit exhausted at `node` sending to `peer` (-1 unknown).
+  /// Terminates UDP journeys with fault-aware attribution; TCP journeys
+  /// stay open for the retransmission.
+  void on_retry_drop(std::uint64_t id, std::uint32_t node, int peer, sim::Time now);
+
+  /// Close every still-open journey into dropped_radio_off /
+  /// dropped_blackout / in_flight (probes consulted while the
+  /// simulation is still alive). Idempotent.
+  void finalize(sim::Time now);
+  /// Export ledger gauges (component "journey") into a registry.
+  void fold_into(MetricsRegistry& registry) const;
+
+  [[nodiscard]] const JourneyLedger& ledger() const { return ledger_; }
+  [[nodiscard]] std::uint64_t minted() const { return ledger_.minted; }
+  /// Completed-journey records overwritten because the ring wrapped.
+  [[nodiscard]] std::uint64_t dropped() const { return completed_ - retained(); }
+  [[nodiscard]] std::size_t retained() const { return full_ ? capacity_ : ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t open_count() const { return open_.size(); }
+
+  /// Retained records sorted by journey id (byte-stable export order).
+  [[nodiscard]] std::vector<JourneyRecord> records() const;
+
+  /// CSV export of the retained records. Times are integer nanoseconds
+  /// so reruns are byte-identical. Throws std::runtime_error on I/O
+  /// failure.
+  void write_csv(std::ostream& out) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  struct Active : JourneyRecord {
+    sim::Time last_transition;  ///< previous phase boundary
+    sim::Time attempt_start;
+    bool attempt_open = false;
+    bool first_attempt_of_hop = true;
+    std::uint32_t holder = 0;  ///< node currently carrying the packet
+  };
+
+  struct FlowDists {
+    Distribution* e2e = nullptr;
+    Distribution* buffer = nullptr;
+    Distribution* queue = nullptr;
+    Distribution* contend = nullptr;
+    Distribution* airtime = nullptr;
+    Distribution* retry = nullptr;
+  };
+
+  [[nodiscard]] Active* find(std::uint64_t id);
+  void close_attempt(Active& j, sim::Time now);
+  void bump(JourneyTerminal t);
+  /// Assign the terminal bucket (ledger update + optional drop marker).
+  void settle(Active& j, JourneyTerminal t, sim::Time now, bool trace_drop);
+  /// Move a settled journey into the completed-record ring.
+  void retire(Active& j);
+  void push_record(const JourneyRecord& r);
+  void fold_flow(const Active& j, sim::Time now);
+  [[nodiscard]] bool probe_radio_off(std::uint32_t node) const {
+    return radio_off_ && radio_off_(node);
+  }
+  [[nodiscard]] bool probe_link_blocked(std::uint32_t a, std::uint32_t b) const {
+    return link_blocked_ && (link_blocked_(a, b) || link_blocked_(b, a));
+  }
+
+  std::size_t capacity_;
+  // Open journeys keyed by id; std::map so finalize() closes them in
+  // mint order (deterministic ledger attribution and export).
+  std::map<std::uint64_t, Active> open_;
+  std::vector<JourneyRecord> ring_;
+  std::size_t head_ = 0;
+  bool full_ = false;
+  std::uint64_t completed_ = 0;
+
+  JourneyLedger ledger_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t candidates_ = 0;
+  std::uint32_t sample_every_ = 1;
+  bool finalized_ = false;
+
+  TraceSink* trace_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  std::map<std::uint64_t, FlowDists> flows_;
+  std::function<bool(std::uint32_t)> radio_off_;
+  std::function<bool(std::uint32_t, std::uint32_t)> link_blocked_;
+};
+
+}  // namespace adhoc::obs

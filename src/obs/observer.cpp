@@ -8,6 +8,7 @@ std::string_view obs_level_name(ObsLevel lv) {
     case ObsLevel::kMetrics: return "metrics";
     case ObsLevel::kTrace: return "trace";
     case ObsLevel::kFull: return "full";
+    case ObsLevel::kJourneys: return "journeys";
   }
   return "?";
 }
@@ -17,6 +18,7 @@ std::optional<ObsLevel> obs_level_from_string(std::string_view s) {
   if (s == "metrics") return ObsLevel::kMetrics;
   if (s == "trace") return ObsLevel::kTrace;
   if (s == "full") return ObsLevel::kFull;
+  if (s == "journeys") return ObsLevel::kJourneys;
   return std::nullopt;
 }
 
@@ -24,6 +26,11 @@ RunObserver::RunObserver(ObsLevel level, std::size_t trace_capacity) : level_(le
   if (level_ >= ObsLevel::kMetrics) registry_ = std::make_unique<MetricsRegistry>();
   if (level_ >= ObsLevel::kTrace) trace_ = std::make_unique<TraceSink>(trace_capacity);
   if (level_ >= ObsLevel::kFull) profiler_ = std::make_unique<SchedulerProfiler>();
+  if (level_ >= ObsLevel::kJourneys) {
+    journeys_ = std::make_unique<JourneyRecorder>();
+    journeys_->set_trace_sink(trace_.get());
+    journeys_->set_metrics(registry_.get());
+  }
 }
 
 void RunObserver::enable_periodic_snapshots(sim::Simulator& sim, sim::Time interval) {
@@ -44,8 +51,13 @@ void RunObserver::enable_periodic_snapshots(sim::Simulator& sim, sim::Time inter
 
 void RunObserver::finalize(const sim::Simulator& sim) {
   finalized_at_ = sim.now();
+  // Close in-flight journeys while the simulation (and the attribution
+  // probes wired into it) is still alive; the ledger gauges then ride
+  // the registry export below.
+  if (journeys_) journeys_->finalize(sim.now());
   if (!registry_) return;
   if (profiler_) profiler_->register_in(*registry_);
+  if (journeys_) journeys_->fold_into(*registry_);
   // The scheduler's own accounting wins over the profiler's view where
   // they overlap (its high-water covers scheduling, not just execution).
   const sim::Scheduler& sched = sim.scheduler();
@@ -78,6 +90,10 @@ void RunObserver::write_trace_json(const std::string& path) const {
 
 void RunObserver::write_trace_csv(const std::string& path) const {
   if (trace_) trace_->write_csv(path);
+}
+
+void RunObserver::write_journeys_csv(const std::string& path) const {
+  if (journeys_) journeys_->write_csv(path);
 }
 
 }  // namespace adhoc::obs

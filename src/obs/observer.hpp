@@ -6,6 +6,7 @@
 //   kMetrics  metrics registry only
 //   kTrace    + structured event tracing
 //   kFull     + scheduler profiling (wall-clock timing per event)
+//   kJourneys + causal packet-journey tracing (src/obs/journey)
 //
 // One observer per simulation run: campaign workers each build their own,
 // so nothing here needs locking. Attach to a scenario with
@@ -19,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/journey/journey.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -26,10 +28,11 @@
 
 namespace adhoc::obs {
 
-enum class ObsLevel { kOff = 0, kMetrics = 1, kTrace = 2, kFull = 3 };
+enum class ObsLevel { kOff = 0, kMetrics = 1, kTrace = 2, kFull = 3, kJourneys = 4 };
 
 [[nodiscard]] std::string_view obs_level_name(ObsLevel lv);
-/// Parse "off" | "metrics" | "trace" | "full"; nullopt on anything else.
+/// Parse "off" | "metrics" | "trace" | "full" | "journeys"; nullopt on
+/// anything else.
 [[nodiscard]] std::optional<ObsLevel> obs_level_from_string(std::string_view s);
 
 class RunObserver {
@@ -46,6 +49,7 @@ class RunObserver {
   [[nodiscard]] MetricsRegistry* registry() { return registry_.get(); }
   [[nodiscard]] TraceSink* trace_sink() { return trace_.get(); }
   [[nodiscard]] SchedulerProfiler* profiler() { return profiler_.get(); }
+  [[nodiscard]] JourneyRecorder* journeys() { return journeys_.get(); }
 
   /// Schedule periodic registry snapshots every `interval` while the run
   /// executes (self-rescheduling; stops when the sim stops executing).
@@ -68,6 +72,8 @@ class RunObserver {
   /// Trace export. No-ops below kTrace.
   void write_trace_json(const std::string& path) const;
   void write_trace_csv(const std::string& path) const;
+  /// Journey CSV export (finalize first). No-ops below kJourneys.
+  void write_journeys_csv(const std::string& path) const;
 
  private:
   ObsLevel level_;
@@ -75,6 +81,7 @@ class RunObserver {
   std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<TraceSink> trace_;
   std::unique_ptr<SchedulerProfiler> profiler_;
+  std::unique_ptr<JourneyRecorder> journeys_;
 };
 
 }  // namespace adhoc::obs

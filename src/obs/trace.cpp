@@ -46,8 +46,15 @@ std::string_view event_kind_name(EventKind k) {
     case EventKind::kFaultDayOffset: return "fault_day_offset";
     case EventKind::kFaultBlackoutStart: return "fault_blackout_start";
     case EventKind::kFaultBlackoutEnd: return "fault_blackout_end";
+    case EventKind::kJourneyHop: return "journey_hop";
+    case EventKind::kJourneyDeliver: return "journey_deliver";
+    case EventKind::kJourneyDrop: return "journey_drop";
   }
   return "?";
+}
+
+bool event_kind_is_journey_flow(EventKind k) {
+  return k == EventKind::kJourneyHop || k == EventKind::kJourneyDeliver;
 }
 
 bool event_kind_is_counter(EventKind k) { return k == EventKind::kTcpCwnd; }
@@ -79,6 +86,9 @@ ArgNames arg_names(EventKind k) {
     case EventKind::kFaultDayOffset: return {"offset_db", "prev_db"};
     case EventKind::kFaultBlackoutStart:
     case EventKind::kFaultBlackoutEnd: return {"from", "to"};
+    case EventKind::kJourneyHop: return {"journey", "hop"};
+    case EventKind::kJourneyDeliver: return {"journey", "hops"};
+    case EventKind::kJourneyDrop: return {"journey", "terminal"};
     default: return {"seq", "bytes"};
   }
 }
@@ -181,6 +191,30 @@ void TraceSink::write_chrome_trace(std::ostream& out) const {
     obj += "\",\"pid\":" + std::to_string(e.track);
     obj += ",\"tid\":" + std::to_string(static_cast<unsigned>(e.layer));
     obj += ",\"ts\":" + json_number(e.ts.to_us());
+    if (event_kind_is_journey_flow(e.kind)) {
+      // Journey milestones always export as slices (even zero-width
+      // delivery markers) so the flow arrow emitted right after has a
+      // slice on this (pid, tid) at its ts to bind to.
+      obj += ",\"ph\":\"X\",\"dur\":" + json_number(e.dur.to_us());
+      obj += ",\"args\":{\"" + std::string(an.a) + "\":" + json_number(e.a) + ",\"" +
+             std::string(an.b) + "\":" + json_number(e.b) + "}}";
+      emit(obj);
+      const auto journey_id = static_cast<std::uint64_t>(e.a);
+      std::string flow = "{\"name\":\"journey\",\"cat\":\"journey\",\"id\":" +
+                         std::to_string(journey_id);
+      flow += ",\"pid\":" + std::to_string(e.track);
+      flow += ",\"tid\":" + std::to_string(static_cast<unsigned>(e.layer));
+      flow += ",\"ts\":" + json_number(e.ts.to_us());
+      if (e.kind == EventKind::kJourneyDeliver) {
+        flow += ",\"ph\":\"f\",\"bp\":\"e\"}";
+      } else if (static_cast<std::uint64_t>(e.b) == 0) {  // b: hop index
+        flow += ",\"ph\":\"s\"}";
+      } else {
+        flow += ",\"ph\":\"t\"}";
+      }
+      emit(flow);
+      continue;
+    }
     if (event_kind_is_counter(e.kind)) {
       obj += ",\"ph\":\"C\",\"args\":{\"" + std::string(an.a) + "\":" + json_number(e.a) +
              ",\"" + std::string(an.b) + "\":" + json_number(e.b) + "}}";

@@ -59,11 +59,21 @@ enum class EventKind : std::uint8_t {
   kFaultDayOffset = 21,          // a = new day offset dB, b = previous
   kFaultBlackoutStart = 22,      // a = tx node, b = rx node
   kFaultBlackoutEnd = 23,        // a = tx node, b = rx node
+  // Journeys (src/obs/journey): causal packet-journey milestones. Hop
+  // and deliver export as duration slices plus Chrome flow events
+  // ("s"/"t"/"f" arrows keyed by the journey id in `a`) binding the
+  // per-station tracks together.
+  kJourneyHop = 24,      // a = journey id, b = hop index (0 = first)
+  kJourneyDeliver = 25,  // a = journey id, b = hop count
+  kJourneyDrop = 26,     // a = journey id, b = terminal bucket
 };
 
 [[nodiscard]] std::string_view event_kind_name(EventKind k);
 /// True for kinds exported as Chrome counter tracks ("ph":"C").
 [[nodiscard]] bool event_kind_is_counter(EventKind k);
+/// True for journey kinds that also emit a Chrome flow event binding
+/// to their own slice (kJourneyHop -> "s"/"t", kJourneyDeliver -> "f").
+[[nodiscard]] bool event_kind_is_journey_flow(EventKind k);
 
 struct Event {
   sim::Time ts;

@@ -74,6 +74,14 @@ void Scorecard::add_points(const std::vector<campaign::PointAggregate>& points,
   }
 }
 
+void Scorecard::add_delay_breakdown(std::string id, std::map<std::string, double> phases_us) {
+  if (id.empty()) throw std::invalid_argument("Scorecard: empty delay_breakdown id");
+  if (delay_breakdown_.contains(id)) {
+    throw std::invalid_argument("Scorecard: duplicate delay_breakdown id '" + id + "'");
+  }
+  delay_breakdown_.emplace(std::move(id), std::move(phases_us));
+}
+
 namespace {
 
 std::string cell_json(const Cell& c) {
@@ -116,7 +124,28 @@ std::string Scorecard::to_json() const {
     out += "\":";
     out += json_number(static_cast<double>(value));
   }
-  out += "},\n\"schema\":1,\n\"seeds\":[";
+  out += "}";
+  if (!delay_breakdown_.empty()) {
+    // Optional section, top-level key order stays alphabetical:
+    // counters < delay_breakdown < schema. Absent when unused, so
+    // pre-existing baselines keep their exact bytes.
+    out += ",\n\"delay_breakdown\":{";
+    first = true;
+    for (const auto& [id, phases] : delay_breakdown_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += '"' + json_escape(id) + "\":{";
+      bool first_phase = true;
+      for (const auto& [phase, value] : phases) {
+        if (!first_phase) out += ',';
+        first_phase = false;
+        out += '"' + json_escape(phase) + "\":" + json_number(value);
+      }
+      out += '}';
+    }
+    out += "\n}";
+  }
+  out += ",\n\"schema\":1,\n\"seeds\":[";
   first = true;
   for (const std::uint64_t s : seeds_) {
     if (!first) out += ',';

@@ -94,6 +94,18 @@ class Scorecard {
   void add_points(const std::vector<campaign::PointAggregate>& points,
                   const std::map<std::string, std::string>& unit_by_metric = {});
 
+  /// Per-cell delay decomposition (journey phase means, microseconds):
+  /// "where does the delay go" for a configuration id. The section is
+  /// serialised only when at least one breakdown was added, so benches
+  /// that never call this produce byte-identical documents to before
+  /// the feature existed. Throws std::invalid_argument on an empty or
+  /// duplicate id.
+  void add_delay_breakdown(std::string id, std::map<std::string, double> phases_us);
+  [[nodiscard]] const std::map<std::string, std::map<std::string, double>>& delay_breakdown()
+      const {
+    return delay_breakdown_;
+  }
+
   [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
@@ -124,6 +136,7 @@ class Scorecard {
   std::vector<Cell> cells_;
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> perf_;
+  std::map<std::string, std::map<std::string, double>> delay_breakdown_;
 };
 
 }  // namespace adhoc::report

@@ -153,6 +153,10 @@ void ManetScenario::schedule_tick(std::size_t flow_index, sim::Time at) {
         static_cast<std::uint16_t>(spec_.payload_bytes + net::UdpHeader::kBytes)});
     packet->app_seq = flow.next_seq++;
     packet->created_at = now;
+    if (obs::JourneyRecorder* journeys = net_.node(flow.src).journeys(); journeys != nullptr) {
+      packet->journey = journeys->mint(net_.node(flow.src).id(), net_.node(flow.dst).id(),
+                                       net::kProtoUdp, spec_.payload_bytes, flow.port, now);
+    }
     if (now >= measure_from_ && now < measure_until_) ++stats_.sent;
     aodv_[flow.src - base_]->send(std::move(packet), net_.node(flow.dst).ip(), net::kProtoUdp);
     schedule_tick(flow_index, now + flow.interval);

@@ -119,6 +119,18 @@ net::Node& Network::add_node(phy::Position pos, std::optional<mac::MacParams> ma
 void Network::attach_observer(obs::RunObserver& observer) {
   obs_ = &observer;
   if (observer.profiler() != nullptr) sim_.scheduler().set_probe(observer.profiler());
+  if (obs::JourneyRecorder* journeys = observer.journeys(); journeys != nullptr) {
+    // Fault-plan-aware drop attribution: consulted when a tracked packet
+    // dies, so a retry-limit drop against a crashed peer lands in
+    // dropped_radio_off and one across a blackout link in
+    // dropped_blackout rather than the generic retry bucket.
+    journeys->set_radio_off_probe([this](std::uint32_t id) {
+      return id < nodes_.size() && !nodes_[id]->radio().enabled();
+    });
+    journeys->set_link_blocked_probe([this](std::uint32_t a, std::uint32_t b) {
+      return medium_.link_blocked(a, b) || medium_.link_blocked(b, a);
+    });
+  }
   if (obs::MetricsRegistry* reg = observer.registry(); reg != nullptr) {
     // Shared-medium probes: fan-out volume and how much of it the
     // spatial index culled (the O(neighbors) evidence at large N).
@@ -150,6 +162,12 @@ void Network::wire_node_observer(std::size_t i) {
   if (obs::TraceSink* sink = obs_->trace_sink(); sink != nullptr) {
     n.radio().set_trace_sink(sink);
     n.dcf().set_trace_sink(sink);
+  }
+  if (obs::JourneyRecorder* journeys = obs_->journeys(); journeys != nullptr) {
+    n.set_journey_recorder(journeys);
+    n.dcf().set_journey_recorder(journeys, [](mac::MacAddress dst) -> int {
+      return dst.is_group() ? -1 : static_cast<int>(dst.station_index());
+    });
   }
   obs::MetricsRegistry* reg = obs_->registry();
   if (reg == nullptr) return;

@@ -289,6 +289,9 @@ bool Server::handle_line(int fd, const std::string& line, RequestTrace* trace) {
       out += R"(,"serve":{"frame_trace_dropped":)" +
              std::to_string(static_cast<std::uint64_t>(
                  metrics.value("serve", "frame_trace_dropped_total"))) +
+             R"(,"journey_dropped":)" +
+             std::to_string(
+                 static_cast<std::uint64_t>(metrics.value("serve", "journey_dropped_total"))) +
              R"(,"trace_dropped":)" +
              std::to_string(
                  static_cast<std::uint64_t>(metrics.value("serve", "trace_dropped_total"))) +

@@ -186,18 +186,25 @@ SubmitOutcome CampaignService::submit(const SubmitRequest& req,
       cfg_.metrics->inc("serve", "runs_served_total", out.cache_misses, {{"source", "engine"}});
     }
     // Observability-loss counters: TraceSink ring drops recorded per
-    // run, plus per-node FrameTracer drops surfaced through the obs
-    // snapshot (keys "mac.<sta>.frame_trace_dropped").
+    // run, per-node FrameTracer drops surfaced through the obs snapshot
+    // (keys "mac.<sta>.frame_trace_dropped"), and journey-record ring
+    // overwrites ("journey.journey_dropped").
     std::uint64_t trace_dropped = 0;
     std::uint64_t frame_trace_dropped = 0;
+    std::uint64_t journey_dropped = 0;
     constexpr std::string_view kFrameDropKey = "frame_trace_dropped";
+    constexpr std::string_view kJourneyDropKey = "journey.journey_dropped";
+    const auto has_suffix = [](const std::string& key, std::string_view suffix) {
+      return key.size() >= suffix.size() &&
+             key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
     for (const auto& record : out.result.runs) {
       trace_dropped += record.metrics.trace_dropped;
       for (const auto& [key, value] : record.metrics.obs) {
-        if (key.size() >= kFrameDropKey.size() &&
-            key.compare(key.size() - kFrameDropKey.size(), kFrameDropKey.size(),
-                        kFrameDropKey) == 0) {
+        if (has_suffix(key, kFrameDropKey)) {
           frame_trace_dropped += static_cast<std::uint64_t>(value);
+        } else if (has_suffix(key, kJourneyDropKey)) {
+          journey_dropped += static_cast<std::uint64_t>(value);
         }
       }
     }
@@ -206,6 +213,9 @@ SubmitOutcome CampaignService::submit(const SubmitRequest& req,
     }
     if (frame_trace_dropped > 0) {
       cfg_.metrics->inc("serve", "frame_trace_dropped_total", frame_trace_dropped);
+    }
+    if (journey_dropped > 0) {
+      cfg_.metrics->inc("serve", "journey_dropped_total", journey_dropped);
     }
   }
   return out;

@@ -70,7 +70,14 @@ class CampaignService {
   explicit CampaignService(ServiceConfig cfg) : cfg_(cfg) {
     // All-hit submits never touch the engine; create the gauge up
     // front so scrapes read 0 rather than finding no sample at all.
-    if (cfg_.metrics != nullptr) cfg_.metrics->set_gauge("serve", "queue_depth", 0.0);
+    // Same for the observability-loss counters, which only accrue on
+    // lossy runs but should always expose a (possibly zero) sample.
+    if (cfg_.metrics != nullptr) {
+      cfg_.metrics->set_gauge("serve", "queue_depth", 0.0);
+      cfg_.metrics->inc("serve", "trace_dropped_total", 0);
+      cfg_.metrics->inc("serve", "frame_trace_dropped_total", 0);
+      cfg_.metrics->inc("serve", "journey_dropped_total", 0);
+    }
   }
 
   /// Execute one submit request. `telemetry` (optional) observes the

@@ -118,8 +118,36 @@ std::uint32_t TcpConnection::app_limit_seq() const {
   return iss_ + 1 + static_cast<std::uint32_t>(app_queued_);
 }
 
+std::uint64_t TcpConnection::journey_for_segment(std::uint32_t seq, std::uint32_t len,
+                                                 bool retransmit) {
+  obs::JourneyRecorder* journeys = stack_.node().journeys();
+  if (journeys == nullptr || len == 0) return 0;
+  if (!retransmit) {
+    const std::uint64_t journey =
+        journeys->mint(stack_.node().id(), net::Node::station_for(remote_ip_), net::kProtoTcp,
+                       len, remote_port_, sim_.now());
+    if (journey != 0) seg_journeys_[seq + len] = SegJourney{seq, journey};
+    return journey;
+  }
+  // Retransmission: find the tracked segment covering `seq`, if any (the
+  // original may have been sampled out, or the map trimmed by an ACK that
+  // raced the retransmit).
+  const auto it = seg_journeys_.upper_bound(seq);
+  if (it == seg_journeys_.end() || seq_lt(seq, it->second.start)) return 0;
+  journeys->on_retransmit(it->second.journey, sim_.now());
+  return it->second.journey;
+}
+
+void TcpConnection::journey_delivered(std::uint64_t journey) {
+  if (journey == 0) return;
+  if (obs::JourneyRecorder* journeys = stack_.node().journeys()) {
+    journeys->on_delivered(journey, stack_.node().id(), sim_.now());
+  }
+}
+
 void TcpConnection::send_segment(std::uint32_t seq, std::uint32_t len, net::TcpFlags flags,
                                  bool retransmit) {
+  pending_tx_journey_ = journey_for_segment(seq, len, retransmit);
   net::TcpHeader h;
   h.src_port = local_port_;
   h.dst_port = remote_port_;
@@ -277,6 +305,8 @@ void TcpConnection::handle_ack(const net::TcpHeader& h, std::uint32_t payload_le
     }
     const std::uint32_t newly = ack - snd_una_;
     snd_una_ = ack;
+    // Fully-acked segments no longer need retransmit->journey linkage.
+    seg_journeys_.erase(seg_journeys_.begin(), seg_journeys_.upper_bound(snd_una_));
 
     if (in_recovery_) {
       if (seq_le(recover_, ack)) {
@@ -386,11 +416,12 @@ void TcpConnection::handle_data(std::uint32_t seq, std::uint32_t len, bool fin,
     if (seq == rcv_nxt_) {
       rcv_nxt_ += len;
       deliver(len);
+      journey_delivered(rx_journey_);
       advanced = true;
     } else if (seq_lt(rcv_nxt_, seq)) {
-      // Out of order: stash and dup-ACK.
-      auto [it, inserted] = ooo_.emplace(seq, len);
-      if (!inserted) it->second = std::max(it->second, len);
+      // Out of order: stash (journey included) and dup-ACK.
+      auto [it, inserted] = ooo_.emplace(seq, OooSeg{len, rx_journey_});
+      if (!inserted) it->second.len = std::max(it->second.len, len);
       send_ack_now();
       return;
     } else if (seq_lt(rcv_nxt_, seq + len)) {
@@ -398,6 +429,7 @@ void TcpConnection::handle_data(std::uint32_t seq, std::uint32_t len, bool fin,
       const std::uint32_t fresh = seq + len - rcv_nxt_;
       rcv_nxt_ += fresh;
       deliver(fresh);
+      journey_delivered(rx_journey_);
       advanced = true;
     } else {
       // Entirely old: re-ACK immediately (the peer retransmitted).
@@ -407,10 +439,11 @@ void TcpConnection::handle_data(std::uint32_t seq, std::uint32_t len, bool fin,
     // Absorb any now-contiguous out-of-order segments.
     for (auto it = ooo_.begin(); it != ooo_.end();) {
       if (seq_lt(rcv_nxt_, it->first)) break;
-      if (seq_lt(rcv_nxt_, it->first + it->second)) {
-        const std::uint32_t fresh = it->first + it->second - rcv_nxt_;
+      if (seq_lt(rcv_nxt_, it->first + it->second.len)) {
+        const std::uint32_t fresh = it->first + it->second.len - rcv_nxt_;
         rcv_nxt_ += fresh;
         deliver(fresh);
+        journey_delivered(it->second.journey);
       }
       it = ooo_.erase(it);
     }
@@ -565,6 +598,7 @@ bool TcpStack::transmit(const TcpConnection& c, const net::TcpHeader& h,
   auto packet = net::Packet::make(payload_len);
   packet->push(h);
   packet->created_at = simulator().now();
+  packet->journey = c.pending_tx_journey();
   return node_.send_ip(std::move(packet), c.remote_ip(), net::kProtoTcp);
 }
 
@@ -576,6 +610,7 @@ void TcpStack::on_ip(net::PacketPtr packet, const net::Ipv4Header& ip) {
 
   const FlowKey key{h->dst_port, ip.src.value(), h->src_port};
   if (const auto it = flows_.find(key); it != flows_.end()) {
+    it->second->set_rx_journey(packet->journey);
     it->second->on_segment(*h, copy->payload_bytes());
     return;
   }

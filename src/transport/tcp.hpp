@@ -113,6 +113,13 @@ class TcpConnection {
   /// Passive-open bootstrap: process the initial SYN.
   void accept_syn(const net::TcpHeader& syn);
 
+  /// Journey tag carried by the segment about to be processed (stamped by
+  /// the stack before on_segment; 0 = untracked).
+  void set_rx_journey(std::uint64_t journey) { rx_journey_ = journey; }
+  /// Journey tag for the packet the stack is about to transmit (set by
+  /// send_segment; 0 = untracked control/ACK traffic).
+  [[nodiscard]] std::uint64_t pending_tx_journey() const { return pending_tx_journey_; }
+
   static std::string_view state_name(State s);
 
  private:
@@ -138,6 +145,15 @@ class TcpConnection {
   // receiver machinery
   void handle_data(std::uint32_t seq, std::uint32_t len, bool fin, std::uint32_t fin_seq);
   void deliver(std::uint32_t bytes);
+
+  // journey linkage (no-ops unless the node has a journey recorder).
+  // New data segments mint a journey; a retransmission re-carries the
+  // original segment's journey (the journey follows the *data*, so its
+  // e2e delay spans every retransmission — Karn-style linkage); the
+  // cumulative ACK retires sender-side bookkeeping.
+  [[nodiscard]] std::uint64_t journey_for_segment(std::uint32_t seq, std::uint32_t len,
+                                                  bool retransmit);
+  void journey_delivered(std::uint64_t journey);
 
   // observability (no-ops unless the stack has a trace sink attached)
   void trace_cwnd();
@@ -177,10 +193,25 @@ class TcpConnection {
   /// RTT timing (Karn): the seq whose cumulative ACK times one sample.
   std::optional<std::pair<std::uint32_t, sim::Time>> rtt_probe_;
 
+  // --- journey linkage ---
+  /// In-flight data segments: seq end -> {seq start, journey id}.
+  struct SegJourney {
+    std::uint32_t start = 0;
+    std::uint64_t journey = 0;
+  };
+  std::map<std::uint32_t, SegJourney> seg_journeys_;
+  std::uint64_t pending_tx_journey_ = 0;  ///< tag for the next stack transmit
+  std::uint64_t rx_journey_ = 0;          ///< tag of the segment being processed
+
   // --- receive side ---
   std::uint32_t irs_ = 0;
   std::uint32_t rcv_nxt_ = 0;
-  std::map<std::uint32_t, std::uint32_t> ooo_;  // seq -> len (out of order)
+  /// Out-of-order segments: seq -> {len, journey}.
+  struct OooSeg {
+    std::uint32_t len = 0;
+    std::uint64_t journey = 0;
+  };
+  std::map<std::uint32_t, OooSeg> ooo_;
   bool peer_fin_seen_ = false;
   std::uint32_t peer_fin_seq_ = 0;
   std::uint32_t pending_ack_segments_ = 0;

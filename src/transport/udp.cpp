@@ -26,6 +26,11 @@ void UdpStack::on_ip(net::PacketPtr packet, const net::Ipv4Header& ip) {
   if (udp == nullptr) return;
   const auto it = sockets_.find(udp->dst_port);
   if (it == sockets_.end()) return;
+  if (packet->journey != 0) {
+    if (obs::JourneyRecorder* journeys = node_.journeys()) {
+      journeys->on_delivered(packet->journey, node_.id(), node_.simulator().now());
+    }
+  }
   UdpRxInfo info;
   info.src = ip.src;
   info.src_port = udp->src_port;
@@ -44,6 +49,12 @@ bool UdpSocket::send_to(std::uint32_t payload_bytes, net::Ipv4Address dst,
   packet->push(udp);
   packet->app_seq = app_seq;
   packet->created_at = stack_.node().simulator().now();
+  if (obs::JourneyRecorder* journeys = stack_.node().journeys();
+      journeys != nullptr && !dst.is_broadcast()) {
+    packet->journey =
+        journeys->mint(stack_.node().id(), net::Node::station_for(dst), net::kProtoUdp,
+                       payload_bytes, dst_port, stack_.node().simulator().now());
+  }
   ++tx_count_;
   return stack_.node().send_ip(std::move(packet), dst, net::kProtoUdp);
 }

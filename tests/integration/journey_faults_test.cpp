@@ -1,0 +1,76 @@
+// Journey conservation ledger under fault plans: full fig7 runs at the
+// journeys obs level with the builtin midrun-jam and crash plans. The
+// ledger must balance on every run, drop attribution must follow the
+// fault (crash -> dropped_radio_off, jam -> retry-limit drops without
+// phantom radio/blackout buckets), and the fault-free run must deliver
+// everything it mints apart from the tail still in flight.
+
+#include <gtest/gtest.h>
+
+#include "experiments/experiments.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/journey/journey.hpp"
+#include "obs/observer.hpp"
+
+namespace adhoc {
+namespace {
+
+obs::JourneyLedger run_fig7(const faults::FaultPlan& plan, sim::Time measure,
+                            obs::RunObserver& observer) {
+  experiments::ExperimentConfig cfg;
+  cfg.warmup = sim::Time::ms(100);
+  cfg.measure = measure;
+  cfg.faults = plan;
+  const auto spec = experiments::fig7_spec(false, scenario::Transport::kUdp);
+  (void)experiments::four_station_run(spec, cfg, /*seed=*/1, &observer);
+  return observer.journeys()->ledger();
+}
+
+TEST(JourneyFaults, CleanRunBalancesWithOnlyDeliveryAndInFlight) {
+  obs::RunObserver observer{obs::ObsLevel::kJourneys};
+  const auto ledger = run_fig7({}, sim::Time::ms(900), observer);
+  EXPECT_TRUE(ledger.balanced());
+  EXPECT_GT(ledger.minted, 0u);
+  EXPECT_GT(ledger.delivered, 0u);
+  EXPECT_EQ(ledger.dropped_radio_off, 0u);
+  EXPECT_EQ(ledger.dropped_blackout, 0u);
+  // Saturated UDP keeps a queue, so a small in-flight tail is expected;
+  // everything else must have been delivered (no faults, solid links).
+  EXPECT_EQ(ledger.minted,
+            ledger.delivered + ledger.dropped_retry_limit + ledger.dropped_buffer +
+                ledger.in_flight);
+}
+
+TEST(JourneyFaults, MidrunJamBalancesAndDropsStayOffTheFaultBuckets) {
+  // The builtin jam is continuous interference over seconds 3..5: while
+  // it holds the medium, delivery stalls and the saturated senders
+  // overflow their MAC queues. Versus a fault-free run over the same
+  // horizon the ledger must show the stall, and attribution must not
+  // leak into the fault-specific buckets — interference is not a crash
+  // and not a blackout.
+  obs::RunObserver clean_obs{obs::ObsLevel::kJourneys};
+  const auto clean = run_fig7({}, sim::Time::ms(3400), clean_obs);
+  obs::RunObserver jam_obs{obs::ObsLevel::kJourneys};
+  const auto jam =
+      run_fig7(faults::builtin_plan("midrun-jam"), sim::Time::ms(3400), jam_obs);
+  EXPECT_TRUE(jam.balanced());
+  EXPECT_LT(jam.delivered, clean.delivered);
+  EXPECT_GT(jam.dropped_retry_limit + jam.dropped_buffer,
+            clean.dropped_retry_limit + clean.dropped_buffer);
+  EXPECT_EQ(jam.dropped_radio_off, 0u);
+  EXPECT_EQ(jam.dropped_blackout, 0u);
+}
+
+TEST(JourneyFaults, CrashAttributesDropsToThePoweredOffRadio) {
+  // The builtin crash powers node 1 (the session-1 receiver) off at
+  // 3 s; retry exhaustion towards it must land in dropped_radio_off.
+  obs::RunObserver observer{obs::ObsLevel::kJourneys};
+  const auto ledger =
+      run_fig7(faults::builtin_plan("crash"), sim::Time::ms(3400), observer);
+  EXPECT_TRUE(ledger.balanced());
+  EXPECT_GT(ledger.dropped_radio_off, 0u);
+  EXPECT_EQ(ledger.dropped_blackout, 0u);
+}
+
+}  // namespace
+}  // namespace adhoc

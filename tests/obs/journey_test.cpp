@@ -1,0 +1,239 @@
+// JourneyRecorder unit tests: phase accounting over the hook sequence,
+// the conservation ledger (every minted journey terminates in exactly
+// one bucket), fault-aware drop attribution through the probes, the
+// TCP keep-open rules, sampling, ring bounds, and byte-stable CSV.
+
+#include "obs/journey/journey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace adhoc::obs {
+namespace {
+
+constexpr std::uint8_t kUdp = 17;
+constexpr std::uint8_t kTcp = 6;
+
+sim::Time us(std::int64_t v) { return sim::Time::us(v); }
+
+/// Drive one clean single-hop delivery through every hook.
+std::uint64_t deliver_one(JourneyRecorder& r, std::int64_t t0_us) {
+  const std::uint64_t id = r.mint(0, 1, kUdp, 512, 9000, us(t0_us));
+  if (id == 0) return 0;
+  r.on_mac_enqueue(id, 0, us(t0_us + 10));
+  r.on_head_of_queue(id, us(t0_us + 30));
+  r.on_attempt_start(id, us(t0_us + 100));
+  r.on_hop_success(id, 0, us(t0_us + 600));
+  r.on_delivered(id, 1, us(t0_us + 600));
+  return id;
+}
+
+TEST(JourneyRecorder, PhaseDecompositionSingleHop) {
+  JourneyRecorder r;
+  const std::uint64_t id = r.mint(0, 1, kUdp, 512, 9000, us(0));
+  ASSERT_NE(id, 0u);
+  r.on_mac_enqueue(id, 0, us(10));    // buffer = 10
+  r.on_head_of_queue(id, us(40));    // queue = 30
+  r.on_attempt_start(id, us(140));   // contend = 100
+  r.on_attempt_fail(id, us(640));    // airtime += 500
+  r.on_attempt_start(id, us(940));   // retry = 300
+  r.on_hop_success(id, 0, us(1440)); // airtime += 500
+  r.on_delivered(id, 1, us(1440));
+  r.finalize(us(2000));
+
+  const auto records = r.records();
+  ASSERT_EQ(records.size(), 1u);
+  const JourneyRecord& j = records[0];
+  EXPECT_EQ(j.terminal, JourneyTerminal::kDelivered);
+  EXPECT_EQ(j.buffer, us(10));
+  EXPECT_EQ(j.queue, us(30));
+  EXPECT_EQ(j.contend, us(100));
+  EXPECT_EQ(j.airtime, us(1000));
+  EXPECT_EQ(j.retry, us(300));
+  EXPECT_EQ(j.hops, 1u);
+  EXPECT_EQ(j.attempts, 2u);
+  // The phases tile the journey's lifetime exactly.
+  EXPECT_EQ(j.buffer + j.queue + j.contend + j.airtime + j.retry,
+            j.terminal_at - j.minted_at);
+  EXPECT_TRUE(r.ledger().balanced());
+  EXPECT_EQ(r.ledger().delivered, 1u);
+}
+
+TEST(JourneyRecorder, LedgerCoversEveryTerminalBucket) {
+  JourneyRecorder r;
+  r.set_radio_off_probe([](std::uint32_t node) { return node == 7; });
+  r.set_link_blocked_probe([](std::uint32_t a, std::uint32_t b) {
+    return a == 2 && b == 3;
+  });
+
+  deliver_one(r, 0);
+
+  // UDP retry-limit drop on a healthy link.
+  const std::uint64_t retry = r.mint(0, 1, kUdp, 512, 9000, us(1000));
+  r.on_mac_enqueue(retry, 0, us(1010));
+  r.on_head_of_queue(retry, us(1020));
+  r.on_attempt_start(retry, us(1100));
+  r.on_attempt_fail(retry, us(1600));
+  r.on_retry_drop(retry, 0, 1, us(1600));
+
+  // UDP pre-air drop (queue full / no route).
+  const std::uint64_t buf = r.mint(0, 1, kUdp, 512, 9000, us(2000));
+  r.on_pre_air_drop(buf, us(2001));
+
+  // Retry drop towards a crashed peer attributes to the radio, and a
+  // blacked-out link attributes to the blackout.
+  const std::uint64_t off = r.mint(0, 7, kUdp, 512, 9000, us(3000));
+  r.on_mac_enqueue(off, 0, us(3001));
+  r.on_retry_drop(off, 0, 7, us(3500));
+  const std::uint64_t black = r.mint(2, 3, kUdp, 512, 9000, us(4000));
+  r.on_mac_enqueue(black, 2, us(4001));
+  r.on_retry_drop(black, 2, 3, us(4500));
+
+  // Still open at the horizon.
+  const std::uint64_t open = r.mint(0, 1, kUdp, 512, 9000, us(5000));
+  r.on_mac_enqueue(open, 0, us(5001));
+
+  r.finalize(us(6000));
+  const JourneyLedger& lg = r.ledger();
+  EXPECT_EQ(lg.minted, 6u);
+  EXPECT_EQ(lg.delivered, 1u);
+  EXPECT_EQ(lg.dropped_retry_limit, 1u);
+  EXPECT_EQ(lg.dropped_buffer, 1u);
+  EXPECT_EQ(lg.dropped_radio_off, 1u);
+  EXPECT_EQ(lg.dropped_blackout, 1u);
+  EXPECT_EQ(lg.in_flight, 1u);
+  EXPECT_TRUE(lg.balanced());
+  EXPECT_EQ(r.open_count(), 0u);
+  EXPECT_EQ(r.records().size(), 6u);
+}
+
+TEST(JourneyRecorder, PreAirDropFromCrashedCarrierAttributesToTheRadio) {
+  JourneyRecorder r;
+  r.set_radio_off_probe([](std::uint32_t node) { return node == 7; });
+  // A crashed source overflowing its own queue: radio, not buffer.
+  const std::uint64_t crashed = r.mint(7, 1, kUdp, 512, 9000, us(0));
+  r.on_pre_air_drop(crashed, us(1));
+  // The same drop on a healthy source stays ordinary saturation.
+  const std::uint64_t healthy = r.mint(0, 1, kUdp, 512, 9000, us(10));
+  r.on_pre_air_drop(healthy, us(11));
+  r.finalize(us(100));
+  EXPECT_EQ(r.ledger().dropped_radio_off, 1u);
+  EXPECT_EQ(r.ledger().dropped_buffer, 1u);
+  EXPECT_TRUE(r.ledger().balanced());
+}
+
+TEST(JourneyRecorder, TcpJourneysSurviveMacDrops) {
+  JourneyRecorder r;
+  const std::uint64_t id = r.mint(0, 1, kTcp, 1000, 80, us(0));
+  r.on_mac_enqueue(id, 0, us(10));
+  r.on_head_of_queue(id, us(20));
+  r.on_attempt_start(id, us(100));
+  r.on_attempt_fail(id, us(600));
+  r.on_retry_drop(id, 0, 1, us(600));  // transport will retransmit
+  EXPECT_EQ(r.open_count(), 1u);
+  r.on_retransmit(id, us(5000));
+  r.on_pre_air_drop(id, us(5001));  // still not terminal for TCP
+  EXPECT_EQ(r.open_count(), 1u);
+  r.on_mac_enqueue(id, 0, us(10000));
+  r.on_head_of_queue(id, us(10010));
+  r.on_attempt_start(id, us(10100));
+  r.on_hop_success(id, 0, us(10600));
+  r.on_delivered(id, 1, us(10600));
+  r.finalize(us(20000));
+
+  const auto records = r.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].terminal, JourneyTerminal::kDelivered);
+  EXPECT_EQ(records[0].retransmits, 1u);
+  EXPECT_TRUE(r.ledger().balanced());
+  EXPECT_EQ(r.ledger().delivered, 1u);
+}
+
+TEST(JourneyRecorder, SamplingMintsEveryNth) {
+  JourneyRecorder r;
+  r.set_sample_every(3);
+  std::size_t tracked = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (r.mint(0, 1, kUdp, 512, 9000, us(i)) != 0) ++tracked;
+  }
+  EXPECT_EQ(tracked, 3u);
+  EXPECT_EQ(r.ledger().minted, 3u);
+  // Untracked id 0 is ignored by every hook.
+  r.on_mac_enqueue(0, 0, us(100));
+  r.on_delivered(0, 1, us(200));
+  r.finalize(us(300));
+  EXPECT_TRUE(r.ledger().balanced());
+}
+
+TEST(JourneyRecorder, RingOverwritesAreCountedNotLost) {
+  JourneyRecorder r{4};
+  for (int i = 0; i < 10; ++i) deliver_one(r, i * 1000);
+  r.finalize(us(100000));
+  EXPECT_EQ(r.ledger().minted, 10u);
+  EXPECT_EQ(r.ledger().delivered, 10u);  // ledger covers every journey
+  EXPECT_EQ(r.retained(), 4u);           // ring keeps the newest
+  EXPECT_EQ(r.dropped(), 6u);
+  const auto records = r.records();
+  ASSERT_EQ(records.size(), 4u);
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LT(records[i - 1].id, records[i].id);  // sorted export
+  }
+}
+
+TEST(JourneyRecorder, CsvIsByteStableAndSchemaPinned) {
+  const auto run = [] {
+    JourneyRecorder r;
+    deliver_one(r, 0);
+    const std::uint64_t drop = r.mint(0, 1, kUdp, 256, 9001, us(1000));
+    r.on_pre_air_drop(drop, us(1001));
+    r.finalize(us(2000));
+    std::ostringstream out;
+    r.write_csv(out);
+    return out.str();
+  };
+  const std::string a = run();
+  EXPECT_EQ(a, run());
+  EXPECT_EQ(a.substr(0, a.find('\n')),
+            "journey_id,proto,flow_port,src,dst,bytes,minted_ns,terminal,"
+            "terminal_ns,hops,attempts,retransmits,buffer_ns,queue_ns,"
+            "contend_ns,airtime_ns,retry_ns,other_ns");
+  EXPECT_NE(a.find(",delivered,"), std::string::npos);
+  EXPECT_NE(a.find(",dropped_buffer,"), std::string::npos);
+}
+
+TEST(JourneyRecorder, FoldsLedgerAndFlowPhasesIntoRegistry) {
+  MetricsRegistry registry;
+  JourneyRecorder r;
+  r.set_metrics(&registry);
+  deliver_one(r, 0);
+  deliver_one(r, 1000);
+  r.finalize(us(2000));
+  r.fold_into(registry);
+  const auto flat = registry.flatten();
+  EXPECT_EQ(flat.at("journey.minted"), 2.0);
+  EXPECT_EQ(flat.at("journey.delivered"), 2.0);
+  EXPECT_EQ(flat.at("journey.balanced"), 1.0);
+  EXPECT_EQ(flat.at("journey.journey_dropped"), 0.0);
+  EXPECT_EQ(flat.at("journey.udp.0to1.e2e_us.count"), 2.0);
+  EXPECT_EQ(flat.at("journey.udp.0to1.airtime_us.mean"), 500.0);
+}
+
+TEST(JourneyRecorder, FinalizeIsIdempotent) {
+  JourneyRecorder r;
+  const std::uint64_t id = r.mint(0, 1, kUdp, 512, 9000, us(0));
+  r.on_mac_enqueue(id, 0, us(1));
+  r.finalize(us(100));
+  const JourneyLedger first = r.ledger();
+  EXPECT_EQ(first.in_flight, 1u);
+  r.finalize(us(200));
+  EXPECT_EQ(r.ledger().in_flight, first.in_flight);
+  EXPECT_TRUE(r.ledger().balanced());
+}
+
+}  // namespace
+}  // namespace adhoc::obs

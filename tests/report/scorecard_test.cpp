@@ -77,6 +77,31 @@ TEST(Scorecard, JsonLayoutSortedCellsSortedKeysTrailingNewline) {
             "}\n");
 }
 
+TEST(Scorecard, DelayBreakdownIsOptInAndByteStable) {
+  report::Scorecard plain{"layout"};
+  plain.set_seeds({7});
+  plain.add_cell("aa", 1.5);
+  const std::string before = plain.to_json();
+  // Never calling add_delay_breakdown leaves the document untouched —
+  // the pre-existing baselines keep their exact bytes.
+  EXPECT_EQ(before.find("delay_breakdown"), std::string::npos);
+
+  report::Scorecard card{"layout"};
+  card.set_seeds({7});
+  card.add_cell("aa", 1.5);
+  card.add_delay_breakdown("zz/basic", {{"airtime_us", 500.0}, {"queue_us", 30.0}});
+  card.add_delay_breakdown("aa/basic", {{"airtime_us", 1000.5}});
+  const std::string json = card.to_json();
+  // Sorted ids, sorted phase keys, between counters and schema.
+  EXPECT_NE(json.find(",\n\"delay_breakdown\":{\n"
+                      "\"aa/basic\":{\"airtime_us\":1000.5},\n"
+                      "\"zz/basic\":{\"airtime_us\":500,\"queue_us\":30}\n"
+                      "},\n\"schema\":1"),
+            std::string::npos);
+  EXPECT_THROW(card.add_delay_breakdown("aa/basic", {{"x", 1.0}}), std::invalid_argument);
+  EXPECT_THROW(card.add_delay_breakdown("", {{"x", 1.0}}), std::invalid_argument);
+}
+
 TEST(Scorecard, PerfNumbersStayOutOfTheFidelityFile) {
   report::Scorecard card{"split"};
   card.add_cell("c", 1.0);

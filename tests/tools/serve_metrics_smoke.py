@@ -204,8 +204,11 @@ def main():
             fail(f"prometheus exposition missing requests_total family:\n"
                  f"{prom1[:2000]}")
         checker = subprocess.run(
-            [sys.executable, check_script, str(scratch / "scrape1.txt"),
-             str(scratch / "scrape2.txt")],
+            [sys.executable, check_script,
+             "--require", "adhocsim_serve_trace_dropped_total",
+             "--require", "adhocsim_serve_frame_trace_dropped_total",
+             "--require", "adhocsim_serve_journey_dropped_total",
+             str(scratch / "scrape1.txt"), str(scratch / "scrape2.txt")],
             capture_output=True, text=True, timeout=120)
         if checker.returncode != 0:
             fail(f"check_metrics_exposition failed:\n{checker.stdout}"

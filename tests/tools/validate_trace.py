@@ -12,6 +12,12 @@ A second run adds a --fault-plan and validates the fault_* track: every
 fault event rides the "fault" layer with monotonic timestamps, start/end
 kinds alternate per track (an end may be cut off by the horizon), and
 the "faults" metrics component accounts for the scheduled events.
+A third run at --obs-level journeys validates the causal packet-journey
+exports: every Chrome-trace flow arrow (ph s/t/f) binds to an emitted X
+slice at its exact (pid, tid, ts), every arrow step and finish follows a
+start with the same id, the journey CSV carries the pinned schema with
+one row per journey id and exactly one terminal bucket each, the
+metrics ledger balances, and a rerun reproduces the CSV byte-for-byte.
 Finally, the CLI contract: unknown --scenario and malformed --fault-plan
 must exit non-zero with messages listing the valid names / grammar.
 
@@ -156,6 +162,107 @@ def main() -> None:
         if acct.get(key) != want:
             fail(f"faults.{key} = {acct.get(key)}, expected {want} ({acct})")
 
+    # --- journeys run: flow-arrow integrity + CSV ledger -----------------
+    jtrace = scratch / "journey_trace.json"
+    jmetrics = scratch / "journey_metrics.json"
+    jcsv = scratch / "journeys.csv"
+    cmd = [
+        adhocsim, "run", "--scenario", "fig7", "--seconds", "1",
+        "--obs-level", "journeys", "--trace-json", str(jtrace),
+        "--metrics", str(jmetrics), "--journeys", str(jcsv),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"journeys run exited {proc.returncode}: {proc.stderr}")
+    if "ledger balanced" not in proc.stdout:
+        fail(f"journeys run did not report a balanced ledger:\n{proc.stdout}")
+
+    with open(jtrace) as f:
+        jevents = json.load(f)["traceEvents"]
+    slices = {(e["pid"], e["tid"], e["ts"])
+              for e in jevents if e.get("ph") == "X"}
+    flows = [e for e in jevents
+             if e.get("cat") == "journey" and e.get("ph") in ("s", "t", "f")]
+    if not flows:
+        fail("journeys run emitted no flow events")
+    started = set()
+    finished = set()
+    for e in flows:
+        key = (e["pid"], e["tid"], e["ts"])
+        if key not in slices:
+            fail(f"flow arrow not bound to an emitted X slice: {e}")
+        if e["ph"] == "s":
+            if e["id"] in started:
+                fail(f"journey {e['id']}: second 's' arrow: {e}")
+            started.add(e["id"])
+        elif e["id"] not in started:
+            fail(f"flow '{e['ph']}' before 's' for journey {e['id']}: {e}")
+        if e["ph"] == "f":
+            if e.get("bp") != "e":
+                fail(f"'f' arrow without bp=e (won't bind enclosing slice): {e}")
+            if e["id"] in finished:
+                fail(f"journey {e['id']}: second 'f' arrow: {e}")
+            finished.add(e["id"])
+
+    # CSV: pinned schema, one row per journey, one terminal bucket each.
+    expected_header = (
+        "journey_id,proto,flow_port,src,dst,bytes,minted_ns,terminal,"
+        "terminal_ns,hops,attempts,retransmits,buffer_ns,queue_ns,"
+        "contend_ns,airtime_ns,retry_ns,other_ns")
+    csv_text = jcsv.read_text()
+    lines = csv_text.splitlines()
+    if not lines or lines[0] != expected_header:
+        fail(f"journey CSV header drifted: {lines[:1]}")
+    terminals = {"in_flight", "delivered", "dropped_retry_limit",
+                 "dropped_buffer", "dropped_radio_off", "dropped_blackout"}
+    n_cols = len(expected_header.split(","))
+    seen_rows = set()
+    bucket_counts = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        cols = line.split(",")
+        if len(cols) != n_cols:
+            fail(f"journeys.csv:{lineno}: {len(cols)} columns, want {n_cols}")
+        jid, terminal = cols[0], cols[7]
+        if jid in seen_rows:
+            fail(f"journeys.csv:{lineno}: journey {jid} has two rows "
+                 f"(terminal bucket must be unique)")
+        seen_rows.add(jid)
+        if terminal not in terminals:
+            fail(f"journeys.csv:{lineno}: unknown terminal {terminal!r}")
+        bucket_counts[terminal] = bucket_counts.get(terminal, 0) + 1
+    if not seen_rows:
+        fail("journey CSV has no rows")
+
+    # Ledger (metrics gauges) must balance; with sampling off and no
+    # ring overwrites the CSV rows are the ledger.
+    with open(jmetrics) as f:
+        jdoc = json.load(f)["metrics"]
+    ledger = jdoc.get("journey")
+    if ledger is None:
+        fail(f"journeys run metrics missing 'journey' component: {sorted(jdoc)}")
+    drops = (ledger["dropped_retry_limit"] + ledger["dropped_buffer"] +
+             ledger["dropped_radio_off"] + ledger["dropped_blackout"])
+    if ledger["minted"] != ledger["delivered"] + drops + ledger["in_flight"]:
+        fail(f"journey ledger does not balance: {ledger}")
+    if ledger["balanced"] != 1:
+        fail(f"journey ledger balanced gauge not set: {ledger}")
+    if ledger["journey_dropped"] == 0 and len(seen_rows) != ledger["minted"]:
+        fail(f"CSV rows {len(seen_rows)} != minted {ledger['minted']} "
+             f"with no ring overwrites")
+    if bucket_counts.get("delivered", 0) != ledger["delivered"]:
+        fail(f"CSV delivered {bucket_counts.get('delivered')} != ledger "
+             f"{ledger['delivered']}")
+
+    # Rerun: the journey CSV is part of the byte-stability contract.
+    rerun_csv = scratch / "journeys_rerun.csv"
+    rerun = [adhocsim, "run", "--scenario", "fig7", "--seconds", "1",
+             "--obs-level", "journeys", "--journeys", str(rerun_csv)]
+    proc = subprocess.run(rerun, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        fail(f"journeys rerun exited {proc.returncode}: {proc.stderr}")
+    if rerun_csv.read_text() != csv_text:
+        fail("journey CSV not byte-stable across reruns")
+
     # --- CLI contract: bad inputs fail loudly and helpfully --------------
     proc = subprocess.run([adhocsim, "run", "--scenario", "bogus"],
                           capture_output=True, text=True, timeout=60)
@@ -180,7 +287,8 @@ def main() -> None:
 
     print(f"obs_trace_valid: OK ({len(events)} trace events, "
           f"{len(last_ts)} tracks, {len(metrics)} metric components, "
-          f"{len(fault_events)} fault events on {len(timelines)} tracks)")
+          f"{len(fault_events)} fault events on {len(timelines)} tracks, "
+          f"{len(seen_rows)} journeys ledgered, {len(flows)} flow arrows)")
 
 
 if __name__ == "__main__":

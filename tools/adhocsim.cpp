@@ -9,6 +9,7 @@
 //   adhocsim delay [--rate 11] [--distance 15] [--load-mbps 1.5]
 //   adhocsim run --scenario fig7 [--seed 1] [--obs-level full]
 //                [--trace-json t.json] [--trace-csv t.csv] [--metrics m.json]
+//                [--journeys j.csv] [--journey-sample N]
 //                [--fault-plan NAME|FILE|SPEC]
 //   adhocsim run --scenario manet [--stations 50] [--placement grid|uniform]
 //                [--mobility static|waypoint|gauss-markov] [--field M]
@@ -194,7 +195,8 @@ std::optional<obs::ObsLevel> obs_level_flag(const tools::CliArgs& args,
   const std::string name = args.str("obs-level", fallback);
   const auto level = obs::obs_level_from_string(name);
   if (!level) {
-    std::cerr << "adhocsim: unknown --obs-level '" << name << "' (off|metrics|trace|full)\n";
+    std::cerr << "adhocsim: unknown --obs-level '" << name
+              << "' (off|metrics|trace|full|journeys)\n";
   }
   return level;
 }
@@ -227,10 +229,20 @@ int cmd_run(const tools::CliArgs& args) {
     std::cerr << "adhocsim run: --metrics needs --obs-level metrics or higher\n";
     return 1;
   }
+  const std::string journeys_csv = args.str("journeys", "");
+  if (!journeys_csv.empty() && observer.journeys() == nullptr) {
+    std::cerr << "adhocsim run: --journeys needs --obs-level journeys\n";
+    return 1;
+  }
+  if (observer.journeys() != nullptr) {
+    observer.journeys()->set_sample_every(
+        static_cast<std::uint32_t>(args.positive_integer("journey-sample", 1)));
+  }
   // ... and reject unwritable export paths just as early.
   if (!tools::require_writable("--trace-json", trace_json) ||
       !tools::require_writable("--trace-csv", trace_csv) ||
-      !tools::require_writable("--metrics", metrics)) {
+      !tools::require_writable("--metrics", metrics) ||
+      !tools::require_writable("--journeys", journeys_csv)) {
     return 1;
   }
 
@@ -297,6 +309,20 @@ int cmd_run(const tools::CliArgs& args) {
     observer.write_metrics_json(metrics);
     std::cout << "metrics : " << metrics << " (" << observer.registry()->component_count()
               << " components)\n";
+  }
+  if (const obs::JourneyRecorder* journeys = observer.journeys(); journeys != nullptr) {
+    const obs::JourneyLedger& ledger = journeys->ledger();
+    std::cout << "journeys: " << ledger.minted << " minted, " << ledger.delivered
+              << " delivered, "
+              << (ledger.dropped_retry_limit + ledger.dropped_buffer + ledger.dropped_radio_off +
+                  ledger.dropped_blackout)
+              << " dropped, " << ledger.in_flight << " in flight ("
+              << (ledger.balanced() ? "ledger balanced" : "LEDGER IMBALANCE") << ")\n";
+    if (!journeys_csv.empty()) {
+      observer.write_journeys_csv(journeys_csv);
+      std::cout << "journeyCSV: " << journeys_csv << " (" << journeys->retained()
+                << " records, " << journeys->dropped() << " dropped)\n";
+    }
   }
   return 0;
 }
@@ -670,8 +696,9 @@ void usage() {
       "  saturation [--stations N] [--rts] simulated vs Bianchi\n"
       "  delay [--rate R] [--distance D] [--load-mbps L]\n"
       "  run --scenario two-node|fig7|fig9|fig11|fig12|manet [--seed N] [--rts] [--tcp]\n"
-      "      [--obs-level off|metrics|trace|full] [--trace-json PATH]\n"
+      "      [--obs-level off|metrics|trace|full|journeys] [--trace-json PATH]\n"
       "      [--trace-csv PATH] [--metrics PATH]  one observed replication\n"
+      "      [--journeys PATH] [--journey-sample N]  packet-journey CSV + ledger\n"
       "      manet extras: [--stations N] [--placement grid|uniform]\n"
       "      [--mobility static|waypoint|gauss-markov] [--field M] [--spacing M]\n"
       "      [--flows N] [--flow-kbps K]\n"

@@ -2,7 +2,7 @@
 """Validate Prometheus text exposition produced by the serve daemon.
 
 Usage:
-    check_metrics_exposition.py SCRAPE1 [SCRAPE2]
+    check_metrics_exposition.py [--require FAMILY]... SCRAPE1 [SCRAPE2]
 
 Checks, per scrape file:
   * every line is either `# TYPE <family> <type>` or `<sample> <value>`
@@ -19,6 +19,11 @@ Checks, per scrape file:
 With two scrapes, additionally checks monotonicity: for every counter
 sample key present in both, the second value is >= the first — the
 hammer test scrapes twice around a batch of submits to pin this.
+
+Each `--require FAMILY` asserts that a sample of that family (exact
+name, or its _sum/_count expansion for summaries) is present in every
+scrape — the hook tests use to pin "this counter is actually exposed"
+rather than silently absent.
 
 Exit 0 when every check passes, 1 otherwise (violations on stderr).
 """
@@ -162,18 +167,39 @@ def check_monotonic(
         errors.append("no counter sample keys shared between the two scrapes")
 
 
+def check_required(
+    required: list[str],
+    samples: dict[str, tuple[str, float]],
+    path: str,
+    errors: list[str],
+) -> None:
+    for family in required:
+        prefixes = (family,) + tuple(family + s for s in SUMMARY_SUFFIXES)
+        if not any(key == p or key.startswith(p + "{")
+                   for key in samples for p in prefixes):
+            errors.append(f"{path}: required family {family!r} has no sample")
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) not in (2, 3):
+    args = argv[1:]
+    required: list[str] = []
+    while len(args) >= 2 and args[0] == "--require":
+        required.append(args[1])
+        args = args[2:]
+    if len(args) not in (1, 2):
         print(__doc__, file=sys.stderr)
         return 1
+    argv = [argv[0], *args]
     errors: list[str] = []
     first = check_scrape(Path(argv[1]), errors)
     if not first:
         errors.append(f"{argv[1]}: no samples parsed")
+    check_required(required, first, argv[1], errors)
     if len(argv) == 3:
         second = check_scrape(Path(argv[2]), errors)
         if not second:
             errors.append(f"{argv[2]}: no samples parsed")
+        check_required(required, second, argv[2], errors)
         check_monotonic(first, second, errors)
     if errors:
         for e in errors:

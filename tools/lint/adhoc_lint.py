@@ -118,6 +118,8 @@ ALWAYS_ORDERED_DIRS = (
     "src/obs/svc",  # covered by src/obs; listed so the service-telemetry
     # layer (metrics exposition, flight recorder) stays pinned even if
     # the parent entry is ever narrowed
+    "src/obs/journey",  # likewise: journey CSV + ledger exports are
+    # diffed byte-for-byte across reruns and worker counts
     "src/campaign",
     "src/report",
     "src/cache",
